@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) supporting the paper's complexity
+// claims (Section 3.2): O(log m) heap updates, O(min deg) weight
+// computation, and overall per-edge update cost of a few microseconds.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/gps.h"
+#include "core/in_stream.h"
+#include "core/post_stream.h"
+#include "gen/generators.h"
+#include "graph/sampled_graph.h"
+#include "graph/stream.h"
+#include "util/binary_heap.h"
+#include "util/flat_hash_map.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace gps;  // NOLINT
+
+std::vector<Edge> BenchStream(uint64_t edges) {
+  static std::vector<Edge> cache;
+  static uint64_t cached_edges = 0;
+  if (cached_edges != edges) {
+    EdgeList g = GenerateChungLu(static_cast<uint32_t>(edges / 5), edges,
+                                 2.2, 42)
+                     .value();
+    cache = MakePermutedStream(g, 43);
+    cached_edges = edges;
+  }
+  return cache;
+}
+
+void BM_HeapPushPop(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  BinaryMinHeap<double> heap;
+  for (size_t i = 0; i < m; ++i) heap.Push(rng.Uniform01());
+  for (auto _ : state) {
+    const double x = rng.Uniform01();
+    if (x > heap.Top()) {
+      heap.PopMin();
+      heap.Push(x);
+    }
+    benchmark::DoNotOptimize(heap.Top());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapPushPop)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_FlatHashMapInsertErase(benchmark::State& state) {
+  FlatHashMap<uint64_t, uint32_t> map(1 << 16);
+  Rng rng(2);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    map.Insert(key, 1);
+    map.Erase(key - 32768);  // keep ~32K live entries
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapInsertErase);
+
+void BM_WeightComputation(benchmark::State& state) {
+  // Triangle-weight evaluation on a realistic sampled graph.
+  const std::vector<Edge> stream = BenchStream(100000);
+  GpsSamplerOptions options;
+  options.capacity = 20000;
+  options.seed = 3;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+  const WeightFunction& fn = sampler.weight_function();
+  const SampledGraph& graph = sampler.reservoir().graph();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn.Compute(stream[i % stream.size()], graph));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WeightComputation);
+
+void BM_GpsSamplerUpdate(benchmark::State& state) {
+  // Full Algorithm-1 update cost per edge (weight + heap + adjacency),
+  // amortized over a pass; reported as items/second.
+  const std::vector<Edge> stream = BenchStream(100000);
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    GpsSamplerOptions options;
+    options.capacity = capacity;
+    options.seed = 4;
+    GpsSampler sampler(options);
+    for (const Edge& e : stream) sampler.Process(e);
+    benchmark::DoNotOptimize(sampler.reservoir().threshold());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_GpsSamplerUpdate)->Arg(10000)->Arg(40000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_InStreamUpdate(benchmark::State& state) {
+  // Algorithm-3 update cost (snapshot estimation + sampling) per edge.
+  const std::vector<Edge> stream = BenchStream(100000);
+  for (auto _ : state) {
+    GpsSamplerOptions options;
+    options.capacity = 20000;
+    options.seed = 5;
+    InStreamEstimator est(options);
+    for (const Edge& e : stream) est.Process(e);
+    benchmark::DoNotOptimize(est.Estimates().triangles.value);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_InStreamUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_PostStreamEstimation(benchmark::State& state) {
+  // Algorithm-2 cost: one full localized estimation pass over the sample.
+  const std::vector<Edge> stream = BenchStream(100000);
+  GpsSamplerOptions options;
+  options.capacity = static_cast<size_t>(state.range(0));
+  options.seed = 6;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EstimatePostStream(sampler.reservoir()).triangles.value);
+  }
+}
+BENCHMARK(BM_PostStreamEstimation)->Arg(5000)->Arg(20000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SampledGraphCommonNeighbors(benchmark::State& state) {
+  const std::vector<Edge> stream = BenchStream(100000);
+  SampledGraph graph;
+  for (size_t i = 0; i < 30000 && i < stream.size(); ++i) {
+    graph.AddEdge(stream[i], static_cast<SlotId>(i));
+  }
+  size_t i = 30000;
+  for (auto _ : state) {
+    const Edge& e = stream[i % stream.size()];
+    benchmark::DoNotOptimize(graph.CountCommonNeighbors(e.u, e.v));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampledGraphCommonNeighbors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Extension bench: generic in-stream motif snapshots (paper Section 5.1)
+// beyond triangles — 4-clique counting accuracy as the sample size grows,
+// with the conservative variance bound. Demonstrates that the Martingale
+// snapshot machinery generalizes to motifs the paper never benchmarked.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/snapshot.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/stream.h"
+#include "stats/metrics.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gps;         // NOLINT
+using namespace gps::bench;  // NOLINT
+
+double CountFourCliquesExact(const CsrGraph& g) {
+  double count = 0;
+  for (NodeId a = 0; a < g.NumNodes(); ++a) {
+    for (NodeId b : g.Neighbors(a)) {
+      if (b <= a) continue;
+      for (NodeId c : g.Neighbors(a)) {
+        if (c <= b || !g.HasEdge(b, c)) continue;
+        for (NodeId d : g.Neighbors(a)) {
+          if (d <= c || !g.HasEdge(b, d) || !g.HasEdge(c, d)) continue;
+          count += 1;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  // Clique-rich web-like graph; modest size because the exact 4-clique
+  // oracle is the expensive part.
+  EdgeList graph = GenerateBarabasiAlbert(12000, 16, 0.65, 0xAB9).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 0xABA);
+  const CsrGraph csr = CsrGraph::FromEdgeList(graph);
+  const double actual = CountFourCliquesExact(csr);
+
+  std::printf("In-stream 4-clique counting (Section 5.1 snapshots) on a "
+              "%zu-edge clique-rich graph; exact 4-cliques: %.0f\n\n",
+              stream.size(), actual);
+
+  TextTable t({"m", "fraction", "estimate", "ARE", "conservative sd"});
+  for (size_t m : {stream.size() / 16, stream.size() / 8, stream.size() / 4,
+                   stream.size() / 2}) {
+    GpsSamplerOptions options;
+    options.capacity = m;
+    options.seed = 4242;
+    InStreamMotifCounter counter(options, FourCliqueEnumerator());
+    for (const Edge& e : stream) counter.Process(e);
+    t.AddRow({HumanCount(static_cast<double>(m)),
+              FormatDouble(static_cast<double>(m) / stream.size(), 3),
+              HumanCount(counter.Count()),
+              FormatDouble(AbsoluteRelativeError(counter.Count(), actual), 4),
+              HumanCount(std::sqrt(
+                  std::max(0.0, counter.VarianceLowerEstimate())))});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

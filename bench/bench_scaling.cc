@@ -1,0 +1,70 @@
+// Strong-scaling bench for parallel post-stream estimation. The paper
+// (Section 6, "Scalability and Runtime") states Algorithm 2 "uses a
+// scalable parallel approach ... with strong scaling properties" but omits
+// the numbers; this bench regenerates that experiment: fixed sample,
+// runtime and speedup vs worker count.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/gps.h"
+#include "core/post_stream.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gps;         // NOLINT
+using namespace gps::bench;  // NOLINT
+
+constexpr size_t kCapacity = 60000;
+constexpr int kRepeats = 5;
+
+double TimeEstimate(const GpsReservoir& reservoir, unsigned threads) {
+  // Warm-up + best-of-N to suppress scheduler noise.
+  double best = 1e300;
+  for (int i = 0; i < kRepeats; ++i) {
+    WallTimer timer;
+    const GraphEstimates est =
+        threads == 0 ? EstimatePostStream(reservoir)
+                     : EstimatePostStreamParallel(reservoir, threads);
+    const double elapsed = timer.ElapsedSeconds();
+    if (est.triangles.value < 0) std::abort();  // keep the result alive
+    best = std::min(best, elapsed);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale(1.0);
+  const BenchGraph bg = LoadBenchGraph("socfb-texas-sim", scale, 0xAB8);
+  const size_t capacity =
+      std::min(kCapacity, std::max<size_t>(1024, bg.stream.size() / 4));
+
+  GpsSamplerOptions options;
+  options.capacity = capacity;
+  options.seed = 31;
+  GpsSampler sampler(options);
+  for (const Edge& e : bg.stream) sampler.Process(e);
+
+  std::printf("Post-stream estimation strong scaling on %s "
+              "(m=%zu sampled edges; best of %d runs)\n",
+              bg.name.c_str(), sampler.reservoir().size(), kRepeats);
+
+  const double serial = TimeEstimate(sampler.reservoir(), 0);
+  TextTable t({"threads", "seconds", "speedup"});
+  t.AddRow({"serial", FormatDouble(serial, 4), "1"});
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    if (threads > 2 * hw) break;
+    const double elapsed = TimeEstimate(sampler.reservoir(), threads);
+    t.AddRow({std::to_string(threads), FormatDouble(elapsed, 4),
+              FormatDouble(serial / elapsed, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf("(hardware concurrency: %u)\n", hw);
+  return 0;
+}

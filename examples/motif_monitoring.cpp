@@ -1,0 +1,74 @@
+// Motif monitoring: use the generic in-stream snapshot framework (paper
+// Section 5.1) to track an arbitrary motif — here 4-cliques, a motif the
+// specialized triangle/wedge estimators do not cover — live over a stream,
+// alongside triangles from the same framework.
+//
+//   build/examples/motif_monitoring
+
+#include <cstdio>
+
+#include "core/snapshot.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/stream.h"
+
+namespace {
+
+// Exact 4-clique count for the final comparison (offline only).
+double CountFourCliquesExact(const gps::CsrGraph& g) {
+  double count = 0;
+  for (gps::NodeId a = 0; a < g.NumNodes(); ++a) {
+    for (gps::NodeId b : g.Neighbors(a)) {
+      if (b <= a) continue;
+      for (gps::NodeId c : g.Neighbors(a)) {
+        if (c <= b || !g.HasEdge(b, c)) continue;
+        for (gps::NodeId d : g.Neighbors(a)) {
+          if (d <= c || !g.HasEdge(b, d) || !g.HasEdge(c, d)) continue;
+          count += 1;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  // A clique-rich collaboration-style graph.
+  gps::EdgeList graph =
+      gps::GenerateBarabasiAlbert(6000, 18, 0.65, 9).value();
+  const std::vector<gps::Edge> stream = gps::MakePermutedStream(graph, 10);
+
+  gps::GpsSamplerOptions options;
+  options.capacity = stream.size() / 4;
+  options.seed = 77;
+
+  // Two monitors over independent samples: triangles and 4-cliques.
+  gps::InStreamMotifCounter triangles(options, gps::TriangleEnumerator());
+  gps::InStreamMotifCounter cliques(options, gps::FourCliqueEnumerator());
+
+  std::printf("monitoring %zu-edge stream (reservoirs of %zu edges)\n\n",
+              stream.size(), options.capacity);
+  std::printf("%12s %16s %16s %12s\n", "edges seen", "triangles(est)",
+              "4-cliques(est)", "snapshots");
+  const size_t report = stream.size() / 8;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    triangles.Process(stream[i]);
+    cliques.Process(stream[i]);
+    if ((i + 1) % report == 0 || i + 1 == stream.size()) {
+      std::printf("%12zu %16.0f %16.0f %12llu\n", i + 1, triangles.Count(),
+                  cliques.Count(),
+                  static_cast<unsigned long long>(cliques.SnapshotsTaken()));
+    }
+  }
+
+  const double exact =
+      CountFourCliquesExact(gps::CsrGraph::FromEdgeList(graph));
+  std::printf("\nexact 4-cliques: %.0f (estimate off by %.2f%%)\n", exact,
+              100.0 * std::abs(cliques.Count() - exact) /
+                  std::max(1.0, exact));
+  std::printf("conservative 4-clique std-dev estimate: %.0f\n",
+              std::sqrt(std::max(0.0, cliques.VarianceLowerEstimate())));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: sample a graph edge stream with Graph Priority Sampling and
+// estimate triangle/wedge counts and the global clustering coefficient,
+// with 95% confidence intervals — in ~40 lines of user code.
+//
+//   build/examples/quickstart [edge-list-file]
+//
+// Without an argument, a synthetic social-network-like stream is generated.
+
+#include <cstdio>
+
+#include "core/gps.h"
+#include "core/post_stream.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+
+int main(int argc, char** argv) {
+  // 1. Obtain a graph: from a file, or synthesize a heavy-tailed one.
+  gps::EdgeList graph;
+  if (argc > 1) {
+    auto loaded = gps::EdgeList::Load(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(*loaded);
+    graph.Simplify();
+  } else {
+    graph = gps::GenerateBarabasiAlbert(/*num_nodes=*/50000,
+                                        /*edges_per_node=*/8,
+                                        /*triad_prob=*/0.4,
+                                        /*seed=*/7)
+                .value();
+  }
+
+  // 2. Stream the edges in random order (the adjacency stream model).
+  const std::vector<gps::Edge> stream = gps::MakePermutedStream(graph, 11);
+
+  // 3. Sample with GPS: 5% reservoir, triangle-optimized weighting.
+  gps::GpsSamplerOptions options;
+  options.capacity = stream.size() / 20;
+  options.seed = 42;
+  gps::GpsSampler sampler(options);
+  for (const gps::Edge& e : stream) sampler.Process(e);
+
+  // 4. Estimate counts from the sample (post-stream estimation).
+  const gps::GraphEstimates est =
+      gps::EstimatePostStream(sampler.reservoir());
+  const gps::Estimate cc = est.ClusteringCoefficient();
+
+  std::printf("stream: %zu edges, sampled: %zu (%.1f%%)\n", stream.size(),
+              sampler.reservoir().size(),
+              100.0 * sampler.reservoir().size() / stream.size());
+  std::printf("triangles: %.0f   [%.0f, %.0f] (95%% CI)\n",
+              est.triangles.value, est.triangles.Lower(),
+              est.triangles.Upper());
+  std::printf("wedges:    %.0f   [%.0f, %.0f]\n", est.wedges.value,
+              est.wedges.Lower(), est.wedges.Upper());
+  std::printf("clustering coefficient: %.4f [%.4f, %.4f]\n", cc.value,
+              cc.Lower(), cc.Upper());
+
+  // 5. Compare against exact counts (possible here because the graph fits
+  //    in memory; on a real open-ended stream you would not have these).
+  const gps::ExactCounts actual =
+      gps::CountExact(gps::CsrGraph::FromEdgeList(graph));
+  std::printf("\nexact triangles: %.0f (estimate off by %.2f%%)\n",
+              actual.triangles,
+              100.0 * std::abs(est.triangles.value - actual.triangles) /
+                  actual.triangles);
+  std::printf("exact wedges:    %.0f (estimate off by %.2f%%)\n",
+              actual.wedges,
+              100.0 * std::abs(est.wedges.value - actual.wedges) /
+                  actual.wedges);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "baselines/jsp_wedge.h"
+
+#include <cassert>
+
+namespace gps {
+
+JspWedgeSampler::JspWedgeSampler(size_t edge_reservoir,
+                                 size_t wedge_reservoir, uint64_t seed)
+    : edge_capacity_(edge_reservoir), rng_(seed) {
+  assert(edge_capacity_ >= 2);
+  assert(wedge_reservoir >= 1);
+  edges_.reserve(edge_capacity_);
+  wedges_.resize(wedge_reservoir);
+}
+
+void JspWedgeSampler::Process(const Edge& raw) {
+  const Edge e = raw.Canonical();
+  if (e.IsSelfLoop() || graph_.HasEdge(e)) return;
+  ++t_;
+
+  // 1. Close wedges completed by e: wedge (apex; a, b) closes when (a, b)
+  // arrives. Linear scan over the wedge reservoir — this is the O(s_w)
+  // per-edge cost the GPS paper attributes to this method.
+  for (WedgeSlot& slot : wedges_) {
+    if (slot.valid && !slot.closed && MakeEdge(slot.a, slot.b) == e) {
+      slot.closed = true;
+    }
+  }
+
+  // 2. Wedges newly formed by e with the current edge reservoir.
+  const uint64_t formed = graph_.Degree(e.u) + graph_.Degree(e.v);
+  total_wedges_seen_ += formed;
+  if (formed > 0 && total_wedges_seen_ > 0) {
+    const double replace_prob = static_cast<double>(formed) /
+                                static_cast<double>(total_wedges_seen_);
+    for (WedgeSlot& slot : wedges_) {
+      if (!rng_.Bernoulli(replace_prob)) continue;
+      WedgeSlot fresh;
+      if (SampleNewWedge(e, &fresh)) slot = fresh;
+    }
+  }
+
+  // 3. Reservoir-sample e into the edge reservoir (Algorithm R).
+  if (edges_.size() < edge_capacity_) {
+    graph_.AddEdge(e, static_cast<SlotId>(edges_.size()));
+    edges_.push_back(e);
+    return;
+  }
+  if (rng_.UniformU64(t_) < edge_capacity_) {
+    const size_t victim = static_cast<size_t>(
+        rng_.UniformU64(static_cast<uint64_t>(edges_.size())));
+    graph_.RemoveEdge(edges_[victim]);
+    edges_[victim] = e;
+    graph_.AddEdge(e, static_cast<SlotId>(victim));
+  }
+}
+
+bool JspWedgeSampler::SampleNewWedge(const Edge& e, WedgeSlot* out) {
+  const uint64_t du = graph_.Degree(e.u);
+  const uint64_t dv = graph_.Degree(e.v);
+  if (du + dv == 0) return false;
+  uint64_t pick = rng_.UniformU64(du + dv);
+  const NodeId apex = pick < du ? e.u : e.v;
+  const NodeId other = apex == e.u ? e.v : e.u;
+  if (pick >= du) pick -= du;
+  // Select the pick-th neighbor of the apex.
+  NodeId third = kInvalidNode;
+  uint64_t index = 0;
+  graph_.ForEachNeighbor(apex, [&](NodeId nbr, SlotId) {
+    if (index++ == pick) third = nbr;
+  });
+  if (third == kInvalidNode || third == other) return false;  // degenerate
+  out->apex = apex;
+  out->a = other;
+  out->b = third;
+  out->valid = true;
+  out->closed = false;
+  return true;
+}
+
+uint64_t JspWedgeSampler::ReservoirWedgeCount() const {
+  uint64_t wedges = 0;
+  graph_.ForEachNode([&](NodeId, size_t degree) {
+    wedges += degree * (degree - 1) / 2;
+  });
+  return wedges;
+}
+
+double JspWedgeSampler::WedgeEstimate() const {
+  const double in_reservoir = static_cast<double>(ReservoirWedgeCount());
+  const double se = static_cast<double>(edges_.size());
+  const double td = static_cast<double>(t_);
+  if (se < 2 || td <= se) return in_reservoir;
+  return in_reservoir * td * (td - 1.0) / (se * (se - 1.0));
+}
+
+double JspWedgeSampler::TransitivityEstimate() const {
+  size_t valid = 0, closed = 0;
+  for (const WedgeSlot& slot : wedges_) {
+    if (!slot.valid) continue;
+    ++valid;
+    if (slot.closed) ++closed;
+  }
+  if (valid == 0) return 0.0;
+  return 3.0 * static_cast<double>(closed) / static_cast<double>(valid);
+}
+
+}  // namespace gps

@@ -1,0 +1,32 @@
+#include "baselines/mascot.h"
+
+#include <cassert>
+
+namespace gps {
+
+Mascot::Mascot(double p, uint64_t seed, MascotVariant variant)
+    : p_(p), rng_(seed), variant_(variant) {
+  assert(p_ > 0.0 && p_ <= 1.0);
+}
+
+void Mascot::Process(const Edge& raw) {
+  const Edge e = raw.Canonical();
+  if (e.IsSelfLoop() || graph_.HasEdge(e)) return;
+  ++t_;
+
+  if (variant_ == MascotVariant::kImproved) {
+    const double c =
+        static_cast<double>(graph_.CountCommonNeighbors(e.u, e.v));
+    tau_ += c / (p_ * p_);
+    if (rng_.Bernoulli(p_)) graph_.AddEdge(e, 0);
+  } else {
+    if (rng_.Bernoulli(p_)) {
+      const double c =
+          static_cast<double>(graph_.CountCommonNeighbors(e.u, e.v));
+      tau_ += c / (p_ * p_ * p_);
+      graph_.AddEdge(e, 0);
+    }
+  }
+}
+
+}  // namespace gps

@@ -1,0 +1,77 @@
+#include "baselines/triest.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gps {
+
+Triest::Triest(size_t capacity, uint64_t seed, TriestVariant variant)
+    : capacity_(capacity), rng_(seed), variant_(variant) {
+  assert(capacity_ >= 3 && "TRIEST needs room for at least one triangle");
+  sample_.reserve(capacity_);
+}
+
+void Triest::Process(const Edge& raw) {
+  const Edge e = raw.Canonical();
+  if (e.IsSelfLoop() || graph_.HasEdge(e)) return;
+  ++t_;
+
+  if (variant_ == TriestVariant::kImproved) {
+    // Unconditional weighted increment BEFORE the reservoir step.
+    const double m = static_cast<double>(capacity_);
+    const double td = static_cast<double>(t_);
+    const double eta =
+        std::max(1.0, (td - 1.0) * (td - 2.0) / (m * (m - 1.0)));
+    tau_ += eta * static_cast<double>(graph_.CountCommonNeighbors(e.u, e.v));
+  }
+
+  if (sample_.size() < capacity_) {
+    InsertEdge(e);
+    return;
+  }
+  // Standard reservoir coin: keep with probability M/t.
+  if (rng_.UniformU64(t_) < capacity_) {
+    RemoveRandomEdge();
+    InsertEdge(e);
+  }
+}
+
+void Triest::InsertEdge(const Edge& e) {
+  if (variant_ == TriestVariant::kBase) {
+    // New sample triangles = common sampled neighbors before insertion.
+    tau_ += static_cast<double>(graph_.CountCommonNeighbors(e.u, e.v));
+  }
+  // Slot payload = index into sample_ so eviction can fix up the mirror.
+  graph_.AddEdge(e, static_cast<SlotId>(sample_.size()));
+  sample_.push_back(e);
+}
+
+void Triest::RemoveRandomEdge() {
+  const size_t victim = static_cast<size_t>(
+      rng_.UniformU64(static_cast<uint64_t>(sample_.size())));
+  const Edge e = sample_[victim];
+  graph_.RemoveEdge(e);
+  if (variant_ == TriestVariant::kBase) {
+    // Destroyed sample triangles = common neighbors after removal.
+    tau_ -= static_cast<double>(graph_.CountCommonNeighbors(e.u, e.v));
+  }
+  // Swap-erase and repair the moved edge's stored index.
+  sample_[victim] = sample_.back();
+  sample_.pop_back();
+  if (victim < sample_.size()) {
+    const Edge& moved = sample_[victim];
+    graph_.RemoveEdge(moved);
+    graph_.AddEdge(moved, static_cast<SlotId>(victim));
+  }
+}
+
+double Triest::TriangleEstimate() const {
+  if (variant_ == TriestVariant::kImproved) return tau_;
+  const double m = static_cast<double>(capacity_);
+  const double td = static_cast<double>(t_);
+  const double xi = std::max(
+      1.0, td * (td - 1.0) * (td - 2.0) / (m * (m - 1.0) * (m - 2.0)));
+  return xi * tau_;
+}
+
+}  // namespace gps

@@ -1,0 +1,68 @@
+// TRIEST: reservoir-based triangle counting in edge streams.
+// De Stefani, Epasto, Riondato, Upfal — KDD 2016 (paper reference [16]).
+//
+// Re-implemented from the TRIEST paper's pseudocode for the baseline
+// comparison of the GPS paper (Tables 2 and 3):
+//
+//   * TRIEST-BASE keeps a uniform reservoir of M edges; a triangle counter
+//     tau tracks the number of triangles entirely inside the sample
+//     (incremented/decremented as edges enter/leave). The global estimate
+//     rescales by xi(t) = max(1, t(t-1)(t-2) / (M(M-1)(M-2))), the inverse
+//     probability that a specific triangle's three edges are all sampled.
+//
+//   * TRIEST-IMPR never decrements: on EVERY arrival (before the reservoir
+//     step) it adds eta(t) * |N^S_u ∩ N^S_v| with
+//     eta(t) = max(1, (t-1)(t-2) / (M(M-1))), the inverse probability that
+//     the two earlier edges of a triangle closed at time t are both in the
+//     sample. The counter itself is the (lower-variance) estimate.
+
+#ifndef GPS_BASELINES_TRIEST_H_
+#define GPS_BASELINES_TRIEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/sampled_graph.h"
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace gps {
+
+/// Which TRIEST variant to run.
+enum class TriestVariant { kBase, kImproved };
+
+class Triest {
+ public:
+  Triest(size_t capacity, uint64_t seed,
+         TriestVariant variant = TriestVariant::kBase);
+
+  /// Processes one arriving edge (duplicates/self loops ignored).
+  void Process(const Edge& e);
+
+  /// Current global triangle-count estimate.
+  double TriangleEstimate() const;
+
+  uint64_t edges_processed() const { return t_; }
+  size_t sample_size() const { return sample_.size(); }
+  TriestVariant variant() const { return variant_; }
+
+ private:
+  void InsertEdge(const Edge& e);
+  void RemoveRandomEdge();
+
+  size_t capacity_;
+  Rng rng_;
+  TriestVariant variant_;
+
+  // Sampled edges stored positionally for O(1) uniform eviction, mirrored
+  // in an adjacency index for common-neighbor counting.
+  std::vector<Edge> sample_;
+  SampledGraph graph_;
+
+  uint64_t t_ = 0;   // arrivals seen
+  double tau_ = 0;   // base: #triangles in sample; impr: running estimate
+};
+
+}  // namespace gps
+
+#endif  // GPS_BASELINES_TRIEST_H_

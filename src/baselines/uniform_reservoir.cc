@@ -1,0 +1,2 @@
+// UniformReservoir is header-only; this TU anchors the target.
+#include "baselines/uniform_reservoir.h"

@@ -1,0 +1,57 @@
+// Vitter's Algorithm R: classic uniform fixed-size reservoir sampling over
+// an edge stream (Vitter 1985, paper reference [38]).
+//
+// Serves two purposes in the reproduction:
+//   * a correctness baseline — GPS with W ≡ 1 must match its inclusion
+//     distribution (paper Section 3.2: "if we set W(k, K̂) = 1 ... Algorithm
+//     1 leads to uniform sampling as in the standard reservoir sampling");
+//   * the weight-ablation bench's uniform arm.
+
+#ifndef GPS_BASELINES_UNIFORM_RESERVOIR_H_
+#define GPS_BASELINES_UNIFORM_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace gps {
+
+class UniformReservoir {
+ public:
+  UniformReservoir(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    sample_.reserve(capacity);
+  }
+
+  /// Processes one arriving edge; returns true if it entered the sample.
+  bool Process(const Edge& e) {
+    ++t_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(e);
+      return true;
+    }
+    // Keep with probability m/t, replacing a uniform victim.
+    const uint64_t j = rng_.UniformU64(t_);
+    if (j < capacity_) {
+      sample_[static_cast<size_t>(j)] = e;
+      return true;
+    }
+    return false;
+  }
+
+  const std::vector<Edge>& Sample() const { return sample_; }
+  uint64_t edges_processed() const { return t_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<Edge> sample_;
+  uint64_t t_ = 0;
+};
+
+}  // namespace gps
+
+#endif  // GPS_BASELINES_UNIFORM_RESERVOIR_H_

@@ -1,0 +1,62 @@
+// Estimate types shared by the post-stream and in-stream estimation
+// frameworks (paper Sections 4 and 5).
+
+#ifndef GPS_CORE_ESTIMATES_H_
+#define GPS_CORE_ESTIMATES_H_
+
+#include <cmath>
+
+namespace gps {
+
+/// z-score for two-sided 95% confidence intervals, as used throughout the
+/// paper's evaluation ("X̂ ± 1.96 sqrt(Var[X̂])", Section 6).
+constexpr double kZ95 = 1.96;
+
+/// A point estimate together with its *estimated* variance (the paper's
+/// unbiased variance estimators, Corollaries 3–4 / Theorem 7).
+struct Estimate {
+  double value = 0.0;
+  double variance = 0.0;
+
+  double StdDev() const { return variance > 0 ? std::sqrt(variance) : 0.0; }
+
+  /// Lower 95% confidence bound (clamped at 0: counts are nonnegative).
+  double Lower(double z = kZ95) const {
+    const double lo = value - z * StdDev();
+    return lo > 0 ? lo : 0.0;
+  }
+
+  /// Upper 95% confidence bound.
+  double Upper(double z = kZ95) const { return value + z * StdDev(); }
+};
+
+/// Joint triangle/wedge estimates plus their estimated covariance; derives
+/// the global clustering coefficient via the delta method (paper Eq. 11).
+struct GraphEstimates {
+  Estimate triangles;
+  Estimate wedges;
+
+  /// Estimated Cov(N̂(tri), N̂(wedge)) (paper Eq. 12 / Alg. 3 lines 17, 26).
+  double tri_wedge_cov = 0.0;
+
+  /// Global clustering coefficient alpha-hat = 3 N̂(tri) / N̂(wedge) with
+  /// delta-method variance:
+  ///   Var(T/W) ~ V_T/W^2 + T^2 V_W / W^4 - 2 T Cov(T,W) / W^3,
+  /// scaled by 9 for the factor 3 (paper Eq. 11).
+  Estimate ClusteringCoefficient() const {
+    Estimate cc;
+    const double t = triangles.value;
+    const double w = wedges.value;
+    if (w <= 0.0) return cc;
+    cc.value = 3.0 * t / w;
+    const double ratio_var = triangles.variance / (w * w) +
+                             t * t * wedges.variance / (w * w * w * w) -
+                             2.0 * t * tri_wedge_cov / (w * w * w);
+    cc.variance = ratio_var > 0 ? 9.0 * ratio_var : 0.0;
+    return cc;
+  }
+};
+
+}  // namespace gps
+
+#endif  // GPS_CORE_ESTIMATES_H_

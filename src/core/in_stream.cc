@@ -1,0 +1,93 @@
+#include "core/in_stream.h"
+
+namespace gps {
+
+InStreamEstimator::InStreamEstimator(GpsSamplerOptions options)
+    : weight_fn_(options.weight),
+      reservoir_(GpsOptions{options.capacity, options.seed}) {}
+
+void InStreamEstimator::Process(const Edge& raw) {
+  const Edge e = raw.Canonical();
+  if (e.IsSelfLoop() || reservoir_.graph().HasEdge(e)) {
+    // Duplicates/loops carry no new subgraphs under the simple-graph model;
+    // skip both estimation and sampling (defensive: well-formed streams do
+    // not contain them).
+    return;
+  }
+
+  const SampledGraph& graph = reservoir_.graph();
+
+  // ---- GPSESTIMATE(k): snapshots taken before k's sampling step. ----
+
+  // Triangles completed by k = (u, v): one per sampled common neighbor
+  // (Algorithm 3 lines 9-19). Updates are independent across triangles
+  // because the non-k edges of distinct triangles at k are distinct.
+  graph.ForEachCommonNeighbor(
+      e.u, e.v, [&](NodeId w, SlotId slot_k1, SlotId slot_k2) {
+        (void)w;
+        const double q1 = reservoir_.Probability(slot_k1);
+        const double q2 = reservoir_.Probability(slot_k2);
+        const double inv = 1.0 / (q1 * q2);
+        GpsReservoir::EdgeRecord* r1 = reservoir_.MutableRecord(slot_k1);
+        GpsReservoir::EdgeRecord* r2 = reservoir_.MutableRecord(slot_k2);
+
+        n_tri_ += inv;                                   // line 14
+        v_tri_ += (inv - 1.0) * inv;                     // line 15
+        v_tri_ += 2.0 * (r1->cov_tri + r2->cov_tri) * inv;  // line 16
+        cov_tw_ += (r1->cov_wedge + r2->cov_wedge) * inv;   // line 17
+        r1->cov_tri += (1.0 / q1 - 1.0) / q2;            // line 18
+        r2->cov_tri += (1.0 / q2 - 1.0) / q1;            // line 19
+      });
+
+  // Wedges formed by k with each sampled edge adjacent to it
+  // (Algorithm 3 lines 20-27).
+  auto process_wedge = [&](SlotId slot) {
+    const double q = reservoir_.Probability(slot);
+    const double inv = 1.0 / q;
+    GpsReservoir::EdgeRecord* r = reservoir_.MutableRecord(slot);
+    n_wed_ += inv;                          // line 23
+    v_wed_ += inv * (inv - 1.0);            // line 24
+    v_wed_ += 2.0 * r->cov_wedge * inv;     // line 25
+    cov_tw_ += r->cov_tri * inv;            // line 26
+    r->cov_wedge += inv - 1.0;              // line 27
+  };
+  graph.ForEachNeighbor(e.u, [&](NodeId nbr, SlotId slot) {
+    if (nbr == e.v) return;  // cannot occur (duplicate guarded above)
+    process_wedge(slot);
+  });
+  graph.ForEachNeighbor(e.v, [&](NodeId nbr, SlotId slot) {
+    if (nbr == e.u) return;
+    process_wedge(slot);
+  });
+
+  // ---- GPSUPDATE(k, m): weight, priority, provisional include, evict. ----
+  // Eviction discards the evicted edge's covariance accumulators (lines
+  // 39-40) automatically: they live in the freed slot and are zeroed when
+  // the slot is reused.
+  const double weight = weight_fn_.Compute(e, graph);
+  reservoir_.Process(e, weight);
+}
+
+InStreamEstimator InStreamEstimator::FromParts(const WeightOptions& weight,
+                                               GpsReservoir reservoir,
+                                               const Accumulators& acc) {
+  InStreamEstimator est(weight, std::move(reservoir));
+  est.n_tri_ = acc.n_tri;
+  est.v_tri_ = acc.v_tri;
+  est.n_wed_ = acc.n_wed;
+  est.v_wed_ = acc.v_wed;
+  est.cov_tw_ = acc.cov_tw;
+  return est;
+}
+
+GraphEstimates InStreamEstimator::Estimates() const {
+  GraphEstimates out;
+  out.triangles.value = n_tri_;
+  out.triangles.variance = v_tri_;
+  out.wedges.value = n_wed_;
+  out.wedges.variance = v_wed_;
+  out.tri_wedge_cov = cov_tw_;
+  return out;
+}
+
+}  // namespace gps

@@ -1,0 +1,51 @@
+#include "core/local_counts.h"
+
+#include <algorithm>
+
+namespace gps {
+
+FlatHashMap<NodeId, double> EstimateLocalTriangles(
+    const GpsReservoir& reservoir) {
+  FlatHashMap<NodeId, double> local(reservoir.graph().NumNodes() * 2 + 8);
+  const SampledGraph& graph = reservoir.graph();
+
+  reservoir.ForEachEdge([&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+    NodeId v1 = rec.edge.u;
+    NodeId v2 = rec.edge.v;
+    if (graph.Degree(v1) > graph.Degree(v2)) std::swap(v1, v2);
+    const double q = reservoir.ProbabilityForWeight(rec.weight);
+
+    graph.ForEachNeighbor(v1, [&](NodeId v3, SlotId slot_k1) {
+      if (v3 == v2) return;
+      const SlotId slot_k2 = graph.FindEdge(MakeEdge(v2, v3));
+      if (slot_k2 == kNoSlot) return;
+      const double q1 = reservoir.Probability(slot_k1);
+      const double q2 = reservoir.Probability(slot_k2);
+      // Triangle visited once per constituent edge: contribute a third of
+      // its HT estimator to each corner per visit.
+      const double share = 1.0 / (q * q1 * q2) / 3.0;
+      local[v1] += share;
+      local[v2] += share;
+      local[v3] += share;
+    });
+  });
+  return local;
+}
+
+double EstimateEdgeCount(const GpsReservoir& reservoir) {
+  double total = 0.0;
+  reservoir.ForEachEdge([&](SlotId slot, const GpsReservoir::EdgeRecord&) {
+    total += 1.0 / reservoir.Probability(slot);
+  });
+  return total;
+}
+
+double EstimateDegree(const GpsReservoir& reservoir, NodeId v) {
+  double total = 0.0;
+  reservoir.graph().ForEachNeighbor(v, [&](NodeId, SlotId slot) {
+    total += 1.0 / reservoir.Probability(slot);
+  });
+  return total;
+}
+
+}  // namespace gps

@@ -1,0 +1,36 @@
+// Local (per-node) triangle counting from a GPS reference sample.
+//
+// The paper's related-work discussion ([27] MASCOT, [8]) highlights local
+// triangle counts as a key streaming statistic. GPS supports them for free:
+// the subgraph estimator Ŝ_τ (Theorem 2) is unbiased for every individual
+// triangle τ, so N̂_v(△) = Σ_{τ ∋ v, τ ⊂ K̂} Ŝ_τ is an unbiased estimator
+// of the number of triangles incident to node v. Enumeration reuses the
+// localized per-edge scan of Algorithm 2: each sampled triangle is visited
+// once per constituent edge (3 times), contributing Ŝ_τ/3 to each of its
+// three corners per visit.
+
+#ifndef GPS_CORE_LOCAL_COUNTS_H_
+#define GPS_CORE_LOCAL_COUNTS_H_
+
+#include "core/reservoir.h"
+#include "graph/types.h"
+#include "util/flat_hash_map.h"
+
+namespace gps {
+
+/// Per-node unbiased triangle-count estimates over nodes incident to the
+/// sample. Nodes without sampled triangles are absent (estimate 0).
+FlatHashMap<NodeId, double> EstimateLocalTriangles(
+    const GpsReservoir& reservoir);
+
+/// Unbiased estimate of the number of edges that have arrived, from the
+/// single-edge HT estimators: Σ_{k ∈ K̂} 1/p(k).
+double EstimateEdgeCount(const GpsReservoir& reservoir);
+
+/// Unbiased estimate of the degree of v in the arrived graph:
+/// Σ_{sampled edges at v} 1/p.
+double EstimateDegree(const GpsReservoir& reservoir, NodeId v);
+
+}  // namespace gps
+
+#endif  // GPS_CORE_LOCAL_COUNTS_H_

@@ -1,0 +1,110 @@
+#include "core/reservoir.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gps {
+
+GpsReservoir::GpsReservoir(GpsOptions options)
+    : options_(options), rng_(options.seed) {
+  assert(options_.capacity > 0);
+  heap_.reserve(options_.capacity + 1);
+  slots_.reserve(options_.capacity + 1);
+}
+
+SlotId GpsReservoir::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    const SlotId slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<SlotId>(slots_.size() - 1);
+}
+
+void GpsReservoir::FreeSlot(SlotId slot) { free_slots_.push_back(slot); }
+
+GpsReservoir::ProcessResult GpsReservoir::Process(const Edge& raw,
+                                                  double weight) {
+  ++processed_;
+  const Edge e = raw.Canonical();
+  if (e.IsSelfLoop() || graph_.HasEdge(e)) return {};
+
+  // Priority r(k) = w(k)/u(k), u ~ Uni(0,1] (Algorithm 1 lines 7-9).
+  // The uniform variate is drawn unconditionally so the sample path is a
+  // deterministic function of (seed, arrival sequence).
+  const double u = rng_.UniformOpenClosed01();
+  const double priority = weight / u;
+
+  ProcessResult result;
+  if (heap_.size() < options_.capacity) {
+    const SlotId slot = AllocateSlot();
+    slots_[slot] = EdgeRecord{e, weight, priority, 0.0, 0.0};
+    heap_.Push(HeapItem{priority, slot});
+    graph_.AddEdge(e, slot);
+    result.inserted = true;
+    result.slot = slot;
+    return result;
+  }
+
+  // Reservoir full: provisional inclusion of k makes m+1 candidates; the
+  // minimum-priority candidate is discarded and its priority raises z*.
+  if (priority <= heap_.Top().priority) {
+    // The arriving edge itself is the minimum: discard it.
+    z_star_ = std::max(z_star_, priority);
+    return result;
+  }
+
+  const HeapItem evicted = heap_.PopMin();
+  z_star_ = std::max(z_star_, evicted.priority);
+  const SlotId removed = graph_.RemoveEdge(slots_[evicted.slot].edge);
+  (void)removed;
+  assert(removed == evicted.slot);
+  FreeSlot(evicted.slot);
+
+  const SlotId slot = AllocateSlot();
+  slots_[slot] = EdgeRecord{e, weight, priority, 0.0, 0.0};
+  heap_.Push(HeapItem{priority, slot});
+  graph_.AddEdge(e, slot);
+  result.inserted = true;
+  result.evicted = true;
+  result.slot = slot;
+  return result;
+}
+
+GpsReservoir GpsReservoir::FromParts(
+    const GpsOptions& options, double z_star, uint64_t processed,
+    const std::array<uint64_t, 4>& rng_state,
+    std::span<const EdgeRecord> records) {
+  GpsReservoir res(options);
+  res.rng_.RestoreState(rng_state);
+  res.z_star_ = z_star;
+  res.processed_ = processed;
+  for (const EdgeRecord& rec : records) {
+    const SlotId slot = res.AllocateSlot();
+    res.slots_[slot] = rec;
+    res.heap_.Push(HeapItem{rec.priority, slot});
+    res.graph_.AddEdge(rec.edge, slot);
+  }
+  return res;
+}
+
+bool GpsReservoir::CheckInvariants() const {
+  if (!heap_.IsValidHeap()) return false;
+  if (heap_.size() > options_.capacity) return false;
+  if (graph_.NumEdges() != heap_.size()) return false;
+  for (const HeapItem& item : heap_.Items()) {
+    const EdgeRecord& rec = slots_[item.slot];
+    if (rec.priority != item.priority) return false;
+    // Every surviving edge must beat the threshold (selection event B_i).
+    if (rec.priority < z_star_ && heap_.size() == options_.capacity) {
+      // Priorities below z* can only remain if they entered before the
+      // threshold rose past them — impossible under priority sampling.
+      return false;
+    }
+    if (graph_.FindEdge(rec.edge) != item.slot) return false;
+  }
+  return true;
+}
+
+}  // namespace gps

@@ -1,0 +1,159 @@
+// GpsReservoir: the Graph Priority Sampling reservoir (paper Algorithm 1).
+//
+// Maintains a fixed-capacity weighted sample K̂ of stream edges. Each
+// arriving edge k receives priority r(k) = w(k)/u(k), u(k) ~ Uni(0,1]; the
+// reservoir keeps the m highest-priority edges seen so far, and the running
+// threshold z* is the largest priority ever evicted (equivalently the
+// (m+1)-st highest priority). Conditional on z*, edge k is in the sample
+// with probability p(k) = min{1, w(k)/z*} — the Horvitz–Thompson
+// renormalization of GPSNORMALIZE.
+//
+// Structure:
+//   * a binary min-heap over (priority, slot) gives O(1) access to the
+//     lowest-priority edge and O(log m) insert/evict;
+//   * a slot table holds per-edge records (endpoints, weight, priority, and
+//     the in-stream covariance accumulators of Algorithm 3);
+//   * a SampledGraph adjacency indexes the sampled topology so weight
+//     functions and estimators can query neighborhoods in O(min deg).
+//
+// The reservoir is deliberately estimation-agnostic: it never looks at
+// triangles or wedges itself (the paper's separation of sampling and
+// estimation, property S2/S3).
+
+#ifndef GPS_CORE_RESERVOIR_H_
+#define GPS_CORE_RESERVOIR_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/sampled_graph.h"
+#include "graph/types.h"
+#include "util/binary_heap.h"
+#include "util/random.h"
+
+namespace gps {
+
+/// Reservoir configuration.
+struct GpsOptions {
+  /// Reservoir capacity m (> 0).
+  size_t capacity = 100000;
+  /// Seed for the priority randomization u(k).
+  uint64_t seed = 1;
+};
+
+class GpsReservoir {
+ public:
+  /// Per-sampled-edge record.
+  struct EdgeRecord {
+    Edge edge;
+    double weight = 0.0;
+    double priority = 0.0;
+    /// Cumulative covariance accumulators for in-stream estimation
+    /// (Algorithm 3: C̃_k(△) and C̃_k(Λ)); zeroed on insertion, discarded on
+    /// eviction. Unused by post-stream estimation.
+    double cov_tri = 0.0;
+    double cov_wedge = 0.0;
+  };
+
+  /// Outcome of processing one arrival.
+  struct ProcessResult {
+    /// True if the arriving edge survived the provisional-inclusion step.
+    bool inserted = false;
+    /// True if a previously sampled edge was evicted to make room.
+    bool evicted = false;
+    /// Slot of the arriving edge if inserted, else kNoSlot.
+    SlotId slot = kNoSlot;
+  };
+
+  explicit GpsReservoir(GpsOptions options);
+
+  /// Processes one arriving edge with externally computed weight w(k) > 0
+  /// (GPSUPDATE). Self loops and edges already in the sample are ignored.
+  ProcessResult Process(const Edge& e, double weight);
+
+  /// Number of edges currently sampled, |K̂| = min(t, m).
+  size_t size() const { return heap_.size(); }
+
+  size_t capacity() const { return options_.capacity; }
+
+  /// Total arrivals processed (including ignored duplicates/loops).
+  uint64_t edges_processed() const { return processed_; }
+
+  /// The current threshold z*: the (m+1)-st highest priority seen, or 0
+  /// while no edge has ever been evicted.
+  double threshold() const { return z_star_; }
+
+  /// Conditional inclusion probability min{1, w/z*} for a given weight;
+  /// 1 while z* == 0 (every edge so far is kept with certainty).
+  double ProbabilityForWeight(double weight) const {
+    if (z_star_ <= 0.0) return 1.0;
+    const double p = weight / z_star_;
+    return p < 1.0 ? p : 1.0;
+  }
+
+  /// Inclusion probability of the sampled edge in `slot`.
+  double Probability(SlotId slot) const {
+    return ProbabilityForWeight(Record(slot).weight);
+  }
+
+  /// Sampled topology (node -> neighbors with slot payloads).
+  const SampledGraph& graph() const { return graph_; }
+
+  const EdgeRecord& Record(SlotId slot) const { return slots_[slot]; }
+  EdgeRecord* MutableRecord(SlotId slot) { return &slots_[slot]; }
+
+  /// Calls fn(slot, record) for each sampled edge (heap order).
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (const HeapItem& item : heap_.Items()) {
+      fn(item.slot, slots_[item.slot]);
+    }
+  }
+
+  /// Validates internal invariants (heap property, graph <-> slot
+  /// consistency). O(m); intended for tests.
+  bool CheckInvariants() const;
+
+  /// Reservoir configuration.
+  const GpsOptions& options() const { return options_; }
+
+  /// Current RNG state, for checkpointing (see core/serialize.h).
+  std::array<uint64_t, 4> RngState() const { return rng_.SaveState(); }
+
+  /// Reconstructs a reservoir from checkpointed parts. `records` must hold
+  /// at most `options.capacity` edges with distinct endpoints; priorities
+  /// and weights are taken verbatim. Used by deserialization.
+  static GpsReservoir FromParts(const GpsOptions& options, double z_star,
+                                uint64_t processed,
+                                const std::array<uint64_t, 4>& rng_state,
+                                std::span<const EdgeRecord> records);
+
+ private:
+  struct HeapItem {
+    double priority;
+    SlotId slot;
+  };
+  struct PriorityLess {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return a.priority < b.priority;
+    }
+  };
+
+  SlotId AllocateSlot();
+  void FreeSlot(SlotId slot);
+
+  GpsOptions options_;
+  Rng rng_;
+  BinaryMinHeap<HeapItem, PriorityLess> heap_;
+  std::vector<EdgeRecord> slots_;
+  std::vector<SlotId> free_slots_;
+  SampledGraph graph_;
+  double z_star_ = 0.0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace gps
+
+#endif  // GPS_CORE_RESERVOIR_H_

@@ -1,0 +1,50 @@
+#include "core/sample_view.h"
+
+#include "util/flat_hash_map.h"
+
+namespace gps {
+
+double SampleView::SubgraphEstimator(std::span<const Edge> edges) const {
+  double product = 1.0;
+  for (const Edge& e : edges) {
+    const double p = EdgeProbability(e);
+    if (p <= 0.0) return 0.0;
+    product /= p;
+  }
+  return product;
+}
+
+double SampleView::SubgraphCovarianceEstimator(
+    std::span<const Edge> j1, std::span<const Edge> j2) const {
+  // Deduplicate against edge keys so union/intersection are set-valued
+  // even if callers pass lists with repeats.
+  FlatHashMap<uint64_t, double> union_probs(2 * (j1.size() + j2.size()) + 8);
+  FlatHashSet<uint64_t> set1(2 * j1.size() + 8);
+  for (const Edge& e : j1) {
+    const double p = EdgeProbability(e);
+    if (p <= 0.0) return 0.0;  // Ŝ_{J1} = 0  =>  Ĉ = 0
+    union_probs.Insert(EdgeKey(e), p);
+    set1.Insert(EdgeKey(e));
+  }
+  double intersection_inv = 1.0;
+  bool intersects = false;
+  for (const Edge& e : j2) {
+    const double p = EdgeProbability(e);
+    if (p <= 0.0) return 0.0;  // Ŝ_{J2} = 0  =>  Ĉ = 0
+    union_probs.Insert(EdgeKey(e), p);
+    if (set1.Contains(EdgeKey(e))) {
+      // Guard against duplicate keys inside j2 double-counting.
+      if (set1.Erase(EdgeKey(e))) {
+        intersection_inv /= p;
+        intersects = true;
+      }
+    }
+  }
+  if (!intersects) return 0.0;  // edge-disjoint subgraphs are uncorrelated
+  double union_inv = 1.0;
+  union_probs.ForEach(
+      [&](uint64_t, double p) { union_inv /= p; });
+  return union_inv * (intersection_inv - 1.0);
+}
+
+}  // namespace gps

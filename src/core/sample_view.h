@@ -1,0 +1,90 @@
+// SampleView: read-only Horvitz–Thompson view of a GPS reservoir.
+//
+// GPS separates edge sampling from subgraph estimation (the paper's central
+// design point). A SampleView is the boundary: it exposes the sampled
+// topology, each edge's conditional inclusion probability
+// p(k) = min{1, w(k)/z*}, and HT inverse-probability products, enabling
+// retrospective queries for *arbitrary* subgraph classes (Theorem 2(ii):
+// N̂_t(J) = Σ_{J ⊂ K̂_t} Π_{i∈J} 1/p(i) is unbiased for N_t(J)).
+
+#ifndef GPS_CORE_SAMPLE_VIEW_H_
+#define GPS_CORE_SAMPLE_VIEW_H_
+
+#include <initializer_list>
+#include <span>
+
+#include "core/reservoir.h"
+#include "graph/sampled_graph.h"
+#include "graph/types.h"
+
+namespace gps {
+
+class SampleView {
+ public:
+  /// The view borrows the reservoir; the reservoir must outlive the view.
+  explicit SampleView(const GpsReservoir& reservoir)
+      : reservoir_(&reservoir) {}
+
+  /// Current threshold z*.
+  double Threshold() const { return reservoir_->threshold(); }
+
+  /// Number of sampled edges |K̂|.
+  size_t NumSampledEdges() const { return reservoir_->size(); }
+
+  /// Sampled adjacency structure.
+  const SampledGraph& Graph() const { return reservoir_->graph(); }
+
+  /// Inclusion probability of edge e, or 0 if e is not in the sample.
+  double EdgeProbability(const Edge& e) const {
+    const SlotId slot = Graph().FindEdge(e.Canonical());
+    return slot == kNoSlot ? 0.0 : reservoir_->Probability(slot);
+  }
+
+  /// HT estimator of the indicator of edge e: 1/p(e) if sampled, else 0
+  /// (paper Eq. 6).
+  double EdgeEstimator(const Edge& e) const {
+    const double p = EdgeProbability(e);
+    return p > 0 ? 1.0 / p : 0.0;
+  }
+
+  /// HT estimator of the indicator of a subgraph J given as its edge set:
+  /// Π_{i∈J} 1/p(i) if every edge is sampled, else 0 (Theorem 2).
+  double SubgraphEstimator(std::span<const Edge> edges) const;
+  double SubgraphEstimator(std::initializer_list<Edge> edges) const {
+    return SubgraphEstimator(std::span<const Edge>(edges.begin(),
+                                                   edges.size()));
+  }
+
+  /// Unbiased estimator of Cov(Ŝ_{J1}, Ŝ_{J2}) for two subgraphs given as
+  /// edge sets (paper Eq. 7 / Theorem 3):
+  ///   Ĉ = Ŝ_{J1∪J2} (Ŝ_{J1∩J2} - 1).
+  /// Zero when the subgraphs are edge-disjoint or either is unsampled
+  /// (Theorem 3(iv)); with J1 == J2 it is the unbiased variance estimator
+  /// Ŝ_J (Ŝ_J - 1) (Theorem 3(iii)).
+  double SubgraphCovarianceEstimator(std::span<const Edge> j1,
+                                     std::span<const Edge> j2) const;
+  double SubgraphCovarianceEstimator(std::initializer_list<Edge> j1,
+                                     std::initializer_list<Edge> j2) const {
+    return SubgraphCovarianceEstimator(
+        std::span<const Edge>(j1.begin(), j1.size()),
+        std::span<const Edge>(j2.begin(), j2.size()));
+  }
+
+  /// Calls fn(edge, weight, probability) for every sampled edge.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    reservoir_->ForEachEdge(
+        [&](SlotId slot, const GpsReservoir::EdgeRecord& rec) {
+          fn(rec.edge, rec.weight, reservoir_->Probability(slot));
+        });
+  }
+
+  const GpsReservoir& reservoir() const { return *reservoir_; }
+
+ private:
+  const GpsReservoir* reservoir_;
+};
+
+}  // namespace gps
+
+#endif  // GPS_CORE_SAMPLE_VIEW_H_

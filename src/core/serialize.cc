@@ -1,0 +1,180 @@
+#include "core/serialize.h"
+
+#include <array>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gps {
+namespace {
+
+constexpr const char* kReservoirHeader = "GPS-RESERVOIR";
+constexpr const char* kSamplerHeader = "GPS-SAMPLER";
+constexpr const char* kInStreamHeader = "GPS-INSTREAM";
+constexpr int kFormatVersion = 1;
+
+void WriteDouble(std::ostream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+Status ExpectHeader(std::istream& in, const std::string& want) {
+  std::string header;
+  int version = 0;
+  if (!(in >> header >> version)) {
+    return Status::IoError("truncated checkpoint: missing header");
+  }
+  if (header != want) {
+    return Status::InvalidArgument("checkpoint header mismatch: expected " +
+                                   want + ", found " + header);
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  return Status::Ok();
+}
+
+Status WriteWeightOptions(const WeightOptions& weight, std::ostream& out) {
+  if (weight.kind == WeightKind::kCustom) {
+    return Status::FailedPrecondition(
+        "custom weight callables cannot be serialized");
+  }
+  out << static_cast<int>(weight.kind) << ' ';
+  WriteDouble(out, weight.coefficient);
+  out << ' ';
+  WriteDouble(out, weight.adjacency_coefficient);
+  out << ' ';
+  WriteDouble(out, weight.default_weight);
+  out << '\n';
+  return Status::Ok();
+}
+
+Result<WeightOptions> ReadWeightOptions(std::istream& in) {
+  int kind = -1;
+  WeightOptions weight;
+  if (!(in >> kind >> weight.coefficient >> weight.adjacency_coefficient >>
+        weight.default_weight)) {
+    return Status::IoError("truncated checkpoint: weight options");
+  }
+  if (kind < 0 || kind >= static_cast<int>(WeightKind::kCustom)) {
+    return Status::InvalidArgument("invalid weight kind in checkpoint");
+  }
+  weight.kind = static_cast<WeightKind>(kind);
+  return weight;
+}
+
+}  // namespace
+
+Status SerializeReservoir(const GpsReservoir& reservoir, std::ostream& out) {
+  out << kReservoirHeader << ' ' << kFormatVersion << '\n';
+  out << reservoir.options().capacity << ' ' << reservoir.options().seed
+      << '\n';
+  WriteDouble(out, reservoir.threshold());
+  out << ' ' << reservoir.edges_processed() << '\n';
+  const std::array<uint64_t, 4> rng = reservoir.RngState();
+  out << rng[0] << ' ' << rng[1] << ' ' << rng[2] << ' ' << rng[3] << '\n';
+  out << reservoir.size() << '\n';
+  Status status = Status::Ok();
+  reservoir.ForEachEdge(
+      [&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+        out << rec.edge.u << ' ' << rec.edge.v << ' ';
+        WriteDouble(out, rec.weight);
+        out << ' ';
+        WriteDouble(out, rec.priority);
+        out << ' ';
+        WriteDouble(out, rec.cov_tri);
+        out << ' ';
+        WriteDouble(out, rec.cov_wedge);
+        out << '\n';
+      });
+  if (!out) return Status::IoError("write failure while serializing");
+  return status;
+}
+
+Result<GpsReservoir> DeserializeReservoir(std::istream& in) {
+  if (Status s = ExpectHeader(in, kReservoirHeader); !s.ok()) return s;
+  GpsOptions options;
+  double z_star = 0.0;
+  uint64_t processed = 0;
+  std::array<uint64_t, 4> rng{};
+  size_t num_edges = 0;
+  if (!(in >> options.capacity >> options.seed >> z_star >> processed >>
+        rng[0] >> rng[1] >> rng[2] >> rng[3] >> num_edges)) {
+    return Status::IoError("truncated checkpoint: reservoir metadata");
+  }
+  if (options.capacity == 0 || num_edges > options.capacity) {
+    return Status::InvalidArgument("inconsistent reservoir checkpoint");
+  }
+  std::vector<GpsReservoir::EdgeRecord> records(num_edges);
+  for (GpsReservoir::EdgeRecord& rec : records) {
+    if (!(in >> rec.edge.u >> rec.edge.v >> rec.weight >> rec.priority >>
+          rec.cov_tri >> rec.cov_wedge)) {
+      return Status::IoError("truncated checkpoint: edge records");
+    }
+    if (rec.edge.IsSelfLoop()) {
+      return Status::InvalidArgument("self loop in reservoir checkpoint");
+    }
+  }
+  GpsReservoir res =
+      GpsReservoir::FromParts(options, z_star, processed, rng, records);
+  if (res.size() != num_edges) {
+    return Status::InvalidArgument(
+        "duplicate edges in reservoir checkpoint");
+  }
+  return res;
+}
+
+Status SerializeSampler(const GpsSampler& sampler, std::ostream& out) {
+  out << kSamplerHeader << ' ' << kFormatVersion << '\n';
+  if (Status s = WriteWeightOptions(sampler.weight_function().options(), out);
+      !s.ok()) {
+    return s;
+  }
+  return SerializeReservoir(sampler.reservoir(), out);
+}
+
+Result<GpsSampler> DeserializeSampler(std::istream& in) {
+  if (Status s = ExpectHeader(in, kSamplerHeader); !s.ok()) return s;
+  Result<WeightOptions> weight = ReadWeightOptions(in);
+  if (!weight.ok()) return weight.status();
+  Result<GpsReservoir> reservoir = DeserializeReservoir(in);
+  if (!reservoir.ok()) return reservoir.status();
+  return GpsSampler::FromParts(*weight, std::move(*reservoir));
+}
+
+Status SerializeInStreamEstimator(const InStreamEstimator& estimator,
+                                  std::ostream& out) {
+  out << kInStreamHeader << ' ' << kFormatVersion << '\n';
+  if (Status s =
+          WriteWeightOptions(estimator.weight_function().options(), out);
+      !s.ok()) {
+    return s;
+  }
+  const InStreamEstimator::Accumulators acc = estimator.SaveAccumulators();
+  for (double v : {acc.n_tri, acc.v_tri, acc.n_wed, acc.v_wed, acc.cov_tw}) {
+    WriteDouble(out, v);
+    out << ' ';
+  }
+  out << '\n';
+  return SerializeReservoir(estimator.reservoir(), out);
+}
+
+Result<InStreamEstimator> DeserializeInStreamEstimator(std::istream& in) {
+  if (Status s = ExpectHeader(in, kInStreamHeader); !s.ok()) return s;
+  Result<WeightOptions> weight = ReadWeightOptions(in);
+  if (!weight.ok()) return weight.status();
+  InStreamEstimator::Accumulators acc;
+  if (!(in >> acc.n_tri >> acc.v_tri >> acc.n_wed >> acc.v_wed >>
+        acc.cov_tw)) {
+    return Status::IoError("truncated checkpoint: accumulators");
+  }
+  Result<GpsReservoir> reservoir = DeserializeReservoir(in);
+  if (!reservoir.ok()) return reservoir.status();
+  return InStreamEstimator::FromParts(*weight, std::move(*reservoir), acc);
+}
+
+}  // namespace gps

@@ -1,0 +1,46 @@
+// Checkpoint serialization for samplers and estimators.
+//
+// Stream processors run for days; operators need to stop, upgrade, and
+// resume without discarding the accumulated sample. These routines persist
+// the complete sampler state — reservoir contents (edges, weights,
+// priorities, in-stream covariance accumulators), threshold z*, arrival
+// count, RNG state, weight-function configuration and (for in-stream
+// estimation) the snapshot accumulators — such that a resumed run is
+// bit-identical to an uninterrupted one.
+//
+// Format: versioned line-oriented text with round-trip-exact doubles
+// (printf "%.17g"). Custom weight callables cannot be serialized; samplers
+// configured with WeightKind::kCustom return FailedPrecondition.
+
+#ifndef GPS_CORE_SERIALIZE_H_
+#define GPS_CORE_SERIALIZE_H_
+
+#include <iosfwd>
+
+#include "core/gps.h"
+#include "core/in_stream.h"
+#include "core/reservoir.h"
+#include "util/status.h"
+
+namespace gps {
+
+/// Writes the reservoir state. Estimation-agnostic: covariance accumulators
+/// are included so in-stream estimation can resume on top.
+Status SerializeReservoir(const GpsReservoir& reservoir, std::ostream& out);
+
+/// Reads a reservoir previously written by SerializeReservoir.
+Result<GpsReservoir> DeserializeReservoir(std::istream& in);
+
+/// Writes a full GPS sampler (weight configuration + reservoir).
+Status SerializeSampler(const GpsSampler& sampler, std::ostream& out);
+Result<GpsSampler> DeserializeSampler(std::istream& in);
+
+/// Writes a full in-stream estimator (weight configuration + reservoir +
+/// snapshot accumulators).
+Status SerializeInStreamEstimator(const InStreamEstimator& estimator,
+                                  std::ostream& out);
+Result<InStreamEstimator> DeserializeInStreamEstimator(std::istream& in);
+
+}  // namespace gps
+
+#endif  // GPS_CORE_SERIALIZE_H_

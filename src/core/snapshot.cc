@@ -1,0 +1,122 @@
+#include "core/snapshot.h"
+
+#include <vector>
+
+namespace gps {
+
+InStreamMotifCounter::InStreamMotifCounter(GpsSamplerOptions options,
+                                           EnumerateFn enumerate)
+    : weight_fn_(options.weight),
+      reservoir_(GpsOptions{options.capacity, options.seed}),
+      enumerate_(std::move(enumerate)) {}
+
+void InStreamMotifCounter::Process(const Edge& raw) {
+  const Edge e = raw.Canonical();
+  if (e.IsSelfLoop() || reservoir_.graph().HasEdge(e)) return;
+
+  // Snapshot step: freeze HT products for each completed motif instance.
+  const Emitter emit = [&](std::span<const Edge> edges) {
+    double product = 1.0;
+    for (const Edge& member : edges) {
+      const SlotId slot = reservoir_.graph().FindEdge(member.Canonical());
+      if (slot == kNoSlot) return;  // enumerator reported an unsampled edge
+      product /= reservoir_.Probability(slot);
+    }
+    count_ += product;
+    variance_lower_ += product * (product - 1.0);
+    ++snapshots_;
+  };
+  enumerate_(e, reservoir_, emit);
+
+  // Sampling step (GPSUPDATE).
+  const double weight = weight_fn_.Compute(e, reservoir_.graph());
+  reservoir_.Process(e, weight);
+}
+
+InStreamMotifCounter::EnumerateFn TriangleEnumerator() {
+  return [](const Edge& arriving, const GpsReservoir& reservoir,
+            const InStreamMotifCounter::Emitter& emit) {
+    reservoir.graph().ForEachCommonNeighbor(
+        arriving.u, arriving.v, [&](NodeId w, SlotId, SlotId) {
+          const Edge members[2] = {MakeEdge(arriving.u, w),
+                                   MakeEdge(arriving.v, w)};
+          emit(members);
+        });
+  };
+}
+
+InStreamMotifCounter::EnumerateFn WedgeEnumerator() {
+  return [](const Edge& arriving, const GpsReservoir& reservoir,
+            const InStreamMotifCounter::Emitter& emit) {
+    for (const NodeId endpoint : {arriving.u, arriving.v}) {
+      const NodeId other = endpoint == arriving.u ? arriving.v : arriving.u;
+      reservoir.graph().ForEachNeighbor(
+          endpoint, [&](NodeId nbr, SlotId) {
+            if (nbr == other) return;
+            const Edge members[1] = {MakeEdge(endpoint, nbr)};
+            emit(members);
+          });
+    }
+  };
+}
+
+InStreamMotifCounter::EnumerateFn FourCliqueEnumerator() {
+  return [](const Edge& arriving, const GpsReservoir& reservoir,
+            const InStreamMotifCounter::Emitter& emit) {
+    // Collect common neighbors of (u, v), then test each pair for the
+    // connecting sampled edge.
+    std::vector<NodeId> common;
+    reservoir.graph().ForEachCommonNeighbor(
+        arriving.u, arriving.v,
+        [&](NodeId w, SlotId, SlotId) { common.push_back(w); });
+    for (size_t i = 0; i < common.size(); ++i) {
+      for (size_t j = i + 1; j < common.size(); ++j) {
+        const Edge bridge = MakeEdge(common[i], common[j]);
+        if (!reservoir.graph().HasEdge(bridge)) continue;
+        const Edge members[5] = {MakeEdge(arriving.u, common[i]),
+                                 MakeEdge(arriving.v, common[i]),
+                                 MakeEdge(arriving.u, common[j]),
+                                 MakeEdge(arriving.v, common[j]), bridge};
+        emit(members);
+      }
+    }
+  };
+}
+
+InStreamMotifCounter::EnumerateFn ThreePathEnumerator() {
+  return [](const Edge& arriving, const GpsReservoir& reservoir,
+            const InStreamMotifCounter::Emitter& emit) {
+    const SampledGraph& graph = reservoir.graph();
+    const NodeId u = arriving.u;
+    const NodeId v = arriving.v;
+
+    // Case 1: arriving edge is the MIDDLE edge. Path a-u-v-b with
+    // a ∈ Γ̂(u)\{v}, b ∈ Γ̂(v)\{u}, a != b.
+    graph.ForEachNeighbor(u, [&](NodeId a, SlotId) {
+      if (a == v) return;
+      graph.ForEachNeighbor(v, [&](NodeId b, SlotId) {
+        if (b == u || b == a) return;
+        const Edge members[2] = {MakeEdge(a, u), MakeEdge(v, b)};
+        emit(members);
+      });
+    });
+
+    // Case 2: arriving edge is an END edge. Path v-u-b-c (and the
+    // symmetric u-v-b-c) with b adjacent to the inner endpoint and c a
+    // further neighbor of b, all four nodes distinct.
+    const auto end_paths = [&](NodeId inner, NodeId outer) {
+      graph.ForEachNeighbor(inner, [&](NodeId b, SlotId) {
+        if (b == outer) return;
+        graph.ForEachNeighbor(b, [&](NodeId c, SlotId) {
+          if (c == inner || c == outer) return;
+          const Edge members[2] = {MakeEdge(inner, b), MakeEdge(b, c)};
+          emit(members);
+        });
+      });
+    };
+    end_paths(u, v);
+    end_paths(v, u);
+  };
+}
+
+}  // namespace gps

@@ -1,0 +1,52 @@
+#include "core/weights.h"
+
+#include <cassert>
+
+namespace gps {
+
+WeightFunction::WeightFunction(WeightOptions options)
+    : options_(std::move(options)) {
+  if (options_.kind == WeightKind::kCustom) {
+    assert(options_.custom && "custom weight requires a callable");
+  }
+  if (options_.default_weight <= 0 && options_.kind != WeightKind::kCustom) {
+    // A non-positive default would make some edges unsampleable; clamp to a
+    // tiny positive floor rather than asserting in release builds.
+    options_.default_weight = 1e-12;
+  }
+}
+
+double WeightFunction::Compute(const Edge& e,
+                               const SampledGraph& sample) const {
+  switch (options_.kind) {
+    case WeightKind::kUniform:
+      return options_.default_weight;
+    case WeightKind::kAdjacency: {
+      // Adjacent sampled edges = deg(u) + deg(v) in the sampled graph
+      // (the edge itself is not yet present).
+      const double adj = static_cast<double>(sample.Degree(e.u)) +
+                         static_cast<double>(sample.Degree(e.v));
+      return options_.coefficient * adj + options_.default_weight;
+    }
+    case WeightKind::kTriangle: {
+      const double tris =
+          static_cast<double>(sample.CountCommonNeighbors(e.u, e.v));
+      return options_.coefficient * tris + options_.default_weight;
+    }
+    case WeightKind::kTriangleWedge: {
+      const double tris =
+          static_cast<double>(sample.CountCommonNeighbors(e.u, e.v));
+      const double adj = static_cast<double>(sample.Degree(e.u)) +
+                         static_cast<double>(sample.Degree(e.v));
+      return options_.coefficient * tris +
+             options_.adjacency_coefficient * adj + options_.default_weight;
+    }
+    case WeightKind::kCustom: {
+      const double w = options_.custom(e, sample);
+      return w > 0 ? w : 1e-12;
+    }
+  }
+  return options_.default_weight;
+}
+
+}  // namespace gps

@@ -1,0 +1,77 @@
+// Edge sampling-weight functions W(k, K̂) for Graph Priority Sampling.
+//
+// The weight expresses the role an arriving edge would play in the sampled
+// topology (paper Sections 3.2 and 3.5). Variance-minimization for a target
+// subgraph class J suggests weighting an edge by the number of members of J
+// it completes in the candidate set (IPPS cost argument, Eq. 8); the paper's
+// triangle-counting experiments use
+//
+//     W(k, K̂) = 9 * |△̂(k)| + 1
+//
+// where |△̂(k)| is the number of sampled triangles closed by k and the +1 is
+// the default weight that keeps edges outside the current target class
+// sampleable.
+
+#ifndef GPS_CORE_WEIGHTS_H_
+#define GPS_CORE_WEIGHTS_H_
+
+#include <functional>
+
+#include "graph/sampled_graph.h"
+#include "graph/types.h"
+
+namespace gps {
+
+/// Built-in weight schemes.
+enum class WeightKind {
+  /// W == 1: GPS degenerates to uniform reservoir sampling (paper §3.2).
+  kUniform,
+  /// W = (# sampled edges adjacent to k) + default: wedge-targeted weighting.
+  kAdjacency,
+  /// W = coeff * (# sampled triangles completed by k) + default: the
+  /// paper's triangle-optimized weighting (coeff 9, default 1).
+  kTriangle,
+  /// W = coeff * triangles + adjacency_coeff * adjacent + default: a mixed
+  /// weighting targeting the clustering coefficient, whose estimator needs
+  /// both triangle and wedge counts to be accurate simultaneously (the
+  /// adaptive-weight direction sketched in the paper's Section 8).
+  kTriangleWedge,
+  /// User-supplied callable.
+  kCustom,
+};
+
+/// Signature for custom weights: given the arriving edge and the current
+/// sampled topology, produce a strictly positive weight.
+using CustomWeightFn =
+    std::function<double(const Edge&, const SampledGraph&)>;
+
+/// Configuration for a weight function.
+struct WeightOptions {
+  WeightKind kind = WeightKind::kTriangle;
+  /// Multiplier on the topological term (paper uses 9 for triangles).
+  double coefficient = 9.0;
+  /// Multiplier on the adjacency term (kTriangleWedge only).
+  double adjacency_coefficient = 1.0;
+  /// Additive default weight so novel edges remain sampleable (paper §3.5).
+  double default_weight = 1.0;
+  CustomWeightFn custom;
+};
+
+/// Evaluates W(k, K̂) per the options.
+class WeightFunction {
+ public:
+  explicit WeightFunction(WeightOptions options = {});
+
+  /// Computes the sampling weight of `e` against the sampled graph. Always
+  /// returns a strictly positive, finite value.
+  double Compute(const Edge& e, const SampledGraph& sample) const;
+
+  const WeightOptions& options() const { return options_; }
+
+ private:
+  WeightOptions options_;
+};
+
+}  // namespace gps
+
+#endif  // GPS_CORE_WEIGHTS_H_

@@ -1,0 +1,40 @@
+#include "gen/generators.h"
+
+#include "graph/types.h"
+#include "util/flat_hash_map.h"
+#include "util/random.h"
+
+namespace gps {
+
+Result<EdgeList> GenerateErdosRenyi(uint32_t num_nodes, uint64_t num_edges,
+                                    uint64_t seed) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("ER: need at least 2 nodes");
+  }
+  const double max_edges =
+      static_cast<double>(num_nodes) * (num_nodes - 1) / 2.0;
+  if (static_cast<double>(num_edges) > max_edges) {
+    return Status::InvalidArgument("ER: more edges than node pairs");
+  }
+  if (static_cast<double>(num_edges) > 0.5 * max_edges) {
+    return Status::InvalidArgument(
+        "ER: rejection sampling requires density <= 0.5");
+  }
+
+  Rng rng(seed);
+  EdgeList list;
+  list.Reserve(num_edges);
+  FlatHashSet<uint64_t> seen(num_edges * 2 + 16);
+  while (list.NumEdges() < num_edges) {
+    const NodeId u = rng.UniformU32(num_nodes);
+    const NodeId v = rng.UniformU32(num_nodes);
+    if (u == v) continue;
+    const Edge e = MakeEdge(u, v);
+    if (!seen.Insert(EdgeKey(e))) continue;
+    list.Add(e);
+  }
+  list.Simplify();
+  return list;
+}
+
+}  // namespace gps

@@ -1,0 +1,108 @@
+#include "gen/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace gps {
+
+Result<EdgeList> GenerateRandomGeometric(uint32_t num_nodes, double radius,
+                                         uint64_t seed) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("RGG: need at least 2 nodes");
+  }
+  if (radius <= 0.0 || radius >= 1.0) {
+    return Status::InvalidArgument("RGG: radius must be in (0,1)");
+  }
+
+  Rng rng(seed);
+  std::vector<double> x(num_nodes), y(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    x[i] = rng.Uniform01();
+    y[i] = rng.Uniform01();
+  }
+
+  // Grid buckets of side >= radius: only neighboring cells can contain
+  // nodes within range, making construction O(n + m) expected.
+  const uint32_t cells =
+      std::max<uint32_t>(1, static_cast<uint32_t>(1.0 / radius));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<uint32_t>> grid(
+      static_cast<size_t>(cells) * cells);
+  auto cell_of = [&](uint32_t i) {
+    uint32_t cx = std::min<uint32_t>(
+        cells - 1, static_cast<uint32_t>(x[i] / cell_size));
+    uint32_t cy = std::min<uint32_t>(
+        cells - 1, static_cast<uint32_t>(y[i] / cell_size));
+    return cy * cells + cx;
+  };
+  for (uint32_t i = 0; i < num_nodes; ++i) grid[cell_of(i)].push_back(i);
+
+  const double r2 = radius * radius;
+  EdgeList list;
+  for (uint32_t cy = 0; cy < cells; ++cy) {
+    for (uint32_t cx = 0; cx < cells; ++cx) {
+      const auto& bucket = grid[cy * cells + cx];
+      // Scan this cell and the 4 forward neighbors to visit each cell pair
+      // once; within-cell pairs are handled with i < j.
+      static constexpr int kDx[] = {0, 1, 1, 0, -1};
+      static constexpr int kDy[] = {0, 0, 1, 1, 1};
+      for (int d = 0; d < 5; ++d) {
+        const int nx = static_cast<int>(cx) + kDx[d];
+        const int ny = static_cast<int>(cy) + kDy[d];
+        if (nx < 0 || ny < 0 || nx >= static_cast<int>(cells) ||
+            ny >= static_cast<int>(cells)) {
+          continue;
+        }
+        const auto& other =
+            grid[static_cast<uint32_t>(ny) * cells + static_cast<uint32_t>(nx)];
+        for (uint32_t i : bucket) {
+          for (uint32_t j : other) {
+            if (d == 0 && j <= i) continue;
+            const double dx = x[i] - x[j];
+            const double dy = y[i] - y[j];
+            if (dx * dx + dy * dy <= r2) list.Add(i, j);
+          }
+        }
+      }
+    }
+  }
+  list.Simplify();
+  return list;
+}
+
+Result<EdgeList> GenerateGrid(uint32_t rows, uint32_t cols, double diag_prob,
+                              uint64_t seed) {
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument("Grid: need at least a 2x2 lattice");
+  }
+  if (diag_prob < 0.0 || diag_prob > 1.0) {
+    return Status::InvalidArgument("Grid: diag_prob outside [0,1]");
+  }
+
+  Rng rng(seed);
+  EdgeList list;
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) list.Add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) list.Add(id(r, c), id(r + 1, c));
+      // One diagonal per unit square with probability diag_prob; a diagonal
+      // creates exactly two triangles with the square's sides, giving the
+      // sparse triangle population characteristic of road networks.
+      if (c + 1 < cols && r + 1 < rows && rng.Bernoulli(diag_prob)) {
+        if (rng.Bernoulli(0.5)) {
+          list.Add(id(r, c), id(r + 1, c + 1));
+        } else {
+          list.Add(id(r, c + 1), id(r + 1, c));
+        }
+      }
+    }
+  }
+  list.Simplify();
+  return list;
+}
+
+}  // namespace gps

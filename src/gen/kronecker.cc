@@ -1,0 +1,74 @@
+#include "gen/generators.h"
+
+#include "graph/types.h"
+#include "util/flat_hash_map.h"
+#include "util/random.h"
+
+namespace gps {
+
+// Stochastic Kronecker generation by "ball dropping": each edge attempt
+// descends `levels` times through the 2x2 probability matrix, choosing a
+// quadrant proportionally to {a, b, c, d} and accumulating row/column bits.
+// Duplicates and self loops are rejected and retried.
+Result<EdgeList> GenerateKronecker(uint32_t levels, uint64_t num_edges,
+                                   double a, double b, double c, double d,
+                                   uint64_t seed) {
+  if (levels == 0 || levels > 31) {
+    return Status::InvalidArgument("Kronecker: levels must be in [1,31]");
+  }
+  for (double p : {a, b, c, d}) {
+    if (p < 0.0) return Status::InvalidArgument("Kronecker: negative entry");
+  }
+  const double total = a + b + c + d;
+  if (total <= 0.0) {
+    return Status::InvalidArgument("Kronecker: zero seed matrix");
+  }
+  const uint64_t n = 1ull << levels;
+  if (static_cast<double>(num_edges) >
+      static_cast<double>(n) * static_cast<double>(n - 1) / 4.0) {
+    return Status::InvalidArgument("Kronecker: too many edges requested");
+  }
+
+  const double pa = a / total;
+  const double pb = b / total;
+  const double pc = c / total;
+
+  Rng rng(seed);
+  EdgeList list;
+  list.Reserve(num_edges);
+  FlatHashSet<uint64_t> seen(num_edges * 2 + 16);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 80 * num_edges + 1000;
+  while (list.NumEdges() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    uint64_t row = 0, col = 0;
+    for (uint32_t level = 0; level < levels; ++level) {
+      const double r = rng.Uniform01();
+      row <<= 1;
+      col <<= 1;
+      if (r < pa) {
+        // top-left: no bits set
+      } else if (r < pa + pb) {
+        col |= 1;
+      } else if (r < pa + pb + pc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row == col) continue;
+    const Edge e = MakeEdge(static_cast<NodeId>(row),
+                            static_cast<NodeId>(col));
+    if (!seen.Insert(EdgeKey(e))) continue;
+    list.Add(e);
+  }
+  if (list.NumEdges() < num_edges) {
+    return Status::Internal(
+        "Kronecker: could not reach target edge count (matrix too skewed)");
+  }
+  list.Simplify();
+  return list;
+}
+
+}  // namespace gps

@@ -1,0 +1,63 @@
+#include "gen/generators.h"
+
+#include "graph/types.h"
+#include "util/flat_hash_map.h"
+#include "util/random.h"
+
+namespace gps {
+
+Result<EdgeList> GenerateWattsStrogatz(uint32_t num_nodes, uint32_t k,
+                                       double beta, uint64_t seed) {
+  if (k == 0 || k % 2 != 0) {
+    return Status::InvalidArgument("WS: k must be positive and even");
+  }
+  if (num_nodes <= k + 1) {
+    return Status::InvalidArgument("WS: need num_nodes > k + 1");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("WS: beta outside [0,1]");
+  }
+
+  Rng rng(seed);
+  const uint64_t ring_edges =
+      static_cast<uint64_t>(num_nodes) * (k / 2);
+
+  FlatHashSet<uint64_t> present(ring_edges * 2 + 16);
+  EdgeList list;
+  list.Reserve(ring_edges);
+
+  // Ring lattice: node i connects to i+1 .. i+k/2 (mod n).
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (uint32_t d = 1; d <= k / 2; ++d) {
+      const NodeId j = static_cast<NodeId>((i + d) % num_nodes);
+      present.Insert(EdgeKey(MakeEdge(i, j)));
+    }
+  }
+
+  // Rewiring: each lattice edge (i, i+d) is, with probability beta,
+  // replaced by (i, random) avoiding loops and duplicates.
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (uint32_t d = 1; d <= k / 2; ++d) {
+      const NodeId j = static_cast<NodeId>((i + d) % num_nodes);
+      const Edge original = MakeEdge(i, j);
+      if (!present.Contains(EdgeKey(original))) continue;  // already rewired
+      if (!rng.Bernoulli(beta)) continue;
+      // Try a handful of rewire targets; on failure keep the original.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const NodeId r = rng.UniformU32(num_nodes);
+        if (r == i) continue;
+        const Edge candidate = MakeEdge(i, r);
+        if (present.Contains(EdgeKey(candidate))) continue;
+        present.Erase(EdgeKey(original));
+        present.Insert(EdgeKey(candidate));
+        break;
+      }
+    }
+  }
+
+  present.ForEach([&](uint64_t key) { list.Add(EdgeFromKey(key)); });
+  list.Simplify();
+  return list;
+}
+
+}  // namespace gps

@@ -1,0 +1,48 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+namespace gps {
+
+CsrGraph CsrGraph::FromEdgeList(const EdgeList& list) {
+  EdgeList simplified = list;
+  simplified.Simplify();
+
+  CsrGraph g;
+  const size_t n = simplified.NumNodes();
+  std::vector<uint32_t> degree(n, 0);
+  for (const Edge& e : simplified.Edges()) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.adjacency_.resize(g.offsets_[n]);
+
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : simplified.Edges()) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+bool CsrGraph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= NumNodes() || v >= NumNodes()) return false;
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t CsrGraph::MaxDegree() const {
+  uint32_t best = 0;
+  for (size_t v = 0; v < NumNodes(); ++v) {
+    best = std::max(best, Degree(static_cast<NodeId>(v)));
+  }
+  return best;
+}
+
+}  // namespace gps

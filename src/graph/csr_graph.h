@@ -1,0 +1,51 @@
+// Compressed sparse row (CSR) static graph: the representation the exact
+// counting oracles operate on. Immutable after construction.
+
+#ifndef GPS_GRAPH_CSR_GRAPH_H_
+#define GPS_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace gps {
+
+/// Immutable undirected graph in CSR form. Neighbor lists are sorted,
+/// enabling O(deg_u + deg_v) merge intersection.
+class CsrGraph {
+ public:
+  /// Builds from a simplified edge list (canonical, unique, no self loops).
+  /// The input need not be pre-simplified; a copy is simplified internally.
+  static CsrGraph FromEdgeList(const EdgeList& list);
+
+  size_t NumNodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t NumEdges() const { return adjacency_.size() / 2; }
+
+  uint32_t Degree(NodeId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Binary-search membership test, O(log deg(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  uint32_t MaxDegree() const;
+
+ private:
+  // offsets_[v]..offsets_[v+1] delimit v's neighbors in adjacency_.
+  std::vector<uint64_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace gps
+
+#endif  // GPS_GRAPH_CSR_GRAPH_H_

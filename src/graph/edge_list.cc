@@ -1,0 +1,95 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/flat_hash_map.h"
+
+namespace gps {
+
+void EdgeList::Add(NodeId u, NodeId v) {
+  edges_.push_back(Edge{u, v});
+  const NodeId hi = std::max(u, v);
+  if (hi + 1 > num_nodes_) num_nodes_ = hi + 1;
+}
+
+void EdgeList::Clear() {
+  edges_.clear();
+  num_nodes_ = 0;
+}
+
+size_t EdgeList::Simplify() {
+  const size_t before = edges_.size();
+  size_t out = 0;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].IsSelfLoop()) edges_[out++] = edges_[i].Canonical();
+  }
+  edges_.resize(out);
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return before - edges_.size();
+}
+
+size_t EdgeList::CountTouchedNodes() const {
+  FlatHashSet<NodeId> nodes(edges_.size() * 2 + 8);
+  for (const Edge& e : edges_) {
+    nodes.Insert(e.u);
+    nodes.Insert(e.v);
+  }
+  return nodes.size();
+}
+
+Result<EdgeList> EdgeList::FromText(const std::string& text) {
+  EdgeList list;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip leading whitespace; skip blank and comment lines.
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#' || line[pos] == '%') continue;
+
+    std::istringstream fields(line);
+    long long a = -1, b = -1;
+    if (!(fields >> a >> b)) {
+      return Status::InvalidArgument("malformed edge on line " +
+                                     std::to_string(line_no) + ": '" + line +
+                                     "'");
+    }
+    if (a < 0 || b < 0 || a > static_cast<long long>(kInvalidNode) - 1 ||
+        b > static_cast<long long>(kInvalidNode) - 1) {
+      return Status::OutOfRange("node id out of range on line " +
+                                std::to_string(line_no));
+    }
+    list.Add(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  }
+  return list;
+}
+
+Result<EdgeList> EdgeList::Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return FromText(buffer.str());
+}
+
+Status EdgeList::Save(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  for (const Edge& e : edges_) {
+    file << e.u << ' ' << e.v << '\n';
+  }
+  if (!file) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace gps

@@ -1,0 +1,69 @@
+// EdgeList: the materialized form of a graph used by generators, exact
+// oracles and stream construction.
+//
+// Invariants after Simplify(): edges canonical (u < v), unique, no self
+// loops — exactly the preprocessing the paper applies ("we consider an
+// undirected, unweighted, simplified graph without self loops", Section 6).
+
+#ifndef GPS_GRAPH_EDGE_LIST_H_
+#define GPS_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace gps {
+
+/// A growable list of undirected edges plus the implied node-id upper bound.
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Appends an edge (not canonicalized; call Simplify() before use as a
+  /// graph). Updates the node bound.
+  void Add(NodeId u, NodeId v);
+
+  /// Appends a canonical edge.
+  void Add(const Edge& e) { Add(e.u, e.v); }
+
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// One past the largest node id referenced; 0 for an empty list.
+  NodeId NumNodes() const { return num_nodes_; }
+
+  const std::vector<Edge>& Edges() const { return edges_; }
+  const Edge& operator[](size_t i) const { return edges_[i]; }
+
+  void Reserve(size_t n) { edges_.reserve(n); }
+  void Clear();
+
+  /// Canonicalizes, removes self loops and duplicate edges (keeping first
+  /// occurrence order stable is not required; output is sorted). Returns the
+  /// number of edges removed.
+  size_t Simplify();
+
+  /// Counts distinct nodes that appear in at least one edge.
+  size_t CountTouchedNodes() const;
+
+  /// Parses a whitespace-separated "u v" edge list (comments beginning with
+  /// '#' or '%' are skipped). Fails on malformed tokens or ids that do not
+  /// fit NodeId.
+  static Result<EdgeList> FromText(const std::string& text);
+
+  /// Reads FromText from a file path.
+  static Result<EdgeList> Load(const std::string& path);
+
+  /// Writes "u v" lines. Returns IO error on failure.
+  Status Save(const std::string& path) const;
+
+ private:
+  std::vector<Edge> edges_;
+  NodeId num_nodes_ = 0;
+};
+
+}  // namespace gps
+
+#endif  // GPS_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,90 @@
+#include "graph/sampled_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gps {
+
+void NeighborList::Insert(NodeId nbr, SlotId slot) {
+  assert(!Contains(nbr));
+  if (map_) {
+    map_->Insert(nbr, slot);
+    return;
+  }
+  vec_.emplace_back(nbr, slot);
+  if (vec_.size() > kPromoteThreshold) Promote();
+}
+
+bool NeighborList::Erase(NodeId nbr) {
+  if (map_) return map_->Erase(nbr);
+  for (size_t i = 0; i < vec_.size(); ++i) {
+    if (vec_[i].first == nbr) {
+      vec_[i] = vec_.back();
+      vec_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+SlotId NeighborList::Find(NodeId nbr) const {
+  if (map_) {
+    const SlotId* slot = map_->Find(nbr);
+    return slot ? *slot : kNoSlot;
+  }
+  for (const auto& [n, slot] : vec_) {
+    if (n == nbr) return slot;
+  }
+  return kNoSlot;
+}
+
+void NeighborList::Promote() {
+  map_ = std::make_unique<FlatHashMap<NodeId, SlotId>>(vec_.size() * 2);
+  for (const auto& [nbr, slot] : vec_) map_->Insert(nbr, slot);
+  vec_.clear();
+  vec_.shrink_to_fit();
+}
+
+bool SampledGraph::AddEdge(const Edge& e, SlotId slot) {
+  if (e.IsSelfLoop()) return false;
+  NeighborList& lu = nodes_[e.u];
+  if (lu.Contains(e.v)) return false;
+  lu.Insert(e.v, slot);
+  nodes_[e.v].Insert(e.u, slot);
+  ++num_edges_;
+  return true;
+}
+
+SlotId SampledGraph::RemoveEdge(const Edge& e) {
+  NeighborList* lu = nodes_.Find(e.u);
+  if (!lu) return kNoSlot;
+  const SlotId slot = lu->Find(e.v);
+  if (slot == kNoSlot) return kNoSlot;
+  lu->Erase(e.v);
+  if (lu->empty()) nodes_.Erase(e.u);
+  NeighborList* lv = nodes_.Find(e.v);
+  assert(lv != nullptr);
+  lv->Erase(e.u);
+  if (lv->empty()) nodes_.Erase(e.v);
+  --num_edges_;
+  return slot;
+}
+
+SlotId SampledGraph::FindEdge(const Edge& e) const {
+  const NeighborList* lu = nodes_.Find(e.u);
+  if (!lu) return kNoSlot;
+  return lu->Find(e.v);
+}
+
+size_t SampledGraph::CountCommonNeighbors(NodeId u, NodeId v) const {
+  size_t count = 0;
+  ForEachCommonNeighbor(u, v, [&](NodeId, SlotId, SlotId) { ++count; });
+  return count;
+}
+
+void SampledGraph::Clear() {
+  nodes_.clear();
+  num_edges_ = 0;
+}
+
+}  // namespace gps

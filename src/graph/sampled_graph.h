@@ -1,0 +1,152 @@
+// Dynamic undirected adjacency over a *sampled* set of edges.
+//
+// This is the reservoir's topology index (paper Section 3.2): arriving edge
+// k = (v1, v2) needs |Γ̂(v1) ∩ Γ̂(v2)| — the number of sampled triangles k
+// would complete — in O(min{deg(v1), deg(v2)}) expected time, and edges must
+// be removable when evicted from the reservoir.
+//
+// Each incident edge is stored with an opaque 32-bit payload ("slot") so the
+// reservoir can map a neighbor entry back to its edge record (weight,
+// priority, covariance accumulators) without a second lookup.
+//
+// Neighbor containers are adaptive: small degrees use an inline vector
+// (cache-friendly, trivially cheap); past a threshold they promote to an
+// open-addressing map so membership queries on hub nodes stay O(1).
+
+#ifndef GPS_GRAPH_SAMPLED_GRAPH_H_
+#define GPS_GRAPH_SAMPLED_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/flat_hash_map.h"
+
+namespace gps {
+
+/// Opaque per-edge payload stored with each adjacency entry.
+using SlotId = uint32_t;
+constexpr SlotId kNoSlot = ~SlotId{0};
+
+/// Adaptive neighbor container: vector of (neighbor, slot) pairs up to
+/// kPromoteThreshold entries, then an open-addressing map.
+class NeighborList {
+ public:
+  static constexpr size_t kPromoteThreshold = 24;
+
+  size_t size() const {
+    return map_ ? map_->size() : vec_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Inserts (neighbor -> slot). Precondition: neighbor not present.
+  void Insert(NodeId nbr, SlotId slot);
+
+  /// Removes neighbor; returns true if present.
+  bool Erase(NodeId nbr);
+
+  /// Returns the slot for neighbor, or kNoSlot.
+  SlotId Find(NodeId nbr) const;
+
+  bool Contains(NodeId nbr) const { return Find(nbr) != kNoSlot; }
+
+  /// Calls fn(neighbor, slot) for each entry.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (map_) {
+      map_->ForEach([&](NodeId nbr, SlotId slot) { fn(nbr, slot); });
+    } else {
+      for (const auto& [nbr, slot] : vec_) fn(nbr, slot);
+    }
+  }
+
+ private:
+  void Promote();
+
+  std::vector<std::pair<NodeId, SlotId>> vec_;
+  std::unique_ptr<FlatHashMap<NodeId, SlotId>> map_;
+};
+
+/// Mutable adjacency structure over sampled edges.
+class SampledGraph {
+ public:
+  SampledGraph() = default;
+
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Number of nodes currently incident to at least one sampled edge
+  /// (the |V̂| term in the paper's O(|V̂| + m) space bound).
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Degree of v in the sampled graph (0 if absent).
+  size_t Degree(NodeId v) const {
+    const NeighborList* list = nodes_.Find(v);
+    return list ? list->size() : 0;
+  }
+
+  /// Adds edge e carrying `slot`. Returns false (no-op) if already present
+  /// or a self loop.
+  bool AddEdge(const Edge& e, SlotId slot);
+
+  /// Removes edge e; returns its slot, or kNoSlot if absent.
+  SlotId RemoveEdge(const Edge& e);
+
+  /// Returns the slot carried by edge e, or kNoSlot.
+  SlotId FindEdge(const Edge& e) const;
+
+  bool HasEdge(const Edge& e) const { return FindEdge(e) != kNoSlot; }
+
+  /// Calls fn(neighbor, slot) over the neighbors of v.
+  template <typename Fn>
+  void ForEachNeighbor(NodeId v, Fn&& fn) const {
+    const NeighborList* list = nodes_.Find(v);
+    if (list) list->ForEach(std::forward<Fn>(fn));
+  }
+
+  /// Calls fn(node, degree) for every node with at least one sampled edge.
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    nodes_.ForEach([&](NodeId node, const NeighborList& list) {
+      fn(node, list.size());
+    });
+  }
+
+  /// Counts |Γ̂(u) ∩ Γ̂(v)| by scanning the smaller neighborhood and probing
+  /// the larger — the weight computation of paper Section 3.2.
+  size_t CountCommonNeighbors(NodeId u, NodeId v) const;
+
+  /// Calls fn(w, slot_uw, slot_vw) for every common neighbor w of u and v,
+  /// i.e. for every sampled triangle the (u, v) edge would close.
+  template <typename Fn>
+  void ForEachCommonNeighbor(NodeId u, NodeId v, Fn&& fn) const {
+    const NeighborList* lu = nodes_.Find(u);
+    const NeighborList* lv = nodes_.Find(v);
+    if (!lu || !lv) return;
+    // Scan the smaller neighborhood, but always report slots in the
+    // caller's (u, v) argument order.
+    if (lu->size() <= lv->size()) {
+      lu->ForEach([&](NodeId w, SlotId slot_uw) {
+        const SlotId slot_vw = lv->Find(w);
+        if (slot_vw != kNoSlot) fn(w, slot_uw, slot_vw);
+      });
+    } else {
+      lv->ForEach([&](NodeId w, SlotId slot_vw) {
+        const SlotId slot_uw = lu->Find(w);
+        if (slot_uw != kNoSlot) fn(w, slot_uw, slot_vw);
+      });
+    }
+  }
+
+  /// Removes everything.
+  void Clear();
+
+ private:
+  FlatHashMap<NodeId, NeighborList> nodes_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace gps
+
+#endif  // GPS_GRAPH_SAMPLED_GRAPH_H_

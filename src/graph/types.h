@@ -1,0 +1,67 @@
+// Fundamental graph types shared by every module.
+//
+// The stream model (paper Section 3.1): an undirected simple graph
+// G = (V, K) with no self loops whose edges arrive in arbitrary order; each
+// edge is identified with its arrival index in [|K|].
+
+#ifndef GPS_GRAPH_TYPES_H_
+#define GPS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gps {
+
+/// Node identifier. 32 bits covers the laptop-scale corpus; widen here if a
+/// larger id space is ever needed.
+using NodeId = uint32_t;
+
+/// Arrival index of an edge in the stream (1-based time `t` in the paper is
+/// represented as 0-based positions internally; conversions are localized).
+using StreamPos = uint64_t;
+
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// An undirected edge stored in canonical orientation (u <= v is NOT
+/// enforced by the struct itself; use Edge::Canonical or MakeEdge).
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  /// Returns the same edge with endpoints ordered u <= v.
+  Edge Canonical() const { return u <= v ? Edge{u, v} : Edge{v, u}; }
+
+  /// True for degenerate self loops (excluded by the model).
+  bool IsSelfLoop() const { return u == v; }
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator!=(const Edge& a, const Edge& b) { return !(a == b); }
+};
+
+/// Canonicalizing constructor.
+inline Edge MakeEdge(NodeId a, NodeId b) { return Edge{a, b}.Canonical(); }
+
+/// Packs a canonical edge into a single 64-bit key for hashing and
+/// set-membership (u in high bits, v in low bits).
+inline uint64_t EdgeKey(const Edge& e) {
+  const Edge c = e.Canonical();
+  return (static_cast<uint64_t>(c.u) << 32) | static_cast<uint64_t>(c.v);
+}
+
+/// Inverse of EdgeKey.
+inline Edge EdgeFromKey(uint64_t key) {
+  return Edge{static_cast<NodeId>(key >> 32),
+              static_cast<NodeId>(key & 0xffffffffULL)};
+}
+
+/// Human-readable "(u,v)".
+inline std::string EdgeToString(const Edge& e) {
+  return "(" + std::to_string(e.u) + "," + std::to_string(e.v) + ")";
+}
+
+}  // namespace gps
+
+#endif  // GPS_GRAPH_TYPES_H_

@@ -1,0 +1,90 @@
+#include "stats/experiment.h"
+
+#include <cassert>
+
+#include "core/post_stream.h"
+#include "util/timer.h"
+
+namespace gps {
+
+GpsTrialResult RunGpsTrial(const std::vector<Edge>& stream, size_t capacity,
+                           uint64_t seed) {
+  GpsTrialResult out;
+  GpsSamplerOptions options;
+  options.capacity = capacity;
+  options.seed = seed;
+
+  // Pass 1: pure sampling (Algorithm 1), timed, then post-stream
+  // estimation (Algorithm 2).
+  GpsSampler sampler(options);
+  {
+    WallTimer timer;
+    for (const Edge& e : stream) sampler.Process(e);
+    out.sampler_micros_per_edge =
+        stream.empty() ? 0.0
+                       : timer.ElapsedMicros() /
+                             static_cast<double>(stream.size());
+  }
+  out.post = EstimatePostStream(sampler.reservoir());
+  out.sampled_edges = sampler.reservoir().size();
+
+  // Pass 2: in-stream estimation (Algorithm 3) over the same seed, hence
+  // the same sample path.
+  InStreamEstimator in_stream(options);
+  {
+    WallTimer timer;
+    for (const Edge& e : stream) in_stream.Process(e);
+    out.in_stream_micros_per_edge =
+        stream.empty() ? 0.0
+                       : timer.ElapsedMicros() /
+                             static_cast<double>(stream.size());
+  }
+  out.in_stream = in_stream.Estimates();
+  assert(in_stream.reservoir().size() == sampler.reservoir().size());
+  assert(in_stream.reservoir().threshold() ==
+         sampler.reservoir().threshold());
+  return out;
+}
+
+std::vector<TrackedPoint> RunTrackedGps(const std::vector<Edge>& stream,
+                                        const TrackingOptions& options) {
+  std::vector<TrackedPoint> points;
+  if (stream.empty() || options.num_checkpoints == 0) return points;
+
+  GpsSamplerOptions gps_options;
+  gps_options.capacity = options.capacity;
+  gps_options.seed = options.seed;
+  InStreamEstimator estimator(gps_options);
+  ExactStreamCounter exact;
+
+  const size_t interval =
+      std::max<size_t>(1, stream.size() / options.num_checkpoints);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    estimator.Process(stream[i]);
+    exact.AddEdge(stream[i]);
+    const bool at_checkpoint =
+        ((i + 1) % interval == 0) || (i + 1 == stream.size());
+    if (!at_checkpoint) continue;
+
+    TrackedPoint p;
+    p.stream_pos = i + 1;
+    p.actual_triangles = exact.Counts().triangles;
+    p.actual_wedges = exact.Counts().wedges;
+    p.actual_cc = exact.Counts().ClusteringCoefficient();
+    const GraphEstimates est = estimator.Estimates();
+    p.in_stream_triangles = est.triangles.value;
+    p.in_stream_tri_var = est.triangles.variance;
+    p.in_stream_wedges = est.wedges.value;
+    const Estimate cc = est.ClusteringCoefficient();
+    p.in_stream_cc = cc.value;
+    p.in_stream_cc_var = cc.variance;
+    if (options.with_post_stream) {
+      p.post_triangles =
+          EstimatePostStream(estimator.reservoir()).triangles.value;
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace gps

@@ -1,0 +1,72 @@
+// Experiment harness shared by the table/figure benches: runs GPS post- and
+// in-stream estimation over identical sample paths, times per-edge update
+// cost, and aggregates multi-trial metrics.
+//
+// Protocol fidelity (paper Section 6): "both GPS post and in-stream
+// estimation randomly select the same set of edges with the same random
+// seeds. Thus, the two methods only differ in the estimation procedure."
+// RunGpsTrial drives a pure GpsSampler (Algorithm 1 only) and an
+// InStreamEstimator (Algorithm 3) from the same seed over the same stream,
+// asserts the reservoirs agree, and returns both estimates.
+
+#ifndef GPS_STATS_EXPERIMENT_H_
+#define GPS_STATS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimates.h"
+#include "core/gps.h"
+#include "core/in_stream.h"
+#include "graph/exact.h"
+#include "graph/types.h"
+
+namespace gps {
+
+/// Result of one GPS sampling+estimation pass over a stream.
+struct GpsTrialResult {
+  GraphEstimates post;        ///< Algorithm 2 estimates at end of stream
+  GraphEstimates in_stream;   ///< Algorithm 3 estimates at end of stream
+  size_t sampled_edges = 0;   ///< |K̂| at end of stream
+  double sampler_micros_per_edge = 0.0;   ///< Algorithm 1 only
+  double in_stream_micros_per_edge = 0.0; ///< Algorithm 3 (estimate+update)
+};
+
+/// Runs both estimation frameworks over `stream` with reservoir capacity
+/// `capacity` and the paper's triangle weighting; `seed` determines the
+/// (shared) sample path.
+GpsTrialResult RunGpsTrial(const std::vector<Edge>& stream, size_t capacity,
+                           uint64_t seed);
+
+/// A checkpointed tracking run (paper Table 3 / Figure 3): feeds the stream
+/// through GPS in-stream (and optionally post-stream) estimation, recording
+/// estimates and exact prefix truth at `num_checkpoints` evenly spaced
+/// positions.
+struct TrackedPoint {
+  uint64_t stream_pos = 0;   ///< edges processed at this checkpoint
+  double actual_triangles = 0.0;
+  double actual_wedges = 0.0;
+  double in_stream_triangles = 0.0;
+  double in_stream_tri_var = 0.0;
+  double post_triangles = 0.0;
+  double in_stream_wedges = 0.0;
+  double in_stream_cc = 0.0;
+  double in_stream_cc_var = 0.0;
+  double actual_cc = 0.0;
+};
+
+struct TrackingOptions {
+  size_t capacity = 80000;
+  uint64_t seed = 1;
+  size_t num_checkpoints = 100;
+  /// Post-stream estimation at a checkpoint costs O(m^{3/2}); disable for
+  /// pure in-stream tracking runs.
+  bool with_post_stream = true;
+};
+
+std::vector<TrackedPoint> RunTrackedGps(const std::vector<Edge>& stream,
+                                        const TrackingOptions& options);
+
+}  // namespace gps
+
+#endif  // GPS_STATS_EXPERIMENT_H_

@@ -1,0 +1,37 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gps {
+
+double AbsoluteRelativeError(double estimate, double actual) {
+  if (actual == 0.0) return estimate == 0.0 ? 0.0 : INFINITY;
+  return std::abs(estimate - actual) / std::abs(actual);
+}
+
+SeriesError ComputeSeriesError(const std::vector<SeriesPoint>& series) {
+  SeriesError out;
+  double sum = 0.0;
+  for (const SeriesPoint& p : series) {
+    if (p.actual == 0.0) continue;
+    const double are = AbsoluteRelativeError(p.estimate, p.actual);
+    sum += are;
+    out.max_are = std::max(out.max_are, are);
+    ++out.checkpoints;
+  }
+  out.mare = out.checkpoints > 0 ? sum / static_cast<double>(out.checkpoints)
+                                 : 0.0;
+  return out;
+}
+
+double CoverageFraction(const std::vector<IntervalObservation>& obs) {
+  if (obs.empty()) return 0.0;
+  size_t hits = 0;
+  for (const IntervalObservation& o : obs) {
+    if (o.actual >= o.lower && o.actual <= o.upper) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(obs.size());
+}
+
+}  // namespace gps

@@ -1,0 +1,47 @@
+// Accuracy metrics used across the evaluation benches:
+//   * ARE — absolute relative error |X̂ - X| / X (paper Section 6, item 3);
+//   * MARE / max-ARE — mean and maximum ARE over a tracked time series
+//     (paper Table 3);
+//   * CI coverage — fraction of trials whose 95% interval contains truth.
+
+#ifndef GPS_STATS_METRICS_H_
+#define GPS_STATS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gps {
+
+/// |estimate - actual| / actual; 0 when both are 0, infinity-safe.
+double AbsoluteRelativeError(double estimate, double actual);
+
+/// Error summary of a tracked time series.
+struct SeriesError {
+  double mare = 0.0;     ///< mean ARE over checkpoints
+  double max_are = 0.0;  ///< maximum ARE over checkpoints
+  size_t checkpoints = 0;
+};
+
+/// One tracked checkpoint: estimate vs exact prefix truth.
+struct SeriesPoint {
+  double estimate = 0.0;
+  double actual = 0.0;
+};
+
+/// Computes MARE and max-ARE over the checkpoints (paper Table 3's
+/// 1/T Σ |X̂_t - X_t|/X_t and max_t). Checkpoints with actual == 0 are
+/// skipped (undefined relative error on an empty prefix).
+SeriesError ComputeSeriesError(const std::vector<SeriesPoint>& series);
+
+/// Fraction of (estimate ± bound) intervals containing the truth.
+struct IntervalObservation {
+  double lower = 0.0;
+  double upper = 0.0;
+  double actual = 0.0;
+};
+double CoverageFraction(const std::vector<IntervalObservation>& obs);
+
+}  // namespace gps
+
+#endif  // GPS_STATS_METRICS_H_

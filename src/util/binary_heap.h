@@ -1,0 +1,95 @@
+// Binary min-heap backing the GPS priority reservoir.
+//
+// The paper (Section 3.2, "Implementation and data structure") calls for a
+// binary heap stored in a flat array: access to the lowest-priority edge in
+// O(1), insert and delete-min in O(log m). The reservoir only ever inserts
+// and pops the minimum — priorities are fixed at arrival time — so no
+// decrease-key / position map is needed.
+
+#ifndef GPS_UTIL_BINARY_HEAP_H_
+#define GPS_UTIL_BINARY_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gps {
+
+/// Array-backed binary min-heap ordered by Compare (a strict weak order;
+/// Compare(a, b) == true means a sorts before b, i.e. closer to the top).
+template <typename T, typename Compare = std::less<T>>
+class BinaryMinHeap {
+ public:
+  BinaryMinHeap() = default;
+  explicit BinaryMinHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void reserve(size_t n) { items_.reserve(n); }
+  void clear() { items_.clear(); }
+
+  /// The minimum element. Requires non-empty.
+  const T& Top() const {
+    assert(!items_.empty());
+    return items_.front();
+  }
+
+  /// Inserts an element in O(log n).
+  void Push(T item) {
+    items_.push_back(std::move(item));
+    SiftUp(items_.size() - 1);
+  }
+
+  /// Removes and returns the minimum element in O(log n).
+  T PopMin() {
+    assert(!items_.empty());
+    T top = std::move(items_.front());
+    items_.front() = std::move(items_.back());
+    items_.pop_back();
+    if (!items_.empty()) SiftDown(0);
+    return top;
+  }
+
+  /// Read-only access to the underlying array (heap order, not sorted).
+  const std::vector<T>& Items() const { return items_; }
+
+  /// Verifies the heap invariant; used by tests.
+  bool IsValidHeap() const {
+    for (size_t i = 1; i < items_.size(); ++i) {
+      if (cmp_(items_[i], items_[(i - 1) / 2])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!cmp_(items_[i], items_[parent])) break;
+      std::swap(items_[i], items_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = items_.size();
+    while (true) {
+      size_t left = 2 * i + 1;
+      if (left >= n) break;
+      size_t smallest = left;
+      size_t right = left + 1;
+      if (right < n && cmp_(items_[right], items_[left])) smallest = right;
+      if (!cmp_(items_[smallest], items_[i])) break;
+      std::swap(items_[i], items_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<T> items_;
+  Compare cmp_;
+};
+
+}  // namespace gps
+
+#endif  // GPS_UTIL_BINARY_HEAP_H_

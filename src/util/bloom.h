@@ -1,0 +1,105 @@
+// Bloom filter over 64-bit keys.
+//
+// Paper Section 3.2 notes the weight computation |Γ̂(v1) ∩ Γ̂(v2)| "can be
+// achieved ... if a hash table or a bloom filter is used for storing
+// Γ̂(v1), Γ̂(v2)". The default sampled-graph index uses exact adaptive hash
+// containers; this filter is provided for deployments that want a smaller
+// probabilistic membership index (e.g. as a pre-filter in front of a
+// slower exact store). Standard double-hashing construction (Kirsch &
+// Mitzenmacher): k probe positions derived from two 64-bit hashes.
+//
+// Supports insertion and membership only — Bloom filters cannot delete —
+// so it suits append-heavy phases (e.g. the pre-eviction warm-up) or
+// periodic rebuilds.
+
+#ifndef GPS_UTIL_BLOOM_H_
+#define GPS_UTIL_BLOOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_hash_map.h"
+
+namespace gps {
+
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` at the target false-positive
+  /// rate (clamped to [1e-6, 0.5]). Memory: ~1.44 * log2(1/fpr) bits/item.
+  BloomFilter(size_t expected_items, double target_fpr) {
+    if (target_fpr < 1e-6) target_fpr = 1e-6;
+    if (target_fpr > 0.5) target_fpr = 0.5;
+    if (expected_items == 0) expected_items = 1;
+    const double ln2 = 0.6931471805599453;
+    const double bits_needed =
+        -static_cast<double>(expected_items) * std::log(target_fpr) /
+        (ln2 * ln2);
+    num_bits_ = NextPow2(static_cast<uint64_t>(bits_needed) + 64);
+    num_hashes_ = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::lround(
+               bits_needed / static_cast<double>(expected_items) * ln2)));
+    bits_.assign(num_bits_ / 64, 0);
+  }
+
+  /// Inserts a key.
+  void Insert(uint64_t key) {
+    uint64_t h1 = MixHash::Mix(key);
+    const uint64_t h2 = MixHash::Mix(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      SetBit(h1 & (num_bits_ - 1));
+      h1 += h2;
+    }
+    ++items_;
+  }
+
+  /// Returns false only if the key was definitely never inserted.
+  bool MayContain(uint64_t key) const {
+    uint64_t h1 = MixHash::Mix(key);
+    const uint64_t h2 = MixHash::Mix(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      if (!GetBit(h1 & (num_bits_ - 1))) return false;
+      h1 += h2;
+    }
+    return true;
+  }
+
+  /// Removes all items (bits), keeping the sizing.
+  void Clear() {
+    std::fill(bits_.begin(), bits_.end(), 0);
+    items_ = 0;
+  }
+
+  size_t SizeBits() const { return num_bits_; }
+  uint32_t NumHashes() const { return num_hashes_; }
+  uint64_t ItemsInserted() const { return items_; }
+
+  /// Expected false-positive rate at the current load:
+  /// (1 - e^{-kn/m})^k.
+  double EstimatedFpr() const {
+    const double k = num_hashes_;
+    const double n = static_cast<double>(items_);
+    const double m = static_cast<double>(num_bits_);
+    return std::pow(1.0 - std::exp(-k * n / m), k);
+  }
+
+ private:
+  static uint64_t NextPow2(uint64_t x) {
+    uint64_t p = 64;
+    while (p < x) p <<= 1;
+    return p;
+  }
+  void SetBit(uint64_t i) { bits_[i >> 6] |= (1ULL << (i & 63)); }
+  bool GetBit(uint64_t i) const {
+    return (bits_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  uint64_t num_bits_ = 0;
+  uint32_t num_hashes_ = 0;
+  uint64_t items_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace gps
+
+#endif  // GPS_UTIL_BLOOM_H_

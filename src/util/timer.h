@@ -1,0 +1,35 @@
+// Wall-clock timing for per-edge update cost measurements (Table 2 reports
+// average microseconds per edge).
+
+#ifndef GPS_UTIL_TIMER_H_
+#define GPS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gps {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gps
+
+#endif  // GPS_UTIL_TIMER_H_

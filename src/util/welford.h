@@ -1,0 +1,77 @@
+// Online statistical accumulators (Welford's algorithm) used by the
+// experiment harness for multi-trial means/variances and by tests that
+// verify estimator calibration.
+
+#ifndef GPS_UTIL_WELFORD_H_
+#define GPS_UTIL_WELFORD_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace gps {
+
+/// Numerically stable single-pass mean/variance/min/max accumulator.
+class OnlineStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t Count() const { return n_; }
+  double Mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divide by n).
+  double PopulationVariance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Sample variance (divide by n-1).
+  double SampleVariance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  double StdDev() const { return std::sqrt(SampleVariance()); }
+  double Min() const { return n_ > 0 ? min_ : 0.0; }
+  double Max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Standard error of the mean.
+  double StdError() const {
+    return n_ > 0 ? StdDev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  /// Merges another accumulator into this one (Chan et al. parallel merge).
+  void Merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace gps
+
+#endif  // GPS_UTIL_WELFORD_H_

@@ -1,0 +1,92 @@
+// Tests for the JSP birthday-paradox wedge sampler (paper reference [23]).
+// The estimator is consistent rather than exactly unbiased, so assertions
+// use convergence bands instead of tight unbiasedness checks.
+
+#include "baselines/jsp_wedge.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "util/welford.h"
+
+namespace gps {
+namespace {
+
+TEST(JspWedgeTest, EdgeReservoirBounded) {
+  JspWedgeSampler jsp(50, 50, 1);
+  EdgeList graph = GenerateErdosRenyi(100, 500, 901).value();
+  for (const Edge& e : MakePermutedStream(graph, 902)) {
+    jsp.Process(e);
+    EXPECT_LE(jsp.edge_sample_size(), 50u);
+  }
+  EXPECT_EQ(jsp.edge_sample_size(), 50u);
+  EXPECT_EQ(jsp.edges_processed(), 500u);
+}
+
+TEST(JspWedgeTest, IgnoresLoopsAndDuplicates) {
+  JspWedgeSampler jsp(10, 10, 2);
+  jsp.Process(MakeEdge(0, 1));
+  jsp.Process(MakeEdge(1, 0));
+  jsp.Process(Edge{2, 2});
+  EXPECT_EQ(jsp.edges_processed(), 1u);
+}
+
+TEST(JspWedgeTest, ZeroTransitivityOnTriangleFreeGraph) {
+  // Star: many wedges, no triangles -> no wedge ever closes.
+  JspWedgeSampler jsp(100, 100, 3);
+  for (NodeId i = 1; i <= 200; ++i) jsp.Process(MakeEdge(0, i));
+  EXPECT_EQ(jsp.TransitivityEstimate(), 0.0);
+  EXPECT_EQ(jsp.TriangleEstimate(), 0.0);
+  EXPECT_GT(jsp.WedgeEstimate(), 0.0);
+}
+
+TEST(JspWedgeTest, WedgeEstimateConverges) {
+  EdgeList graph = GenerateChungLu(400, 2500, 2.4, 911).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  const std::vector<Edge> stream = MakePermutedStream(graph, 912);
+
+  OnlineStats est;
+  for (int trial = 0; trial < 60; ++trial) {
+    JspWedgeSampler jsp(600, 600, 3000 + trial);
+    for (const Edge& e : stream) jsp.Process(e);
+    est.Add(jsp.WedgeEstimate());
+  }
+  EXPECT_NEAR(est.Mean(), actual.wedges, 0.15 * actual.wedges);
+}
+
+TEST(JspWedgeTest, TransitivityConvergesOnClusteredGraph) {
+  EdgeList graph = GenerateWattsStrogatz(600, 10, 0.1, 921).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  ASSERT_GT(actual.ClusteringCoefficient(), 0.2);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 922);
+
+  OnlineStats est;
+  for (int trial = 0; trial < 60; ++trial) {
+    JspWedgeSampler jsp(1000, 1000, 4000 + trial);
+    for (const Edge& e : stream) jsp.Process(e);
+    est.Add(jsp.TransitivityEstimate());
+  }
+  // Birthday-paradox estimator: consistent; allow 30% band.
+  EXPECT_NEAR(est.Mean(), actual.ClusteringCoefficient(),
+              0.3 * actual.ClusteringCoefficient());
+}
+
+TEST(JspWedgeTest, TriangleEstimateReasonable) {
+  EdgeList graph = GenerateBarabasiAlbert(400, 6, 0.5, 931).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  const std::vector<Edge> stream = MakePermutedStream(graph, 932);
+
+  OnlineStats est;
+  for (int trial = 0; trial < 60; ++trial) {
+    JspWedgeSampler jsp(800, 800, 5000 + trial);
+    for (const Edge& e : stream) jsp.Process(e);
+    est.Add(jsp.TriangleEstimate());
+  }
+  EXPECT_NEAR(est.Mean(), actual.triangles, 0.4 * actual.triangles);
+}
+
+}  // namespace
+}  // namespace gps

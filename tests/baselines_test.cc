@@ -1,0 +1,231 @@
+// Tests for the baseline algorithms: TRIEST (base/impr), MASCOT
+// (improved/basic), NSAMP, and the uniform reservoir.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/mascot.h"
+#include "baselines/nsamp.h"
+#include "baselines/triest.h"
+#include "baselines/uniform_reservoir.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "util/welford.h"
+
+namespace gps {
+namespace {
+
+struct TestGraph {
+  EdgeList graph;
+  std::vector<Edge> stream;
+  double triangles = 0;
+};
+
+TestGraph MakeTestGraph(uint64_t seed) {
+  TestGraph out;
+  out.graph = GenerateBarabasiAlbert(150, 5, 0.5, seed).value();
+  out.stream = MakePermutedStream(out.graph, seed + 1);
+  out.triangles = CountExact(CsrGraph::FromEdgeList(out.graph)).triangles;
+  return out;
+}
+
+// ---------------------------------------------------------------- TRIEST
+
+TEST(TriestTest, ExactWhenSampleHoldsEverything) {
+  const TestGraph tg = MakeTestGraph(301);
+  for (TriestVariant variant :
+       {TriestVariant::kBase, TriestVariant::kImproved}) {
+    Triest triest(tg.stream.size() + 10, 1, variant);
+    for (const Edge& e : tg.stream) triest.Process(e);
+    EXPECT_DOUBLE_EQ(triest.TriangleEstimate(), tg.triangles);
+  }
+}
+
+TEST(TriestTest, SampleSizeBounded) {
+  const TestGraph tg = MakeTestGraph(302);
+  Triest triest(100, 2, TriestVariant::kBase);
+  for (const Edge& e : tg.stream) {
+    triest.Process(e);
+    EXPECT_LE(triest.sample_size(), 100u);
+  }
+  EXPECT_EQ(triest.sample_size(), 100u);
+}
+
+TEST(TriestTest, BaseUnbiased) {
+  const TestGraph tg = MakeTestGraph(303);
+  OnlineStats est;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    Triest triest(tg.stream.size() / 3, 500 + trial, TriestVariant::kBase);
+    for (const Edge& e : tg.stream) triest.Process(e);
+    est.Add(triest.TriangleEstimate());
+  }
+  EXPECT_NEAR(est.Mean(), tg.triangles,
+              std::max(4.0 * est.StdError(), 0.03 * tg.triangles));
+}
+
+TEST(TriestTest, ImprovedUnbiasedAndLowerVariance) {
+  const TestGraph tg = MakeTestGraph(304);
+  OnlineStats base, impr;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    Triest tb(tg.stream.size() / 3, 900 + trial, TriestVariant::kBase);
+    Triest ti(tg.stream.size() / 3, 900 + trial, TriestVariant::kImproved);
+    for (const Edge& e : tg.stream) {
+      tb.Process(e);
+      ti.Process(e);
+    }
+    base.Add(tb.TriangleEstimate());
+    impr.Add(ti.TriangleEstimate());
+  }
+  EXPECT_NEAR(impr.Mean(), tg.triangles,
+              std::max(4.0 * impr.StdError(), 0.03 * tg.triangles));
+  EXPECT_LT(impr.SampleVariance(), base.SampleVariance());
+}
+
+TEST(TriestTest, IgnoresDuplicatesAndLoops) {
+  Triest triest(10, 1, TriestVariant::kBase);
+  triest.Process(MakeEdge(0, 1));
+  triest.Process(MakeEdge(1, 0));
+  triest.Process(Edge{2, 2});
+  EXPECT_EQ(triest.edges_processed(), 1u);
+  EXPECT_EQ(triest.sample_size(), 1u);
+}
+
+// ---------------------------------------------------------------- MASCOT
+
+TEST(MascotTest, ExactAtProbabilityOne) {
+  const TestGraph tg = MakeTestGraph(305);
+  Mascot mascot(1.0, 1, MascotVariant::kImproved);
+  for (const Edge& e : tg.stream) mascot.Process(e);
+  EXPECT_DOUBLE_EQ(mascot.TriangleEstimate(), tg.triangles);
+  EXPECT_EQ(mascot.sample_size(), tg.stream.size());
+}
+
+TEST(MascotTest, ImprovedUnbiased) {
+  const TestGraph tg = MakeTestGraph(306);
+  OnlineStats est;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    Mascot mascot(0.3, 1300 + trial, MascotVariant::kImproved);
+    for (const Edge& e : tg.stream) mascot.Process(e);
+    est.Add(mascot.TriangleEstimate());
+  }
+  EXPECT_NEAR(est.Mean(), tg.triangles,
+              std::max(4.0 * est.StdError(), 0.03 * tg.triangles));
+}
+
+TEST(MascotTest, BasicUnbiasedWithHigherVariance) {
+  const TestGraph tg = MakeTestGraph(307);
+  OnlineStats impr, basic;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    Mascot mi(0.3, 1700 + trial, MascotVariant::kImproved);
+    Mascot mb(0.3, 1700 + trial, MascotVariant::kBasic);
+    for (const Edge& e : tg.stream) {
+      mi.Process(e);
+      mb.Process(e);
+    }
+    impr.Add(mi.TriangleEstimate());
+    basic.Add(mb.TriangleEstimate());
+  }
+  EXPECT_NEAR(basic.Mean(), tg.triangles,
+              std::max(4.0 * basic.StdError(), 0.05 * tg.triangles));
+  EXPECT_LT(impr.SampleVariance(), basic.SampleVariance());
+}
+
+TEST(MascotTest, SampleSizeNearExpectation) {
+  const TestGraph tg = MakeTestGraph(308);
+  const double p = 0.2;
+  Mascot mascot(p, 9, MascotVariant::kImproved);
+  for (const Edge& e : tg.stream) mascot.Process(e);
+  const double expected = p * static_cast<double>(tg.stream.size());
+  EXPECT_NEAR(static_cast<double>(mascot.sample_size()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+// ----------------------------------------------------------------- NSAMP
+
+TEST(NsampTest, DetectsTheOnlyTriangle) {
+  // Stream: a triangle arriving in order. With many estimators the mean
+  // estimate must be close to 1.
+  OnlineStats est;
+  for (int trial = 0; trial < 200; ++trial) {
+    NeighborhoodSampler nsamp(64, 2000 + trial);
+    nsamp.Process(MakeEdge(0, 1));
+    nsamp.Process(MakeEdge(1, 2));
+    nsamp.Process(MakeEdge(0, 2));
+    est.Add(nsamp.TriangleEstimate());
+  }
+  EXPECT_NEAR(est.Mean(), 1.0, 4.0 * est.StdError() + 0.05);
+}
+
+TEST(NsampTest, ZeroOnTriangleFreeStream) {
+  NeighborhoodSampler nsamp(128, 5);
+  // Star graph: wedges but no triangles.
+  for (NodeId i = 1; i <= 50; ++i) nsamp.Process(MakeEdge(0, i));
+  EXPECT_EQ(nsamp.TriangleEstimate(), 0.0);
+}
+
+TEST(NsampTest, UnbiasedOnRealStream) {
+  const TestGraph tg = MakeTestGraph(309);
+  OnlineStats est;
+  const int trials = 120;
+  for (int trial = 0; trial < trials; ++trial) {
+    NeighborhoodSampler nsamp(512, 2600 + trial);
+    for (const Edge& e : tg.stream) nsamp.Process(e);
+    est.Add(nsamp.TriangleEstimate());
+  }
+  // NSAMP has high variance; accept a generous band around truth.
+  EXPECT_NEAR(est.Mean(), tg.triangles,
+              std::max(4.0 * est.StdError(), 0.10 * tg.triangles));
+}
+
+TEST(NsampTest, EstimatorCountPreserved) {
+  NeighborhoodSampler nsamp(37, 4);
+  EXPECT_EQ(nsamp.num_estimators(), 37u);
+  nsamp.Process(MakeEdge(0, 1));
+  EXPECT_EQ(nsamp.edges_processed(), 1u);
+}
+
+// ------------------------------------------------ Uniform reservoir
+
+TEST(UniformReservoirTest, SizeBoundAndFill) {
+  UniformReservoir res(50, 3);
+  const TestGraph tg = MakeTestGraph(310);
+  for (const Edge& e : tg.stream) {
+    res.Process(e);
+    EXPECT_LE(res.Sample().size(), 50u);
+  }
+  EXPECT_EQ(res.Sample().size(), 50u);
+  EXPECT_EQ(res.edges_processed(), tg.stream.size());
+}
+
+TEST(UniformReservoirTest, InclusionUniformAcrossPositions) {
+  // Each stream position must be retained with probability m/t; compare
+  // early vs late positions over many runs.
+  const size_t n = 400, m = 40;
+  std::vector<int> kept(n, 0);
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    UniformReservoir res(m, 5000 + trial);
+    std::vector<Edge> stream;
+    for (uint32_t i = 0; i < n; ++i) {
+      stream.push_back(MakeEdge(i, i + 10000));  // distinct edges
+    }
+    for (const Edge& e : stream) res.Process(e);
+    for (const Edge& e : res.Sample()) kept[e.u] += 1;
+  }
+  const double expected = static_cast<double>(m) / n * trials;  // 200
+  for (size_t pos : {0ul, n / 2, n - 1}) {
+    EXPECT_NEAR(kept[pos], expected, 5.0 * std::sqrt(expected))
+        << "position " << pos;
+  }
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,149 @@
+// End-to-end tests for the gps_cli binary: every subcommand, checkpoint /
+// resume round trips, and error paths. The binary path is injected by
+// CMake via GPS_CLI_PATH.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef GPS_CLI_PATH
+#define GPS_CLI_PATH "gps_cli"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command =
+      std::string(GPS_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (!pipe) return result;
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe)) result.output += buffer;
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+// ctest runs these cases in parallel processes; every path must be unique
+// per test or TearDown in one process deletes a file another is reading.
+std::string TempPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return testing::TempDir() + "/" + (info ? info->name() : "unknown") + "_" +
+         name;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = TempPath("cli_graph.txt");
+    const CommandResult gen = RunCli(
+        "generate --name com-amazon-sim --scale 0.02 --output " +
+        graph_path_);
+    ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  }
+  void TearDown() override { std::remove(graph_path_.c_str()); }
+
+  std::string graph_path_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  const CommandResult r = RunCli("");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  const CommandResult r = RunCli("frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(CliTest, CorpusListsEntries) {
+  const CommandResult r = RunCli("corpus");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("soc-orkut-sim"), std::string::npos);
+  EXPECT_NE(r.output.find("infra-road-sim"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateRejectsUnknownName) {
+  const CommandResult r = RunCli("generate --name nope --output /dev/null");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("NOT_FOUND"), std::string::npos);
+}
+
+TEST_F(CliTest, ExactCountsRun) {
+  const CommandResult r = RunCli("exact --input " + graph_path_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("triangles"), std::string::npos);
+  EXPECT_NE(r.output.find("clustering"), std::string::npos);
+}
+
+TEST_F(CliTest, ExactMissingFileFails) {
+  const CommandResult r = RunCli("exact --input /nonexistent.txt");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(CliTest, EstimateBothFrameworks) {
+  const CommandResult r = RunCli("estimate --input " + graph_path_ +
+                                 " --capacity 2000 --seed 5");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("in-stream estimates"), std::string::npos);
+  EXPECT_NE(r.output.find("post-stream estimates"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateWithEachWeight) {
+  for (const char* weight :
+       {"uniform", "adjacency", "triangle", "triangle-wedge"}) {
+    const CommandResult r =
+        RunCli("estimate --input " + graph_path_ +
+               " --capacity 1000 --estimator in-stream --weight " + weight);
+    EXPECT_EQ(r.exit_code, 0) << weight << ": " << r.output;
+  }
+  const CommandResult bad = RunCli("estimate --input " + graph_path_ +
+                                   " --weight bogus");
+  EXPECT_NE(bad.exit_code, 0);
+}
+
+TEST_F(CliTest, CheckpointResumeRoundTrip) {
+  const std::string ckpt = TempPath("cli_ckpt.gps");
+  const CommandResult est =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 1500 --checkpoint " + ckpt);
+  ASSERT_EQ(est.exit_code, 0) << est.output;
+  EXPECT_NE(est.output.find("checkpoint written"), std::string::npos);
+
+  const CommandResult resume =
+      RunCli("resume --checkpoint " + ckpt + " --input " + graph_path_);
+  EXPECT_EQ(resume.exit_code, 0) << resume.output;
+  EXPECT_NE(resume.output.find("resumed at"), std::string::npos);
+  EXPECT_NE(resume.output.find("in-stream estimates (resumed)"),
+            std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(CliTest, ResumeRejectsCorruptCheckpoint) {
+  const std::string ckpt = TempPath("cli_bad_ckpt.gps");
+  std::ofstream(ckpt) << "NOT-A-CHECKPOINT 1\n";
+  const CommandResult r =
+      RunCli("resume --checkpoint " + ckpt + " --input " + graph_path_);
+  EXPECT_NE(r.exit_code, 0);
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(CliTest, FlagMissingValueFails) {
+  const CommandResult r = RunCli("estimate --input");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("needs a value"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Adversarial and numeric edge-case tests for the GPS core: extreme
+// weights, degenerate graphs, tiny reservoirs, and estimator behaviour on
+// pathological inputs.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gps.h"
+#include "core/in_stream.h"
+#include "core/post_stream.h"
+#include "gen/generators.h"
+#include "graph/stream.h"
+#include "util/welford.h"
+
+namespace gps {
+namespace {
+
+TEST(AdversarialTest, ExtremeWeightRatios) {
+  // Weights spanning 24 orders of magnitude must not produce NaN/inf in
+  // probabilities or estimates.
+  GpsReservoir res(GpsOptions{20, 1});
+  double w = 1e-12;
+  for (uint32_t i = 0; i < 500; ++i) {
+    res.Process(MakeEdge(i, i + 1000), w);
+    w = (w > 1e12) ? 1e-12 : w * 3.7;
+  }
+  EXPECT_TRUE(res.CheckInvariants());
+  res.ForEachEdge([&](SlotId slot, const GpsReservoir::EdgeRecord&) {
+    const double p = res.Probability(slot);
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  });
+  const GraphEstimates est = EstimatePostStream(res);
+  EXPECT_TRUE(std::isfinite(est.triangles.value));
+  EXPECT_TRUE(std::isfinite(est.wedges.variance));
+}
+
+TEST(AdversarialTest, TriangleFreeGraphGivesExactZero) {
+  // Star stream: wedges but never a triangle. Both estimators must report
+  // exactly zero triangles (no spurious counts), and CC must be zero.
+  GpsSamplerOptions options;
+  options.capacity = 50;
+  options.seed = 2;
+  InStreamEstimator in_stream(options);
+  GpsSampler sampler(options);
+  for (NodeId i = 1; i <= 500; ++i) {
+    in_stream.Process(MakeEdge(0, i));
+    sampler.Process(MakeEdge(0, i));
+  }
+  EXPECT_EQ(in_stream.Estimates().triangles.value, 0.0);
+  EXPECT_EQ(in_stream.Estimates().triangles.variance, 0.0);
+  EXPECT_EQ(in_stream.Estimates().ClusteringCoefficient().value, 0.0);
+  const GraphEstimates post = EstimatePostStream(sampler.reservoir());
+  EXPECT_EQ(post.triangles.value, 0.0);
+  EXPECT_GT(post.wedges.value, 0.0);
+}
+
+TEST(AdversarialTest, DisjointTrianglesEstimatedUnbiasedly) {
+  // A stream of edge-disjoint triangles: covariance terms must all vanish
+  // (no two triangles share an edge), and estimates stay unbiased.
+  EdgeList graph;
+  const uint32_t num_triangles = 120;
+  for (uint32_t i = 0; i < num_triangles; ++i) {
+    const NodeId base = 3 * i;
+    graph.Add(base, base + 1);
+    graph.Add(base + 1, base + 2);
+    graph.Add(base, base + 2);
+  }
+  const std::vector<Edge> stream = MakePermutedStream(graph, 3);
+
+  OnlineStats est;
+  for (int trial = 0; trial < 300; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 2;
+    options.seed = 18000 + trial;
+    InStreamEstimator in_stream(options);
+    for (const Edge& e : stream) in_stream.Process(e);
+    est.Add(in_stream.Estimates().triangles.value);
+  }
+  EXPECT_NEAR(est.Mean(), static_cast<double>(num_triangles),
+              4.0 * est.StdError() + 1.0);
+}
+
+TEST(AdversarialTest, CapacityOneStream) {
+  GpsSamplerOptions options;
+  options.capacity = 1;
+  options.seed = 4;
+  InStreamEstimator est(options);
+  EdgeList graph = GenerateErdosRenyi(40, 150, 5).value();
+  for (const Edge& e : MakePermutedStream(graph, 6)) est.Process(e);
+  EXPECT_EQ(est.reservoir().size(), 1u);
+  // With one sampled edge no triangle can ever complete in-sample pairs,
+  // but wedge snapshots (single sampled edge + arrival) do occur.
+  EXPECT_TRUE(std::isfinite(est.Estimates().wedges.value));
+  const GraphEstimates post = EstimatePostStream(est.reservoir());
+  EXPECT_EQ(post.triangles.value, 0.0);
+  EXPECT_EQ(post.wedges.value, 0.0);  // a 1-edge sample holds no wedge
+}
+
+TEST(AdversarialTest, MonotoneThresholdUnderMixedWeights) {
+  GpsReservoir res(GpsOptions{16, 7});
+  Rng rng(8);
+  double last = 0.0;
+  for (uint32_t i = 0; i < 2000; ++i) {
+    const double w = std::exp(6.0 * rng.Uniform01() - 3.0);
+    res.Process(MakeEdge(rng.UniformU32(100), 100 + rng.UniformU32(100)), w);
+    ASSERT_GE(res.threshold(), last);
+    last = res.threshold();
+  }
+}
+
+TEST(AdversarialTest, CliqueStreamHeavyOverlapStillUnbiased) {
+  // A single clique: every pair of triangles shares edges, the worst case
+  // for covariance accounting.
+  EdgeList graph;
+  const uint32_t n = 24;  // 2024 triangles
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) graph.Add(i, j);
+  }
+  const double actual = n * (n - 1.0) * (n - 2.0) / 6.0;
+  const std::vector<Edge> stream = MakePermutedStream(graph, 9);
+
+  OnlineStats in_est, post_est, in_var;
+  for (int trial = 0; trial < 400; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 2;
+    options.seed = 19000 + trial;
+    InStreamEstimator est(options);
+    for (const Edge& e : stream) est.Process(e);
+    in_est.Add(est.Estimates().triangles.value);
+    in_var.Add(est.Estimates().triangles.variance);
+    post_est.Add(EstimatePostStream(est.reservoir()).triangles.value);
+  }
+  EXPECT_NEAR(in_est.Mean(), actual,
+              std::max(4.0 * in_est.StdError(), 0.02 * actual));
+  EXPECT_NEAR(post_est.Mean(), actual,
+              std::max(4.0 * post_est.StdError(), 0.03 * actual));
+  // Variance estimator calibrated even under heavy overlap.
+  const double ratio = in_var.Mean() / in_est.SampleVariance();
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(AdversarialTest, NodeIdsAtRangeBoundary) {
+  // Near-maximal node ids must survive EdgeKey packing and hashing.
+  const NodeId big = kInvalidNode - 1;
+  GpsSamplerOptions options;
+  options.capacity = 8;
+  options.seed = 10;
+  InStreamEstimator est(options);
+  est.Process(MakeEdge(big, big - 1));
+  est.Process(MakeEdge(big - 1, big - 2));
+  est.Process(MakeEdge(big, big - 2));
+  EXPECT_EQ(est.Estimates().triangles.value, 1.0);
+}
+
+TEST(AdversarialTest, RepeatedIdenticalWeightTies) {
+  // Constant weights stress priority ties through u(k) only.
+  GpsReservoir res(GpsOptions{32, 11});
+  for (uint32_t i = 0; i < 5000; ++i) {
+    res.Process(MakeEdge(i % 200, 200 + (i * 7) % 200), 1.0);
+  }
+  EXPECT_TRUE(res.CheckInvariants());
+  EXPECT_EQ(res.size(), 32u);
+}
+
+TEST(AdversarialTest, PostStreamIdempotent) {
+  // Estimation must not mutate the reservoir: calling twice gives
+  // identical results and CheckInvariants still holds.
+  EdgeList graph = GenerateBarabasiAlbert(100, 4, 0.4, 12).value();
+  GpsSamplerOptions options;
+  options.capacity = 150;
+  options.seed = 13;
+  GpsSampler sampler(options);
+  for (const Edge& e : MakePermutedStream(graph, 14)) sampler.Process(e);
+  const GraphEstimates a = EstimatePostStream(sampler.reservoir());
+  const GraphEstimates b = EstimatePostStream(sampler.reservoir());
+  EXPECT_DOUBLE_EQ(a.triangles.value, b.triangles.value);
+  EXPECT_DOUBLE_EQ(a.wedges.variance, b.wedges.variance);
+  EXPECT_DOUBLE_EQ(a.tri_wedge_cov, b.tri_wedge_cov);
+  EXPECT_TRUE(sampler.reservoir().CheckInvariants());
+}
+
+}  // namespace
+}  // namespace gps

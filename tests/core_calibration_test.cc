@@ -1,0 +1,146 @@
+// Deep statistical calibration of the variance/covariance machinery:
+// wedge-variance calibration, triangle-wedge covariance calibration
+// (Eq. 12), clustering-coefficient interval coverage, and agreement of
+// in-stream variance behaviour with post-stream on shared samples.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/in_stream.h"
+#include "core/post_stream.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "util/welford.h"
+
+namespace gps {
+namespace {
+
+struct TrialSet {
+  OnlineStats tri_vals, wed_vals, cross_vals;
+  OnlineStats tri_vars, wed_vars, covs;
+  OnlineStats cc_vals;
+  int cc_covered = 0;
+  int trials = 0;
+};
+
+template <typename RunFn>
+TrialSet Collect(int trials, double actual_cc, RunFn&& run) {
+  TrialSet out;
+  for (int trial = 0; trial < trials; ++trial) {
+    const GraphEstimates est = run(trial);
+    out.tri_vals.Add(est.triangles.value);
+    out.wed_vals.Add(est.wedges.value);
+    out.cross_vals.Add(est.triangles.value * est.wedges.value);
+    out.tri_vars.Add(est.triangles.variance);
+    out.wed_vars.Add(est.wedges.variance);
+    out.covs.Add(est.tri_wedge_cov);
+    const Estimate cc = est.ClusteringCoefficient();
+    out.cc_vals.Add(cc.value);
+    if (actual_cc >= cc.Lower() && actual_cc <= cc.Upper()) {
+      ++out.cc_covered;
+    }
+    ++out.trials;
+  }
+  return out;
+}
+
+class CalibrationTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CalibrationTest, VarianceAndCovarianceCalibrated) {
+  const bool use_in_stream = GetParam();
+  EdgeList graph = GenerateBarabasiAlbert(250, 6, 0.5, 951).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  const std::vector<Edge> stream = MakePermutedStream(graph, 952);
+
+  const TrialSet set = Collect(
+      400, actual.ClusteringCoefficient(), [&](int trial) {
+        GpsSamplerOptions options;
+        options.capacity = stream.size() / 3;
+        options.seed = 21000 + trial;
+        InStreamEstimator est(options);
+        for (const Edge& e : stream) est.Process(e);
+        return use_in_stream ? est.Estimates()
+                             : EstimatePostStream(est.reservoir());
+      });
+
+  // Triangle variance calibration.
+  const double tri_emp = set.tri_vals.SampleVariance();
+  ASSERT_GT(tri_emp, 0.0);
+  EXPECT_GT(set.tri_vars.Mean() / tri_emp, 0.5) << "in_stream="
+                                                << use_in_stream;
+  EXPECT_LT(set.tri_vars.Mean() / tri_emp, 2.0);
+
+  // Wedge variance calibration.
+  const double wed_emp = set.wed_vals.SampleVariance();
+  ASSERT_GT(wed_emp, 0.0);
+  EXPECT_GT(set.wed_vars.Mean() / wed_emp, 0.5);
+  EXPECT_LT(set.wed_vars.Mean() / wed_emp, 2.0);
+
+  // Triangle-wedge covariance calibration (Eq. 12): empirical
+  // Cov(T̂, Ŵ) vs mean of the covariance estimator. Both nonnegative by
+  // Theorem 5(ii).
+  const double cov_emp =
+      set.cross_vals.Mean() - set.tri_vals.Mean() * set.wed_vals.Mean();
+  EXPECT_GE(set.covs.Mean(), 0.0);
+  if (cov_emp > 0.0) {
+    EXPECT_GT(set.covs.Mean() / cov_emp, 0.3);
+    EXPECT_LT(set.covs.Mean() / cov_emp, 3.0);
+  }
+
+  // Clustering-coefficient delta-method interval coverage.
+  EXPECT_GE(set.cc_covered, static_cast<int>(0.80 * set.trials));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFrameworks, CalibrationTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "in_stream" : "post_stream";
+                         });
+
+TEST(CalibrationTest, AccuracyImprovesMonotonicallyWithSampleSize) {
+  // Figure-2 property as a test: mean ARE at 10% > mean ARE at 50%.
+  EdgeList graph = GenerateWattsStrogatz(300, 8, 0.15, 961).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  const std::vector<Edge> stream = MakePermutedStream(graph, 962);
+
+  auto mean_are = [&](size_t capacity) {
+    OnlineStats are;
+    for (int trial = 0; trial < 80; ++trial) {
+      GpsSamplerOptions options;
+      options.capacity = capacity;
+      options.seed = 22000 + trial;
+      InStreamEstimator est(options);
+      for (const Edge& e : stream) est.Process(e);
+      are.Add(std::abs(est.Estimates().triangles.value - actual.triangles) /
+              actual.triangles);
+    }
+    return are.Mean();
+  };
+  EXPECT_LT(mean_are(stream.size() / 2), mean_are(stream.size() / 10));
+}
+
+TEST(CalibrationTest, InStreamIntervalsTighterThanPostStream) {
+  // On identical samples, the mean estimated std-dev of in-stream triangle
+  // counts must be smaller than post-stream's (the paper's Table 1 bound
+  // comparison).
+  EdgeList graph = GenerateBarabasiAlbert(250, 6, 0.5, 971).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 972);
+  OnlineStats in_sd, post_sd;
+  for (int trial = 0; trial < 100; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 4;
+    options.seed = 23000 + trial;
+    InStreamEstimator est(options);
+    for (const Edge& e : stream) est.Process(e);
+    in_sd.Add(est.Estimates().triangles.StdDev());
+    post_sd.Add(EstimatePostStream(est.reservoir()).triangles.StdDev());
+  }
+  EXPECT_LT(in_sd.Mean(), post_sd.Mean());
+}
+
+}  // namespace
+}  // namespace gps

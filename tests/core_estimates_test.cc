@@ -1,0 +1,98 @@
+// Tests for the estimate types: confidence-interval arithmetic and the
+// delta-method clustering-coefficient variance (paper Eq. 11).
+
+#include "core/estimates.h"
+
+#include <gtest/gtest.h>
+
+namespace gps {
+namespace {
+
+TEST(EstimateTest, DefaultIsZero) {
+  Estimate e;
+  EXPECT_EQ(e.value, 0.0);
+  EXPECT_EQ(e.StdDev(), 0.0);
+  EXPECT_EQ(e.Lower(), 0.0);
+  EXPECT_EQ(e.Upper(), 0.0);
+}
+
+TEST(EstimateTest, ConfidenceBounds) {
+  Estimate e{100.0, 25.0};  // std dev 5
+  EXPECT_DOUBLE_EQ(e.StdDev(), 5.0);
+  EXPECT_DOUBLE_EQ(e.Lower(), 100.0 - 1.96 * 5.0);
+  EXPECT_DOUBLE_EQ(e.Upper(), 100.0 + 1.96 * 5.0);
+  // Custom z-score.
+  EXPECT_DOUBLE_EQ(e.Lower(1.0), 95.0);
+  EXPECT_DOUBLE_EQ(e.Upper(1.0), 105.0);
+}
+
+TEST(EstimateTest, LowerBoundClampedAtZero) {
+  Estimate e{3.0, 100.0};  // std dev 10, raw lower would be negative
+  EXPECT_EQ(e.Lower(), 0.0);
+  EXPECT_GT(e.Upper(), 3.0);
+}
+
+TEST(EstimateTest, NegativeVarianceTreatedAsZero) {
+  // Unbiased variance estimators can go slightly negative numerically.
+  Estimate e{10.0, -1e-9};
+  EXPECT_EQ(e.StdDev(), 0.0);
+  EXPECT_EQ(e.Lower(), 10.0);
+  EXPECT_EQ(e.Upper(), 10.0);
+}
+
+TEST(GraphEstimatesTest, ClusteringPointEstimate) {
+  GraphEstimates g;
+  g.triangles = {100.0, 0.0};
+  g.wedges = {1000.0, 0.0};
+  const Estimate cc = g.ClusteringCoefficient();
+  EXPECT_DOUBLE_EQ(cc.value, 0.3);
+  EXPECT_DOUBLE_EQ(cc.variance, 0.0);
+}
+
+TEST(GraphEstimatesTest, ClusteringZeroWedges) {
+  GraphEstimates g;
+  g.triangles = {5.0, 1.0};
+  g.wedges = {0.0, 0.0};
+  const Estimate cc = g.ClusteringCoefficient();
+  EXPECT_EQ(cc.value, 0.0);
+  EXPECT_EQ(cc.variance, 0.0);
+}
+
+TEST(GraphEstimatesTest, DeltaMethodMatchesManualFormula) {
+  GraphEstimates g;
+  g.triangles = {200.0, 400.0};
+  g.wedges = {5000.0, 90000.0};
+  g.tri_wedge_cov = 1500.0;
+  const double t = 200.0, w = 5000.0;
+  const double ratio_var = 400.0 / (w * w) +
+                           t * t * 90000.0 / (w * w * w * w) -
+                           2.0 * t * 1500.0 / (w * w * w);
+  const Estimate cc = g.ClusteringCoefficient();
+  EXPECT_DOUBLE_EQ(cc.value, 3.0 * t / w);
+  EXPECT_DOUBLE_EQ(cc.variance, 9.0 * ratio_var);
+}
+
+TEST(GraphEstimatesTest, DeltaMethodVarianceClampedNonNegative) {
+  // A large covariance can push the raw delta-method value negative;
+  // the estimator must clamp.
+  GraphEstimates g;
+  g.triangles = {10.0, 1.0};
+  g.wedges = {100.0, 1.0};
+  g.tri_wedge_cov = 1000.0;
+  EXPECT_GE(g.ClusteringCoefficient().variance, 0.0);
+}
+
+TEST(GraphEstimatesTest, CovarianceReducesClusteringVariance) {
+  // Positively correlated numerator/denominator shrink ratio variance.
+  GraphEstimates base;
+  base.triangles = {200.0, 400.0};
+  base.wedges = {5000.0, 90000.0};
+  base.tri_wedge_cov = 0.0;
+  GraphEstimates correlated = base;
+  correlated.tri_wedge_cov = 2000.0;
+  EXPECT_LT(correlated.ClusteringCoefficient().variance,
+            base.ClusteringCoefficient().variance);
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,173 @@
+// Tests for local (per-node) triangle counting and sample-based degree /
+// edge-count estimation.
+
+#include "core/local_counts.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gps.h"
+#include "core/post_stream.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/stream.h"
+#include "util/welford.h"
+
+namespace gps {
+namespace {
+
+// Exact per-node triangle counts via CSR intersection.
+std::vector<double> ExactLocalTriangles(const CsrGraph& g) {
+  std::vector<double> local(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      auto nu = g.Neighbors(u);
+      auto nv = g.Neighbors(v);
+      auto iu = nu.begin();
+      auto iv = nv.begin();
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          // Triangle (u, v, *iu); attribute once per triangle per node by
+          // counting only at its lowest corner pair (u < v, any w): each
+          // triangle is seen exactly once for each of its edges with
+          // u < v, i.e. 3 times total; use w > v to count each once.
+          if (*iu > v) {
+            local[u] += 1;
+            local[v] += 1;
+            local[*iu] += 1;
+          }
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return local;
+}
+
+TEST(LocalTrianglesTest, ExactWhenSampleHoldsWholeGraph) {
+  EdgeList graph = GenerateBarabasiAlbert(80, 5, 0.5, 801).value();
+  CsrGraph csr = CsrGraph::FromEdgeList(graph);
+  const std::vector<double> exact = ExactLocalTriangles(csr);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 802);
+
+  GpsSamplerOptions options;
+  options.capacity = stream.size() + 4;
+  options.seed = 803;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+
+  FlatHashMap<NodeId, double> local =
+      EstimateLocalTriangles(sampler.reservoir());
+  for (NodeId v = 0; v < csr.NumNodes(); ++v) {
+    const double* est = local.Find(v);
+    EXPECT_NEAR(est ? *est : 0.0, exact[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(LocalTrianglesTest, SumMatchesGlobalTripleCount) {
+  // Σ_v N̂_v(△) must equal 3 * N̂(△) by construction.
+  EdgeList graph = GenerateWattsStrogatz(150, 6, 0.2, 811).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 812);
+  GpsSamplerOptions options;
+  options.capacity = stream.size() / 3;
+  options.seed = 813;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+
+  FlatHashMap<NodeId, double> local =
+      EstimateLocalTriangles(sampler.reservoir());
+  double sum = 0.0;
+  local.ForEach([&](NodeId, double v) { sum += v; });
+
+  const double global =
+      EstimatePostStream(sampler.reservoir()).triangles.value;
+  ASSERT_GT(global, 0.0);
+  EXPECT_NEAR(sum, 3.0 * global, 1e-6 * sum);
+}
+
+TEST(LocalTrianglesTest, UnbiasedPerNodeUnderEviction) {
+  EdgeList graph = GenerateBarabasiAlbert(100, 6, 0.6, 821).value();
+  CsrGraph csr = CsrGraph::FromEdgeList(graph);
+  const std::vector<double> exact = ExactLocalTriangles(csr);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 822);
+
+  // Pick the node with the most triangles; check estimator mean.
+  NodeId probe = 0;
+  for (NodeId v = 1; v < csr.NumNodes(); ++v) {
+    if (exact[v] > exact[probe]) probe = v;
+  }
+  ASSERT_GT(exact[probe], 10.0);
+
+  OnlineStats est;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 2;
+    options.seed = 15000 + trial;
+    GpsSampler sampler(options);
+    for (const Edge& e : stream) sampler.Process(e);
+    FlatHashMap<NodeId, double> local =
+        EstimateLocalTriangles(sampler.reservoir());
+    const double* v = local.Find(probe);
+    est.Add(v ? *v : 0.0);
+  }
+  EXPECT_NEAR(est.Mean(), exact[probe],
+              std::max(4.0 * est.StdError(), 0.05 * exact[probe]));
+}
+
+TEST(EstimateEdgeCountTest, UnbiasedForStreamLength) {
+  EdgeList graph = GenerateErdosRenyi(150, 800, 831).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 832);
+  OnlineStats est;
+  for (int trial = 0; trial < 200; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 4;
+    options.seed = 16000 + trial;
+    GpsSampler sampler(options);
+    for (const Edge& e : stream) sampler.Process(e);
+    est.Add(EstimateEdgeCount(sampler.reservoir()));
+  }
+  EXPECT_NEAR(est.Mean(), static_cast<double>(stream.size()),
+              std::max(4.0 * est.StdError(), 0.02 * stream.size()));
+}
+
+TEST(EstimateDegreeTest, UnbiasedForHubDegree) {
+  // Star graph inside noise: hub degree estimator must be unbiased.
+  EdgeList graph;
+  const uint32_t hub_degree = 60;
+  for (uint32_t i = 1; i <= hub_degree; ++i) graph.Add(0, i);
+  EdgeList noise = GenerateErdosRenyi(200, 500, 841).value();
+  for (const Edge& e : noise.Edges()) graph.Add(e.u + 100, e.v + 100);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 842);
+
+  OnlineStats est;
+  for (int trial = 0; trial < 200; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 4;
+    options.seed = 17000 + trial;
+    GpsSampler sampler(options);
+    for (const Edge& e : stream) sampler.Process(e);
+    est.Add(EstimateDegree(sampler.reservoir(), 0));
+  }
+  EXPECT_NEAR(est.Mean(), static_cast<double>(hub_degree),
+              std::max(4.0 * est.StdError(), 0.05 * hub_degree));
+}
+
+TEST(EstimateDegreeTest, ZeroForUnsampledNode) {
+  GpsSamplerOptions options;
+  options.capacity = 4;
+  options.seed = 1;
+  GpsSampler sampler(options);
+  sampler.Process(MakeEdge(0, 1));
+  EXPECT_EQ(EstimateDegree(sampler.reservoir(), 99), 0.0);
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,71 @@
+// Tests for parallel post-stream estimation: agreement with the serial
+// implementation across thread counts and reservoir sizes.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gps.h"
+#include "core/post_stream.h"
+#include "gen/generators.h"
+#include "graph/stream.h"
+
+namespace gps {
+namespace {
+
+GpsSampler SampleGraph(size_t capacity, uint64_t seed) {
+  EdgeList graph = GenerateBarabasiAlbert(800, 8, 0.5, 701).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 702);
+  GpsSamplerOptions options;
+  options.capacity = capacity;
+  options.seed = seed;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+  return sampler;
+}
+
+void ExpectClose(const GraphEstimates& a, const GraphEstimates& b) {
+  const double tol = 1e-9;
+  EXPECT_NEAR(a.triangles.value, b.triangles.value,
+              tol * (1.0 + std::abs(a.triangles.value)));
+  EXPECT_NEAR(a.triangles.variance, b.triangles.variance,
+              tol * (1.0 + std::abs(a.triangles.variance)));
+  EXPECT_NEAR(a.wedges.value, b.wedges.value,
+              tol * (1.0 + std::abs(a.wedges.value)));
+  EXPECT_NEAR(a.wedges.variance, b.wedges.variance,
+              tol * (1.0 + std::abs(a.wedges.variance)));
+  EXPECT_NEAR(a.tri_wedge_cov, b.tri_wedge_cov,
+              tol * (1.0 + std::abs(a.tri_wedge_cov)));
+}
+
+class ParallelPostStreamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelPostStreamTest, MatchesSerialEstimates) {
+  const GpsSampler sampler = SampleGraph(2000, 703);
+  const GraphEstimates serial = EstimatePostStream(sampler.reservoir());
+  const GraphEstimates parallel =
+      EstimatePostStreamParallel(sampler.reservoir(), GetParam());
+  ExpectClose(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelPostStreamTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+TEST(ParallelPostStreamTest, SmallReservoirFallsBackToSerial) {
+  const GpsSampler sampler = SampleGraph(200, 704);  // < parallel threshold
+  const GraphEstimates serial = EstimatePostStream(sampler.reservoir());
+  const GraphEstimates parallel =
+      EstimatePostStreamParallel(sampler.reservoir(), 8);
+  EXPECT_DOUBLE_EQ(serial.triangles.value, parallel.triangles.value);
+  EXPECT_DOUBLE_EQ(serial.wedges.value, parallel.wedges.value);
+}
+
+TEST(ParallelPostStreamTest, EmptyReservoir) {
+  GpsReservoir empty(GpsOptions{16, 1});
+  const GraphEstimates est = EstimatePostStreamParallel(empty, 4);
+  EXPECT_EQ(est.triangles.value, 0.0);
+  EXPECT_EQ(est.wedges.value, 0.0);
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,202 @@
+// Tests for post-stream estimation (Algorithm 2): exactness when nothing
+// was evicted, statistical unbiasedness when sampling is lossy, variance
+// estimator calibration, and parameterized sweeps across graph families.
+
+#include "core/post_stream.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gps.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "util/welford.h"
+
+namespace gps {
+namespace {
+
+GraphEstimates RunGpsPost(const std::vector<Edge>& stream, size_t capacity,
+                          uint64_t seed) {
+  GpsSamplerOptions options;
+  options.capacity = capacity;
+  options.seed = seed;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+  return EstimatePostStream(sampler.reservoir());
+}
+
+TEST(PostStreamTest, EmptyReservoirGivesZeroEstimates) {
+  GpsReservoir res(GpsOptions{10, 1});
+  const GraphEstimates est = EstimatePostStream(res);
+  EXPECT_EQ(est.triangles.value, 0.0);
+  EXPECT_EQ(est.wedges.value, 0.0);
+  EXPECT_EQ(est.triangles.variance, 0.0);
+  EXPECT_EQ(est.ClusteringCoefficient().value, 0.0);
+}
+
+TEST(PostStreamTest, ExactWhenSampleHoldsWholeGraph) {
+  // Capacity >= |K|: no eviction, z* = 0, all probabilities 1 -> estimates
+  // are exact and variances are exactly zero.
+  EdgeList graph = GenerateErdosRenyi(60, 250, 31).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 32);
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+
+  const GraphEstimates est = RunGpsPost(stream, stream.size() + 10, 33);
+  EXPECT_DOUBLE_EQ(est.triangles.value, actual.triangles);
+  EXPECT_DOUBLE_EQ(est.wedges.value, actual.wedges);
+  EXPECT_DOUBLE_EQ(est.triangles.variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.wedges.variance, 0.0);
+  EXPECT_DOUBLE_EQ(est.tri_wedge_cov, 0.0);
+  EXPECT_NEAR(est.ClusteringCoefficient().value,
+              actual.ClusteringCoefficient(), 1e-12);
+}
+
+TEST(PostStreamTest, ExactOnSingleTriangle) {
+  GpsSamplerOptions options;
+  options.capacity = 10;
+  options.seed = 3;
+  GpsSampler sampler(options);
+  sampler.Process(MakeEdge(0, 1));
+  sampler.Process(MakeEdge(1, 2));
+  sampler.Process(MakeEdge(0, 2));
+  const GraphEstimates est = EstimatePostStream(sampler.reservoir());
+  EXPECT_DOUBLE_EQ(est.triangles.value, 1.0);
+  EXPECT_DOUBLE_EQ(est.wedges.value, 3.0);
+  EXPECT_DOUBLE_EQ(est.ClusteringCoefficient().value, 1.0);
+}
+
+TEST(PostStreamTest, TriangleCountUnbiasedUnderEviction) {
+  // Statistical unbiasedness (Theorem 2): mean of the estimator over many
+  // independent sample paths must approach the true count.
+  EdgeList graph = GenerateBarabasiAlbert(150, 5, 0.5, 41).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  ASSERT_GT(actual.triangles, 50.0);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 42);
+
+  OnlineStats tri, wed;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    const GraphEstimates est =
+        RunGpsPost(stream, stream.size() / 3, 1000 + trial);
+    tri.Add(est.triangles.value);
+    wed.Add(est.wedges.value);
+  }
+  // 4-sigma band around the true value.
+  EXPECT_NEAR(tri.Mean(), actual.triangles, 4.0 * tri.StdError());
+  EXPECT_NEAR(wed.Mean(), actual.wedges, 4.0 * wed.StdError());
+}
+
+TEST(PostStreamTest, VarianceEstimatorCalibrated) {
+  // The mean of the unbiased variance estimator must approximate the
+  // empirical variance of the point estimator (Corollary 3).
+  EdgeList graph = GenerateWattsStrogatz(200, 8, 0.1, 51).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 52);
+
+  OnlineStats est_values, var_estimates;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    const GraphEstimates est =
+        RunGpsPost(stream, stream.size() / 3, 2000 + trial);
+    est_values.Add(est.triangles.value);
+    var_estimates.Add(est.triangles.variance);
+  }
+  const double empirical_var = est_values.SampleVariance();
+  ASSERT_GT(empirical_var, 0.0);
+  const double mean_estimated_var = var_estimates.Mean();
+  // Ratio within [0.5, 2.0]: both quantities are noisy with 300 trials.
+  EXPECT_GT(mean_estimated_var / empirical_var, 0.5);
+  EXPECT_LT(mean_estimated_var / empirical_var, 2.0);
+}
+
+TEST(PostStreamTest, ConfidenceIntervalsCoverTruth) {
+  EdgeList graph = GenerateBarabasiAlbert(200, 5, 0.4, 61).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  const std::vector<Edge> stream = MakePermutedStream(graph, 62);
+
+  int covered = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    const GraphEstimates est =
+        RunGpsPost(stream, stream.size() / 3, 3000 + trial);
+    if (actual.triangles >= est.triangles.Lower() &&
+        actual.triangles <= est.triangles.Upper()) {
+      ++covered;
+    }
+  }
+  // Nominal 95%; demand at least 85% to keep the test robust.
+  EXPECT_GE(covered, static_cast<int>(0.85 * trials));
+}
+
+TEST(PostStreamTest, EstimatesImproveWithCapacity) {
+  EdgeList graph = GenerateChungLu(500, 3000, 2.3, 71).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  ASSERT_GT(actual.triangles, 0.0);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 72);
+
+  auto mean_are = [&](size_t capacity) {
+    OnlineStats are;
+    for (int trial = 0; trial < 60; ++trial) {
+      const GraphEstimates est =
+          RunGpsPost(stream, capacity, 4000 + trial);
+      are.Add(std::abs(est.triangles.value - actual.triangles) /
+              actual.triangles);
+    }
+    return are.Mean();
+  };
+  const double are_small = mean_are(stream.size() / 10);
+  const double are_large = mean_are(stream.size() / 2);
+  EXPECT_LT(are_large, are_small);
+}
+
+// Parameterized family sweep: unbiasedness must hold on every topology.
+struct FamilyCase {
+  const char* name;
+  EdgeList (*make)();
+};
+
+class PostStreamFamilyTest : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(PostStreamFamilyTest, TriangleAndWedgeUnbiased) {
+  EdgeList graph = GetParam().make();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  if (actual.triangles < 5.0) GTEST_SKIP() << "too few triangles";
+  const std::vector<Edge> stream = MakePermutedStream(graph, 81);
+
+  OnlineStats tri;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    tri.Add(RunGpsPost(stream, stream.size() / 3, 5000 + trial)
+                .triangles.value);
+  }
+  EXPECT_NEAR(tri.Mean(), actual.triangles,
+              std::max(4.0 * tri.StdError(), 0.02 * actual.triangles))
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PostStreamFamilyTest,
+    ::testing::Values(
+        FamilyCase{"erdos_renyi",
+                   [] { return GenerateErdosRenyi(150, 900, 91).value(); }},
+        FamilyCase{"barabasi_albert",
+                   [] {
+                     return GenerateBarabasiAlbert(150, 5, 0.4, 92).value();
+                   }},
+        FamilyCase{"watts_strogatz",
+                   [] {
+                     return GenerateWattsStrogatz(200, 8, 0.15, 93).value();
+                   }},
+        FamilyCase{"grid",
+                   [] { return GenerateGrid(18, 18, 0.5, 94).value(); }},
+        FamilyCase{"chung_lu",
+                   [] { return GenerateChungLu(200, 900, 2.2, 95).value(); }}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,223 @@
+// Tests for the GPS priority reservoir (Algorithm 1): size bounds,
+// threshold behaviour, inclusion probabilities, determinism, and the
+// degenerate uniform-weight case against theory.
+
+#include "core/reservoir.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gps.h"
+#include "gen/generators.h"
+#include "graph/stream.h"
+#include "util/flat_hash_map.h"
+
+namespace gps {
+namespace {
+
+std::vector<Edge> TestStream(uint32_t n, uint64_t m, uint64_t seed) {
+  return MakePermutedStream(GenerateErdosRenyi(n, m, seed).value(), seed);
+}
+
+TEST(GpsReservoirTest, FillsToCapacityThenStaysFixed) {
+  GpsReservoir res(GpsOptions{10, 1});
+  const std::vector<Edge> stream = TestStream(100, 50, 2);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    res.Process(stream[i], 1.0);
+    EXPECT_EQ(res.size(), std::min<size_t>(i + 1, 10));
+  }
+  EXPECT_EQ(res.edges_processed(), 50u);
+}
+
+TEST(GpsReservoirTest, ThresholdZeroUntilFirstEviction) {
+  GpsReservoir res(GpsOptions{5, 1});
+  const std::vector<Edge> stream = TestStream(50, 20, 3);
+  for (size_t i = 0; i < 5; ++i) {
+    res.Process(stream[i], 1.0);
+    EXPECT_EQ(res.threshold(), 0.0);
+    EXPECT_EQ(res.ProbabilityForWeight(1.0), 1.0);
+  }
+  res.Process(stream[5], 1.0);
+  EXPECT_GT(res.threshold(), 0.0);
+}
+
+TEST(GpsReservoirTest, ThresholdMonotonicallyIncreases) {
+  GpsReservoir res(GpsOptions{20, 4});
+  const std::vector<Edge> stream = TestStream(200, 400, 5);
+  double last = 0.0;
+  for (const Edge& e : stream) {
+    res.Process(e, 1.0);
+    EXPECT_GE(res.threshold(), last);
+    last = res.threshold();
+  }
+  EXPECT_GT(last, 0.0);
+}
+
+TEST(GpsReservoirTest, ProbabilitiesInUnitInterval) {
+  GpsReservoir res(GpsOptions{50, 6});
+  const std::vector<Edge> stream = TestStream(200, 600, 7);
+  double weight = 0.5;
+  for (const Edge& e : stream) {
+    weight = weight * 1.17 + 0.1;  // varied deterministic weights
+    if (weight > 50) weight = 0.5;
+    res.Process(e, weight);
+  }
+  res.ForEachEdge([&](SlotId slot, const GpsReservoir::EdgeRecord& rec) {
+    const double p = res.Probability(slot);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_DOUBLE_EQ(p, std::min(1.0, rec.weight / res.threshold()));
+  });
+}
+
+TEST(GpsReservoirTest, InvariantsHoldThroughoutStream) {
+  GpsReservoir res(GpsOptions{31, 8});
+  const std::vector<Edge> stream = TestStream(150, 500, 9);
+  size_t checked = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    res.Process(stream[i], 1.0 + (i % 7));
+    if (i % 50 == 0) {
+      ASSERT_TRUE(res.CheckInvariants()) << "at arrival " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5u);
+  EXPECT_TRUE(res.CheckInvariants());
+}
+
+TEST(GpsReservoirTest, IgnoresSelfLoopsAndDuplicates) {
+  GpsReservoir res(GpsOptions{10, 10});
+  EXPECT_TRUE(res.Process(MakeEdge(1, 2), 1.0).inserted);
+  EXPECT_FALSE(res.Process(Edge{3, 3}, 1.0).inserted);
+  EXPECT_FALSE(res.Process(MakeEdge(2, 1), 1.0).inserted);  // dup, reversed
+  EXPECT_EQ(res.size(), 1u);
+  EXPECT_EQ(res.edges_processed(), 3u);
+}
+
+TEST(GpsReservoirTest, GraphMirrorsSample) {
+  GpsReservoir res(GpsOptions{25, 11});
+  const std::vector<Edge> stream = TestStream(80, 300, 12);
+  for (const Edge& e : stream) res.Process(e, 1.0);
+  EXPECT_EQ(res.graph().NumEdges(), res.size());
+  res.ForEachEdge([&](SlotId slot, const GpsReservoir::EdgeRecord& rec) {
+    EXPECT_EQ(res.graph().FindEdge(rec.edge), slot);
+  });
+}
+
+TEST(GpsReservoirTest, DeterministicAcrossRuns) {
+  const std::vector<Edge> stream = TestStream(120, 500, 13);
+  GpsReservoir a(GpsOptions{40, 99});
+  GpsReservoir b(GpsOptions{40, 99});
+  for (const Edge& e : stream) {
+    a.Process(e, 2.0);
+    b.Process(e, 2.0);
+  }
+  EXPECT_EQ(a.threshold(), b.threshold());
+  FlatHashSet<uint64_t> edges_a;
+  a.ForEachEdge([&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+    edges_a.Insert(EdgeKey(rec.edge));
+  });
+  size_t matched = 0;
+  b.ForEachEdge([&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+    if (edges_a.Contains(EdgeKey(rec.edge))) ++matched;
+  });
+  EXPECT_EQ(matched, a.size());
+}
+
+TEST(GpsReservoirTest, HigherWeightMoreLikelySampled) {
+  // Give one specific edge weight 50 vs 1 for everything else; over many
+  // seeds it must be retained far more often than a unit-weight edge.
+  const std::vector<Edge> stream = TestStream(300, 2000, 14);
+  const Edge heavy = stream[100];
+  const Edge light = stream[101];
+  int heavy_kept = 0, light_kept = 0;
+  const int trials = 300;
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsReservoir res(GpsOptions{100, static_cast<uint64_t>(trial + 1)});
+    for (const Edge& e : stream) {
+      res.Process(e, e == heavy ? 50.0 : 1.0);
+    }
+    if (res.graph().HasEdge(heavy)) ++heavy_kept;
+    if (res.graph().HasEdge(light)) ++light_kept;
+  }
+  EXPECT_GT(heavy_kept, 5 * std::max(1, light_kept));
+}
+
+TEST(GpsReservoirTest, UniformWeightInclusionFrequencyMatchesReservoir) {
+  // With W == 1 GPS must behave like uniform reservoir sampling: every edge
+  // is included with probability m/|K|. Check the empirical inclusion
+  // frequency of a fixed edge across many independent runs.
+  const std::vector<Edge> stream = TestStream(200, 1000, 15);
+  const size_t m = 100;
+  const Edge probe = stream[7];
+  int kept = 0;
+  const int trials = 2000;
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsReservoir res(GpsOptions{m, static_cast<uint64_t>(trial * 31 + 1)});
+    for (const Edge& e : stream) res.Process(e, 1.0);
+    if (res.graph().HasEdge(probe)) ++kept;
+  }
+  const double expected = static_cast<double>(m) / stream.size();  // 0.1
+  const double freq = static_cast<double>(kept) / trials;
+  // Binomial(2000, 0.1) std ~ 0.0067; allow 4 sigma.
+  EXPECT_NEAR(freq, expected, 0.027);
+}
+
+TEST(GpsReservoirTest, HorvitzThompsonEdgeSumUnbiased) {
+  // Σ_{k in sample} 1/p(k) must be an unbiased estimator of the number of
+  // arrived edges (the J = single-edge case of Theorem 2).
+  const std::vector<Edge> stream = TestStream(200, 800, 16);
+  double sum = 0.0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsReservoir res(GpsOptions{80, static_cast<uint64_t>(trial * 7 + 3)});
+    double w = 1.0;
+    for (const Edge& e : stream) {
+      w = 1.0 + ((w * 37.0) > 11.0 ? 0.5 : 1.5);  // mild weight variety
+      res.Process(e, w);
+    }
+    double estimate = 0.0;
+    res.ForEachEdge([&](SlotId slot, const GpsReservoir::EdgeRecord&) {
+      estimate += 1.0 / res.Probability(slot);
+    });
+    sum += estimate;
+  }
+  const double mean = sum / trials;
+  EXPECT_NEAR(mean, static_cast<double>(stream.size()),
+              0.05 * static_cast<double>(stream.size()));
+}
+
+TEST(GpsSamplerTest, FacadeComputesTriangleWeights) {
+  // Feed a triangle + pendant; with triangle weighting the closing edge
+  // must receive weight 9*1+1 = 10.
+  GpsSamplerOptions options;
+  options.capacity = 10;
+  options.seed = 5;
+  GpsSampler sampler(options);
+  sampler.Process(MakeEdge(0, 1));
+  sampler.Process(MakeEdge(1, 2));
+  sampler.Process(MakeEdge(0, 2));  // closes the triangle
+  sampler.Process(MakeEdge(2, 3));  // pendant
+  double closing_weight = 0.0, pendant_weight = 0.0;
+  sampler.reservoir().ForEachEdge(
+      [&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+        if (rec.edge == MakeEdge(0, 2)) closing_weight = rec.weight;
+        if (rec.edge == MakeEdge(2, 3)) pendant_weight = rec.weight;
+      });
+  EXPECT_DOUBLE_EQ(closing_weight, 10.0);
+  EXPECT_DOUBLE_EQ(pendant_weight, 1.0);
+}
+
+TEST(GpsReservoirTest, CapacityOneWorks) {
+  GpsReservoir res(GpsOptions{1, 17});
+  const std::vector<Edge> stream = TestStream(50, 100, 18);
+  for (const Edge& e : stream) res.Process(e, 1.0);
+  EXPECT_EQ(res.size(), 1u);
+  EXPECT_GT(res.threshold(), 0.0);
+  EXPECT_TRUE(res.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,238 @@
+// Tests for SampleView: HT probabilities, subgraph products, and a
+// retrospective 4-clique query (the generic-motif use case of Theorem 2).
+
+#include "core/sample_view.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gps.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/stream.h"
+#include "util/welford.h"
+
+namespace gps {
+namespace {
+
+TEST(SampleViewTest, ProbabilitiesBeforeEviction) {
+  GpsSamplerOptions options;
+  options.capacity = 10;
+  options.seed = 1;
+  GpsSampler sampler(options);
+  sampler.Process(MakeEdge(0, 1));
+  sampler.Process(MakeEdge(1, 2));
+  SampleView view = sampler.View();
+  EXPECT_EQ(view.NumSampledEdges(), 2u);
+  EXPECT_EQ(view.Threshold(), 0.0);
+  EXPECT_DOUBLE_EQ(view.EdgeProbability(MakeEdge(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(view.EdgeEstimator(MakeEdge(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(view.EdgeProbability(MakeEdge(5, 6)), 0.0);
+  EXPECT_DOUBLE_EQ(view.EdgeEstimator(MakeEdge(5, 6)), 0.0);
+}
+
+TEST(SampleViewTest, SubgraphEstimatorProducts) {
+  GpsSamplerOptions options;
+  options.capacity = 10;
+  options.seed = 2;
+  GpsSampler sampler(options);
+  sampler.Process(MakeEdge(0, 1));
+  sampler.Process(MakeEdge(1, 2));
+  SampleView view = sampler.View();
+  EXPECT_DOUBLE_EQ(view.SubgraphEstimator({MakeEdge(0, 1), MakeEdge(1, 2)}),
+                   1.0);
+  // Any missing edge zeroes the product.
+  EXPECT_DOUBLE_EQ(view.SubgraphEstimator({MakeEdge(0, 1), MakeEdge(2, 3)}),
+                   0.0);
+  // Empty subgraph: the empty product is 1 by convention.
+  EXPECT_DOUBLE_EQ(view.SubgraphEstimator(std::initializer_list<Edge>{}),
+                   1.0);
+}
+
+TEST(SampleViewTest, ForEachEdgeReportsConsistentProbabilities) {
+  EdgeList graph = GenerateErdosRenyi(100, 500, 201).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 202);
+  GpsSamplerOptions options;
+  options.capacity = 100;
+  options.seed = 203;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+  SampleView view = sampler.View();
+  size_t visited = 0;
+  view.ForEachEdge([&](const Edge& e, double weight, double p) {
+    EXPECT_GT(weight, 0.0);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_DOUBLE_EQ(p, view.EdgeProbability(e));
+    ++visited;
+  });
+  EXPECT_EQ(visited, view.NumSampledEdges());
+}
+
+TEST(SampleViewCovarianceTest, DisjointSubgraphsZero) {
+  GpsSamplerOptions options;
+  options.capacity = 10;
+  options.seed = 3;
+  GpsSampler sampler(options);
+  for (NodeId i = 0; i < 8; i += 2) sampler.Process(MakeEdge(i, i + 1));
+  SampleView view = sampler.View();
+  EXPECT_DOUBLE_EQ(
+      view.SubgraphCovarianceEstimator({MakeEdge(0, 1)}, {MakeEdge(2, 3)}),
+      0.0);
+}
+
+TEST(SampleViewCovarianceTest, UnsampledSubgraphZero) {
+  GpsSamplerOptions options;
+  options.capacity = 10;
+  options.seed = 3;
+  GpsSampler sampler(options);
+  sampler.Process(MakeEdge(0, 1));
+  SampleView view = sampler.View();
+  EXPECT_DOUBLE_EQ(view.SubgraphCovarianceEstimator(
+                       {MakeEdge(0, 1)}, {MakeEdge(0, 1), MakeEdge(5, 6)}),
+                   0.0);
+}
+
+TEST(SampleViewCovarianceTest, SelfCovarianceIsVarianceEstimator) {
+  // With J1 == J2 == J the estimator must equal Ŝ_J (Ŝ_J - 1)
+  // (Theorem 3(iii)).
+  EdgeList graph = GenerateErdosRenyi(60, 250, 221).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 222);
+  GpsSamplerOptions options;
+  options.capacity = stream.size() / 3;
+  options.seed = 223;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+  SampleView view = sampler.View();
+
+  size_t checked = 0;
+  view.ForEachEdge([&](const Edge& e, double, double) {
+    // Build a wedge J = {e, f} with some sampled neighbor edge f.
+    view.Graph().ForEachNeighbor(e.u, [&](NodeId nbr, SlotId) {
+      if (nbr == e.v || checked > 20) return;
+      const Edge f = MakeEdge(e.u, nbr);
+      const Edge j[2] = {e, f};
+      const double s = view.SubgraphEstimator(j);
+      EXPECT_NEAR(view.SubgraphCovarianceEstimator(j, j), s * (s - 1.0),
+                  1e-9 * (1.0 + s * s));
+      ++checked;
+    });
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(SampleViewCovarianceTest, UnbiasedForOverlappingWedges) {
+  // Two wedges sharing one edge: the mean of the covariance estimator over
+  // independent sample paths must match the empirical covariance of the
+  // two wedge estimators (Theorem 3(i)).
+  EdgeList graph;
+  graph.Add(0, 1);  // shared edge
+  graph.Add(1, 2);  // wedge A = {(0,1), (1,2)}
+  graph.Add(1, 3);  // wedge B = {(0,1), (1,3)}
+  for (NodeId i = 10; i < 60; ++i) graph.Add(i, i + 100);  // filler
+  const std::vector<Edge> stream = MakePermutedStream(graph, 231);
+
+  const Edge wedge_a[2] = {MakeEdge(0, 1), MakeEdge(1, 2)};
+  const Edge wedge_b[2] = {MakeEdge(0, 1), MakeEdge(1, 3)};
+
+  OnlineStats sa, sb, sab, cov_est;
+  const int trials = 4000;
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 3;
+    options.seed = 20000 + trial;
+    GpsSampler sampler(options);
+    for (const Edge& e : stream) sampler.Process(e);
+    SampleView view = sampler.View();
+    const double a = view.SubgraphEstimator(wedge_a);
+    const double b = view.SubgraphEstimator(wedge_b);
+    sa.Add(a);
+    sb.Add(b);
+    sab.Add(a * b);
+    cov_est.Add(view.SubgraphCovarianceEstimator(wedge_a, wedge_b));
+  }
+  const double empirical_cov = sab.Mean() - sa.Mean() * sb.Mean();
+  // Both quantities are noisy; require agreement within a factor band and
+  // positivity (Theorem 3(ii)).
+  EXPECT_GE(cov_est.Mean(), 0.0);
+  EXPECT_GT(empirical_cov, 0.0);
+  EXPECT_NEAR(cov_est.Mean(), empirical_cov,
+              0.5 * empirical_cov + 5.0 * cov_est.StdError());
+}
+
+// Exact 4-clique count on a CSR graph (brute force over degree-ordered
+// adjacency; fine at test scale).
+double CountFourCliques(const CsrGraph& g) {
+  double count = 0;
+  const size_t n = g.NumNodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b : g.Neighbors(a)) {
+      if (b <= a) continue;
+      for (NodeId c : g.Neighbors(a)) {
+        if (c <= b || !g.HasEdge(b, c)) continue;
+        for (NodeId d : g.Neighbors(a)) {
+          if (d <= c || !g.HasEdge(b, d) || !g.HasEdge(c, d)) continue;
+          count += 1;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+TEST(SampleViewTest, RetrospectiveFourCliqueQueryUnbiased) {
+  // Theorem 2 for a non-built-in motif: enumerate 4-cliques inside the
+  // sampled graph and sum HT products of their 6 edges.
+  EdgeList graph = GenerateBarabasiAlbert(80, 8, 0.6, 211).value();
+  CsrGraph csr = CsrGraph::FromEdgeList(graph);
+  const double actual = CountFourCliques(csr);
+  ASSERT_GT(actual, 5.0);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 212);
+
+  OnlineStats est_stats;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 2;
+    options.seed = 12000 + trial;
+    // Weight 4-clique-adjacent edges upward via the custom hook.
+    GpsSampler sampler(options);
+    for (const Edge& e : stream) sampler.Process(e);
+    SampleView view = sampler.View();
+
+    // Enumerate sampled 4-cliques via the sampled adjacency.
+    const SampledGraph& sg = view.Graph();
+    double estimate = 0.0;
+    sg.ForEachNeighbor(0, [](NodeId, SlotId) {});  // touch API
+    for (NodeId a = 0; a < graph.NumNodes(); ++a) {
+      std::vector<NodeId> nbrs;
+      sg.ForEachNeighbor(a, [&](NodeId w, SlotId) {
+        if (w > a) nbrs.push_back(w);
+      });
+      std::sort(nbrs.begin(), nbrs.end());
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (!sg.HasEdge(MakeEdge(nbrs[i], nbrs[j]))) continue;
+          for (size_t k = j + 1; k < nbrs.size(); ++k) {
+            if (!sg.HasEdge(MakeEdge(nbrs[i], nbrs[k])) ||
+                !sg.HasEdge(MakeEdge(nbrs[j], nbrs[k]))) {
+              continue;
+            }
+            const Edge clique_edges[6] = {
+                MakeEdge(a, nbrs[i]),        MakeEdge(a, nbrs[j]),
+                MakeEdge(a, nbrs[k]),        MakeEdge(nbrs[i], nbrs[j]),
+                MakeEdge(nbrs[i], nbrs[k]),  MakeEdge(nbrs[j], nbrs[k])};
+            estimate += view.SubgraphEstimator(clique_edges);
+          }
+        }
+      }
+    }
+    est_stats.Add(estimate);
+  }
+  EXPECT_NEAR(est_stats.Mean(), actual,
+              std::max(4.0 * est_stats.StdError(), 0.05 * actual));
+}
+
+}  // namespace
+}  // namespace gps

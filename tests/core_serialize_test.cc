@@ -1,0 +1,205 @@
+// Tests for checkpoint serialization: resumed runs must be bit-identical
+// to uninterrupted runs; corrupted/invalid checkpoints must fail cleanly.
+
+#include "core/serialize.h"
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/post_stream.h"
+#include "gen/generators.h"
+#include "graph/stream.h"
+
+namespace gps {
+namespace {
+
+std::vector<Edge> TestStream(uint64_t seed) {
+  EdgeList graph = GenerateBarabasiAlbert(200, 5, 0.4, seed).value();
+  return MakePermutedStream(graph, seed + 1);
+}
+
+TEST(SerializeTest, ReservoirRoundTripPreservesEverything) {
+  const std::vector<Edge> stream = TestStream(601);
+  GpsSamplerOptions options;
+  options.capacity = 100;
+  options.seed = 602;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeReservoir(sampler.reservoir(), buffer).ok());
+  auto restored = DeserializeReservoir(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->size(), sampler.reservoir().size());
+  EXPECT_DOUBLE_EQ(restored->threshold(), sampler.reservoir().threshold());
+  EXPECT_EQ(restored->edges_processed(),
+            sampler.reservoir().edges_processed());
+  EXPECT_EQ(restored->options().capacity, 100u);
+  EXPECT_TRUE(restored->CheckInvariants());
+
+  // Every edge present with identical weight/priority.
+  sampler.reservoir().ForEachEdge(
+      [&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+        const SlotId slot = restored->graph().FindEdge(rec.edge);
+        ASSERT_NE(slot, kNoSlot) << EdgeToString(rec.edge);
+        EXPECT_DOUBLE_EQ(restored->Record(slot).weight, rec.weight);
+        EXPECT_DOUBLE_EQ(restored->Record(slot).priority, rec.priority);
+      });
+
+  // Post-stream estimates agree exactly.
+  const GraphEstimates a = EstimatePostStream(sampler.reservoir());
+  const GraphEstimates b = EstimatePostStream(*restored);
+  EXPECT_DOUBLE_EQ(a.triangles.value, b.triangles.value);
+  EXPECT_DOUBLE_EQ(a.wedges.variance, b.wedges.variance);
+}
+
+TEST(SerializeTest, ResumedSamplerBitIdenticalToUninterrupted) {
+  // Run A: process the whole stream. Run B: process half, checkpoint,
+  // restore, process the rest. Final states must match exactly (the RNG
+  // state is part of the checkpoint).
+  const std::vector<Edge> stream = TestStream(611);
+  GpsSamplerOptions options;
+  options.capacity = 120;
+  options.seed = 612;
+
+  GpsSampler uninterrupted(options);
+  for (const Edge& e : stream) uninterrupted.Process(e);
+
+  GpsSampler first_half(options);
+  for (size_t i = 0; i < stream.size() / 2; ++i) {
+    first_half.Process(stream[i]);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeSampler(first_half, buffer).ok());
+  auto resumed = DeserializeSampler(buffer);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  for (size_t i = stream.size() / 2; i < stream.size(); ++i) {
+    resumed->Process(stream[i]);
+  }
+
+  EXPECT_EQ(resumed->reservoir().size(), uninterrupted.reservoir().size());
+  EXPECT_DOUBLE_EQ(resumed->reservoir().threshold(),
+                   uninterrupted.reservoir().threshold());
+  uninterrupted.reservoir().ForEachEdge(
+      [&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+        const SlotId slot = resumed->reservoir().graph().FindEdge(rec.edge);
+        ASSERT_NE(slot, kNoSlot);
+        EXPECT_DOUBLE_EQ(resumed->reservoir().Record(slot).priority,
+                         rec.priority);
+      });
+}
+
+TEST(SerializeTest, ResumedInStreamEstimatorMatchesUninterrupted) {
+  const std::vector<Edge> stream = TestStream(621);
+  GpsSamplerOptions options;
+  options.capacity = 150;
+  options.seed = 622;
+
+  InStreamEstimator uninterrupted(options);
+  for (const Edge& e : stream) uninterrupted.Process(e);
+
+  InStreamEstimator first_half(options);
+  for (size_t i = 0; i < stream.size() / 3; ++i) {
+    first_half.Process(stream[i]);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeInStreamEstimator(first_half, buffer).ok());
+  auto resumed = DeserializeInStreamEstimator(buffer);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  for (size_t i = stream.size() / 3; i < stream.size(); ++i) {
+    resumed->Process(stream[i]);
+  }
+
+  const GraphEstimates a = uninterrupted.Estimates();
+  const GraphEstimates b = resumed->Estimates();
+  EXPECT_DOUBLE_EQ(a.triangles.value, b.triangles.value);
+  EXPECT_DOUBLE_EQ(a.triangles.variance, b.triangles.variance);
+  EXPECT_DOUBLE_EQ(a.wedges.value, b.wedges.value);
+  EXPECT_DOUBLE_EQ(a.wedges.variance, b.wedges.variance);
+  EXPECT_DOUBLE_EQ(a.tri_wedge_cov, b.tri_wedge_cov);
+}
+
+TEST(SerializeTest, CustomWeightRefused) {
+  GpsSamplerOptions options;
+  options.capacity = 10;
+  options.weight.kind = WeightKind::kCustom;
+  options.weight.custom = [](const Edge&, const SampledGraph&) {
+    return 1.0;
+  };
+  GpsSampler sampler(options);
+  std::stringstream buffer;
+  const Status s = SerializeSampler(sampler, buffer);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeTest, RejectsWrongHeader) {
+  std::stringstream buffer("GPS-SOMETHING 1\n");
+  auto r = DeserializeReservoir(buffer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsWrongVersion) {
+  std::stringstream buffer("GPS-RESERVOIR 99\n");
+  auto r = DeserializeReservoir(buffer);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedPayload) {
+  const std::vector<Edge> stream = TestStream(631);
+  GpsSamplerOptions options;
+  options.capacity = 50;
+  options.seed = 632;
+  GpsSampler sampler(options);
+  for (const Edge& e : stream) sampler.Process(e);
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeReservoir(sampler.reservoir(), buffer).ok());
+  const std::string full = buffer.str();
+  // Cut the payload in half.
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  auto r = DeserializeReservoir(truncated);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, RejectsSelfLoopRecord) {
+  std::stringstream buffer(
+      "GPS-RESERVOIR 1\n"
+      "10 1\n"
+      "0 1\n"
+      "1 2 3 4\n"
+      "1\n"
+      "5 5 1 2 0 0\n");
+  auto r = DeserializeReservoir(buffer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsOvercapacityCheckpoint) {
+  std::stringstream buffer(
+      "GPS-RESERVOIR 1\n"
+      "1 1\n"
+      "0 5\n"
+      "1 2 3 4\n"
+      "2\n"
+      "0 1 1 2 0 0\n"
+      "1 2 1 2 0 0\n");
+  auto r = DeserializeReservoir(buffer);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, EmptyReservoirRoundTrip) {
+  GpsReservoir empty(GpsOptions{32, 7});
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeReservoir(empty, buffer).ok());
+  auto r = DeserializeReservoir(buffer);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 0u);
+  EXPECT_EQ(r->options().capacity, 32u);
+}
+
+}  // namespace
+}  // namespace gps

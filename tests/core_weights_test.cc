@@ -1,0 +1,109 @@
+// Tests for the weight functions W(k, K̂).
+
+#include "core/weights.h"
+
+#include <gtest/gtest.h>
+
+namespace gps {
+namespace {
+
+SampledGraph TriangleSample() {
+  SampledGraph g;
+  g.AddEdge(MakeEdge(0, 1), 0);
+  g.AddEdge(MakeEdge(1, 2), 1);
+  g.AddEdge(MakeEdge(0, 2), 2);
+  g.AddEdge(MakeEdge(2, 3), 3);
+  return g;
+}
+
+TEST(WeightFunctionTest, UniformIgnoresTopology) {
+  WeightOptions opt;
+  opt.kind = WeightKind::kUniform;
+  opt.default_weight = 2.5;
+  WeightFunction fn(opt);
+  SampledGraph g = TriangleSample();
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(0, 3), g), 2.5);
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(7, 8), g), 2.5);
+}
+
+TEST(WeightFunctionTest, AdjacencyCountsIncidentSampledEdges) {
+  WeightOptions opt;
+  opt.kind = WeightKind::kAdjacency;
+  opt.coefficient = 1.0;
+  opt.default_weight = 1.0;
+  WeightFunction fn(opt);
+  SampledGraph g = TriangleSample();
+  // (1,3): deg(1)=2, deg(3)=1 -> 3 + 1.
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(1, 3), g), 4.0);
+  // (7,8): isolated -> default only.
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(7, 8), g), 1.0);
+}
+
+TEST(WeightFunctionTest, TrianglePaperWeighting) {
+  // The paper's W = 9*|triangles completed| + 1.
+  WeightFunction fn;  // defaults: kTriangle, coeff 9, default 1
+  SampledGraph g = TriangleSample();
+  // (1,3): common neighbor {2} -> 9*1+1 = 10.
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(1, 3), g), 10.0);
+  // (0,3): common neighbor {2} -> 10.
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(0, 3), g), 10.0);
+  // (5,6): no common neighbors -> 1.
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(5, 6), g), 1.0);
+}
+
+TEST(WeightFunctionTest, TriangleWeightScalesWithClosedCount) {
+  WeightFunction fn;
+  SampledGraph g;
+  // Node 0 and 1 share three common neighbors 2, 3, 4.
+  for (NodeId w : {2u, 3u, 4u}) {
+    g.AddEdge(MakeEdge(0, w), w);
+    g.AddEdge(MakeEdge(1, w), 10 + w);
+  }
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(0, 1), g), 9.0 * 3 + 1);
+}
+
+TEST(WeightFunctionTest, TriangleWedgeMix) {
+  WeightOptions opt;
+  opt.kind = WeightKind::kTriangleWedge;
+  opt.coefficient = 9.0;
+  opt.adjacency_coefficient = 2.0;
+  opt.default_weight = 1.0;
+  WeightFunction fn(opt);
+  SampledGraph g = TriangleSample();
+  // (1,3): 1 common neighbor, deg(1)=2, deg(3)=1 -> 9 + 2*3 + 1 = 16.
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(1, 3), g), 16.0);
+  // Isolated edge -> default only.
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(7, 8), g), 1.0);
+}
+
+TEST(WeightFunctionTest, CustomCallable) {
+  WeightOptions opt;
+  opt.kind = WeightKind::kCustom;
+  opt.custom = [](const Edge& e, const SampledGraph&) {
+    return static_cast<double>(e.u + e.v);
+  };
+  WeightFunction fn(opt);
+  SampledGraph g;
+  EXPECT_DOUBLE_EQ(fn.Compute(MakeEdge(3, 4), g), 7.0);
+}
+
+TEST(WeightFunctionTest, CustomNonPositiveClampedPositive) {
+  WeightOptions opt;
+  opt.kind = WeightKind::kCustom;
+  opt.custom = [](const Edge&, const SampledGraph&) { return -5.0; };
+  WeightFunction fn(opt);
+  SampledGraph g;
+  EXPECT_GT(fn.Compute(MakeEdge(0, 1), g), 0.0);
+}
+
+TEST(WeightFunctionTest, NonPositiveDefaultClamped) {
+  WeightOptions opt;
+  opt.kind = WeightKind::kUniform;
+  opt.default_weight = 0.0;
+  WeightFunction fn(opt);
+  SampledGraph g;
+  EXPECT_GT(fn.Compute(MakeEdge(0, 1), g), 0.0);
+}
+
+}  // namespace
+}  // namespace gps

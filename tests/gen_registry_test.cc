@@ -1,0 +1,91 @@
+// Tests for the paper-analog corpus registry.
+
+#include "gen/registry.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+
+namespace gps {
+namespace {
+
+constexpr double kTestScale = 0.02;  // keep registry tests fast
+
+TEST(RegistryTest, EntriesAreNamedAndUnique) {
+  const auto& entries = CorpusEntries();
+  EXPECT_GE(entries.size(), 12u);
+  std::set<std::string> names;
+  for (const CorpusEntry& e : entries) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_FALSE(e.family.empty());
+    EXPECT_FALSE(e.analog_of.empty());
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate " << e.name;
+    EXPECT_TRUE(IsCorpusGraph(e.name));
+  }
+}
+
+TEST(RegistryTest, UnknownNameFails) {
+  EXPECT_FALSE(IsCorpusGraph("no-such-graph"));
+  auto r = MakeCorpusGraph("no-such-graph", 0.1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, RejectsBadScale) {
+  EXPECT_FALSE(MakeCorpusGraph("soc-orkut-sim", 0.0).ok());
+  EXPECT_FALSE(MakeCorpusGraph("soc-orkut-sim", 1.5).ok());
+  EXPECT_FALSE(MakeCorpusGraph("soc-orkut-sim", -1.0).ok());
+}
+
+TEST(RegistryTest, EveryEntryGeneratesAtSmallScale) {
+  for (const CorpusEntry& entry : CorpusEntries()) {
+    auto g = MakeCorpusGraph(entry.name, kTestScale);
+    ASSERT_TRUE(g.ok()) << entry.name << ": " << g.status().ToString();
+    EXPECT_GT(g->NumEdges(), 100u) << entry.name;
+    EdgeList copy = *g;
+    EXPECT_EQ(copy.Simplify(), 0u) << entry.name << " not simplified";
+  }
+}
+
+TEST(RegistryTest, GenerationIsDeterministic) {
+  auto a = MakeCorpusGraph("higgs-social-sim", kTestScale);
+  auto b = MakeCorpusGraph("higgs-social-sim", kTestScale);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->NumEdges(), b->NumEdges());
+  for (size_t i = 0; i < a->NumEdges(); ++i) {
+    ASSERT_EQ(a->Edges()[i], b->Edges()[i]);
+  }
+}
+
+TEST(RegistryTest, FamilyRegimesRoughlyHold) {
+  // Collaboration analog: high clustering. Road analog: low clustering.
+  // Social follower analog: heavy tail with low clustering. These checks
+  // pin the qualitative regimes the substitution argument relies on.
+  auto collab = MakeCorpusGraph("ca-hollywood-sim", 0.05);
+  ASSERT_TRUE(collab.ok());
+  const double cc_collab =
+      CountExact(CsrGraph::FromEdgeList(*collab)).ClusteringCoefficient();
+  EXPECT_GT(cc_collab, 0.2);
+
+  auto road = MakeCorpusGraph("infra-road-sim", 0.05);
+  ASSERT_TRUE(road.ok());
+  const ExactCounts road_counts =
+      CountExact(CsrGraph::FromEdgeList(*road));
+  EXPECT_GT(road_counts.triangles, 0.0);  // some triangles exist...
+  EXPECT_LT(road_counts.ClusteringCoefficient(), 0.1);  // ...but few
+
+  auto social = MakeCorpusGraph("soc-twitter-sim", 0.05);
+  ASSERT_TRUE(social.ok());
+  CsrGraph social_csr = CsrGraph::FromEdgeList(*social);
+  EXPECT_GT(social_csr.MaxDegree(), 20u * 2 * social_csr.NumEdges() /
+                                        std::max<size_t>(
+                                            1, social_csr.NumNodes()));
+  EXPECT_LT(CountExact(social_csr).ClusteringCoefficient(), 0.2);
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,93 @@
+// Tests for the CSR static graph.
+
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace gps {
+namespace {
+
+EdgeList Triangle() {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(0, 2);
+  return list;
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g = CsrGraph::FromEdgeList(EdgeList{});
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(CsrGraphTest, TriangleDegreesAndNeighbors) {
+  CsrGraph g = CsrGraph::FromEdgeList(Triangle());
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2u);
+  auto n0 = g.Neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(n0.begin(), n0.end()),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(CsrGraphTest, NeighborsSorted) {
+  EdgeList list;
+  list.Add(0, 9);
+  list.Add(0, 3);
+  list.Add(0, 7);
+  list.Add(0, 1);
+  CsrGraph g = CsrGraph::FromEdgeList(list);
+  auto nbrs = g.Neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.Degree(0), 4u);
+}
+
+TEST(CsrGraphTest, HasEdgeBothOrientations) {
+  CsrGraph g = CsrGraph::FromEdgeList(Triangle());
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_FALSE(g.HasEdge(1, 5));  // out of range node
+}
+
+TEST(CsrGraphTest, SimplifiesInput) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 0);
+  list.Add(2, 2);
+  CsrGraph g = CsrGraph::FromEdgeList(list);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(CsrGraphTest, IsolatedNodesHaveZeroDegree) {
+  EdgeList list;
+  list.Add(0, 5);
+  CsrGraph g = CsrGraph::FromEdgeList(list);
+  EXPECT_EQ(g.NumNodes(), 6u);
+  for (NodeId v : {1u, 2u, 3u, 4u}) EXPECT_EQ(g.Degree(v), 0u);
+  EXPECT_EQ(g.MaxDegree(), 1u);
+}
+
+TEST(CsrGraphTest, StarGraph) {
+  EdgeList list;
+  const uint32_t leaves = 50;
+  for (uint32_t i = 1; i <= leaves; ++i) list.Add(0, i);
+  CsrGraph g = CsrGraph::FromEdgeList(list);
+  EXPECT_EQ(g.Degree(0), leaves);
+  EXPECT_EQ(g.MaxDegree(), leaves);
+  EXPECT_EQ(g.NumEdges(), leaves);
+  for (uint32_t i = 1; i <= leaves; ++i) {
+    EXPECT_EQ(g.Degree(i), 1u);
+    EXPECT_TRUE(g.HasEdge(0, i));
+  }
+  EXPECT_FALSE(g.HasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace gps

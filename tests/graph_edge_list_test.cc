@@ -1,0 +1,140 @@
+// Tests for EdgeList: canonicalization, simplification, text I/O and
+// failure injection on malformed input.
+
+#include "graph/edge_list.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/types.h"
+
+namespace gps {
+namespace {
+
+TEST(EdgeTypesTest, CanonicalOrdersEndpoints) {
+  EXPECT_EQ(MakeEdge(5, 2), (Edge{2, 5}));
+  EXPECT_EQ(MakeEdge(2, 5), (Edge{2, 5}));
+  EXPECT_TRUE((Edge{3, 3}).IsSelfLoop());
+  EXPECT_FALSE((Edge{3, 4}).IsSelfLoop());
+}
+
+TEST(EdgeTypesTest, EdgeKeyRoundTrip) {
+  const Edge e = MakeEdge(123456, 789);
+  EXPECT_EQ(EdgeFromKey(EdgeKey(e)), e);
+  // Key is orientation-independent.
+  EXPECT_EQ(EdgeKey(Edge{789, 123456}), EdgeKey(Edge{123456, 789}));
+}
+
+TEST(EdgeTypesTest, EdgeKeysAreDistinct) {
+  EXPECT_NE(EdgeKey(MakeEdge(1, 2)), EdgeKey(MakeEdge(1, 3)));
+  EXPECT_NE(EdgeKey(MakeEdge(1, 2)), EdgeKey(MakeEdge(2, 3)));
+}
+
+TEST(EdgeListTest, AddTracksNodeBound) {
+  EdgeList list;
+  EXPECT_EQ(list.NumNodes(), 0u);
+  list.Add(3, 7);
+  EXPECT_EQ(list.NumNodes(), 8u);
+  list.Add(10, 2);
+  EXPECT_EQ(list.NumNodes(), 11u);
+  EXPECT_EQ(list.NumEdges(), 2u);
+}
+
+TEST(EdgeListTest, SimplifyRemovesLoopsAndDuplicates) {
+  EdgeList list;
+  list.Add(1, 2);
+  list.Add(2, 1);  // duplicate (reversed)
+  list.Add(1, 2);  // duplicate
+  list.Add(3, 3);  // self loop
+  list.Add(2, 3);
+  const size_t removed = list.Simplify();
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(list.NumEdges(), 2u);
+  for (const Edge& e : list.Edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(EdgeListTest, SimplifyIdempotent) {
+  EdgeList list;
+  list.Add(1, 2);
+  list.Add(4, 3);
+  list.Simplify();
+  EXPECT_EQ(list.Simplify(), 0u);
+}
+
+TEST(EdgeListTest, CountTouchedNodes) {
+  EdgeList list;
+  list.Add(0, 5);
+  list.Add(5, 9);
+  EXPECT_EQ(list.CountTouchedNodes(), 3u);
+  EXPECT_EQ(list.NumNodes(), 10u);  // id bound, not touched count
+}
+
+TEST(EdgeListTest, ClearResets) {
+  EdgeList list;
+  list.Add(1, 2);
+  list.Clear();
+  EXPECT_EQ(list.NumEdges(), 0u);
+  EXPECT_EQ(list.NumNodes(), 0u);
+}
+
+TEST(EdgeListTest, FromTextParsesEdgesAndComments) {
+  auto result = EdgeList::FromText(
+      "# comment line\n"
+      "% matrix-market comment\n"
+      "0 1\n"
+      "  2   3  \n"
+      "\n"
+      "4 5 extra-tokens-ignored\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumEdges(), 3u);
+  EXPECT_EQ(result->Edges()[0], MakeEdge(0, 1));
+  EXPECT_EQ(result->Edges()[2], MakeEdge(4, 5));
+}
+
+TEST(EdgeListTest, FromTextRejectsMalformedLine) {
+  auto result = EdgeList::FromText("0 1\nnot numbers\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(EdgeListTest, FromTextRejectsMissingEndpoint) {
+  auto result = EdgeList::FromText("7\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(EdgeListTest, FromTextRejectsNegativeIds) {
+  auto result = EdgeList::FromText("-1 4\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EdgeListTest, FromTextRejectsOverflowingIds) {
+  auto result = EdgeList::FromText("4294967295 1\n");  // == kInvalidNode
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(EdgeListTest, SaveLoadRoundTrip) {
+  EdgeList list;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(0, 2);
+  const std::string path = testing::TempDir() + "/gps_edge_list_test.txt";
+  ASSERT_TRUE(list.Save(path).ok());
+  auto loaded = EdgeList::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+  EXPECT_EQ(loaded->Edges()[0], list.Edges()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, LoadMissingFileFails) {
+  auto result = EdgeList::Load("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,197 @@
+// Tests for the exact counting oracles: known-answer graphs, per-edge
+// counts, and a differential property test between the offline CSR counter
+// and the incremental stream counter.
+
+#include "graph/exact.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/stream.h"
+#include "util/random.h"
+
+namespace gps {
+namespace {
+
+EdgeList Path(uint32_t n) {
+  EdgeList list;
+  for (uint32_t i = 0; i + 1 < n; ++i) list.Add(i, i + 1);
+  return list;
+}
+
+EdgeList Cycle(uint32_t n) {
+  EdgeList list = Path(n);
+  list.Add(n - 1, 0);
+  return list;
+}
+
+EdgeList Complete(uint32_t n) {
+  EdgeList list;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) list.Add(i, j);
+  }
+  return list;
+}
+
+EdgeList Star(uint32_t leaves) {
+  EdgeList list;
+  for (uint32_t i = 1; i <= leaves; ++i) list.Add(0, i);
+  return list;
+}
+
+EdgeList Petersen() {
+  // Outer 5-cycle, inner pentagram, spokes. Famously triangle-free.
+  EdgeList list;
+  for (uint32_t i = 0; i < 5; ++i) {
+    list.Add(i, (i + 1) % 5);          // outer cycle
+    list.Add(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    list.Add(i, 5 + i);                // spokes
+  }
+  return list;
+}
+
+TEST(CountExactTest, EmptyGraph) {
+  ExactCounts c = CountExact(CsrGraph::FromEdgeList(EdgeList{}));
+  EXPECT_EQ(c.triangles, 0.0);
+  EXPECT_EQ(c.wedges, 0.0);
+  EXPECT_EQ(c.ClusteringCoefficient(), 0.0);
+}
+
+TEST(CountExactTest, SingleTriangle) {
+  ExactCounts c = CountExact(CsrGraph::FromEdgeList(Complete(3)));
+  EXPECT_EQ(c.triangles, 1.0);
+  EXPECT_EQ(c.wedges, 3.0);
+  EXPECT_DOUBLE_EQ(c.ClusteringCoefficient(), 1.0);
+}
+
+TEST(CountExactTest, CompleteGraphs) {
+  // K_n: C(n,3) triangles, n*C(n-1,2) wedges.
+  for (uint32_t n : {4u, 5u, 6u, 10u}) {
+    ExactCounts c = CountExact(CsrGraph::FromEdgeList(Complete(n)));
+    const double expect_tri = n * (n - 1.0) * (n - 2.0) / 6.0;
+    const double expect_wedge = n * (n - 1.0) * (n - 2.0) / 2.0;
+    EXPECT_DOUBLE_EQ(c.triangles, expect_tri) << "K" << n;
+    EXPECT_DOUBLE_EQ(c.wedges, expect_wedge) << "K" << n;
+    EXPECT_DOUBLE_EQ(c.ClusteringCoefficient(), 1.0) << "K" << n;
+  }
+}
+
+TEST(CountExactTest, PathAndCycle) {
+  ExactCounts path = CountExact(CsrGraph::FromEdgeList(Path(10)));
+  EXPECT_EQ(path.triangles, 0.0);
+  EXPECT_EQ(path.wedges, 8.0);  // one wedge per interior node
+
+  ExactCounts cyc = CountExact(CsrGraph::FromEdgeList(Cycle(10)));
+  EXPECT_EQ(cyc.triangles, 0.0);
+  EXPECT_EQ(cyc.wedges, 10.0);
+
+  ExactCounts k3 = CountExact(CsrGraph::FromEdgeList(Cycle(3)));
+  EXPECT_EQ(k3.triangles, 1.0);
+}
+
+TEST(CountExactTest, StarHasOnlyWedges) {
+  const uint32_t leaves = 20;
+  ExactCounts c = CountExact(CsrGraph::FromEdgeList(Star(leaves)));
+  EXPECT_EQ(c.triangles, 0.0);
+  EXPECT_EQ(c.wedges, leaves * (leaves - 1.0) / 2.0);
+}
+
+TEST(CountExactTest, PetersenGraphTriangleFree) {
+  ExactCounts c = CountExact(CsrGraph::FromEdgeList(Petersen()));
+  EXPECT_EQ(c.triangles, 0.0);
+  // 3-regular on 10 nodes: 10 * C(3,2) = 30 wedges.
+  EXPECT_EQ(c.wedges, 30.0);
+}
+
+TEST(CountTrianglesPerEdgeTest, CompleteGraph) {
+  // In K5 every edge participates in n-2 = 3 triangles.
+  auto counts = CountTrianglesPerEdge(CsrGraph::FromEdgeList(Complete(5)));
+  EXPECT_EQ(counts.size(), 10u);
+  for (uint32_t c : counts) EXPECT_EQ(c, 3u);
+}
+
+TEST(CountTrianglesPerEdgeTest, SumIsThreeTimesTriangleCount) {
+  auto graph = GenerateErdosRenyi(60, 300, 5).value();
+  CsrGraph g = CsrGraph::FromEdgeList(graph);
+  auto counts = CountTrianglesPerEdge(g);
+  const uint64_t sum = std::accumulate(counts.begin(), counts.end(), 0ull);
+  EXPECT_EQ(static_cast<double>(sum), 3.0 * CountExact(g).triangles);
+}
+
+TEST(ExactStreamCounterTest, MatchesStaticOnTriangle) {
+  ExactStreamCounter counter;
+  EXPECT_TRUE(counter.AddEdge(MakeEdge(0, 1)));
+  EXPECT_TRUE(counter.AddEdge(MakeEdge(1, 2)));
+  EXPECT_EQ(counter.Counts().triangles, 0.0);
+  EXPECT_EQ(counter.Counts().wedges, 1.0);
+  EXPECT_TRUE(counter.AddEdge(MakeEdge(0, 2)));
+  EXPECT_EQ(counter.Counts().triangles, 1.0);
+  EXPECT_EQ(counter.Counts().wedges, 3.0);
+}
+
+TEST(ExactStreamCounterTest, RejectsDuplicatesAndLoops) {
+  ExactStreamCounter counter;
+  EXPECT_TRUE(counter.AddEdge(MakeEdge(0, 1)));
+  EXPECT_FALSE(counter.AddEdge(MakeEdge(1, 0)));
+  EXPECT_FALSE(counter.AddEdge(Edge{2, 2}));
+  EXPECT_EQ(counter.NumEdges(), 1u);
+  EXPECT_EQ(counter.Counts().wedges, 0.0);
+}
+
+TEST(ExactStreamCounterTest, ResetClearsState) {
+  ExactStreamCounter counter;
+  counter.AddEdge(MakeEdge(0, 1));
+  counter.Reset();
+  EXPECT_EQ(counter.NumEdges(), 0u);
+  EXPECT_EQ(counter.Counts().wedges, 0.0);
+  EXPECT_TRUE(counter.AddEdge(MakeEdge(0, 1)));
+}
+
+// Property: the incremental counter over any prefix permutation matches the
+// offline counter on the prefix graph, for every graph family.
+class IncrementalMatchesStaticTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalMatchesStaticTest, PrefixCountsAgree) {
+  const int family = GetParam();
+  EdgeList graph;
+  switch (family) {
+    case 0:
+      graph = GenerateErdosRenyi(80, 400, 11).value();
+      break;
+    case 1:
+      graph = GenerateBarabasiAlbert(100, 4, 0.4, 12).value();
+      break;
+    case 2:
+      graph = GenerateWattsStrogatz(100, 6, 0.2, 13).value();
+      break;
+    case 3:
+      graph = GenerateGrid(10, 12, 0.3, 14).value();
+      break;
+    default:
+      graph = GenerateChungLu(100, 350, 2.2, 15).value();
+  }
+  const std::vector<Edge> stream = MakePermutedStream(graph, 99);
+  ExactStreamCounter counter;
+  EdgeList prefix;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    counter.AddEdge(stream[i]);
+    prefix.Add(stream[i]);
+    // Check a handful of prefixes to keep runtime modest.
+    if ((i + 1) % std::max<size_t>(1, stream.size() / 7) == 0 ||
+        i + 1 == stream.size()) {
+      ExactCounts offline = CountExact(CsrGraph::FromEdgeList(prefix));
+      ASSERT_DOUBLE_EQ(counter.Counts().triangles, offline.triangles)
+          << "family " << family << " prefix " << i + 1;
+      ASSERT_DOUBLE_EQ(counter.Counts().wedges, offline.wedges);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, IncrementalMatchesStaticTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,87 @@
+// Randomized robustness tests ("fuzz-lite"): the text parser and the
+// stream pipeline must never crash, leak invariants, or accept garbage on
+// randomized malformed inputs.
+
+#include <cmath>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/in_stream.h"
+#include "graph/edge_list.h"
+#include "util/random.h"
+
+namespace gps {
+namespace {
+
+std::string RandomLine(Rng& rng) {
+  static const char* kPieces[] = {
+      "0",    "1",      "42",  "-7",   "4294967295", "99999999999999",
+      "abc",  "1e5",    "#",   "%",    "",           " ",
+      "\t",   "0x10",   ".",   "3 4",  "5 5",        "7 8 9",
+      "a b",  "12 ",    " 34", "nan",  "inf",        "-0",
+  };
+  std::string line;
+  const int tokens = 1 + static_cast<int>(rng.UniformU64(4));
+  for (int i = 0; i < tokens; ++i) {
+    if (i) line += ' ';
+    line += kPieces[rng.UniformU64(std::size(kPieces))];
+  }
+  return line;
+}
+
+TEST(ParserFuzzTest, RandomTextNeverCrashesAndNeverAcceptsGarbageIds) {
+  Rng rng(1234);
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const int lines = 1 + static_cast<int>(rng.UniformU64(30));
+    for (int i = 0; i < lines; ++i) {
+      text += RandomLine(rng);
+      text += '\n';
+    }
+    auto result = EdgeList::FromText(text);
+    if (!result.ok()) continue;  // rejection is fine
+    // If accepted, every edge must be in-range.
+    for (const Edge& e : result->Edges()) {
+      EXPECT_NE(e.u, kInvalidNode);
+      EXPECT_NE(e.v, kInvalidNode);
+      EXPECT_LT(e.u, result->NumNodes());
+      EXPECT_LT(e.v, result->NumNodes());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, ValidLinesAmongGarbageAreNotSilentlyDropped) {
+  // A file is either parsed fully or rejected — valid prefixes must not
+  // yield partial graphs.
+  auto result = EdgeList::FromText("0 1\n1 2\ngarbage here\n2 3\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PipelineFuzzTest, RandomEdgeSoupKeepsEstimatorFinite) {
+  // Random arrivals including loops, duplicates and boundary ids: the
+  // estimator must keep all state finite and invariants intact.
+  Rng rng(777);
+  GpsSamplerOptions options;
+  options.capacity = 64;
+  options.seed = 5;
+  InStreamEstimator est(options);
+  for (int i = 0; i < 20000; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformU64(40));
+    NodeId v = static_cast<NodeId>(rng.UniformU64(40));
+    if (rng.Bernoulli(0.02)) u = kInvalidNode - 1;  // boundary ids
+    if (rng.Bernoulli(0.05)) v = u;                 // self loops
+    est.Process(Edge{u, v});
+  }
+  EXPECT_TRUE(est.reservoir().CheckInvariants());
+  const GraphEstimates g = est.Estimates();
+  for (double v : {g.triangles.value, g.triangles.variance, g.wedges.value,
+                   g.wedges.variance, g.tri_wedge_cov,
+                   g.ClusteringCoefficient().value}) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace gps

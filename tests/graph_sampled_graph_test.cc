@@ -1,0 +1,184 @@
+// Tests for the dynamic sampled-graph adjacency, including the adaptive
+// neighbor-container promotion and common-neighbor enumeration.
+
+#include "graph/sampled_graph.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace gps {
+namespace {
+
+TEST(NeighborListTest, VectorModeBasics) {
+  NeighborList list;
+  EXPECT_TRUE(list.empty());
+  list.Insert(5, 100);
+  list.Insert(7, 200);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.Find(5), 100u);
+  EXPECT_EQ(list.Find(7), 200u);
+  EXPECT_EQ(list.Find(9), kNoSlot);
+  EXPECT_TRUE(list.Erase(5));
+  EXPECT_FALSE(list.Erase(5));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(NeighborListTest, PromotionPreservesEntries) {
+  NeighborList list;
+  const uint32_t n = NeighborList::kPromoteThreshold * 4;
+  for (uint32_t i = 0; i < n; ++i) list.Insert(i, i * 10);
+  EXPECT_EQ(list.size(), static_cast<size_t>(n));
+  for (uint32_t i = 0; i < n; ++i) EXPECT_EQ(list.Find(i), i * 10);
+  // Erase across the promoted structure.
+  for (uint32_t i = 0; i < n; i += 2) EXPECT_TRUE(list.Erase(i));
+  EXPECT_EQ(list.size(), static_cast<size_t>(n / 2));
+  for (uint32_t i = 1; i < n; i += 2) EXPECT_EQ(list.Find(i), i * 10);
+}
+
+TEST(NeighborListTest, ForEachVisitsAll) {
+  NeighborList list;
+  for (uint32_t i = 0; i < 10; ++i) list.Insert(i, i);
+  std::set<NodeId> seen;
+  list.ForEach([&](NodeId nbr, SlotId slot) {
+    EXPECT_EQ(nbr, slot);
+    seen.insert(nbr);
+  });
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SampledGraphTest, AddFindRemove) {
+  SampledGraph g;
+  EXPECT_TRUE(g.AddEdge(MakeEdge(1, 2), 77));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.FindEdge(MakeEdge(1, 2)), 77u);
+  EXPECT_EQ(g.FindEdge(MakeEdge(2, 1)), 77u);
+  EXPECT_EQ(g.RemoveEdge(MakeEdge(1, 2)), 77u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumNodes(), 0u);  // nodes garbage-collected when isolated
+}
+
+TEST(SampledGraphTest, RejectsDuplicatesAndLoops) {
+  SampledGraph g;
+  EXPECT_TRUE(g.AddEdge(MakeEdge(1, 2), 1));
+  EXPECT_FALSE(g.AddEdge(MakeEdge(2, 1), 2));
+  EXPECT_FALSE(g.AddEdge(Edge{3, 3}, 3));
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(SampledGraphTest, RemoveAbsentEdgeReturnsNoSlot) {
+  SampledGraph g;
+  g.AddEdge(MakeEdge(1, 2), 1);
+  EXPECT_EQ(g.RemoveEdge(MakeEdge(1, 3)), kNoSlot);
+  EXPECT_EQ(g.RemoveEdge(MakeEdge(4, 5)), kNoSlot);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(SampledGraphTest, DegreeTracking) {
+  SampledGraph g;
+  g.AddEdge(MakeEdge(0, 1), 1);
+  g.AddEdge(MakeEdge(0, 2), 2);
+  g.AddEdge(MakeEdge(0, 3), 3);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(99), 0u);
+  g.RemoveEdge(MakeEdge(0, 2));
+  EXPECT_EQ(g.Degree(0), 2u);
+}
+
+TEST(SampledGraphTest, CommonNeighborsTriangle) {
+  SampledGraph g;
+  g.AddEdge(MakeEdge(0, 1), 10);
+  g.AddEdge(MakeEdge(0, 2), 20);
+  g.AddEdge(MakeEdge(1, 2), 30);
+  // Arriving edge (1,2) exists; common neighbors of 1 and 2 -> {0}.
+  EXPECT_EQ(g.CountCommonNeighbors(1, 2), 1u);
+  size_t calls = 0;
+  g.ForEachCommonNeighbor(1, 2, [&](NodeId w, SlotId s1, SlotId s2) {
+    EXPECT_EQ(w, 0u);
+    // Slots correspond to edges (1,0) and (2,0).
+    EXPECT_EQ(s1, 10u);
+    EXPECT_EQ(s2, 20u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(SampledGraphTest, CommonNeighborSlotOrderFollowsArguments) {
+  // ForEachCommonNeighbor(u, v, fn) may internally swap to scan the smaller
+  // neighborhood; slots must still be reported as (slot_uw, slot_vw).
+  SampledGraph g;
+  g.AddEdge(MakeEdge(1, 0), 10);  // edge u-w
+  g.AddEdge(MakeEdge(2, 0), 20);  // edge v-w
+  g.AddEdge(MakeEdge(2, 5), 25);  // make deg(2) > deg(1)
+  g.ForEachCommonNeighbor(1, 2, [&](NodeId w, SlotId s_uw, SlotId s_vw) {
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(s_uw, 10u);
+    EXPECT_EQ(s_vw, 20u);
+  });
+  g.ForEachCommonNeighbor(2, 1, [&](NodeId w, SlotId s_uw, SlotId s_vw) {
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(s_uw, 20u);
+    EXPECT_EQ(s_vw, 10u);
+  });
+}
+
+TEST(SampledGraphTest, CommonNeighborsDisjoint) {
+  SampledGraph g;
+  g.AddEdge(MakeEdge(0, 1), 1);
+  g.AddEdge(MakeEdge(2, 3), 2);
+  EXPECT_EQ(g.CountCommonNeighbors(0, 2), 0u);
+  EXPECT_EQ(g.CountCommonNeighbors(0, 99), 0u);
+}
+
+TEST(SampledGraphTest, HubNodeCommonNeighbors) {
+  // Exercise the promoted (hash) neighbor container path.
+  SampledGraph g;
+  const uint32_t fan = 200;
+  for (uint32_t i = 2; i < 2 + fan; ++i) {
+    g.AddEdge(MakeEdge(0, i), i);
+    g.AddEdge(MakeEdge(1, i), 1000 + i);
+  }
+  EXPECT_EQ(g.CountCommonNeighbors(0, 1), static_cast<size_t>(fan));
+  // Remove half, verify count tracks.
+  for (uint32_t i = 2; i < 2 + fan; i += 2) g.RemoveEdge(MakeEdge(0, i));
+  EXPECT_EQ(g.CountCommonNeighbors(0, 1), static_cast<size_t>(fan / 2));
+}
+
+TEST(SampledGraphTest, RandomizedChurnConsistency) {
+  SampledGraph g;
+  std::set<uint64_t> ref;
+  Rng rng(77);
+  for (int op = 0; op < 50000; ++op) {
+    const NodeId u = rng.UniformU32(60);
+    const NodeId v = rng.UniformU32(60);
+    if (u == v) continue;
+    const Edge e = MakeEdge(u, v);
+    if (rng.Bernoulli(0.6)) {
+      const bool added = g.AddEdge(e, 5);
+      const bool ref_added = ref.insert(EdgeKey(e)).second;
+      ASSERT_EQ(added, ref_added);
+    } else {
+      const bool removed = g.RemoveEdge(e) != kNoSlot;
+      ASSERT_EQ(removed, ref.erase(EdgeKey(e)) > 0);
+    }
+    ASSERT_EQ(g.NumEdges(), ref.size());
+  }
+}
+
+TEST(SampledGraphTest, ClearEmptiesEverything) {
+  SampledGraph g;
+  g.AddEdge(MakeEdge(0, 1), 1);
+  g.AddEdge(MakeEdge(1, 2), 2);
+  g.Clear();
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_FALSE(g.HasEdge(MakeEdge(0, 1)));
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,112 @@
+// Tests for the metrics and experiment harness.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "stats/experiment.h"
+#include "stats/metrics.h"
+
+namespace gps {
+namespace {
+
+TEST(MetricsTest, AbsoluteRelativeError) {
+  EXPECT_DOUBLE_EQ(AbsoluteRelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(AbsoluteRelativeError(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(AbsoluteRelativeError(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(AbsoluteRelativeError(5, 0)));
+}
+
+TEST(MetricsTest, SeriesErrorMareAndMax) {
+  std::vector<SeriesPoint> series = {
+      {110, 100},  // ARE 0.1
+      {100, 100},  // ARE 0
+      {80, 100},   // ARE 0.2
+      {5, 0},      // skipped (actual 0)
+  };
+  const SeriesError err = ComputeSeriesError(series);
+  EXPECT_EQ(err.checkpoints, 3u);
+  EXPECT_NEAR(err.mare, 0.1, 1e-12);
+  EXPECT_NEAR(err.max_are, 0.2, 1e-12);
+}
+
+TEST(MetricsTest, SeriesErrorEmpty) {
+  const SeriesError err = ComputeSeriesError({});
+  EXPECT_EQ(err.mare, 0.0);
+  EXPECT_EQ(err.max_are, 0.0);
+  EXPECT_EQ(err.checkpoints, 0u);
+}
+
+TEST(MetricsTest, CoverageFraction) {
+  std::vector<IntervalObservation> obs = {
+      {90, 110, 100},  // covered
+      {90, 110, 120},  // miss
+      {0, 50, 25},     // covered
+      {10, 20, 10},    // boundary counts as covered
+  };
+  EXPECT_DOUBLE_EQ(CoverageFraction(obs), 0.75);
+  EXPECT_DOUBLE_EQ(CoverageFraction({}), 0.0);
+}
+
+TEST(ExperimentTest, RunGpsTrialProducesBothEstimates) {
+  EdgeList graph = GenerateBarabasiAlbert(200, 5, 0.4, 401).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 402);
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+
+  const GpsTrialResult result = RunGpsTrial(stream, stream.size() / 3, 403);
+  EXPECT_EQ(result.sampled_edges, stream.size() / 3);
+  EXPECT_GT(result.post.triangles.value, 0.0);
+  EXPECT_GT(result.in_stream.triangles.value, 0.0);
+  EXPECT_GT(result.sampler_micros_per_edge, 0.0);
+  EXPECT_GT(result.in_stream_micros_per_edge, 0.0);
+  // Single-run estimates land within a loose factor of truth.
+  EXPECT_LT(AbsoluteRelativeError(result.in_stream.triangles.value,
+                                  actual.triangles),
+            0.5);
+}
+
+TEST(ExperimentTest, TrackedRunHitsCheckpoints) {
+  EdgeList graph = GenerateBarabasiAlbert(150, 4, 0.4, 411).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 412);
+
+  TrackingOptions options;
+  options.capacity = stream.size() / 2;
+  options.seed = 413;
+  options.num_checkpoints = 20;
+  options.with_post_stream = true;
+  const std::vector<TrackedPoint> points = RunTrackedGps(stream, options);
+  ASSERT_GE(points.size(), 20u);
+  EXPECT_EQ(points.back().stream_pos, stream.size());
+  // Prefix truths are monotone.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].actual_triangles, points[i - 1].actual_triangles);
+    EXPECT_GE(points[i].actual_wedges, points[i - 1].actual_wedges);
+    EXPECT_GT(points[i].stream_pos, points[i - 1].stream_pos);
+  }
+  // Final checkpoint truth equals the static graph truth.
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  EXPECT_DOUBLE_EQ(points.back().actual_triangles, actual.triangles);
+  // Tracked in-stream estimates stay in a sane band at half capacity.
+  const SeriesError err = ComputeSeriesError([&] {
+    std::vector<SeriesPoint> s;
+    for (const TrackedPoint& p : points) {
+      if (p.actual_triangles > 0) {
+        s.push_back({p.in_stream_triangles, p.actual_triangles});
+      }
+    }
+    return s;
+  }());
+  EXPECT_LT(err.mare, 0.5);
+}
+
+TEST(ExperimentTest, TrackedRunEmptyStream) {
+  TrackingOptions options;
+  EXPECT_TRUE(RunTrackedGps({}, options).empty());
+}
+
+}  // namespace
+}  // namespace gps

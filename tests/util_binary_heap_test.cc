@@ -1,0 +1,123 @@
+// Tests for the binary min-heap, including a randomized differential test
+// against std::priority_queue.
+
+#include "util/binary_heap.h"
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace gps {
+namespace {
+
+TEST(BinaryMinHeapTest, EmptyHeap) {
+  BinaryMinHeap<int> heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(BinaryMinHeapTest, SingleElement) {
+  BinaryMinHeap<int> heap;
+  heap.Push(42);
+  EXPECT_EQ(heap.Top(), 42);
+  EXPECT_EQ(heap.PopMin(), 42);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(BinaryMinHeapTest, OrderedExtraction) {
+  BinaryMinHeap<int> heap;
+  for (int x : {5, 3, 8, 1, 9, 2, 7}) heap.Push(x);
+  std::vector<int> out;
+  while (!heap.empty()) out.push_back(heap.PopMin());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 5, 7, 8, 9}));
+}
+
+TEST(BinaryMinHeapTest, DuplicatesSupported) {
+  BinaryMinHeap<int> heap;
+  for (int x : {4, 4, 4, 1, 1}) heap.Push(x);
+  EXPECT_EQ(heap.PopMin(), 1);
+  EXPECT_EQ(heap.PopMin(), 1);
+  EXPECT_EQ(heap.PopMin(), 4);
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(BinaryMinHeapTest, CustomComparatorMaxHeap) {
+  BinaryMinHeap<int, std::greater<int>> heap;
+  for (int x : {5, 3, 8, 1}) heap.Push(x);
+  EXPECT_EQ(heap.PopMin(), 8);
+  EXPECT_EQ(heap.PopMin(), 5);
+}
+
+TEST(BinaryMinHeapTest, StructWithComparator) {
+  struct Item {
+    double priority;
+    int id;
+  };
+  struct Less {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.priority < b.priority;
+    }
+  };
+  BinaryMinHeap<Item, Less> heap;
+  heap.Push({3.5, 1});
+  heap.Push({1.5, 2});
+  heap.Push({2.5, 3});
+  EXPECT_EQ(heap.PopMin().id, 2);
+  EXPECT_EQ(heap.PopMin().id, 3);
+  EXPECT_EQ(heap.PopMin().id, 1);
+}
+
+TEST(BinaryMinHeapTest, InvariantMaintainedUnderRandomOps) {
+  BinaryMinHeap<uint64_t> heap;
+  Rng rng(17);
+  for (int op = 0; op < 20000; ++op) {
+    if (heap.empty() || rng.Bernoulli(0.6)) {
+      heap.Push(rng.UniformU64(1000));
+    } else {
+      heap.PopMin();
+    }
+    if (op % 1000 == 0) {
+      ASSERT_TRUE(heap.IsValidHeap());
+    }
+  }
+  EXPECT_TRUE(heap.IsValidHeap());
+}
+
+TEST(BinaryMinHeapTest, DifferentialAgainstPriorityQueue) {
+  BinaryMinHeap<uint64_t> ours;
+  std::priority_queue<uint64_t, std::vector<uint64_t>,
+                      std::greater<uint64_t>>
+      ref;
+  Rng rng(18);
+  for (int op = 0; op < 50000; ++op) {
+    if (ref.empty() || rng.Bernoulli(0.55)) {
+      const uint64_t x = rng.NextU64();
+      ours.Push(x);
+      ref.push(x);
+    } else {
+      ASSERT_EQ(ours.PopMin(), ref.top());
+      ref.pop();
+    }
+    ASSERT_EQ(ours.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(ours.Top(), ref.top());
+    }
+  }
+}
+
+TEST(BinaryMinHeapTest, ClearAndReuse) {
+  BinaryMinHeap<int> heap;
+  for (int i = 0; i < 10; ++i) heap.Push(i);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  heap.Push(5);
+  EXPECT_EQ(heap.Top(), 5);
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,83 @@
+// Tests for the Bloom filter: no false negatives, false-positive rate near
+// the configured target, sizing, and clearing.
+
+#include "util/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/types.h"
+#include "util/random.h"
+
+namespace gps {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(10000, 0.01);
+  Rng rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back(rng.NextU64());
+  for (uint64_t k : keys) filter.Insert(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  const double target = 0.01;
+  BloomFilter filter(20000, target);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    filter.Insert(rng.NextU64() | 1);  // odd keys inserted
+  }
+  int false_positives = 0;
+  const int probes = 100000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MayContain(rng.NextU64() & ~1ULL)) ++false_positives;  // even
+  }
+  const double fpr = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(fpr, 4.0 * target);
+  EXPECT_NEAR(filter.EstimatedFpr(), fpr, 0.02);
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1000, 0.01);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(filter.MayContain(rng.NextU64()));
+  }
+}
+
+TEST(BloomFilterTest, ClearResetsMembership) {
+  BloomFilter filter(100, 0.01);
+  filter.Insert(42);
+  ASSERT_TRUE(filter.MayContain(42));
+  filter.Clear();
+  EXPECT_FALSE(filter.MayContain(42));
+  EXPECT_EQ(filter.ItemsInserted(), 0u);
+}
+
+TEST(BloomFilterTest, SizingScalesWithFpr) {
+  BloomFilter loose(10000, 0.1);
+  BloomFilter tight(10000, 0.001);
+  EXPECT_GT(tight.SizeBits(), loose.SizeBits());
+  EXPECT_GT(tight.NumHashes(), loose.NumHashes());
+}
+
+TEST(BloomFilterTest, ClampsDegenerateParameters) {
+  BloomFilter filter(0, -1.0);  // clamped internally
+  filter.Insert(7);
+  EXPECT_TRUE(filter.MayContain(7));
+  EXPECT_GE(filter.SizeBits(), 64u);
+}
+
+TEST(BloomFilterTest, WorksWithEdgeKeys) {
+  // The intended use: membership over canonical edge keys.
+  BloomFilter filter(5000, 0.01);
+  for (NodeId i = 0; i < 5000; ++i) {
+    filter.Insert(EdgeKey(MakeEdge(i, i + 1)));
+  }
+  for (NodeId i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(filter.MayContain(EdgeKey(MakeEdge(i + 1, i))));  // reversed
+  }
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,176 @@
+// Tests for the open-addressing hash containers, including a randomized
+// differential test against std::unordered_map.
+
+#include "util/flat_hash_map.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace gps {
+namespace {
+
+TEST(FlatHashMapTest, EmptyMap) {
+  FlatHashMap<uint64_t, int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_FALSE(map.Contains(42));
+  EXPECT_FALSE(map.Erase(42));
+}
+
+TEST(FlatHashMapTest, InsertFind) {
+  FlatHashMap<uint64_t, int> map;
+  auto [ptr, inserted] = map.Insert(1, 10);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*ptr, 10);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.Contains(1));
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 10);
+}
+
+TEST(FlatHashMapTest, InsertDuplicateKeepsOriginal) {
+  FlatHashMap<uint64_t, int> map;
+  map.Insert(1, 10);
+  auto [ptr, inserted] = map.Insert(1, 20);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*ptr, 10);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, SubscriptDefaultInserts) {
+  FlatHashMap<uint32_t, int> map;
+  map[5] = 99;
+  EXPECT_EQ(map[5], 99);
+  EXPECT_EQ(map[6], 0);  // default
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMapTest, EraseAndReinsert) {
+  FlatHashMap<uint64_t, int> map;
+  map.Insert(7, 70);
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_FALSE(map.Contains(7));
+  EXPECT_EQ(map.size(), 0u);
+  map.Insert(7, 71);
+  EXPECT_EQ(*map.Find(7), 71);
+}
+
+TEST(FlatHashMapTest, GrowthPreservesContents) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  const uint64_t n = 10000;
+  for (uint64_t i = 0; i < n; ++i) map.Insert(i * 7919, i);
+  EXPECT_EQ(map.size(), n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_NE(map.Find(i * 7919), nullptr) << i;
+    EXPECT_EQ(*map.Find(i * 7919), i);
+  }
+}
+
+TEST(FlatHashMapTest, TombstoneChurnDoesNotDegrade) {
+  // Insert/erase repeatedly at the same size; with naive tombstone handling
+  // the table would fill with tombstones and probe chains would explode.
+  FlatHashMap<uint64_t, int> map;
+  for (uint64_t round = 0; round < 200; ++round) {
+    for (uint64_t i = 0; i < 100; ++i) map.Insert(round * 100 + i, 1);
+    for (uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(map.Erase(round * 100 + i));
+  }
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_LT(map.capacity(), 4096u);
+}
+
+TEST(FlatHashMapTest, ClearKeepsCapacity) {
+  FlatHashMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 1000; ++i) map.Insert(i, 1);
+  const size_t cap = map.capacity();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_FALSE(map.Contains(0));
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsRehash) {
+  FlatHashMap<uint64_t, int> map;
+  map.reserve(1000);
+  const size_t cap = map.capacity();
+  for (uint64_t i = 0; i < 1000; ++i) map.Insert(i, 1);
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatHashMapTest, ForEachVisitsAllLiveEntries) {
+  FlatHashMap<uint64_t, int> map;
+  for (uint64_t i = 0; i < 100; ++i) map.Insert(i, static_cast<int>(i));
+  for (uint64_t i = 0; i < 50; ++i) map.Erase(i * 2);
+  size_t visited = 0;
+  map.ForEach([&](uint64_t key, int value) {
+    EXPECT_EQ(key % 2, 1u);
+    EXPECT_EQ(static_cast<int>(key), value);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 50u);
+}
+
+TEST(FlatHashMapTest, DifferentialAgainstStdUnorderedMap) {
+  FlatHashMap<uint64_t, uint64_t> ours;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(99);
+  for (int op = 0; op < 200000; ++op) {
+    const uint64_t key = rng.UniformU64(5000);
+    const int action = static_cast<int>(rng.UniformU64(3));
+    if (action == 0) {
+      const uint64_t value = rng.NextU64();
+      const bool inserted = ours.Insert(key, value).second;
+      const bool ref_inserted = ref.emplace(key, value).second;
+      ASSERT_EQ(inserted, ref_inserted);
+    } else if (action == 1) {
+      ASSERT_EQ(ours.Erase(key), ref.erase(key) > 0);
+    } else {
+      const uint64_t* found = ours.Find(key);
+      auto it = ref.find(key);
+      ASSERT_EQ(found != nullptr, it != ref.end());
+      if (found) {
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+    ASSERT_EQ(ours.size(), ref.size());
+  }
+}
+
+TEST(FlatHashSetTest, BasicOperations) {
+  FlatHashSet<uint64_t> set;
+  EXPECT_TRUE(set.Insert(3));
+  EXPECT_FALSE(set.Insert(3));
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.Erase(3));
+  EXPECT_FALSE(set.Erase(3));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatHashSetTest, ForEach) {
+  FlatHashSet<uint32_t> set;
+  for (uint32_t i = 0; i < 500; ++i) set.Insert(i);
+  std::unordered_set<uint32_t> seen;
+  set.ForEach([&](uint32_t key) { seen.insert(key); });
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(MixHashTest, AvalanchesConsecutiveKeys) {
+  // Consecutive integers must map to well-separated hash values so linear
+  // probing does not cluster in power-of-two tables.
+  MixHash hash;
+  size_t collisions_low_bits = 0;
+  for (uint64_t i = 0; i + 1 < 4096; ++i) {
+    if ((hash(i) & 0xfff) == (hash(i + 1) & 0xfff)) ++collisions_low_bits;
+  }
+  EXPECT_LT(collisions_low_bits, 16u);
+}
+
+}  // namespace
+}  // namespace gps

@@ -1,0 +1,170 @@
+// Tests for the xoshiro256++ engine and its distribution helpers.
+
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gps {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.NextU64());
+  a.Seed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.NextU64(), first[i]);
+}
+
+TEST(RngTest, Uniform01InHalfOpenRange) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformOpenClosedNeverZero) {
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.UniformOpenClosed01();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanAndVariance) {
+  Rng rng(5);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform01();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(6);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformU64(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformU64IsRoughlyUniform) {
+  Rng rng(8);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformU64(bound)];
+  for (uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(counts[k], n / static_cast<double>(bound), 500);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(10);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(p);
+  EXPECT_NEAR(hits / static_cast<double>(n), p, 0.01);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  Rng rng(11);
+  const double p = 0.02;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Geometric(p));
+  // E[failures before success] = (1-p)/p = 49.
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 1.5);
+}
+
+TEST(RngTest, GeometricOfOneIsZero) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(14);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkProducesDistinctStream) {
+  Rng parent(15);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and not crash
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(SplitMixTest, KnownDistinctOutputs) {
+  uint64_t state = 0;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(SplitMix64Next(&state));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace gps

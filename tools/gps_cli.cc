@@ -1,0 +1,256 @@
+// gps_cli: command-line front end for the GPS library.
+//
+// Subcommands:
+//   estimate  --input FILE [--capacity N] [--seed S] [--weight KIND]
+//             [--estimator in-stream|post|both] [--checkpoint FILE]
+//       Stream the edge list (randomly permuted unless --no-permute) and
+//       print triangle/wedge/clustering estimates with 95% CIs. With
+//       --checkpoint, the in-stream estimator state is saved afterwards.
+//   resume    --checkpoint FILE --input FILE [--no-permute]
+//       Load a saved in-stream estimator and continue over more edges.
+//   generate  --name CORPUS [--scale X] [--output FILE]
+//       Materialize a corpus graph to an edge-list file.
+//   exact     --input FILE
+//       Exact triangle/wedge/clustering counts (offline oracle).
+//   corpus
+//       List the paper-analog corpus.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/in_stream.h"
+#include "core/post_stream.h"
+#include "core/serialize.h"
+#include "gen/registry.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gps;  // NOLINT
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtoull(
+        it->second.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gps_cli <estimate|resume|generate|exact|corpus> [flags]\n"
+      "  estimate --input FILE [--capacity N] [--seed S]\n"
+      "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
+      "           [--estimator in-stream|post|both] [--no-permute]\n"
+      "           [--checkpoint FILE]\n"
+      "  resume   --checkpoint FILE --input FILE [--no-permute]\n"
+      "  generate --name CORPUS [--scale X] [--output FILE]\n"
+      "  exact    --input FILE\n"
+      "  corpus\n");
+  return 2;
+}
+
+Result<Flags> ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + arg + "'");
+    }
+    const std::string key = arg.substr(2);
+    if (key == "no-permute") {
+      flags.values[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag '" + arg + "' needs a value");
+    }
+    flags.values[key] = argv[++i];
+  }
+  return flags;
+}
+
+Result<WeightOptions> WeightFromName(const std::string& name) {
+  WeightOptions weight;
+  if (name == "uniform") {
+    weight.kind = WeightKind::kUniform;
+  } else if (name == "adjacency") {
+    weight.kind = WeightKind::kAdjacency;
+    weight.coefficient = 1.0;
+  } else if (name == "triangle") {
+    weight.kind = WeightKind::kTriangle;
+  } else if (name == "triangle-wedge") {
+    weight.kind = WeightKind::kTriangleWedge;
+  } else {
+    return Status::InvalidArgument("unknown weight '" + name + "'");
+  }
+  return weight;
+}
+
+Result<std::vector<Edge>> LoadStream(const Flags& flags) {
+  auto list = EdgeList::Load(flags.Get("input", ""));
+  if (!list.ok()) return list.status();
+  if (flags.Has("no-permute")) {
+    EdgeList simplified = *list;
+    simplified.Simplify();
+    return simplified.Edges();
+  }
+  return MakePermutedStream(*list, flags.GetU64("seed", 1));
+}
+
+void PrintEstimates(const char* label, const GraphEstimates& est) {
+  const Estimate cc = est.ClusteringCoefficient();
+  std::printf("%s:\n", label);
+  std::printf("  triangles  %14.0f  [%.0f, %.0f]\n", est.triangles.value,
+              est.triangles.Lower(), est.triangles.Upper());
+  std::printf("  wedges     %14.0f  [%.0f, %.0f]\n", est.wedges.value,
+              est.wedges.Lower(), est.wedges.Upper());
+  std::printf("  clustering %14.4f  [%.4f, %.4f]\n", cc.value, cc.Lower(),
+              cc.Upper());
+}
+
+int RunEstimate(const Flags& flags) {
+  auto stream = LoadStream(flags);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  auto weight = WeightFromName(flags.Get("weight", "triangle"));
+  if (!weight.ok()) {
+    std::fprintf(stderr, "error: %s\n", weight.status().ToString().c_str());
+    return 1;
+  }
+  GpsSamplerOptions options;
+  options.capacity = flags.GetU64("capacity", stream->size() / 20 + 1);
+  options.seed = flags.GetU64("seed", 1);
+  options.weight = *weight;
+
+  const std::string estimator = flags.Get("estimator", "both");
+  std::printf("stream: %zu edges, reservoir: %zu edges\n", stream->size(),
+              options.capacity);
+
+  InStreamEstimator in_stream(options);
+  for (const Edge& e : *stream) in_stream.Process(e);
+  if (estimator == "in-stream" || estimator == "both") {
+    PrintEstimates("in-stream estimates (Algorithm 3)",
+                   in_stream.Estimates());
+  }
+  if (estimator == "post" || estimator == "both") {
+    PrintEstimates("post-stream estimates (Algorithm 2)",
+                   EstimatePostStream(in_stream.reservoir()));
+  }
+
+  if (flags.Has("checkpoint")) {
+    std::ofstream out(flags.Get("checkpoint", ""));
+    const Status s = SerializeInStreamEstimator(in_stream, out);
+    if (!s.ok() || !out) {
+      std::fprintf(stderr, "checkpoint error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint written to %s\n",
+                flags.Get("checkpoint", "").c_str());
+  }
+  return 0;
+}
+
+int RunResume(const Flags& flags) {
+  std::ifstream in(flags.Get("checkpoint", ""));
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open checkpoint\n");
+    return 1;
+  }
+  auto estimator = DeserializeInStreamEstimator(in);
+  if (!estimator.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 estimator.status().ToString().c_str());
+    return 1;
+  }
+  auto stream = LoadStream(flags);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("resumed at %llu processed edges; feeding %zu more\n",
+              static_cast<unsigned long long>(estimator->edges_processed()),
+              stream->size());
+  for (const Edge& e : *stream) estimator->Process(e);
+  PrintEstimates("in-stream estimates (resumed)", estimator->Estimates());
+  return 0;
+}
+
+int RunGenerate(const Flags& flags) {
+  auto graph = MakeCorpusGraph(flags.Get("name", ""),
+                               flags.GetDouble("scale", 1.0));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string output = flags.Get("output", "graph.txt");
+  if (Status s = graph->Save(output); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu edges (%zu nodes) to %s\n", graph->NumEdges(),
+              graph->CountTouchedNodes(), output.c_str());
+  return 0;
+}
+
+int RunExact(const Flags& flags) {
+  auto list = EdgeList::Load(flags.Get("input", ""));
+  if (!list.ok()) {
+    std::fprintf(stderr, "error: %s\n", list.status().ToString().c_str());
+    return 1;
+  }
+  const ExactCounts counts = CountExact(CsrGraph::FromEdgeList(*list));
+  std::printf("triangles  %14.0f\n", counts.triangles);
+  std::printf("wedges     %14.0f\n", counts.wedges);
+  std::printf("clustering %14.4f\n", counts.ClusteringCoefficient());
+  return 0;
+}
+
+int RunCorpus() {
+  TextTable t({"name", "family", "analog of"});
+  for (const CorpusEntry& e : CorpusEntries()) {
+    t.AddRow({e.name, e.family, e.analog_of});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return Usage();
+  }
+  if (command == "estimate") return RunEstimate(*flags);
+  if (command == "resume") return RunResume(*flags);
+  if (command == "generate") return RunGenerate(*flags);
+  if (command == "exact") return RunExact(*flags);
+  if (command == "corpus") return RunCorpus();
+  return Usage();
+}
