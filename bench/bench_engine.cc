@@ -1,0 +1,151 @@
+// Sharded-engine ingestion throughput: edges/sec vs. shard count on a
+// Barabási–Albert stream, against the serial InStreamEstimator baseline.
+//
+//   build/bench_engine [--edges N] [--capacity M] [--no-exact]
+//
+// Defaults reproduce the PR acceptance setup: a ~1M-edge BA stream
+// (62.5K nodes × 16 edges/node, triad probability 0.5 for realistic
+// clustering) with a 250K-edge total reservoir budget; the engine splits
+// the budget across shards (ceil(M/K) each), so every row uses the same
+// total memory. Timing covers ingestion + Finish() (workers joined);
+// the merge column reports MergedEstimates() separately.
+//
+// Two effects stack:
+//   * partitioning: each shard's sampled adjacency holds ~1/K of any
+//     node's sampled neighbors, so the per-edge neighborhood scans of
+//     GPSESTIMATE and the weight function shrink by ~K even on one core;
+//   * parallelism: shard workers run on their own threads.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/in_stream.h"
+#include "engine/sharded_engine.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gps;  // NOLINT
+
+struct Row {
+  std::string config;
+  double seconds = 0.0;
+  double merge_seconds = 0.0;
+  double edges_per_sec = 0.0;
+  double speedup = 1.0;
+  GraphEstimates estimates;
+};
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t target_edges = 1000000;
+  size_t capacity = 250000;
+  bool run_exact = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--edges") && i + 1 < argc) {
+      target_edges = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--capacity") && i + 1 < argc) {
+      capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--no-exact")) {
+      run_exact = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_engine [--edges N] [--capacity M] "
+                   "[--no-exact]\n");
+      return 2;
+    }
+  }
+
+  const uint32_t edges_per_node = 16;
+  const uint32_t nodes =
+      static_cast<uint32_t>(target_edges / edges_per_node + edges_per_node);
+  std::printf("generating BA stream: ~%" PRIu64 " edges (%u nodes x %u)\n",
+              target_edges, nodes, edges_per_node);
+  EdgeList graph =
+      GenerateBarabasiAlbert(nodes, edges_per_node, 0.5, 901).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 902);
+  std::printf("stream: %zu edges, reservoir budget: %zu\n\n", stream.size(),
+              capacity);
+
+  GpsSamplerOptions base;
+  base.capacity = capacity;
+  base.seed = 903;
+
+  std::vector<Row> rows;
+
+  {
+    Row row;
+    row.config = "serial in-stream";
+    WallTimer timer;
+    InStreamEstimator serial(base);
+    for (const Edge& e : stream) serial.Process(e);
+    row.seconds = timer.ElapsedSeconds();
+    row.estimates = serial.Estimates();
+    row.edges_per_sec = stream.size() / row.seconds;
+    rows.push_back(row);
+  }
+  const double serial_seconds = rows[0].seconds;
+
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    Row row;
+    row.config = "engine K=" + std::to_string(shards);
+    ShardedEngineOptions options;
+    options.sampler = base;
+    options.num_shards = shards;
+    WallTimer timer;
+    ShardedEngine engine(options);
+    for (const Edge& e : stream) engine.Process(e);
+    engine.Finish();
+    row.seconds = timer.ElapsedSeconds();
+    WallTimer merge_timer;
+    row.estimates = engine.MergedEstimates();
+    row.merge_seconds = merge_timer.ElapsedSeconds();
+    row.edges_per_sec = stream.size() / row.seconds;
+    row.speedup = serial_seconds / row.seconds;
+    rows.push_back(row);
+  }
+
+  ExactCounts exact;
+  if (run_exact) exact = CountExact(CsrGraph::FromEdgeList(graph));
+
+  TextTable table({"config", "ingest s", "merge s", "edges/s", "speedup",
+                   "triangles", "tri err%"});
+  for (const Row& row : rows) {
+    const double err =
+        run_exact && exact.triangles > 0
+            ? 100.0 * (row.estimates.triangles.value - exact.triangles) /
+                  exact.triangles
+            : 0.0;
+    table.AddRow({row.config, Fmt("%.2f", row.seconds),
+                  Fmt("%.2f", row.merge_seconds),
+                  Fmt("%.0f", row.edges_per_sec), Fmt("%.2fx", row.speedup),
+                  Fmt("%.0f", row.estimates.triangles.value),
+                  run_exact ? Fmt("%+.2f", err) : "n/a"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (run_exact) {
+    std::printf("exact triangles: %.0f  wedges: %.0f\n", exact.triangles,
+                exact.wedges);
+  }
+
+  // PR acceptance: >= 2x ingestion throughput at 4 shards vs serial.
+  const double speedup4 = rows[3].speedup;
+  std::printf("\n4-shard speedup vs serial: %.2fx (%s)\n", speedup4,
+              speedup4 >= 2.0 ? "PASS" : "FAIL");
+  return speedup4 >= 2.0 ? 0 : 1;
+}

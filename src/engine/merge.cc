@@ -1,0 +1,196 @@
+#include "engine/merge.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/sampled_graph.h"
+#include "graph/types.h"
+
+namespace gps {
+namespace {
+
+// The union of the shard reservoirs, indexed like a reservoir: a sampled
+// adjacency whose slot payloads point into a flat record array. Edge-hash
+// sharding guarantees shard samples are edge-disjoint, so AddEdge never
+// collides.
+struct MergedRecord {
+  Edge edge;
+  double inv_q = 0.0;   // 1 / min{1, w / z*_shard}
+  uint32_t shard = 0;
+};
+
+struct MergedSample {
+  SampledGraph graph;
+  std::vector<MergedRecord> records;
+};
+
+MergedSample BuildMergedSample(std::span<const GpsReservoir* const> shards) {
+  MergedSample merged;
+  size_t total = 0;
+  for (const GpsReservoir* r : shards) total += r->size();
+  merged.records.reserve(total);
+  for (uint32_t s = 0; s < shards.size(); ++s) {
+    const GpsReservoir& reservoir = *shards[s];
+    reservoir.ForEachEdge(
+        [&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+          const double q = reservoir.ProbabilityForWeight(rec.weight);
+          const SlotId slot = static_cast<SlotId>(merged.records.size());
+          merged.records.push_back({rec.edge, 1.0 / q, s});
+          merged.graph.AddEdge(rec.edge, slot);
+        });
+  }
+  return merged;
+}
+
+// Mirrors PartialSums/AccumulateEdge of core/post_stream.cc (Algorithm 2
+// localized per edge, with the triangle-wedge covariance of Eq. 12), with
+// two generalizations:
+//   * per-edge inclusion probabilities come from each edge's own shard
+//     threshold instead of one global z*;
+//   * with SpanOnly, a subgraph contributes only when its edges span >= 2
+//     shards; the pair-covariance prefix sums then run over counted
+//     subgraphs only, so cross terms pair spanning subgraphs with
+//     spanning subgraphs (within-shard subgraphs belong to the in-stream
+//     stratum and are estimated there).
+struct PartialSums {
+  double n_tri = 0.0, v_tri = 0.0, c_tri = 0.0;
+  double n_wed = 0.0, v_wed = 0.0, c_wed = 0.0;
+  double cov_tw = 0.0;
+};
+
+template <bool SpanOnly>
+void AccumulateMergedEdge(const MergedSample& sample, SlotId slot_k,
+                          PartialSums* out) {
+  const MergedRecord& rec = sample.records[slot_k];
+  const SampledGraph& graph = sample.graph;
+  NodeId v1 = rec.edge.u;
+  NodeId v2 = rec.edge.v;
+  if (graph.Degree(v1) > graph.Degree(v2)) std::swap(v1, v2);
+
+  const double inv_q = rec.inv_q;
+  const uint32_t sh = rec.shard;
+
+  double nk_tri = 0.0, vk_tri = 0.0;
+  double nk_wed = 0.0, vk_wed = 0.0;
+  double run_tri = 0.0;      // prefix sum of 1/(q1*q2) over counted triangles
+  double ck_tri = 0.0;       // ordered-pair triangle cross-products
+  double run_wed = 0.0;      // prefix sum of 1/q_other over counted wedges
+  double ck_wed = 0.0;       // ordered-pair wedge cross-products
+  double d_contained = 0.0;  // counted (triangle, contained-wedge) pairs
+  double covb = 0.0;         // |tri ∩ wedge| = 2 contributions
+
+  graph.ForEachNeighbor(v1, [&](NodeId v3, SlotId slot_k1) {
+    if (v3 == v2) return;
+    const MergedRecord& r1 = sample.records[slot_k1];
+    const double inv_q1 = r1.inv_q;
+
+    const SlotId slot_k2 = graph.FindEdge(MakeEdge(v2, v3));
+    if (slot_k2 != kNoSlot) {
+      const MergedRecord& r2 = sample.records[slot_k2];
+      const double inv_q2 = r2.inv_q;
+      const bool tri_counted =
+          !SpanOnly || !(r1.shard == sh && r2.shard == sh);
+      if (tri_counted) {
+        const double inv_q1q2 = inv_q1 * inv_q2;
+        const double est = inv_q * inv_q1q2;
+        nk_tri += est;
+        vk_tri += est * (est - 1.0);
+        ck_tri += run_tri * inv_q1q2;
+        run_tri += inv_q1q2;
+        // Pairs (triangle, wedge ⊂ triangle sharing only k) to subtract
+        // from the run_tri * run_wed product: only wedges this pass
+        // counted participate in run_wed.
+        if (!SpanOnly || r1.shard != sh) d_contained += inv_q1q2 * inv_q1;
+        if (!SpanOnly || r2.shard != sh) d_contained += inv_q1q2 * inv_q2;
+        // Case |tri ∩ wedge| = 2: the wedge {k1, k2} inside the triangle.
+        if (!SpanOnly || r1.shard != r2.shard) {
+          covb += est * (inv_q1q2 - 1.0);
+        }
+      }
+    }
+
+    // Wedge {k1, k} at the shared endpoint v1.
+    if (!SpanOnly || r1.shard != sh) {
+      const double west = inv_q * inv_q1;
+      nk_wed += west;
+      vk_wed += west * (west - 1.0);
+      ck_wed += run_wed * inv_q1;
+      run_wed += inv_q1;
+    }
+  });
+
+  graph.ForEachNeighbor(v2, [&](NodeId v3, SlotId slot_k2) {
+    if (v3 == v1) return;
+    const MergedRecord& r2 = sample.records[slot_k2];
+    if (SpanOnly && r2.shard == sh) return;
+    const double inv_q2 = r2.inv_q;
+    const double west = inv_q * inv_q2;
+    nk_wed += west;
+    vk_wed += west * (west - 1.0);
+    ck_wed += run_wed * inv_q2;
+    run_wed += inv_q2;
+  });
+
+  const double pair_factor = 2.0 * inv_q * (inv_q - 1.0);
+  out->n_tri += nk_tri;
+  out->v_tri += vk_tri;
+  out->c_tri += ck_tri * pair_factor;
+  out->n_wed += nk_wed;
+  out->v_wed += vk_wed;
+  out->c_wed += ck_wed * pair_factor;
+  out->cov_tw += (run_tri * run_wed - d_contained) * inv_q * (inv_q - 1.0);
+  out->cov_tw += covb;
+}
+
+GraphEstimates Finalize(const PartialSums& sums) {
+  GraphEstimates out;
+  out.triangles.value = sums.n_tri / 3.0;
+  out.triangles.variance = sums.v_tri / 3.0 + sums.c_tri;
+  out.wedges.value = sums.n_wed / 2.0;
+  out.wedges.variance = sums.v_wed / 2.0 + sums.c_wed;
+  out.tri_wedge_cov = sums.cov_tw;
+  return out;
+}
+
+template <bool SpanOnly>
+GraphEstimates EstimateUnion(std::span<const GpsReservoir* const> shards) {
+  const MergedSample sample = BuildMergedSample(shards);
+  PartialSums sums;
+  for (SlotId slot = 0; slot < sample.records.size(); ++slot) {
+    AccumulateMergedEdge<SpanOnly>(sample, slot, &sums);
+  }
+  return Finalize(sums);
+}
+
+}  // namespace
+
+GraphEstimates SumShardEstimates(std::span<const GraphEstimates> shards) {
+  GraphEstimates total;
+  for (const GraphEstimates& e : shards) total = AddEstimates(total, e);
+  return total;
+}
+
+GraphEstimates EstimateCrossShard(
+    std::span<const GpsReservoir* const> shards) {
+  if (shards.size() < 2) return {};
+  return EstimateUnion</*SpanOnly=*/true>(shards);
+}
+
+GraphEstimates EstimateMergedPostStream(
+    std::span<const GpsReservoir* const> shards) {
+  if (shards.empty()) return {};
+  return EstimateUnion</*SpanOnly=*/false>(shards);
+}
+
+GraphEstimates AddEstimates(const GraphEstimates& a,
+                            const GraphEstimates& b) {
+  GraphEstimates out;
+  out.triangles.value = a.triangles.value + b.triangles.value;
+  out.triangles.variance = a.triangles.variance + b.triangles.variance;
+  out.wedges.value = a.wedges.value + b.wedges.value;
+  out.wedges.variance = a.wedges.variance + b.wedges.variance;
+  out.tri_wedge_cov = a.tri_wedge_cov + b.tri_wedge_cov;
+  return out;
+}
+
+}  // namespace gps

@@ -1,0 +1,70 @@
+// Merging per-shard GPS samples into whole-graph estimates.
+//
+// Edge-hash sharding splits the stream into K disjoint substreams, so the
+// triangle population decomposes exactly (shard assignment is a
+// deterministic function of the edge, not a random event):
+//
+//   N(tri) = N(all three edges in one shard) + N(edges span >= 2 shards)
+//
+// and likewise for wedges (both edges same shard vs. spanning). The two
+// strata are estimated by different machinery:
+//
+//   * within-shard: each shard's in-stream estimator (Algorithm 3) already
+//     produces unbiased counts/variances of the subgraphs inside its
+//     substream; shard RNGs are independent (core/seeding.h), so the sums
+//     of values and variances over shards are themselves unbiased
+//     (Theorems 5-7 applied per shard + independence);
+//   * cross-shard: a post-stream Horvitz-Thompson pass (Algorithm 2 shape)
+//     over the UNION of the shard reservoirs, restricted to subgraphs
+//     whose edges span >= 2 shards. Each edge keeps the inclusion
+//     probability q = min{1, w/z*_s} of its OWN shard's threshold;
+//     cross-shard edge inclusions are genuinely independent, so product
+//     estimators and their variance estimators keep the paper's form.
+//
+// Documented approximation (see src/engine/README.md): the merged variance
+// omits the covariance between the in-stream stratum and the cross-shard
+// correction stratum (they estimate disjoint subgraph populations but
+// share sample-path randomness). K=1 has no cross-shard stratum, so the
+// engine's estimates reduce exactly to the serial estimator's.
+
+#ifndef GPS_ENGINE_MERGE_H_
+#define GPS_ENGINE_MERGE_H_
+
+#include <span>
+
+#include "core/estimates.h"
+#include "core/reservoir.h"
+
+namespace gps {
+
+/// How MergedEstimates() combines shard states.
+enum class MergeMode {
+  /// Sum of per-shard in-stream estimates plus the cross-shard
+  /// post-stream correction. Default; lowest variance.
+  kInStreamPlusCross,
+  /// Pure post-stream estimation over the union sample (all subgraphs,
+  /// spanning or not). Works with ShardEstimatorKind::kPostStream shards.
+  kPostStreamMerged,
+};
+
+/// Sums independent per-shard estimates (values, variances, covariance
+/// all add across independent strata).
+GraphEstimates SumShardEstimates(std::span<const GraphEstimates> shards);
+
+/// Horvitz-Thompson estimates of the subgraphs spanning >= 2 shards, from
+/// the union of the shard reservoirs. Returns zeros for < 2 shards.
+GraphEstimates EstimateCrossShard(
+    std::span<const GpsReservoir* const> shards);
+
+/// Post-stream estimates of ALL subgraphs from the union of the shard
+/// reservoirs. With a single shard this matches EstimatePostStream up to
+/// floating-point summation order.
+GraphEstimates EstimateMergedPostStream(
+    std::span<const GpsReservoir* const> shards);
+
+/// Element-wise sum of two estimate sets from independent strata.
+GraphEstimates AddEstimates(const GraphEstimates& a, const GraphEstimates& b);
+
+}  // namespace gps
+
+#endif  // GPS_ENGINE_MERGE_H_

@@ -1,0 +1,100 @@
+// Bounded single-producer/single-consumer ring buffer.
+//
+// The sharded engine's hand-off primitive: the ingestion thread pushes
+// *batches* of edges (amortizing synchronization to one release-store per
+// batch_size edges) and each shard worker pops from its own ring. SPSC
+// keeps the fast path to two relaxed loads + one release store per side;
+// head/tail are cache-line padded, and each side caches the opposing index
+// so the common case touches no shared line at all (the folly/rigtorp
+// idiom, also used by the mccortex stream loaders this design follows).
+//
+// Non-blocking by design: TryPush/TryPop never wait. Blocking policies
+// (spin, yield, sleep) belong to the caller — see engine/shard.cc — so the
+// same buffer serves both latency-sensitive and throughput workloads.
+//
+// Close() is a producer-side end-of-stream signal: after it, TryPop drains
+// the remaining items and closed() lets the consumer distinguish "empty
+// for now" from "empty forever".
+
+#ifndef GPS_ENGINE_RING_BUFFER_H_
+#define GPS_ENGINE_RING_BUFFER_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace gps {
+
+template <typename T>
+class SpscRingBuffer {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so index
+  /// wrapping is a mask, not a modulo.
+  explicit SpscRingBuffer(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRingBuffer(const SpscRingBuffer&) = delete;
+  SpscRingBuffer& operator=(const SpscRingBuffer&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Moves `item` into the ring and returns true, or
+  /// returns false (item untouched) when the ring is full.
+  bool TryPush(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Moves the oldest item into *out and returns true, or
+  /// returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer signals end of stream. Items already in the ring remain
+  /// poppable; the consumer treats closed() && empty as termination.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate occupancy (exact only from the owning side).
+  size_t SizeApprox() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr size_t kCacheLine = 64;
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  alignas(kCacheLine) std::atomic<size_t> head_{0};  // consumer-owned
+  alignas(kCacheLine) size_t cached_tail_ = 0;       // consumer's view
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};  // producer-owned
+  alignas(kCacheLine) size_t cached_head_ = 0;       // producer's view
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
+};
+
+}  // namespace gps
+
+#endif  // GPS_ENGINE_RING_BUFFER_H_

@@ -1,0 +1,101 @@
+#include "engine/shard.h"
+
+#include <cassert>
+
+namespace gps {
+namespace {
+
+// Backoff for full/empty ring waits: spin briefly (the partner is usually
+// one batch away), then yield so single-core hosts make progress.
+class Backoff {
+ public:
+  void Pause() {
+    if (++spins_ < kSpinLimit) return;
+    std::this_thread::yield();
+  }
+  void Reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  int spins_ = 0;
+};
+
+}  // namespace
+
+ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options)
+    : index_(index), options_(options), ring_(options.ring_capacity) {
+  if (options_.estimator == ShardEstimatorKind::kInStream) {
+    in_stream_ = std::make_unique<InStreamEstimator>(options_.sampler);
+  } else {
+    sampler_ = std::make_unique<GpsSampler>(options_.sampler);
+  }
+}
+
+ShardWorker::~ShardWorker() { Join(); }
+
+void ShardWorker::Start() {
+  assert(!thread_.joinable());
+  thread_ = std::thread([this] { RunWorker(); });
+}
+
+void ShardWorker::Submit(Batch&& batch) {
+  if (batch.empty()) return;
+  assert(thread_.joinable() && !joined_);
+  submitted_edges_ += batch.size();
+  Backoff backoff;
+  while (!ring_.TryPush(std::move(batch))) backoff.Pause();
+}
+
+void ShardWorker::WaitDrained() const {
+  Backoff backoff;
+  while (consumed_edges_.load(std::memory_order_acquire) !=
+         submitted_edges_) {
+    backoff.Pause();
+  }
+}
+
+void ShardWorker::Join() {
+  if (joined_ || !thread_.joinable()) return;
+  ring_.Close();
+  thread_.join();
+  joined_ = true;
+}
+
+const GpsReservoir& ShardWorker::reservoir() const {
+  return in_stream_ ? in_stream_->reservoir() : sampler_->reservoir();
+}
+
+GraphEstimates ShardWorker::InStreamEstimates() const {
+  assert(in_stream_ && "shard was configured for post-stream estimation");
+  return in_stream_->Estimates();
+}
+
+void ShardWorker::RunWorker() {
+  Batch batch;
+  Backoff backoff;
+  for (;;) {
+    if (!ring_.TryPop(&batch)) {
+      // Close() is store-released after the producer's final push, so
+      // observing closed() here means the ring already holds everything
+      // it ever will: one more pop distinguishes drained from racing.
+      if (ring_.closed()) {
+        if (!ring_.TryPop(&batch)) break;
+      } else {
+        backoff.Pause();
+        continue;
+      }
+    }
+    backoff.Reset();
+    if (in_stream_) {
+      for (const Edge& e : batch) in_stream_->Process(e);
+    } else {
+      for (const Edge& e : batch) sampler_->Process(e);
+    }
+    // Release so a producer observing the new count also observes the
+    // estimator state those edges produced.
+    consumed_edges_.fetch_add(batch.size(), std::memory_order_release);
+    batch.clear();
+  }
+}
+
+}  // namespace gps

@@ -1,0 +1,108 @@
+// One shard of the sharded streaming engine: a GPS estimator running on
+// its own worker thread, fed batches of edges through a bounded SPSC ring.
+//
+// Threading contract:
+//   * exactly one producer thread calls Submit/CloseInput (the engine's
+//     ingestion thread);
+//   * the worker thread is the only mutator of the estimator state;
+//   * after WaitDrained() or Join() returns, the producer may read the
+//     estimator (the drain handshake publishes the worker's writes with a
+//     release/acquire pair on the consumed-edge counter).
+//
+// Determinism: the worker consumes its substream in submission order with
+// a private, deterministically seeded RNG, so the reservoir state after t
+// submitted edges is a pure function of (substream prefix, options) —
+// independent of thread scheduling, batch boundaries, and ring capacity.
+
+#ifndef GPS_ENGINE_SHARD_H_
+#define GPS_ENGINE_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/gps.h"
+#include "core/in_stream.h"
+#include "engine/ring_buffer.h"
+#include "graph/types.h"
+
+namespace gps {
+
+/// Which estimator a shard runs. kInStream maintains Algorithm 3 snapshot
+/// accumulators while sampling (lower-variance estimates, more work per
+/// edge); kPostStream runs the bare Algorithm 1 sampler and defers all
+/// estimation to merge time.
+enum class ShardEstimatorKind {
+  kInStream,
+  kPostStream,
+};
+
+struct ShardOptions {
+  /// Per-shard sampler configuration; `seed` must already be the derived
+  /// per-shard seed (core/seeding.h).
+  GpsSamplerOptions sampler;
+  ShardEstimatorKind estimator = ShardEstimatorKind::kInStream;
+  /// Ring capacity in batches (rounded up to a power of two).
+  size_t ring_capacity = 64;
+};
+
+class ShardWorker {
+ public:
+  using Batch = std::vector<Edge>;
+
+  ShardWorker(uint32_t index, const ShardOptions& options);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Launches the worker thread. Call once before the first Submit.
+  void Start();
+
+  /// Hands a batch to the worker; blocks (yielding) while the ring is
+  /// full. Producer thread only. Empty batches are ignored.
+  void Submit(Batch&& batch);
+
+  /// Blocks until every submitted edge has been consumed by the worker.
+  /// On return the estimator state is safely readable until the next
+  /// Submit. Producer thread only.
+  void WaitDrained() const;
+
+  /// Signals end of stream and joins the worker thread. Idempotent.
+  void Join();
+
+  uint32_t index() const { return index_; }
+  uint64_t edges_submitted() const { return submitted_edges_; }
+
+  /// The shard's reservoir; caller must hold the drained/joined guarantee.
+  const GpsReservoir& reservoir() const;
+
+  /// In-stream estimates of the shard's substream (triangles and wedges
+  /// entirely inside this shard). Requires kInStream.
+  GraphEstimates InStreamEstimates() const;
+
+  ShardEstimatorKind estimator_kind() const { return options_.estimator; }
+
+ private:
+  void RunWorker();
+
+  uint32_t index_;
+  ShardOptions options_;
+
+  // Exactly one of the two is live, per options_.estimator.
+  std::unique_ptr<InStreamEstimator> in_stream_;
+  std::unique_ptr<GpsSampler> sampler_;
+
+  SpscRingBuffer<Batch> ring_;
+  std::thread thread_;
+  bool joined_ = false;
+
+  uint64_t submitted_edges_ = 0;                   // producer-owned
+  std::atomic<uint64_t> consumed_edges_{0};        // worker publishes
+};
+
+}  // namespace gps
+
+#endif  // GPS_ENGINE_SHARD_H_

@@ -1,0 +1,109 @@
+#include "engine/sharded_engine.h"
+
+#include <cassert>
+
+#include "core/seeding.h"
+
+namespace gps {
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : options_(std::move(options)) {
+  assert(options_.num_shards >= 1);
+  assert(options_.batch_size >= 1);
+  const uint32_t k = options_.num_shards;
+  const size_t per_shard_capacity =
+      options_.split_capacity
+          ? (options_.sampler.capacity + k - 1) / k
+          : options_.sampler.capacity;
+
+  shards_.reserve(k);
+  pending_.resize(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    ShardOptions shard_options;
+    shard_options.sampler = options_.sampler;
+    shard_options.sampler.capacity = per_shard_capacity;
+    shard_options.sampler.seed =
+        DeriveShardSeed(options_.sampler.seed, s, k);
+    shard_options.estimator =
+        options_.merge_mode == MergeMode::kPostStreamMerged
+            ? ShardEstimatorKind::kPostStream
+            : ShardEstimatorKind::kInStream;
+    shard_options.ring_capacity = options_.ring_capacity;
+    shards_.push_back(std::make_unique<ShardWorker>(s, shard_options));
+    pending_[s].reserve(options_.batch_size);
+  }
+  for (auto& shard : shards_) shard->Start();
+}
+
+ShardedEngine::~ShardedEngine() { Finish(); }
+
+uint32_t ShardedEngine::ShardOfEdge(const Edge& e, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // SplitMix64 over the canonical 64-bit edge key: both orientations of an
+  // edge — and thus every re-observation — hash identically.
+  uint64_t state = EdgeKey(e);
+  const uint64_t h = SplitMix64Next(&state);
+  // Lemire multiply-shift reduction: unbiased enough for partitioning and
+  // cheaper than modulo.
+  return static_cast<uint32_t>(
+      (static_cast<unsigned __int128>(h) * num_shards) >> 64);
+}
+
+void ShardedEngine::Process(const Edge& e) {
+  assert(!finished_);
+  ++edges_processed_;
+  const uint32_t s = ShardOfEdge(e, num_shards());
+  ShardWorker::Batch& batch = pending_[s];
+  batch.push_back(e);
+  if (batch.size() >= options_.batch_size) {
+    shards_[s]->Submit(std::move(batch));
+    batch = ShardWorker::Batch();
+    batch.reserve(options_.batch_size);
+  }
+}
+
+void ShardedEngine::Flush() {
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (pending_[s].empty()) continue;
+    shards_[s]->Submit(std::move(pending_[s]));
+    pending_[s] = ShardWorker::Batch();
+    pending_[s].reserve(options_.batch_size);
+  }
+}
+
+void ShardedEngine::Drain() {
+  Flush();
+  for (auto& shard : shards_) shard->WaitDrained();
+}
+
+void ShardedEngine::Finish() {
+  if (finished_) return;
+  Flush();
+  for (auto& shard : shards_) shard->Join();
+  finished_ = true;
+}
+
+GraphEstimates ShardedEngine::MergedEstimates() {
+  if (!finished_) Drain();
+
+  std::vector<const GpsReservoir*> reservoirs;
+  reservoirs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    reservoirs.push_back(&shard->reservoir());
+  }
+
+  if (options_.merge_mode == MergeMode::kPostStreamMerged) {
+    return EstimateMergedPostStream(reservoirs);
+  }
+
+  std::vector<GraphEstimates> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    per_shard.push_back(shard->InStreamEstimates());
+  }
+  const GraphEstimates within = SumShardEstimates(per_shard);
+  const GraphEstimates cross = EstimateCrossShard(reservoirs);
+  return AddEstimates(within, cross);
+}
+
+}  // namespace gps

@@ -1,0 +1,123 @@
+// ShardedEngine: parallel GPS ingestion over K hash-partitioned shards
+// with merged stratified estimates.
+//
+// Architecture (core -> engine -> tools layering):
+//
+//   Process(e)  --hash(EdgeKey)-->  pending batch per shard
+//        |                                |  (batch_size edges)
+//        |                                v
+//        |                     SPSC ring (engine/ring_buffer.h)
+//        |                                |
+//        v                                v
+//   producer thread            K worker threads, one InStreamEstimator
+//                              (or GpsSampler) per shard — engine/shard.h
+//
+//   MergedEstimates() = sum of per-shard in-stream estimates (within-shard
+//   stratum) + cross-shard Horvitz-Thompson correction over the union
+//   sample (engine/merge.h).
+//
+// Partitioning is by canonical-edge hash: shard(e) is a deterministic
+// function of {u, v}, so re-arrivals of an edge and both "sides" of any
+// adjacency land in one shard's substream, and the partition is stable
+// across runs and thread schedules.
+//
+// Determinism contract:
+//   * fixed (stream, options) => byte-identical per-shard reservoirs
+//     regardless of thread scheduling, batch size, or ring capacity;
+//   * num_shards == 1 (split_capacity default) reproduces the serial
+//     InStreamEstimator / GpsSampler sample path exactly, byte for byte.
+//
+// Threading contract: Process/Flush/Drain/Finish/MergedEstimates must all
+// be called from one thread (the producer). Estimator state is readable
+// only between Drain() (or Finish()) and the next Process().
+
+#ifndef GPS_ENGINE_SHARDED_ENGINE_H_
+#define GPS_ENGINE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/estimates.h"
+#include "core/gps.h"
+#include "engine/merge.h"
+#include "engine/shard.h"
+#include "graph/types.h"
+
+namespace gps {
+
+struct ShardedEngineOptions {
+  /// Base sampler configuration. `capacity` is the TOTAL memory budget
+  /// (split across shards unless split_capacity is false); `seed` is the
+  /// base seed each shard's seed is derived from (core/seeding.h).
+  GpsSamplerOptions sampler;
+  /// Number of shards K (>= 1).
+  uint32_t num_shards = 1;
+  /// Edges per hand-off batch; larger batches amortize ring traffic,
+  /// smaller ones reduce ingestion-to-sample latency.
+  size_t batch_size = 1024;
+  /// Per-shard ring capacity in batches.
+  size_t ring_capacity = 64;
+  /// If true (default), each shard's reservoir gets ceil(capacity / K)
+  /// slots so the engine's total memory matches the serial sampler's; if
+  /// false every shard gets the full `capacity`.
+  bool split_capacity = true;
+  /// Estimation strategy; see engine/merge.h.
+  MergeMode merge_mode = MergeMode::kInStreamPlusCross;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options);
+  ~ShardedEngine();  // implies Finish()
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Routes one arriving edge to its shard (batched; the edge is handed
+  /// off once the shard's pending batch fills).
+  void Process(const Edge& e);
+
+  /// Pushes all partially filled batches to their shards.
+  void Flush();
+
+  /// Flush + wait until every submitted edge is consumed. Afterwards (and
+  /// until the next Process) shard state is safely readable, so streaming
+  /// applications can take mid-stream estimates.
+  void Drain();
+
+  /// Drain + stop and join all workers. Idempotent; further Process calls
+  /// are invalid.
+  void Finish();
+
+  /// Merged whole-graph estimates per the configured MergeMode. Drains
+  /// first if needed.
+  GraphEstimates MergedEstimates();
+
+  /// Deterministic shard assignment: avalanche hash of the canonical edge
+  /// key, reduced to [0, num_shards).
+  static uint32_t ShardOfEdge(const Edge& e, uint32_t num_shards);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  /// Total edges routed (submitted + still pending in batches).
+  uint64_t edges_processed() const { return edges_processed_; }
+
+  /// Per-shard worker access (reservoirs, in-stream estimates). Caller
+  /// must hold the Drain()/Finish() guarantee.
+  const ShardWorker& shard(uint32_t i) const { return *shards_[i]; }
+
+  const ShardedEngineOptions& options() const { return options_; }
+
+ private:
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<ShardWorker>> shards_;
+  std::vector<ShardWorker::Batch> pending_;
+  uint64_t edges_processed_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace gps
+
+#endif  // GPS_ENGINE_SHARDED_ENGINE_H_

@@ -146,4 +146,92 @@ TEST_F(CliTest, FlagMissingValueFails) {
   EXPECT_NE(r.output.find("needs a value"), std::string::npos);
 }
 
+TEST_F(CliTest, UnknownCommandNamesTheCommand) {
+  const CommandResult r = RunCli("frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown subcommand 'frobnicate'"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownFlagFails) {
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ + " --bogus 1");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown flag '--bogus'"), std::string::npos);
+}
+
+TEST_F(CliTest, FlagValidationIsPerSubcommand) {
+  // --shards belongs to estimate, not exact.
+  const CommandResult r =
+      RunCli("exact --input " + graph_path_ + " --shards 2");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown flag '--shards'"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateSharded) {
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 2000 --shards 4 --batch 256");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("4 shards"), std::string::npos);
+  EXPECT_NE(r.output.find("merged in-stream estimates"), std::string::npos);
+  EXPECT_NE(r.output.find("merged post-stream estimates"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, EstimatePostStreamHonorsThreads) {
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 2000 --estimator post --threads 4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("post-stream estimates"), std::string::npos);
+}
+
+TEST_F(CliTest, ShardedCheckpointRejected) {
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --shards 2 --checkpoint /tmp/should_not_exist.gps");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("single-shard"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateRejectsZeroShards) {
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ + " --shards 0");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(CliTest, EstimateRejectsOverflowingShards) {
+  // 2^32 would truncate to 0 shards; must be rejected, not crash.
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ + " --shards 4294967296");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--shards must be in"), std::string::npos);
+}
+
+TEST_F(CliTest, ShardedRejectsThreads) {
+  const CommandResult r = RunCli("estimate --input " + graph_path_ +
+                                 " --shards 2 --threads 4");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("single-shard"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateShardedPostOnly) {
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 2000 --shards 4 --estimator post");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("merged post-stream estimates"),
+            std::string::npos);
+  EXPECT_EQ(r.output.find("merged in-stream"), std::string::npos);
+}
+
+TEST_F(CliTest, EstimateRejectsUnknownEstimator) {
+  const CommandResult r = RunCli("estimate --input " + graph_path_ +
+                                 " --estimator sideways");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown estimator"), std::string::npos);
+}
+
 }  // namespace

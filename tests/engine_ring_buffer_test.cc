@@ -1,0 +1,102 @@
+// SPSC ring buffer: FIFO semantics, capacity behavior, close/drain
+// protocol, and a two-thread ordering stress.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/ring_buffer.h"
+
+namespace gps {
+namespace {
+
+TEST(SpscRingBufferTest, FifoOrder) {
+  SpscRingBuffer<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(int(i)));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingBufferTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscRingBuffer<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  SpscRingBuffer<int> tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(SpscRingBufferTest, PushFailsWhenFullPopFailsWhenEmpty) {
+  SpscRingBuffer<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));  // full
+  int out = 0;
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.TryPush(3));  // slot freed
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingBufferTest, CloseDrainsRemainingItems) {
+  SpscRingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.TryPush(7));
+  EXPECT_TRUE(ring.TryPush(8));
+  ring.Close();
+  EXPECT_TRUE(ring.closed());
+  int out = 0;
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingBufferTest, MoveOnlyPayload) {
+  SpscRingBuffer<std::vector<int>> ring(2);
+  std::vector<int> batch = {1, 2, 3};
+  EXPECT_TRUE(ring.TryPush(std::move(batch)));
+  std::vector<int> out;
+  EXPECT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SpscRingBufferTest, TwoThreadOrderingStress) {
+  constexpr uint64_t kItems = 200000;
+  SpscRingBuffer<uint64_t> ring(64);
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems; ++i) {
+      uint64_t item = i;
+      while (!ring.TryPush(std::move(item))) std::this_thread::yield();
+    }
+    ring.Close();
+  });
+  uint64_t expected = 0;
+  uint64_t out = 0;
+  for (;;) {
+    if (ring.TryPop(&out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+      continue;
+    }
+    if (ring.closed()) {
+      if (!ring.TryPop(&out)) break;
+      ASSERT_EQ(out, expected);
+      ++expected;
+      continue;
+    }
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+}  // namespace
+}  // namespace gps

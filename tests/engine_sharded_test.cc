@@ -1,0 +1,333 @@
+// ShardedEngine contract tests.
+//
+// Determinism: fixed (stream, seed, K) gives byte-identical per-shard
+// reservoirs regardless of batch size and ring capacity (thread-schedule
+// independence), and K=1 reproduces the serial GpsSampler /
+// InStreamEstimator sample path exactly.
+//
+// Accuracy: merged K ∈ {1, 2, 4, 8} estimates agree with exact counts
+// within 3σ of their own estimated standard deviation on generator graphs,
+// and the cross-shard correction stratum is load-bearing (dropping it
+// undercounts badly for K > 1).
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gps.h"
+#include "core/in_stream.h"
+#include "core/post_stream.h"
+#include "core/seeding.h"
+#include "core/serialize.h"
+#include "engine/merge.h"
+#include "engine/sharded_engine.h"
+#include "gen/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/exact.h"
+#include "graph/stream.h"
+
+namespace gps {
+namespace {
+
+std::vector<Edge> TestStream(uint32_t nodes, uint32_t edges_per_node,
+                             uint64_t graph_seed, uint64_t stream_seed) {
+  EdgeList graph =
+      GenerateBarabasiAlbert(nodes, edges_per_node, 0.6, graph_seed).value();
+  return MakePermutedStream(graph, stream_seed);
+}
+
+std::string ReservoirBytes(const GpsReservoir& reservoir) {
+  std::ostringstream out;
+  EXPECT_TRUE(SerializeReservoir(reservoir, out).ok());
+  return out.str();
+}
+
+GpsSamplerOptions BaseOptions(size_t capacity, uint64_t seed) {
+  GpsSamplerOptions options;
+  options.capacity = capacity;
+  options.seed = seed;
+  return options;
+}
+
+TEST(ShardSeedingTest, SingleShardKeepsBaseSeed) {
+  EXPECT_EQ(DeriveShardSeed(12345, 0, 1), 12345u);
+}
+
+TEST(ShardSeedingTest, ShardsAndLayoutsDecorrelate) {
+  EXPECT_NE(DeriveShardSeed(1, 0, 2), DeriveShardSeed(1, 1, 2));
+  EXPECT_NE(DeriveShardSeed(1, 0, 2), DeriveShardSeed(1, 0, 4));
+  EXPECT_NE(DeriveShardSeed(1, 0, 2), DeriveShardSeed(2, 0, 2));
+}
+
+TEST(ShardOfEdgeTest, OrientationInvariantAndInRange) {
+  for (uint32_t k : {1u, 2u, 5u, 8u}) {
+    for (NodeId u = 0; u < 50; ++u) {
+      for (NodeId v = u + 1; v < 50; ++v) {
+        const uint32_t s = ShardedEngine::ShardOfEdge(Edge{u, v}, k);
+        EXPECT_LT(s, k);
+        EXPECT_EQ(s, ShardedEngine::ShardOfEdge(Edge{v, u}, k));
+      }
+    }
+  }
+}
+
+TEST(ShardOfEdgeTest, SpreadsRoughlyEvenly) {
+  constexpr uint32_t kShards = 8;
+  std::vector<int> counts(kShards, 0);
+  const std::vector<Edge> stream = TestStream(2000, 6, 11, 12);
+  for (const Edge& e : stream) {
+    ++counts[ShardedEngine::ShardOfEdge(e, kShards)];
+  }
+  const double expected = static_cast<double>(stream.size()) / kShards;
+  for (int c : counts) {
+    EXPECT_GT(c, 0.8 * expected);
+    EXPECT_LT(c, 1.2 * expected);
+  }
+}
+
+// --- Determinism contract -------------------------------------------------
+
+TEST(ShardedEngineTest, SingleShardReservoirByteIdenticalToSerial) {
+  const std::vector<Edge> stream = TestStream(1500, 6, 21, 22);
+  const GpsSamplerOptions options = BaseOptions(1200, 23);
+
+  GpsSampler serial(options);
+  for (const Edge& e : stream) serial.Process(e);
+
+  InStreamEstimator serial_in_stream(options);
+  for (const Edge& e : stream) serial_in_stream.Process(e);
+
+  ShardedEngineOptions engine_options;
+  engine_options.sampler = options;
+  engine_options.num_shards = 1;
+  engine_options.batch_size = 97;  // deliberately odd
+  ShardedEngine engine(engine_options);
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+
+  // In-stream mode mutates the reservoir's covariance accumulator columns,
+  // so byte-compare against the serial estimator of the same kind; the
+  // bare GpsSampler comparison runs the post-stream-mode engine below.
+  EXPECT_EQ(ReservoirBytes(engine.shard(0).reservoir()),
+            ReservoirBytes(serial_in_stream.reservoir()));
+
+  ShardedEngineOptions post_options = engine_options;
+  post_options.batch_size = 1024;
+  post_options.merge_mode = MergeMode::kPostStreamMerged;
+  ShardedEngine post_engine(post_options);
+  for (const Edge& e : stream) post_engine.Process(e);
+  post_engine.Finish();
+  EXPECT_EQ(ReservoirBytes(post_engine.shard(0).reservoir()),
+            ReservoirBytes(serial.reservoir()));
+
+  // The merged estimates of a single-shard engine ARE the serial
+  // in-stream estimates: no cross-shard stratum exists.
+  const GraphEstimates merged = engine.MergedEstimates();
+  const GraphEstimates expected = serial_in_stream.Estimates();
+  EXPECT_DOUBLE_EQ(merged.triangles.value, expected.triangles.value);
+  EXPECT_DOUBLE_EQ(merged.triangles.variance, expected.triangles.variance);
+  EXPECT_DOUBLE_EQ(merged.wedges.value, expected.wedges.value);
+  EXPECT_DOUBLE_EQ(merged.wedges.variance, expected.wedges.variance);
+  EXPECT_DOUBLE_EQ(merged.tri_wedge_cov, expected.tri_wedge_cov);
+}
+
+TEST(ShardedEngineTest, SingleShardPostStreamMergeMatchesSerialPost) {
+  const std::vector<Edge> stream = TestStream(1200, 6, 31, 32);
+  const GpsSamplerOptions options = BaseOptions(1000, 33);
+
+  GpsSampler serial(options);
+  for (const Edge& e : stream) serial.Process(e);
+  const GraphEstimates expected = EstimatePostStream(serial.reservoir());
+
+  ShardedEngineOptions engine_options;
+  engine_options.sampler = options;
+  engine_options.num_shards = 1;
+  engine_options.merge_mode = MergeMode::kPostStreamMerged;
+  ShardedEngine engine(engine_options);
+  for (const Edge& e : stream) engine.Process(e);
+  const GraphEstimates merged = engine.MergedEstimates();
+
+  // Same estimator over a rebuilt adjacency: identical up to FP
+  // summation order.
+  const double tol = 1e-9;
+  EXPECT_NEAR(merged.triangles.value, expected.triangles.value,
+              tol * (1.0 + std::abs(expected.triangles.value)));
+  EXPECT_NEAR(merged.wedges.value, expected.wedges.value,
+              tol * (1.0 + std::abs(expected.wedges.value)));
+  EXPECT_NEAR(merged.triangles.variance, expected.triangles.variance,
+              tol * (1.0 + std::abs(expected.triangles.variance)));
+  EXPECT_NEAR(merged.wedges.variance, expected.wedges.variance,
+              tol * (1.0 + std::abs(expected.wedges.variance)));
+  EXPECT_NEAR(merged.tri_wedge_cov, expected.tri_wedge_cov,
+              tol * (1.0 + std::abs(expected.tri_wedge_cov)));
+}
+
+TEST(ShardedEngineTest, ShardReservoirsInvariantToBatchingAndRings) {
+  const std::vector<Edge> stream = TestStream(1500, 6, 41, 42);
+  constexpr uint32_t kShards = 4;
+
+  std::vector<std::string> reference;
+  bool first = true;
+  for (const size_t batch_size : {size_t{1}, size_t{64}, size_t{1024}}) {
+    for (const size_t ring_capacity : {size_t{2}, size_t{64}}) {
+      ShardedEngineOptions options;
+      options.sampler = BaseOptions(2000, 43);
+      options.num_shards = kShards;
+      options.batch_size = batch_size;
+      options.ring_capacity = ring_capacity;
+      ShardedEngine engine(options);
+      for (const Edge& e : stream) engine.Process(e);
+      engine.Finish();
+
+      std::vector<std::string> bytes;
+      for (uint32_t s = 0; s < kShards; ++s) {
+        bytes.push_back(ReservoirBytes(engine.shard(s).reservoir()));
+      }
+      if (first) {
+        reference = bytes;
+        first = false;
+      } else {
+        for (uint32_t s = 0; s < kShards; ++s) {
+          EXPECT_EQ(bytes[s], reference[s])
+              << "shard " << s << " diverged at batch_size=" << batch_size
+              << " ring_capacity=" << ring_capacity;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ShardSubstreamMatchesStandaloneEstimator) {
+  // Each shard must behave exactly like a serial estimator fed only the
+  // shard's substream, with the derived seed.
+  const std::vector<Edge> stream = TestStream(1200, 6, 51, 52);
+  constexpr uint32_t kShards = 3;
+  const GpsSamplerOptions base = BaseOptions(1500, 53);
+
+  ShardedEngineOptions options;
+  options.sampler = base;
+  options.num_shards = kShards;
+  ShardedEngine engine(options);
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+
+  for (uint32_t s = 0; s < kShards; ++s) {
+    GpsSamplerOptions shard_options = base;
+    shard_options.capacity = (base.capacity + kShards - 1) / kShards;
+    shard_options.seed = DeriveShardSeed(base.seed, s, kShards);
+    InStreamEstimator standalone(shard_options);
+    for (const Edge& e : stream) {
+      if (ShardedEngine::ShardOfEdge(e, kShards) == s) {
+        standalone.Process(e);
+      }
+    }
+    EXPECT_EQ(ReservoirBytes(engine.shard(s).reservoir()),
+              ReservoirBytes(standalone.reservoir()))
+        << "shard " << s;
+  }
+}
+
+// --- Accuracy contract ----------------------------------------------------
+
+struct AccuracyResult {
+  GraphEstimates merged;
+  GraphEstimates within_only;
+  ExactCounts exact;
+};
+
+AccuracyResult RunAccuracy(uint32_t num_shards) {
+  EdgeList graph = GenerateBarabasiAlbert(3000, 8, 0.6, 61).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 62);
+
+  ShardedEngineOptions options;
+  options.sampler = BaseOptions(stream.size() / 2, 63);
+  options.num_shards = num_shards;
+  ShardedEngine engine(options);
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+
+  AccuracyResult result;
+  result.merged = engine.MergedEstimates();
+  std::vector<GraphEstimates> per_shard;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    per_shard.push_back(engine.shard(s).InStreamEstimates());
+  }
+  result.within_only = SumShardEstimates(per_shard);
+  result.exact = CountExact(CsrGraph::FromEdgeList(graph));
+  return result;
+}
+
+class ShardedAccuracyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShardedAccuracyTest, MergedEstimatesWithinThreeSigmaOfExact) {
+  const AccuracyResult r = RunAccuracy(GetParam());
+  ASSERT_GT(r.exact.triangles, 0.0);
+  ASSERT_GT(r.exact.wedges, 0.0);
+
+  const double tri_sigma = r.merged.triangles.StdDev();
+  const double wed_sigma = r.merged.wedges.StdDev();
+  EXPECT_LE(std::abs(r.merged.triangles.value - r.exact.triangles),
+            3.0 * tri_sigma)
+      << "triangles: est " << r.merged.triangles.value << " exact "
+      << r.exact.triangles << " sigma " << tri_sigma;
+  EXPECT_LE(std::abs(r.merged.wedges.value - r.exact.wedges),
+            3.0 * wed_sigma)
+      << "wedges: est " << r.merged.wedges.value << " exact "
+      << r.exact.wedges << " sigma " << wed_sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedAccuracyTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ShardedEngineTest, CrossShardCorrectionIsLoadBearing) {
+  // With 4 shards, only ~1/16 of triangles have all three edges in one
+  // shard: the within-shard stratum alone must undercount badly, and the
+  // correction must close the gap.
+  const AccuracyResult r = RunAccuracy(4);
+  EXPECT_LT(r.within_only.triangles.value, 0.5 * r.exact.triangles);
+  EXPECT_GT(r.merged.triangles.value, 0.7 * r.exact.triangles);
+  EXPECT_LT(r.merged.triangles.value, 1.3 * r.exact.triangles);
+}
+
+TEST(ShardedEngineTest, DrainAllowsMidStreamEstimates) {
+  const std::vector<Edge> stream = TestStream(1500, 6, 71, 72);
+  ShardedEngineOptions options;
+  options.sampler = BaseOptions(2000, 73);
+  options.num_shards = 4;
+  ShardedEngine engine(options);
+
+  const size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) engine.Process(stream[i]);
+  engine.Drain();
+  const GraphEstimates mid = engine.MergedEstimates();
+  EXPECT_GT(mid.wedges.value, 0.0);
+  EXPECT_EQ(engine.edges_processed(), half);
+
+  for (size_t i = half; i < stream.size(); ++i) engine.Process(stream[i]);
+  engine.Finish();
+  const GraphEstimates full = engine.MergedEstimates();
+  EXPECT_EQ(engine.edges_processed(), stream.size());
+  // In-stream accumulators are monotone in the stream prefix.
+  EXPECT_GE(full.wedges.value, mid.wedges.value);
+}
+
+TEST(ShardedEngineTest, CountsAndOptionsExposed) {
+  ShardedEngineOptions options;
+  options.sampler = BaseOptions(100, 1);
+  options.num_shards = 2;
+  ShardedEngine engine(options);
+  EXPECT_EQ(engine.num_shards(), 2u);
+  engine.Process(MakeEdge(1, 2));
+  engine.Process(MakeEdge(2, 3));
+  EXPECT_EQ(engine.edges_processed(), 2u);
+  engine.Finish();
+  EXPECT_EQ(engine.shard(0).edges_submitted() +
+                engine.shard(1).edges_submitted(),
+            2u);
+}
+
+}  // namespace
+}  // namespace gps

@@ -26,6 +26,8 @@
 #include "core/in_stream.h"
 #include "core/post_stream.h"
 #include "core/serialize.h"
+#include "engine/merge.h"
+#include "engine/sharded_engine.h"
 #include "gen/registry.h"
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
@@ -62,6 +64,7 @@ int Usage() {
       "  estimate --input FILE [--capacity N] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
+      "           [--shards K] [--batch B] [--threads T]\n"
       "           [--checkpoint FILE]\n"
       "  resume   --checkpoint FILE --input FILE [--no-permute]\n"
       "  generate --name CORPUS [--scale X] [--output FILE]\n"
@@ -70,7 +73,12 @@ int Usage() {
   return 2;
 }
 
-Result<Flags> ParseFlags(int argc, char** argv, int first) {
+/// Flags that take no value.
+bool IsBooleanFlag(const std::string& key) { return key == "no-permute"; }
+
+Result<Flags> ParseFlags(int argc, char** argv, int first,
+                         const std::string& command,
+                         const std::vector<const char*>& allowed) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,7 +86,18 @@ Result<Flags> ParseFlags(int argc, char** argv, int first) {
       return Status::InvalidArgument("unexpected argument '" + arg + "'");
     }
     const std::string key = arg.substr(2);
-    if (key == "no-permute") {
+    bool known = false;
+    for (const char* candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown flag '" + arg + "' for '" +
+                                     command + "'");
+    }
+    if (IsBooleanFlag(key)) {
       flags.values[key] = "1";
       continue;
     }
@@ -146,6 +165,80 @@ int RunEstimate(const Flags& flags) {
   options.weight = *weight;
 
   const std::string estimator = flags.Get("estimator", "both");
+  if (estimator != "in-stream" && estimator != "post" &&
+      estimator != "both") {
+    std::fprintf(stderr, "error: unknown estimator '%s'\n",
+                 estimator.c_str());
+    return 1;
+  }
+  constexpr uint64_t kMaxShards = 4096;
+  const uint64_t shards = flags.GetU64("shards", 1);
+  const uint64_t batch = flags.GetU64("batch", 1024);
+  const uint64_t threads = flags.GetU64("threads", 1);
+  if (shards < 1 || shards > kMaxShards) {
+    std::fprintf(stderr, "error: --shards must be in [1, %llu]\n",
+                 static_cast<unsigned long long>(kMaxShards));
+    return 1;
+  }
+  if (batch < 1 || threads < 1) {
+    std::fprintf(stderr, "error: --batch and --threads must be >= 1\n");
+    return 1;
+  }
+
+  if (shards > 1) {
+    // Sharded engine path: K worker threads, hash-partitioned substreams,
+    // merged stratified estimates (src/engine/).
+    if (flags.Has("checkpoint")) {
+      std::fprintf(stderr,
+                   "error: --checkpoint requires a single-shard run "
+                   "(per-shard checkpoint merge is not implemented)\n");
+      return 1;
+    }
+    if (flags.Has("threads")) {
+      std::fprintf(stderr,
+                   "error: --threads applies to single-shard post-stream "
+                   "estimation; with --shards the workers ARE the "
+                   "parallelism\n");
+      return 1;
+    }
+    std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
+                "(batch %llu)\n",
+                stream->size(), options.capacity,
+                static_cast<unsigned long long>(shards),
+                static_cast<unsigned long long>(batch));
+    ShardedEngineOptions engine_options;
+    engine_options.sampler = options;
+    engine_options.num_shards = static_cast<uint32_t>(shards);
+    engine_options.batch_size = batch;
+    if (estimator == "post") {
+      // Post-only: run the cheaper bare samplers per shard and let the
+      // engine's own merge branch do the union pass.
+      engine_options.merge_mode = MergeMode::kPostStreamMerged;
+    }
+    ShardedEngine engine(engine_options);
+    for (const Edge& e : *stream) engine.Process(e);
+    engine.Finish();
+    if (estimator == "post") {
+      PrintEstimates("merged post-stream estimates (union sample)",
+                     engine.MergedEstimates());
+      return 0;
+    }
+    PrintEstimates("merged in-stream estimates (per-shard Algorithm 3 "
+                   "+ cross-shard correction)",
+                   engine.MergedEstimates());
+    if (estimator == "both") {
+      // Reuse the reservoirs the in-stream engine already built instead
+      // of streaming twice.
+      std::vector<const GpsReservoir*> reservoirs;
+      for (uint32_t s = 0; s < engine.num_shards(); ++s) {
+        reservoirs.push_back(&engine.shard(s).reservoir());
+      }
+      PrintEstimates("merged post-stream estimates (union sample)",
+                     EstimateMergedPostStream(reservoirs));
+    }
+    return 0;
+  }
+
   std::printf("stream: %zu edges, reservoir: %zu edges\n", stream->size(),
               options.capacity);
 
@@ -157,7 +250,9 @@ int RunEstimate(const Flags& flags) {
   }
   if (estimator == "post" || estimator == "both") {
     PrintEstimates("post-stream estimates (Algorithm 2)",
-                   EstimatePostStream(in_stream.reservoir()));
+                   EstimatePostStreamParallel(
+                       in_stream.reservoir(),
+                       static_cast<unsigned>(threads)));
   }
 
   if (flags.Has("checkpoint")) {
@@ -242,7 +337,27 @@ int RunCorpus() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  auto flags = ParseFlags(argc, argv, 2);
+
+  std::vector<const char*> allowed;
+  if (command == "estimate") {
+    allowed = {"input",     "capacity",  "seed",   "weight",
+               "estimator", "no-permute", "shards", "batch",
+               "threads",   "checkpoint"};
+  } else if (command == "resume") {
+    allowed = {"checkpoint", "input", "seed", "no-permute"};
+  } else if (command == "generate") {
+    allowed = {"name", "scale", "output"};
+  } else if (command == "exact") {
+    allowed = {"input"};
+  } else if (command == "corpus") {
+    allowed = {};
+  } else {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n",
+                 command.c_str());
+    return Usage();
+  }
+
+  auto flags = ParseFlags(argc, argv, 2, command, allowed);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
     return Usage();
@@ -252,5 +367,5 @@ int main(int argc, char** argv) {
   if (command == "generate") return RunGenerate(*flags);
   if (command == "exact") return RunExact(*flags);
   if (command == "corpus") return RunCorpus();
-  return Usage();
+  return Usage();  // unreachable: the allowed-flags gate covers commands
 }
