@@ -1,6 +1,8 @@
 #include "core/serialize.h"
 
 #include <array>
+#include <cctype>
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -13,6 +15,7 @@ namespace {
 constexpr const char* kReservoirHeader = "GPS-RESERVOIR";
 constexpr const char* kSamplerHeader = "GPS-SAMPLER";
 constexpr const char* kInStreamHeader = "GPS-INSTREAM";
+constexpr const char* kManifestHeader = "GPS-MANIFEST";
 constexpr int kFormatVersion = 1;
 
 void WriteDouble(std::ostream& out, double v) {
@@ -38,11 +41,22 @@ Status ExpectHeader(std::istream& in, const std::string& want) {
   return Status::Ok();
 }
 
+Status ValidateWeightOptions(const WeightOptions& weight) {
+  if (!std::isfinite(weight.coefficient) ||
+      !std::isfinite(weight.adjacency_coefficient) ||
+      !std::isfinite(weight.default_weight)) {
+    return Status::InvalidArgument(
+        "non-finite weight configuration in checkpoint");
+  }
+  return Status::Ok();
+}
+
 Status WriteWeightOptions(const WeightOptions& weight, std::ostream& out) {
   if (weight.kind == WeightKind::kCustom) {
     return Status::FailedPrecondition(
         "custom weight callables cannot be serialized");
   }
+  if (Status s = ValidateWeightOptions(weight); !s.ok()) return s;
   out << static_cast<int>(weight.kind) << ' ';
   WriteDouble(out, weight.coefficient);
   out << ' ';
@@ -63,6 +77,7 @@ Result<WeightOptions> ReadWeightOptions(std::istream& in) {
   if (kind < 0 || kind >= static_cast<int>(WeightKind::kCustom)) {
     return Status::InvalidArgument("invalid weight kind in checkpoint");
   }
+  if (Status s = ValidateWeightOptions(weight); !s.ok()) return s;
   weight.kind = static_cast<WeightKind>(kind);
   return weight;
 }
@@ -106,8 +121,31 @@ Result<GpsReservoir> DeserializeReservoir(std::istream& in) {
         rng[0] >> rng[1] >> rng[2] >> rng[3] >> num_edges)) {
     return Status::IoError("truncated checkpoint: reservoir metadata");
   }
-  if (options.capacity == 0 || num_edges > options.capacity) {
+  // A corrupt header must not drive the record allocation below: reject
+  // capacities beyond the ceiling before touching num_edges.
+  if (options.capacity == 0 ||
+      options.capacity > kMaxCheckpointCapacity) {
+    return Status::InvalidArgument(
+        "reservoir capacity " + std::to_string(options.capacity) +
+        " outside (0, " + std::to_string(kMaxCheckpointCapacity) +
+        "] in checkpoint");
+  }
+  if (num_edges > options.capacity) {
     return Status::InvalidArgument("inconsistent reservoir checkpoint");
+  }
+  if (num_edges > processed) {
+    return Status::InvalidArgument(
+        "reservoir checkpoint holds more edges than arrivals processed");
+  }
+  if (!std::isfinite(z_star) || z_star < 0.0) {
+    return Status::InvalidArgument(
+        "invalid threshold z* in reservoir checkpoint");
+  }
+  // z* > 0 means an eviction happened, which is only possible once the
+  // reservoir filled — and it never shrinks afterwards.
+  if (z_star > 0.0 && num_edges < options.capacity) {
+    return Status::InvalidArgument(
+        "thresholded reservoir checkpoint is not full");
   }
   std::vector<GpsReservoir::EdgeRecord> records(num_edges);
   for (GpsReservoir::EdgeRecord& rec : records) {
@@ -117,6 +155,28 @@ Result<GpsReservoir> DeserializeReservoir(std::istream& in) {
     }
     if (rec.edge.IsSelfLoop()) {
       return Status::InvalidArgument("self loop in reservoir checkpoint");
+    }
+    if (rec.edge.u > rec.edge.v) {
+      return Status::InvalidArgument(
+          "non-canonical edge in reservoir checkpoint");
+    }
+    if (!std::isfinite(rec.weight) || rec.weight <= 0.0) {
+      return Status::InvalidArgument(
+          "invalid edge weight in reservoir checkpoint");
+    }
+    // Priority r = w/u with u ~ Uni(0,1], so r >= w always; survivors
+    // additionally beat the threshold (selection event B_i).
+    if (!std::isfinite(rec.priority) || rec.priority < rec.weight) {
+      return Status::InvalidArgument(
+          "invalid edge priority in reservoir checkpoint");
+    }
+    if (rec.priority < z_star) {
+      return Status::InvalidArgument(
+          "edge priority below threshold z* in reservoir checkpoint");
+    }
+    if (!std::isfinite(rec.cov_tri) || !std::isfinite(rec.cov_wedge)) {
+      return Status::InvalidArgument(
+          "non-finite covariance accumulator in reservoir checkpoint");
     }
   }
   GpsReservoir res =
@@ -172,9 +232,145 @@ Result<InStreamEstimator> DeserializeInStreamEstimator(std::istream& in) {
         acc.cov_tw)) {
     return Status::IoError("truncated checkpoint: accumulators");
   }
+  // Count and variance accumulators are sums of non-negative snapshot
+  // terms; only the triangle-wedge covariance may be negative.
+  for (double v : {acc.n_tri, acc.v_tri, acc.n_wed, acc.v_wed}) {
+    if (!std::isfinite(v) || v < 0.0) {
+      return Status::InvalidArgument(
+          "invalid snapshot accumulator in checkpoint");
+    }
+  }
+  if (!std::isfinite(acc.cov_tw)) {
+    return Status::InvalidArgument(
+        "non-finite covariance accumulator in checkpoint");
+  }
   Result<GpsReservoir> reservoir = DeserializeReservoir(in);
   if (!reservoir.ok()) return reservoir.status();
   return InStreamEstimator::FromParts(*weight, std::move(*reservoir), acc);
+}
+
+uint64_t ChecksumBytes(std::string_view bytes) {
+  // FNV-1a 64-bit: deterministic across platforms, cheap, and good enough
+  // to detect accidental corruption (not adversarial tampering).
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Status ValidateManifest(const ShardManifest& manifest) {
+  if (manifest.num_shards < 1 ||
+      manifest.num_shards > kMaxManifestShards) {
+    return Status::InvalidArgument(
+        "manifest shard count " + std::to_string(manifest.num_shards) +
+        " outside [1, " + std::to_string(kMaxManifestShards) + "]");
+  }
+  if (manifest.total_capacity == 0 ||
+      manifest.total_capacity > kMaxCheckpointCapacity) {
+    return Status::InvalidArgument(
+        "manifest capacity " + std::to_string(manifest.total_capacity) +
+        " outside (0, " + std::to_string(kMaxCheckpointCapacity) + "]");
+  }
+  if (manifest.weight.kind == WeightKind::kCustom) {
+    return Status::FailedPrecondition(
+        "custom weight callables cannot be serialized");
+  }
+  if (Status s = ValidateWeightOptions(manifest.weight); !s.ok()) return s;
+  if (manifest.entries.size() > manifest.num_shards) {
+    return Status::InvalidArgument(
+        "manifest lists more shard files than shards");
+  }
+  std::vector<bool> seen(manifest.num_shards, false);
+  for (const ShardManifestEntry& entry : manifest.entries) {
+    if (entry.shard_index >= manifest.num_shards) {
+      return Status::InvalidArgument(
+          "manifest shard index " + std::to_string(entry.shard_index) +
+          " out of range for K=" + std::to_string(manifest.num_shards));
+    }
+    if (seen[entry.shard_index]) {
+      return Status::InvalidArgument(
+          "manifest lists shard " + std::to_string(entry.shard_index) +
+          " twice");
+    }
+    seen[entry.shard_index] = true;
+    // Bare file names only: shard files live next to their manifest, and
+    // rejecting separators closes path traversal from untrusted input.
+    // Whitespace would break the whitespace-delimited manifest format
+    // itself, so a validated manifest is guaranteed to round-trip.
+    bool has_space = false;
+    for (const char c : entry.filename) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        has_space = true;
+        break;
+      }
+    }
+    if (entry.filename.empty() || has_space ||
+        entry.filename.find('/') != std::string::npos ||
+        entry.filename.find('\\') != std::string::npos ||
+        entry.filename == "." || entry.filename == "..") {
+      return Status::InvalidArgument(
+          "manifest shard filename '" + entry.filename +
+          "' must be a bare file name without whitespace");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SerializeManifest(const ShardManifest& manifest, std::ostream& out) {
+  if (Status s = ValidateManifest(manifest); !s.ok()) return s;
+  out << kManifestHeader << ' ' << kFormatVersion << '\n';
+  out << manifest.num_shards << ' ' << manifest.base_seed << ' '
+      << manifest.total_capacity << ' ' << (manifest.split_capacity ? 1 : 0)
+      << '\n';
+  if (Status s = WriteWeightOptions(manifest.weight, out); !s.ok()) return s;
+  out << manifest.entries.size() << '\n';
+  for (const ShardManifestEntry& entry : manifest.entries) {
+    out << entry.shard_index << ' ' << entry.shard_seed << ' '
+        << entry.edges_processed << ' ' << entry.digest << ' '
+        << entry.filename << '\n';
+  }
+  if (!out) return Status::IoError("write failure while serializing");
+  return Status::Ok();
+}
+
+Result<ShardManifest> DeserializeManifest(std::istream& in) {
+  if (Status s = ExpectHeader(in, kManifestHeader); !s.ok()) return s;
+  ShardManifest manifest;
+  int split = -1;
+  if (!(in >> manifest.num_shards >> manifest.base_seed >>
+        manifest.total_capacity >> split)) {
+    return Status::IoError("truncated manifest: layout");
+  }
+  if (split != 0 && split != 1) {
+    return Status::InvalidArgument(
+        "manifest split-capacity flag must be 0 or 1");
+  }
+  manifest.split_capacity = split == 1;
+  Result<WeightOptions> weight = ReadWeightOptions(in);
+  if (!weight.ok()) return weight.status();
+  manifest.weight = *weight;
+  size_t num_entries = 0;
+  if (!(in >> num_entries)) {
+    return Status::IoError("truncated manifest: entry count");
+  }
+  if (num_entries > kMaxManifestShards) {
+    return Status::InvalidArgument(
+        "manifest entry count " + std::to_string(num_entries) +
+        " exceeds " + std::to_string(kMaxManifestShards));
+  }
+  manifest.entries.reserve(num_entries);
+  for (size_t i = 0; i < num_entries; ++i) {
+    ShardManifestEntry entry;
+    if (!(in >> entry.shard_index >> entry.shard_seed >>
+          entry.edges_processed >> entry.digest >> entry.filename)) {
+      return Status::IoError("truncated manifest: shard entries");
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  if (Status s = ValidateManifest(manifest); !s.ok()) return s;
+  return manifest;
 }
 
 }  // namespace gps

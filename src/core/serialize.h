@@ -11,11 +11,28 @@
 // Format: versioned line-oriented text with round-trip-exact doubles
 // (printf "%.17g"). Custom weight callables cannot be serialized; samplers
 // configured with WeightKind::kCustom return FailedPrecondition.
+//
+// Checkpoints are untrusted input (they cross machines in the distributed
+// merge pipeline): every deserializer validates structural invariants —
+// finite, correctly signed numeric fields, priority/threshold consistency,
+// canonical edges, and a capacity ceiling — before allocating or
+// reconstructing state.
+//
+// Multi-shard runs are described by a GPS-MANIFEST file (ShardManifest):
+// the shard layout (K, base seed, capacity split, weight configuration)
+// plus one entry per shard file with its derived seed and content digest.
+// A manifest may cover a subset of the K shards; a coordinator merges a
+// set of manifests whose layouts agree and whose entries cover every
+// shard exactly once (src/engine/sharded_engine.h).
 
 #ifndef GPS_CORE_SERIALIZE_H_
 #define GPS_CORE_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/gps.h"
 #include "core/in_stream.h"
@@ -23,6 +40,62 @@
 #include "util/status.h"
 
 namespace gps {
+
+/// Ceiling on the reservoir capacity a checkpoint may declare; bounds the
+/// deserializer's record allocation against corrupt headers (2^28 records
+/// ≈ 10 GiB). Raise deliberately if a deployment legitimately needs more.
+inline constexpr size_t kMaxCheckpointCapacity = size_t{1} << 28;
+
+/// Ceiling on a manifest's shard count K (matches gps_cli --shards).
+inline constexpr uint32_t kMaxManifestShards = 4096;
+
+/// FNV-1a 64-bit digest of a byte string; binds manifest entries to the
+/// exact shard-file bytes they were written with.
+uint64_t ChecksumBytes(std::string_view bytes);
+
+/// One shard file referenced by a multi-shard manifest.
+struct ShardManifestEntry {
+  uint32_t shard_index = 0;
+  /// The shard's derived RNG seed (core/seeding.h), recorded so merges can
+  /// cross-check layout compatibility.
+  uint64_t shard_seed = 0;
+  /// Arrivals the shard had processed when checkpointed (diagnostic).
+  uint64_t edges_processed = 0;
+  /// ChecksumBytes of the shard file's contents.
+  uint64_t digest = 0;
+  /// Bare file name (no directory separators or whitespace), resolved
+  /// relative to the directory holding the manifest.
+  std::string filename;
+};
+
+/// Versioned multi-shard checkpoint manifest (GPS-MANIFEST header).
+struct ShardManifest {
+  /// Shard count K of the run's layout.
+  uint32_t num_shards = 1;
+  /// Base seed the per-shard seeds were derived from.
+  uint64_t base_seed = 1;
+  /// TOTAL reservoir capacity across shards (pre-split).
+  size_t total_capacity = 0;
+  /// True if per-shard capacity is ceil(total / K) (the engine default);
+  /// false if every shard received the full total.
+  bool split_capacity = true;
+  /// Weight configuration shared by all shards; kind != kCustom.
+  WeightOptions weight;
+  /// Shard files this manifest covers — possibly a subset of the K shards
+  /// when a host ran only part of the layout.
+  std::vector<ShardManifestEntry> entries;
+};
+
+/// Validates manifest invariants: shard count and capacity within their
+/// ceilings, finite serializable weight configuration, entry indices
+/// unique and in range, bare filenames. Enforced on both write and read.
+Status ValidateManifest(const ShardManifest& manifest);
+
+/// Writes a manifest (validating it first).
+Status SerializeManifest(const ShardManifest& manifest, std::ostream& out);
+
+/// Reads and validates a manifest written by SerializeManifest.
+Result<ShardManifest> DeserializeManifest(std::istream& in);
 
 /// Writes the reservoir state. Estimation-agnostic: covariance accumulators
 /// are included so in-stream estimation can resume on top.

@@ -70,6 +70,11 @@ GraphEstimates ShardWorker::InStreamEstimates() const {
   return in_stream_->Estimates();
 }
 
+const InStreamEstimator& ShardWorker::in_stream_estimator() const {
+  assert(in_stream_ && "shard was configured for post-stream estimation");
+  return *in_stream_;
+}
+
 void ShardWorker::RunWorker() {
   Batch batch;
   Backoff backoff;

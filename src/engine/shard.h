@@ -83,6 +83,10 @@ class ShardWorker {
   /// entirely inside this shard). Requires kInStream.
   GraphEstimates InStreamEstimates() const;
 
+  /// The shard's in-stream estimator, for checkpointing. Requires
+  /// kInStream; caller must hold the drained/joined guarantee.
+  const InStreamEstimator& in_stream_estimator() const;
+
   ShardEstimatorKind estimator_kind() const { return options_.estimator; }
 
  private:

@@ -1,10 +1,70 @@
 #include "engine/sharded_engine.h"
 
 #include <cassert>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
+#include "core/in_stream.h"
 #include "core/seeding.h"
+#include "core/serialize.h"
 
 namespace gps {
+namespace {
+
+/// Per-shard reservoir capacity implied by a manifest's layout; mirrors
+/// the split the engine constructor performs.
+size_t PerShardCapacity(size_t total, uint32_t k, bool split) {
+  return split ? (total + k - 1) / k : total;
+}
+
+bool SameWeightConfig(const WeightOptions& a, const WeightOptions& b) {
+  return a.kind == b.kind && a.coefficient == b.coefficient &&
+         a.adjacency_coefficient == b.adjacency_coefficient &&
+         a.default_weight == b.default_weight;
+}
+
+/// Layout compatibility between manifests that should describe shards of
+/// one logical run. Field-by-field so errors name what disagrees.
+Status CheckManifestsCompatible(const ShardManifest& base,
+                                const ShardManifest& other,
+                                const std::string& path) {
+  if (other.num_shards != base.num_shards) {
+    return Status::FailedPrecondition(
+        "manifest " + path + ": shard count " +
+        std::to_string(other.num_shards) + " does not match " +
+        std::to_string(base.num_shards));
+  }
+  if (other.base_seed != base.base_seed) {
+    return Status::FailedPrecondition(
+        "manifest " + path + ": base seed " +
+        std::to_string(other.base_seed) + " does not match " +
+        std::to_string(base.base_seed));
+  }
+  if (other.total_capacity != base.total_capacity ||
+      other.split_capacity != base.split_capacity) {
+    return Status::FailedPrecondition(
+        "manifest " + path + ": capacity layout does not match");
+  }
+  if (!SameWeightConfig(other.weight, base.weight)) {
+    return Status::FailedPrecondition(
+        "manifest " + path + ": weight configuration does not match");
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path.string());
+  return buffer.str();
+}
+
+}  // namespace
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(std::move(options)) {
@@ -104,6 +164,190 @@ GraphEstimates ShardedEngine::MergedEstimates() {
   const GraphEstimates within = SumShardEstimates(per_shard);
   const GraphEstimates cross = EstimateCrossShard(reservoirs);
   return AddEstimates(within, cross);
+}
+
+Status ShardedEngine::SerializeShards(const std::string& dir) {
+  if (options_.merge_mode != MergeMode::kInStreamPlusCross) {
+    return Status::FailedPrecondition(
+        "sharded checkpoints require in-stream shard estimators");
+  }
+  ShardManifest manifest;
+  manifest.num_shards = num_shards();
+  manifest.base_seed = options_.sampler.seed;
+  manifest.total_capacity = options_.sampler.capacity;
+  manifest.split_capacity = options_.split_capacity;
+  manifest.weight = options_.sampler.weight;
+  // Reject un-serializable layouts (capacity out of range, custom weight)
+  // BEFORE overwriting anything: a failed re-checkpoint must not destroy
+  // a previous valid checkpoint in the same directory.
+  if (Status st = ValidateManifest(manifest); !st.ok()) return st;
+
+  if (!finished_) Drain();
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint directory " + dir +
+                           ": " + ec.message());
+  }
+
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard-%04u.gps", s);
+    // Serialize into memory first so the digest covers the exact bytes
+    // that land on disk.
+    std::ostringstream payload;
+    if (Status st = SerializeInStreamEstimator(
+            shards_[s]->in_stream_estimator(), payload);
+        !st.ok()) {
+      return st;
+    }
+    const std::string bytes = payload.str();
+    const std::filesystem::path path = std::filesystem::path(dir) / name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      return Status::IoError("cannot write shard checkpoint " +
+                             path.string());
+    }
+    ShardManifestEntry entry;
+    entry.shard_index = s;
+    entry.shard_seed = shards_[s]->reservoir().options().seed;
+    entry.edges_processed = shards_[s]->reservoir().edges_processed();
+    entry.digest = ChecksumBytes(bytes);
+    entry.filename = name;
+    manifest.entries.push_back(std::move(entry));
+  }
+
+  // Serialize to memory first so the manifest file is only touched once
+  // the content is known good.
+  std::ostringstream manifest_payload;
+  if (Status st = SerializeManifest(manifest, manifest_payload); !st.ok()) {
+    return st;
+  }
+  const std::string manifest_bytes = manifest_payload.str();
+  const std::filesystem::path manifest_path =
+      std::filesystem::path(dir) / kShardManifestFilename;
+  std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+  out.write(manifest_bytes.data(),
+            static_cast<std::streamsize>(manifest_bytes.size()));
+  if (!out) {
+    return Status::IoError("cannot write manifest " +
+                           manifest_path.string());
+  }
+  return Status::Ok();
+}
+
+Result<GraphEstimates> ShardedEngine::MergeFromCheckpoints(
+    std::span<const std::string> manifest_paths) {
+  if (manifest_paths.empty()) {
+    return Status::InvalidArgument("no manifests to merge");
+  }
+
+  struct LocatedEntry {
+    ShardManifestEntry entry;
+    std::filesystem::path dir;
+  };
+  ShardManifest base;
+  std::vector<LocatedEntry> located;
+  bool first = true;
+  for (const std::string& path : manifest_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open manifest " + path);
+    Result<ShardManifest> manifest = DeserializeManifest(in);
+    if (!manifest.ok()) {
+      return manifest.status().WithContext("manifest " + path);
+    }
+    if (first) {
+      base = *manifest;
+      first = false;
+    } else if (Status st = CheckManifestsCompatible(base, *manifest, path);
+               !st.ok()) {
+      return st;
+    }
+    const std::filesystem::path dir =
+        std::filesystem::path(path).parent_path();
+    for (ShardManifestEntry& entry : manifest->entries) {
+      located.push_back({std::move(entry), dir});
+    }
+  }
+
+  const uint32_t k = base.num_shards;
+  std::vector<const LocatedEntry*> by_index(k, nullptr);
+  for (const LocatedEntry& le : located) {
+    if (by_index[le.entry.shard_index] != nullptr) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(le.entry.shard_index) +
+          " appears in multiple manifests");
+    }
+    by_index[le.entry.shard_index] = &le;
+  }
+  for (uint32_t s = 0; s < k; ++s) {
+    if (by_index[s] == nullptr) {
+      return Status::FailedPrecondition(
+          "manifests cover " + std::to_string(located.size()) + " of " +
+          std::to_string(k) + " shards (shard " + std::to_string(s) +
+          " missing)");
+    }
+  }
+
+  const size_t per_shard_capacity =
+      PerShardCapacity(base.total_capacity, k, base.split_capacity);
+  std::vector<std::unique_ptr<InStreamEstimator>> estimators;
+  estimators.reserve(k);
+  // Shard order matters: summation below must match the live engine's
+  // 0..K-1 iteration for bit-identical merged estimates.
+  for (uint32_t s = 0; s < k; ++s) {
+    const LocatedEntry& le = *by_index[s];
+    const uint64_t want_seed = DeriveShardSeed(base.base_seed, s, k);
+    if (le.entry.shard_seed != want_seed) {
+      return Status::FailedPrecondition(
+          "manifest seed for shard " + std::to_string(s) +
+          " does not match the layout derivation from base seed " +
+          std::to_string(base.base_seed));
+    }
+    const std::filesystem::path file = le.dir / le.entry.filename;
+    Result<std::string> bytes = ReadFileBytes(file);
+    if (!bytes.ok()) return bytes.status();
+    if (ChecksumBytes(*bytes) != le.entry.digest) {
+      return Status::InvalidArgument(
+          "digest mismatch for shard file " + file.string() +
+          " (corrupt or mismatched checkpoint)");
+    }
+    std::istringstream in(*bytes);
+    Result<InStreamEstimator> est = DeserializeInStreamEstimator(in);
+    if (!est.ok()) {
+      return est.status().WithContext("shard file " + file.string());
+    }
+    if (est->reservoir().options().seed != want_seed) {
+      return Status::InvalidArgument(
+          "shard file " + file.string() +
+          " seed disagrees with its manifest entry");
+    }
+    if (est->reservoir().options().capacity != per_shard_capacity) {
+      return Status::InvalidArgument(
+          "shard file " + file.string() +
+          " capacity disagrees with the manifest layout");
+    }
+    if (!SameWeightConfig(est->weight_function().options(), base.weight)) {
+      return Status::InvalidArgument(
+          "shard file " + file.string() +
+          " weight configuration disagrees with the manifest");
+    }
+    estimators.push_back(
+        std::make_unique<InStreamEstimator>(std::move(*est)));
+  }
+
+  std::vector<GraphEstimates> per_shard;
+  std::vector<const GpsReservoir*> reservoirs;
+  per_shard.reserve(k);
+  reservoirs.reserve(k);
+  for (const auto& est : estimators) {
+    per_shard.push_back(est->Estimates());
+    reservoirs.push_back(&est->reservoir());
+  }
+  return AddEstimates(SumShardEstimates(per_shard),
+                      EstimateCrossShard(reservoirs));
 }
 
 }  // namespace gps

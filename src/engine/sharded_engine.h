@@ -36,6 +36,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/estimates.h"
@@ -43,8 +45,13 @@
 #include "engine/merge.h"
 #include "engine/shard.h"
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace gps {
+
+/// File name SerializeShards gives the manifest inside a checkpoint
+/// directory.
+inline constexpr const char* kShardManifestFilename = "manifest.gpsm";
 
 struct ShardedEngineOptions {
   /// Base sampler configuration. `capacity` is the TOTAL memory budget
@@ -93,6 +100,27 @@ class ShardedEngine {
   /// Merged whole-graph estimates per the configured MergeMode. Drains
   /// first if needed.
   GraphEstimates MergedEstimates();
+
+  /// Drains and serializes every shard's in-stream estimator into `dir`
+  /// (created if missing): one GPS-INSTREAM file per shard plus a
+  /// GPS-MANIFEST file (kShardManifestFilename) recording the layout,
+  /// per-shard seeds, weight configuration, and per-file digests. The
+  /// engine stays usable afterwards, so checkpoints can be taken
+  /// mid-stream. Requires in-stream shard estimators
+  /// (MergeMode::kInStreamPlusCross).
+  Status SerializeShards(const std::string& dir);
+
+  /// Reconstructs per-shard estimator state from one or more manifests
+  /// written by SerializeShards — possibly on different machines, each
+  /// covering a subset of the K shards — and returns the merged estimates
+  /// the live engine would produce (SumShardEstimates +
+  /// EstimateCrossShard), without re-streaming. All manifests must agree
+  /// on K, base seed, capacity, and weight configuration
+  /// (FailedPrecondition otherwise); their entries must cover every shard
+  /// exactly once, match the core/seeding.h derivation, and every shard
+  /// file must match its recorded digest.
+  static Result<GraphEstimates> MergeFromCheckpoints(
+      std::span<const std::string> manifest_paths);
 
   /// Deterministic shard assignment: avalanche hash of the canonical edge
   /// key, reduced to [0, num_shards).

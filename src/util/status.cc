@@ -22,6 +22,11 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, context + ": " + message_);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -61,6 +61,9 @@ class Status {
   /// Formats as "OK" or "<CODE>: <message>".
   std::string ToString() const;
 
+  /// Same code, message prefixed with "<context>: ". OK stays OK.
+  Status WithContext(const std::string& context) const;
+
  private:
   Status(StatusCode code, std::string msg)
       : code_(code), message_(std::move(msg)) {}

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -188,12 +189,26 @@ TEST_F(CliTest, EstimatePostStreamHonorsThreads) {
   EXPECT_NE(r.output.find("post-stream estimates"), std::string::npos);
 }
 
-TEST_F(CliTest, ShardedCheckpointRejected) {
+TEST_F(CliTest, ShardedCheckpointWritesManifest) {
+  const std::string dir = TempPath("sharded_ckpt_dir");
   const CommandResult r =
       RunCli("estimate --input " + graph_path_ +
-             " --shards 2 --checkpoint /tmp/should_not_exist.gps");
+             " --capacity 1000 --shards 2 --checkpoint " + dir);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("sharded checkpoint written"), std::string::npos);
+  EXPECT_TRUE(std::ifstream(dir + "/manifest.gpsm").good());
+  EXPECT_TRUE(std::ifstream(dir + "/shard-0001.gps").good());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, ShardedCheckpointRejectsPostEstimator) {
+  // Post-stream shards keep no in-stream state to persist.
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --shards 2 --estimator post --checkpoint " +
+             TempPath("nope"));
   EXPECT_NE(r.exit_code, 0);
-  EXPECT_NE(r.output.find("single-shard"), std::string::npos);
+  EXPECT_NE(r.output.find("in-stream"), std::string::npos);
 }
 
 TEST_F(CliTest, EstimateRejectsZeroShards) {
@@ -232,6 +247,120 @@ TEST_F(CliTest, EstimateRejectsUnknownEstimator) {
                                  " --estimator sideways");
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("unknown estimator"), std::string::npos);
+}
+
+TEST_F(CliTest, RejectsMisparsedNumericFlags) {
+  // Misparsed operator input must fail loudly, naming the flag — not
+  // silently degrade ("--capacity abc" used to become 0, "--shards 2x"
+  // used to become 2).
+  const struct {
+    const char* args;
+    const char* flag;
+  } kCases[] = {
+      {"--capacity abc", "--capacity"},
+      {"--capacity -5", "--capacity"},
+      {"--shards 2x", "--shards"},
+      {"--seed 1e9", "--seed"},
+      {"--batch 99999999999999999999999", "--batch"},
+      {"--threads ''", "--threads"},
+  };
+  for (const auto& c : kCases) {
+    const CommandResult r =
+        RunCli("estimate --input " + graph_path_ + " " + c.args);
+    EXPECT_NE(r.exit_code, 0) << c.args;
+    EXPECT_NE(r.output.find(c.flag), std::string::npos) << r.output;
+  }
+}
+
+TEST_F(CliTest, GenerateRejectsMisparsedScale) {
+  const CommandResult r = RunCli(
+      "generate --name com-amazon-sim --scale 1.2.3 --output /dev/null");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--scale"), std::string::npos);
+}
+
+// Extracts the estimates block starting at `label` (through the
+// clustering line), so live and checkpoint-merge outputs can be compared
+// byte for byte.
+std::string EstimatesBlock(const std::string& output,
+                           const std::string& label) {
+  const size_t start = output.find(label);
+  if (start == std::string::npos) return "<label '" + label + "' missing>";
+  size_t end = output.find("clustering", start);
+  if (end == std::string::npos) return "<clustering line missing>";
+  end = output.find('\n', end);
+  return output.substr(start, end - start);
+}
+
+TEST_F(CliTest, CheckpointShardsMergeMatchesLiveByteForByte) {
+  const std::string dir = TempPath("ckpt_shards_dir");
+  const std::string params =
+      " --capacity 1500 --seed 11 --shards 4 --batch 256";
+  const CommandResult live =
+      RunCli("estimate --input " + graph_path_ + params +
+             " --estimator in-stream");
+  ASSERT_EQ(live.exit_code, 0) << live.output;
+
+  const CommandResult ckpt = RunCli("checkpoint-shards --input " +
+                                    graph_path_ + params + " --out " + dir);
+  ASSERT_EQ(ckpt.exit_code, 0) << ckpt.output;
+  EXPECT_NE(ckpt.output.find("manifest written"), std::string::npos);
+
+  const CommandResult merged =
+      RunCli("merge-checkpoints --manifest " + dir + "/manifest.gpsm");
+  ASSERT_EQ(merged.exit_code, 0) << merged.output;
+
+  const std::string label = "merged in-stream estimates";
+  const std::string live_block = EstimatesBlock(live.output, label);
+  EXPECT_EQ(live_block, EstimatesBlock(ckpt.output, label));
+  EXPECT_EQ(live_block, EstimatesBlock(merged.output, label));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, MergeCheckpointsRejectsMismatchedSeeds) {
+  const std::string dir_a = TempPath("merge_a");
+  const std::string dir_b = TempPath("merge_b");
+  const std::string base =
+      "checkpoint-shards --input " + graph_path_ +
+      " --capacity 1000 --shards 2 --out ";
+  ASSERT_EQ(RunCli(base + dir_a + " --seed 1").exit_code, 0);
+  ASSERT_EQ(RunCli(base + dir_b + " --seed 2").exit_code, 0);
+  const CommandResult r =
+      RunCli("merge-checkpoints --manifest " + dir_a +
+             "/manifest.gpsm --manifest " + dir_b + "/manifest.gpsm");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("FAILED_PRECONDITION"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("base seed"), std::string::npos) << r.output;
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST_F(CliTest, MergeCheckpointsRequiresManifestFlag) {
+  const CommandResult r = RunCli("merge-checkpoints");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--manifest"), std::string::npos);
+}
+
+TEST_F(CliTest, ResumeSavePersistsContinuedState) {
+  const std::string first = TempPath("chain1.gps");
+  const std::string second = TempPath("chain2.gps");
+  ASSERT_EQ(RunCli("estimate --input " + graph_path_ +
+                   " --capacity 1500 --checkpoint " + first)
+                .exit_code,
+            0);
+  const CommandResult saved =
+      RunCli("resume --checkpoint " + first + " --input " + graph_path_ +
+             " --save " + second);
+  EXPECT_EQ(saved.exit_code, 0) << saved.output;
+  EXPECT_NE(saved.output.find("checkpoint written"), std::string::npos);
+  // The chain continues from the SAVED state, not the original.
+  const CommandResult resumed =
+      RunCli("resume --checkpoint " + second + " --input " + graph_path_);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("resumed at"), std::string::npos);
+  std::remove(first.c_str());
+  std::remove(second.c_str());
 }
 
 }  // namespace

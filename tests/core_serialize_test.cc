@@ -3,7 +3,9 @@
 
 #include "core/serialize.h"
 
+#include <cmath>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -199,6 +201,199 @@ TEST(SerializeTest, EmptyReservoirRoundTrip) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->size(), 0u);
   EXPECT_EQ(r->options().capacity, 32u);
+}
+
+// Checkpoints are untrusted cross-machine input: corrupt numeric fields
+// must be rejected with typed errors, never silently reconstructed.
+// Layout reminder: "GPS-RESERVOIR 1\n capacity seed\n z* processed\n
+// rng0..rng3\n num_edges\n u v weight priority cov_tri cov_wedge\n".
+TEST(SerializeTest, RejectsCorruptReservoirFields) {
+  const struct {
+    const char* name;
+    const char* text;
+  } kCases[] = {
+      {"negative weight",
+       "GPS-RESERVOIR 1\n10 1\n0 1\n1 2 3 4\n1\n3 5 -1 2 0 0\n"},
+      {"zero weight",
+       "GPS-RESERVOIR 1\n10 1\n0 1\n1 2 3 4\n1\n3 5 0 2 0 0\n"},
+      {"priority below weight (u > 1 impossible)",
+       "GPS-RESERVOIR 1\n10 1\n0 1\n1 2 3 4\n1\n3 5 2 1.5 0 0\n"},
+      {"priority below threshold",
+       "GPS-RESERVOIR 1\n1 1\n2 5\n1 2 3 4\n1\n3 5 1 1.5 0 0\n"},
+      {"negative threshold",
+       "GPS-RESERVOIR 1\n10 1\n-1 1\n1 2 3 4\n1\n3 5 1 2 0 0\n"},
+      {"non-canonical edge",
+       "GPS-RESERVOIR 1\n10 1\n0 1\n1 2 3 4\n1\n5 3 1 2 0 0\n"},
+      {"more edges than arrivals",
+       "GPS-RESERVOIR 1\n10 1\n0 1\n1 2 3 4\n2\n"
+       "1 2 1 2 0 0\n3 4 1 2 0 0\n"},
+      {"thresholded but not full",
+       "GPS-RESERVOIR 1\n10 1\n1 5\n1 2 3 4\n1\n3 5 1 2 0 0\n"},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.name);
+    std::stringstream buffer(c.text);
+    auto r = DeserializeReservoir(buffer);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << r.status().ToString();
+  }
+}
+
+TEST(SerializeTest, RejectsOversizedCapacityBeforeAllocating) {
+  // A corrupt header must not drive the record allocation: this declares
+  // an absurd capacity AND matching edge count; the deserializer has to
+  // fail on the capacity ceiling before sizing the record vector (if it
+  // allocated first, this test would OOM rather than return quickly).
+  std::stringstream buffer(
+      "GPS-RESERVOIR 1\n"
+      "999999999999 1\n"
+      "0 999999999999\n"
+      "1 2 3 4\n"
+      "999999999999\n");
+  auto r = DeserializeReservoir(buffer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("capacity"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsInvalidInStreamAccumulators) {
+  // "GPS-INSTREAM 1\n <weight kind coeff adj default>\n <5 accumulators>\n"
+  // followed by a reservoir block (never reached here).
+  std::stringstream buffer(
+      "GPS-INSTREAM 1\n"
+      "2 9 1 1\n"
+      "-1 0 0 0 0\n"
+      "GPS-RESERVOIR 1\n10 1\n0 0\n1 2 3 4\n0\n");
+  auto r = DeserializeInStreamEstimator(buffer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+ShardManifest TestManifest() {
+  ShardManifest manifest;
+  manifest.num_shards = 4;
+  manifest.base_seed = 42;
+  manifest.total_capacity = 1000;
+  manifest.split_capacity = true;
+  manifest.weight.kind = WeightKind::kTriangleWedge;
+  manifest.weight.coefficient = 9.0;
+  manifest.weight.adjacency_coefficient = 2.5;
+  manifest.weight.default_weight = 0.5;
+  manifest.entries.push_back({0, 111, 250, 0x1234abcdu, "shard-0000.gps"});
+  manifest.entries.push_back({2, 333, 260, 0x9876fedcu, "shard-0002.gps"});
+  return manifest;
+}
+
+TEST(SerializeTest, ManifestRoundTripPreservesEverything) {
+  const ShardManifest manifest = TestManifest();
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeManifest(manifest, buffer).ok());
+  auto r = DeserializeManifest(buffer);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_shards, manifest.num_shards);
+  EXPECT_EQ(r->base_seed, manifest.base_seed);
+  EXPECT_EQ(r->total_capacity, manifest.total_capacity);
+  EXPECT_EQ(r->split_capacity, manifest.split_capacity);
+  EXPECT_EQ(r->weight.kind, manifest.weight.kind);
+  EXPECT_DOUBLE_EQ(r->weight.coefficient, manifest.weight.coefficient);
+  EXPECT_DOUBLE_EQ(r->weight.adjacency_coefficient,
+                   manifest.weight.adjacency_coefficient);
+  EXPECT_DOUBLE_EQ(r->weight.default_weight,
+                   manifest.weight.default_weight);
+  ASSERT_EQ(r->entries.size(), manifest.entries.size());
+  for (size_t i = 0; i < manifest.entries.size(); ++i) {
+    EXPECT_EQ(r->entries[i].shard_index, manifest.entries[i].shard_index);
+    EXPECT_EQ(r->entries[i].shard_seed, manifest.entries[i].shard_seed);
+    EXPECT_EQ(r->entries[i].edges_processed,
+              manifest.entries[i].edges_processed);
+    EXPECT_EQ(r->entries[i].digest, manifest.entries[i].digest);
+    EXPECT_EQ(r->entries[i].filename, manifest.entries[i].filename);
+  }
+}
+
+TEST(SerializeTest, ManifestSerializationValidates) {
+  // Duplicate shard index.
+  ShardManifest dup = TestManifest();
+  dup.entries.push_back(dup.entries[0]);
+  // Entry index out of range.
+  ShardManifest range = TestManifest();
+  range.entries[0].shard_index = 9;
+  // Path traversal in a shard filename.
+  ShardManifest traversal = TestManifest();
+  traversal.entries[0].filename = "../evil.gps";
+  // Whitespace would break the whitespace-delimited format on re-read.
+  ShardManifest spacey = TestManifest();
+  spacey.entries[0].filename = "my shard.gps";
+  // Non-finite weight configuration.
+  ShardManifest nan_weight = TestManifest();
+  nan_weight.weight.coefficient = std::nan("");
+  // Zero capacity.
+  ShardManifest zero_cap = TestManifest();
+  zero_cap.total_capacity = 0;
+
+  for (const ShardManifest* m :
+       {&dup, &range, &traversal, &spacey, &nan_weight, &zero_cap}) {
+    std::stringstream buffer;
+    const Status s = SerializeManifest(*m, buffer);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  }
+}
+
+TEST(SerializeTest, ManifestRejectsCorruptText) {
+  // Layout reminder: "GPS-MANIFEST 1\n K base_seed capacity split\n
+  // kind coeff adj default\n num_entries\n idx seed edges digest file\n".
+  const struct {
+    const char* name;
+    const char* text;
+    StatusCode want;
+  } kCases[] = {
+      {"wrong header", "GPS-NOPE 1\n", StatusCode::kInvalidArgument},
+      {"truncated", "GPS-MANIFEST 1\n4 42\n", StatusCode::kIoError},
+      {"zero shards",
+       "GPS-MANIFEST 1\n0 42 1000 1\n2 9 1 1\n0\n",
+       StatusCode::kInvalidArgument},
+      {"shard count over ceiling",
+       "GPS-MANIFEST 1\n5000 42 1000 1\n2 9 1 1\n0\n",
+       StatusCode::kInvalidArgument},
+      {"capacity over ceiling",
+       "GPS-MANIFEST 1\n4 42 999999999999 1\n2 9 1 1\n0\n",
+       StatusCode::kInvalidArgument},
+      {"bad split flag",
+       "GPS-MANIFEST 1\n4 42 1000 7\n2 9 1 1\n0\n",
+       StatusCode::kInvalidArgument},
+      {"entry index out of range",
+       "GPS-MANIFEST 1\n4 42 1000 1\n2 9 1 1\n1\n"
+       "9 111 250 777 shard.gps\n",
+       StatusCode::kInvalidArgument},
+      {"duplicate entry",
+       "GPS-MANIFEST 1\n4 42 1000 1\n2 9 1 1\n2\n"
+       "0 111 250 777 a.gps\n0 111 250 777 b.gps\n",
+       StatusCode::kInvalidArgument},
+      {"more entries than shards",
+       "GPS-MANIFEST 1\n2 42 1000 1\n2 9 1 1\n3\n"
+       "0 1 2 3 a.gps\n1 1 2 3 b.gps\n1 1 2 3 c.gps\n",
+       StatusCode::kInvalidArgument},
+      {"path traversal filename",
+       "GPS-MANIFEST 1\n4 42 1000 1\n2 9 1 1\n1\n"
+       "0 111 250 777 ../evil.gps\n",
+       StatusCode::kInvalidArgument},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.name);
+    std::stringstream buffer(c.text);
+    auto r = DeserializeManifest(buffer);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), c.want) << r.status().ToString();
+  }
+}
+
+TEST(SerializeTest, ChecksumIsStableAndSensitive) {
+  const uint64_t a = ChecksumBytes("GPS checkpoint payload");
+  EXPECT_EQ(a, ChecksumBytes("GPS checkpoint payload"));
+  EXPECT_NE(a, ChecksumBytes("GPS checkpoint payloaD"));
+  EXPECT_NE(ChecksumBytes(""), ChecksumBytes(std::string_view("\0", 1)));
 }
 
 }  // namespace

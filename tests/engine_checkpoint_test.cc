@@ -1,0 +1,291 @@
+// Tests for the distributed shard-checkpoint pipeline: SerializeShards +
+// MergeFromCheckpoints must reproduce the live engine's merged estimates
+// exactly (bit-for-bit, since checkpoints round-trip doubles exactly and
+// the merge reuses the live code path), and incompatible, incomplete, or
+// corrupt checkpoint sets must fail with typed Status errors.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "engine/sharded_engine.h"
+#include "gen/generators.h"
+#include "graph/stream.h"
+#include "util/status.h"
+
+namespace gps {
+namespace {
+
+std::vector<Edge> TestStream(uint64_t seed) {
+  EdgeList graph = GenerateBarabasiAlbert(400, 5, 0.4, seed).value();
+  return MakePermutedStream(graph, seed + 1);
+}
+
+// Unique per test: ctest runs suites in parallel processes.
+std::filesystem::path FreshDir(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) /
+      ("engine_ckpt_" + std::string(info ? info->name() : "unknown") + "_" +
+       name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ShardedEngineOptions EngineOptions(uint32_t num_shards, uint64_t seed) {
+  ShardedEngineOptions options;
+  options.sampler.capacity = 600;
+  options.sampler.seed = seed;
+  options.num_shards = num_shards;
+  options.batch_size = 128;
+  return options;
+}
+
+/// Streams, checkpoints into `dir` (when given), and returns the live
+/// merged estimates.
+GraphEstimates RunAndCheckpoint(const std::vector<Edge>& stream,
+                                const ShardedEngineOptions& options,
+                                const std::filesystem::path* dir) {
+  ShardedEngine engine(options);
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+  if (dir != nullptr) {
+    const Status s = engine.SerializeShards(dir->string());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  return engine.MergedEstimates();
+}
+
+std::string ManifestPath(const std::filesystem::path& dir) {
+  return (dir / kShardManifestFilename).string();
+}
+
+void ExpectExactlyEqual(const GraphEstimates& a, const GraphEstimates& b) {
+  EXPECT_EQ(a.triangles.value, b.triangles.value);
+  EXPECT_EQ(a.triangles.variance, b.triangles.variance);
+  EXPECT_EQ(a.wedges.value, b.wedges.value);
+  EXPECT_EQ(a.wedges.variance, b.wedges.variance);
+  EXPECT_EQ(a.tri_wedge_cov, b.tri_wedge_cov);
+}
+
+TEST(EngineCheckpointTest, MergeReproducesLiveEstimatesExactly) {
+  const std::vector<Edge> stream = TestStream(701);
+  for (const uint32_t k : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("K=" + std::to_string(k));
+    const std::filesystem::path dir = FreshDir("k" + std::to_string(k));
+    const GraphEstimates live =
+        RunAndCheckpoint(stream, EngineOptions(k, 77), &dir);
+    const std::vector<std::string> manifests = {ManifestPath(dir)};
+    auto merged = ShardedEngine::MergeFromCheckpoints(manifests);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ExpectExactlyEqual(*merged, live);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(EngineCheckpointTest, PartialManifestsFromDifferentHostsMerge) {
+  const std::vector<Edge> stream = TestStream(711);
+  const std::filesystem::path dir = FreshDir("hosts");
+  const GraphEstimates live =
+      RunAndCheckpoint(stream, EngineOptions(4, 99), &dir);
+
+  // Split the manifest in two, as if shards {0,1} and {2,3} were
+  // checkpointed by different hosts sharing only the layout.
+  std::ifstream min(ManifestPath(dir), std::ios::binary);
+  auto full = DeserializeManifest(min);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(full->entries.size(), 4u);
+  ShardManifest host_a = *full;
+  ShardManifest host_b = *full;
+  host_a.entries.assign(full->entries.begin(), full->entries.begin() + 2);
+  host_b.entries.assign(full->entries.begin() + 2, full->entries.end());
+  const std::string path_a = (dir / "host-a.gpsm").string();
+  const std::string path_b = (dir / "host-b.gpsm").string();
+  {
+    std::ofstream out(path_a, std::ios::binary);
+    ASSERT_TRUE(SerializeManifest(host_a, out).ok());
+  }
+  {
+    std::ofstream out(path_b, std::ios::binary);
+    ASSERT_TRUE(SerializeManifest(host_b, out).ok());
+  }
+
+  auto merged = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{path_a, path_b});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ExpectExactlyEqual(*merged, live);
+
+  // A partial set fails with a typed coverage error.
+  auto incomplete = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{path_a});
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_EQ(incomplete.status().code(), StatusCode::kFailedPrecondition);
+
+  // The same shard claimed twice fails.
+  auto duplicated = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{path_a, path_a, path_b});
+  ASSERT_FALSE(duplicated.ok());
+  EXPECT_EQ(duplicated.status().code(), StatusCode::kFailedPrecondition);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineCheckpointTest, RejectsMismatchedLayouts) {
+  const std::vector<Edge> stream = TestStream(721);
+  const std::filesystem::path dir_base = FreshDir("base");
+  const std::filesystem::path dir_k2 = FreshDir("k2");
+  const std::filesystem::path dir_seed = FreshDir("seed");
+  const std::filesystem::path dir_weight = FreshDir("weight");
+  RunAndCheckpoint(stream, EngineOptions(4, 5), &dir_base);
+  RunAndCheckpoint(stream, EngineOptions(2, 5), &dir_k2);
+  RunAndCheckpoint(stream, EngineOptions(4, 6), &dir_seed);
+  ShardedEngineOptions uniform = EngineOptions(4, 5);
+  uniform.sampler.weight.kind = WeightKind::kUniform;
+  RunAndCheckpoint(stream, uniform, &dir_weight);
+
+  const struct {
+    const char* name;
+    std::filesystem::path other;
+    const char* expect_substr;
+  } kCases[] = {
+      {"shard count", dir_k2, "shard count"},
+      {"base seed", dir_seed, "base seed"},
+      {"weight config", dir_weight, "weight configuration"},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.name);
+    auto merged = ShardedEngine::MergeFromCheckpoints(
+        std::vector<std::string>{ManifestPath(dir_base),
+                                 ManifestPath(c.other)});
+    ASSERT_FALSE(merged.ok());
+    EXPECT_EQ(merged.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(merged.status().message().find(c.expect_substr),
+              std::string::npos)
+        << merged.status().ToString();
+  }
+
+  for (const auto& d : {dir_base, dir_k2, dir_seed, dir_weight}) {
+    std::filesystem::remove_all(d);
+  }
+}
+
+TEST(EngineCheckpointTest, RejectsCorruptShardFile) {
+  const std::vector<Edge> stream = TestStream(731);
+  const std::filesystem::path dir = FreshDir("corrupt");
+  RunAndCheckpoint(stream, EngineOptions(2, 13), &dir);
+  {
+    std::ofstream out(dir / "shard-0000.gps",
+                      std::ios::binary | std::ios::app);
+    out << "tamper";
+  }
+  auto merged = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{ManifestPath(dir)});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(merged.status().message().find("digest"), std::string::npos)
+      << merged.status().ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineCheckpointTest, RejectsMissingShardFile) {
+  const std::vector<Edge> stream = TestStream(741);
+  const std::filesystem::path dir = FreshDir("missing");
+  RunAndCheckpoint(stream, EngineOptions(2, 17), &dir);
+  std::filesystem::remove(dir / "shard-0001.gps");
+  auto merged = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{ManifestPath(dir)});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineCheckpointTest, PostStreamShardsCannotCheckpoint) {
+  const std::vector<Edge> stream = TestStream(751);
+  ShardedEngineOptions options = EngineOptions(2, 19);
+  options.merge_mode = MergeMode::kPostStreamMerged;
+  ShardedEngine engine(options);
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+  const std::filesystem::path dir = FreshDir("post");
+  const Status s = engine.SerializeShards(dir.string());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineCheckpointTest, MidStreamCheckpointKeepsEngineUsable) {
+  // SerializeShards drains but does not finish: a checkpoint taken midway
+  // must reflect the prefix only, and the engine must keep streaming to
+  // the same final state as an uninterrupted run.
+  const std::vector<Edge> stream = TestStream(761);
+  const std::filesystem::path dir = FreshDir("mid");
+  const ShardedEngineOptions options = EngineOptions(4, 23);
+
+  ShardedEngine engine(options);
+  const size_t half = stream.size() / 2;
+  for (size_t i = 0; i < half; ++i) engine.Process(stream[i]);
+  ASSERT_TRUE(engine.SerializeShards(dir.string()).ok());
+  for (size_t i = half; i < stream.size(); ++i) engine.Process(stream[i]);
+  engine.Finish();
+  const GraphEstimates full_live = engine.MergedEstimates();
+
+  // The mid-stream checkpoint merges to the prefix-only estimates.
+  ShardedEngine prefix_engine(options);
+  for (size_t i = 0; i < half; ++i) prefix_engine.Process(stream[i]);
+  prefix_engine.Finish();
+  auto merged = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{ManifestPath(dir)});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ExpectExactlyEqual(*merged, prefix_engine.MergedEstimates());
+
+  // And the interrupted engine's final state matches an uninterrupted run.
+  ShardedEngine uninterrupted(options);
+  for (const Edge& e : stream) uninterrupted.Process(e);
+  uninterrupted.Finish();
+  ExpectExactlyEqual(full_live, uninterrupted.MergedEstimates());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineCheckpointTest, FailedCheckpointDoesNotClobberExisting) {
+  // A rejected re-checkpoint must fail BEFORE touching the directory: a
+  // previous valid checkpoint there stays loadable.
+  const std::vector<Edge> stream = TestStream(771);
+  const std::filesystem::path dir = FreshDir("noclobber");
+  const GraphEstimates live =
+      RunAndCheckpoint(stream, EngineOptions(2, 29), &dir);
+
+  ShardedEngineOptions bad = EngineOptions(2, 29);
+  bad.sampler.weight.kind = WeightKind::kCustom;
+  bad.sampler.weight.custom = [](const Edge&, const SampledGraph&) {
+    return 1.0;
+  };
+  ShardedEngine engine(bad);
+  for (size_t i = 0; i < 100 && i < stream.size(); ++i) {
+    engine.Process(stream[i]);
+  }
+  engine.Finish();
+  const Status s = engine.SerializeShards(dir.string());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+
+  auto merged = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{ManifestPath(dir)});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ExpectExactlyEqual(*merged, live);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineCheckpointTest, MergeRequiresAtLeastOneManifest) {
+  auto merged =
+      ShardedEngine::MergeFromCheckpoints(std::vector<std::string>{});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gps

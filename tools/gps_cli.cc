@@ -2,12 +2,23 @@
 //
 // Subcommands:
 //   estimate  --input FILE [--capacity N] [--seed S] [--weight KIND]
-//             [--estimator in-stream|post|both] [--checkpoint FILE]
+//             [--estimator in-stream|post|both] [--shards K] [--batch B]
+//             [--threads T] [--checkpoint PATH]
 //       Stream the edge list (randomly permuted unless --no-permute) and
 //       print triangle/wedge/clustering estimates with 95% CIs. With
-//       --checkpoint, the in-stream estimator state is saved afterwards.
-//   resume    --checkpoint FILE --input FILE [--no-permute]
-//       Load a saved in-stream estimator and continue over more edges.
+//       --checkpoint, estimator state is saved afterwards: a single
+//       GPS-INSTREAM file for serial runs, a manifest directory (as
+//       checkpoint-shards) for --shards K > 1.
+//   resume    --checkpoint FILE --input FILE [--save FILE] [--no-permute]
+//       Load a saved in-stream estimator and continue over more edges;
+//       --save re-serializes the continued state so runs can chain.
+//   checkpoint-shards  --input FILE --out DIR [estimate flags]
+//       Run the sharded in-stream engine and persist per-shard state plus
+//       a GPS-MANIFEST file into DIR.
+//   merge-checkpoints  --manifest FILE [--manifest FILE ...]
+//       Merge shard checkpoints (possibly produced on different machines)
+//       and print the estimates the live sharded run would produce,
+//       without re-streaming.
 //   generate  --name CORPUS [--scale X] [--output FILE]
 //       Materialize a corpus graph to an edge-list file.
 //   exact     --input FILE
@@ -15,6 +26,9 @@
 //   corpus
 //       List the paper-analog corpus.
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,35 +52,108 @@ namespace {
 
 using namespace gps;  // NOLINT
 
+/// Shared by estimate/checkpoint-shards/merge-checkpoints so outputs are
+/// byte-comparable across the live and checkpoint-merge paths.
+constexpr const char* kMergedInStreamLabel =
+    "merged in-stream estimates (per-shard Algorithm 3 "
+    "+ cross-shard correction)";
+constexpr const char* kMergedPostStreamLabel =
+    "merged post-stream estimates (union sample)";
+
+/// Strict numeric parsing: operator-typed flags must not silently
+/// degrade ("--capacity abc" is an error, not 0; "--shards 2x" is an
+/// error, not 2).
+Result<uint64_t> ParseU64Flag(const std::string& key,
+                              const std::string& text) {
+  bool digits_only = !text.empty();
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      digits_only = false;
+      break;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (!digits_only || end != text.c_str() + text.size() ||
+      errno == ERANGE) {
+    return Status::InvalidArgument("flag '--" + key +
+                                   "' expects an unsigned integer, got '" +
+                                   text + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseDoubleFlag(const std::string& key,
+                               const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      errno == ERANGE || !std::isfinite(value)) {
+    return Status::InvalidArgument("flag '--" + key +
+                                   "' expects a finite number, got '" +
+                                   text + "'");
+  }
+  return value;
+}
+
 struct Flags {
-  std::map<std::string, std::string> values;
+  // Repeatable flags keep every occurrence ("merge-checkpoints --manifest
+  // a --manifest b"); single-valued lookups take the last one.
+  std::map<std::string, std::vector<std::string>> values;
 
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values.find(key);
-    return it == values.end() ? fallback : it->second;
+    return it == values.end() ? fallback : it->second.back();
   }
-  uint64_t GetU64(const std::string& key, uint64_t fallback) const {
+  const std::vector<std::string>& GetAll(const std::string& key) const {
+    static const std::vector<std::string> kEmpty;
     auto it = values.find(key);
-    return it == values.end() ? fallback : std::strtoull(
-        it->second.c_str(), nullptr, 10);
+    return it == values.end() ? kEmpty : it->second;
   }
-  double GetDouble(const std::string& key, double fallback) const {
+  Result<uint64_t> GetU64(const std::string& key, uint64_t fallback) const {
     auto it = values.find(key);
-    return it == values.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values.end()) return fallback;
+    return ParseU64Flag(key, it->second.back());
+  }
+  Result<double> GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    return ParseDoubleFlag(key, it->second.back());
   }
   bool Has(const std::string& key) const { return values.count(key) > 0; }
 };
 
+/// Unwraps a parsed flag, reporting the misparse on stderr. Callers bail
+/// out with exit code 1 on false.
+template <typename T>
+bool GetFlag(const Result<T>& parsed, T* out) {
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: gps_cli <estimate|resume|generate|exact|corpus> [flags]\n"
+      "usage: gps_cli <estimate|resume|checkpoint-shards|merge-checkpoints"
+      "|generate|exact|corpus> [flags]\n"
       "  estimate --input FILE [--capacity N] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
       "           [--shards K] [--batch B] [--threads T]\n"
-      "           [--checkpoint FILE]\n"
-      "  resume   --checkpoint FILE --input FILE [--no-permute]\n"
+      "           [--checkpoint FILE]  (a directory with --shards K>1)\n"
+      "  resume   --checkpoint FILE --input FILE [--save FILE]\n"
+      "           [--no-permute]\n"
+      "  checkpoint-shards --input FILE --out DIR [--capacity N]\n"
+      "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
+      "           [--no-permute]\n"
+      "  merge-checkpoints --manifest FILE [--manifest FILE ...]\n"
       "  generate --name CORPUS [--scale X] [--output FILE]\n"
       "  exact    --input FILE\n"
       "  corpus\n");
@@ -98,13 +185,13 @@ Result<Flags> ParseFlags(int argc, char** argv, int first,
                                      command + "'");
     }
     if (IsBooleanFlag(key)) {
-      flags.values[key] = "1";
+      flags.values[key] = {"1"};
       continue;
     }
     if (i + 1 >= argc) {
       return Status::InvalidArgument("flag '" + arg + "' needs a value");
     }
-    flags.values[key] = argv[++i];
+    flags.values[key].push_back(argv[++i]);
   }
   return flags;
 }
@@ -134,7 +221,9 @@ Result<std::vector<Edge>> LoadStream(const Flags& flags) {
     simplified.Simplify();
     return simplified.Edges();
   }
-  return MakePermutedStream(*list, flags.GetU64("seed", 1));
+  auto seed = flags.GetU64("seed", 1);
+  if (!seed.ok()) return seed.status();
+  return MakePermutedStream(*list, *seed);
 }
 
 void PrintEstimates(const char* label, const GraphEstimates& est) {
@@ -148,6 +237,61 @@ void PrintEstimates(const char* label, const GraphEstimates& est) {
               cc.Upper());
 }
 
+/// Serializes an in-stream estimator to `path`; used by `estimate
+/// --checkpoint` (serial) and `resume --save`.
+int WriteEstimatorCheckpoint(const InStreamEstimator& estimator,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  const Status s = SerializeInStreamEstimator(estimator, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "checkpoint error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (!out) {
+    std::fprintf(stderr, "checkpoint error: cannot write %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("checkpoint written to %s\n", path.c_str());
+  return 0;
+}
+
+/// Options common to the sharded paths of estimate and checkpoint-shards.
+struct ShardedRunConfig {
+  GpsSamplerOptions sampler;
+  uint64_t shards = 1;
+  uint64_t batch = 1024;
+};
+
+/// Parses and range-checks the sampler/sharding flags; false (after
+/// printing the error) on any misparse or out-of-range value.
+bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
+                           ShardedRunConfig* out) {
+  uint64_t capacity = 0;
+  if (!GetFlag(flags.GetU64("capacity", stream_size / 20 + 1), &capacity) ||
+      !GetFlag(flags.GetU64("seed", 1), &out->sampler.seed) ||
+      !GetFlag(flags.GetU64("shards", 1), &out->shards) ||
+      !GetFlag(flags.GetU64("batch", 1024), &out->batch)) {
+    return false;
+  }
+  if (capacity < 1 || capacity > kMaxCheckpointCapacity) {
+    std::fprintf(stderr, "error: --capacity must be in [1, %llu]\n",
+                 static_cast<unsigned long long>(kMaxCheckpointCapacity));
+    return false;
+  }
+  if (out->shards < 1 || out->shards > kMaxManifestShards) {
+    std::fprintf(stderr, "error: --shards must be in [1, %llu]\n",
+                 static_cast<unsigned long long>(kMaxManifestShards));
+    return false;
+  }
+  if (out->batch < 1) {
+    std::fprintf(stderr, "error: --batch must be >= 1\n");
+    return false;
+  }
+  out->sampler.capacity = capacity;
+  return true;
+}
+
 int RunEstimate(const Flags& flags) {
   auto stream = LoadStream(flags);
   if (!stream.ok()) {
@@ -159,10 +303,16 @@ int RunEstimate(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", weight.status().ToString().c_str());
     return 1;
   }
-  GpsSamplerOptions options;
-  options.capacity = flags.GetU64("capacity", stream->size() / 20 + 1);
-  options.seed = flags.GetU64("seed", 1);
-  options.weight = *weight;
+  ShardedRunConfig config;
+  if (!ParseShardedRunConfig(flags, stream->size(), &config)) return 1;
+  uint64_t threads = 1;
+  if (!GetFlag(flags.GetU64("threads", 1), &threads)) return 1;
+  if (threads < 1) {
+    std::fprintf(stderr, "error: --threads must be >= 1\n");
+    return 1;
+  }
+  config.sampler.weight = *weight;
+  const GpsSamplerOptions& options = config.sampler;
 
   const std::string estimator = flags.Get("estimator", "both");
   if (estimator != "in-stream" && estimator != "post" &&
@@ -171,29 +321,10 @@ int RunEstimate(const Flags& flags) {
                  estimator.c_str());
     return 1;
   }
-  constexpr uint64_t kMaxShards = 4096;
-  const uint64_t shards = flags.GetU64("shards", 1);
-  const uint64_t batch = flags.GetU64("batch", 1024);
-  const uint64_t threads = flags.GetU64("threads", 1);
-  if (shards < 1 || shards > kMaxShards) {
-    std::fprintf(stderr, "error: --shards must be in [1, %llu]\n",
-                 static_cast<unsigned long long>(kMaxShards));
-    return 1;
-  }
-  if (batch < 1 || threads < 1) {
-    std::fprintf(stderr, "error: --batch and --threads must be >= 1\n");
-    return 1;
-  }
 
-  if (shards > 1) {
+  if (config.shards > 1) {
     // Sharded engine path: K worker threads, hash-partitioned substreams,
     // merged stratified estimates (src/engine/).
-    if (flags.Has("checkpoint")) {
-      std::fprintf(stderr,
-                   "error: --checkpoint requires a single-shard run "
-                   "(per-shard checkpoint merge is not implemented)\n");
-      return 1;
-    }
     if (flags.Has("threads")) {
       std::fprintf(stderr,
                    "error: --threads applies to single-shard post-stream "
@@ -201,15 +332,21 @@ int RunEstimate(const Flags& flags) {
                    "parallelism\n");
       return 1;
     }
+    if (flags.Has("checkpoint") && estimator == "post") {
+      std::fprintf(stderr,
+                   "error: sharded checkpoints require in-stream shard "
+                   "estimators (drop --estimator post)\n");
+      return 1;
+    }
     std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
                 "(batch %llu)\n",
                 stream->size(), options.capacity,
-                static_cast<unsigned long long>(shards),
-                static_cast<unsigned long long>(batch));
+                static_cast<unsigned long long>(config.shards),
+                static_cast<unsigned long long>(config.batch));
     ShardedEngineOptions engine_options;
     engine_options.sampler = options;
-    engine_options.num_shards = static_cast<uint32_t>(shards);
-    engine_options.batch_size = batch;
+    engine_options.num_shards = static_cast<uint32_t>(config.shards);
+    engine_options.batch_size = config.batch;
     if (estimator == "post") {
       // Post-only: run the cheaper bare samplers per shard and let the
       // engine's own merge branch do the union pass.
@@ -219,13 +356,10 @@ int RunEstimate(const Flags& flags) {
     for (const Edge& e : *stream) engine.Process(e);
     engine.Finish();
     if (estimator == "post") {
-      PrintEstimates("merged post-stream estimates (union sample)",
-                     engine.MergedEstimates());
+      PrintEstimates(kMergedPostStreamLabel, engine.MergedEstimates());
       return 0;
     }
-    PrintEstimates("merged in-stream estimates (per-shard Algorithm 3 "
-                   "+ cross-shard correction)",
-                   engine.MergedEstimates());
+    PrintEstimates(kMergedInStreamLabel, engine.MergedEstimates());
     if (estimator == "both") {
       // Reuse the reservoirs the in-stream engine already built instead
       // of streaming twice.
@@ -233,8 +367,18 @@ int RunEstimate(const Flags& flags) {
       for (uint32_t s = 0; s < engine.num_shards(); ++s) {
         reservoirs.push_back(&engine.shard(s).reservoir());
       }
-      PrintEstimates("merged post-stream estimates (union sample)",
+      PrintEstimates(kMergedPostStreamLabel,
                      EstimateMergedPostStream(reservoirs));
+    }
+    if (flags.Has("checkpoint")) {
+      const std::string dir = flags.Get("checkpoint", "");
+      if (Status s = engine.SerializeShards(dir); !s.ok()) {
+        std::fprintf(stderr, "checkpoint error: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("sharded checkpoint written to %s (manifest %s)\n",
+                  dir.c_str(), kShardManifestFilename);
     }
     return 0;
   }
@@ -256,14 +400,8 @@ int RunEstimate(const Flags& flags) {
   }
 
   if (flags.Has("checkpoint")) {
-    std::ofstream out(flags.Get("checkpoint", ""));
-    const Status s = SerializeInStreamEstimator(in_stream, out);
-    if (!s.ok() || !out) {
-      std::fprintf(stderr, "checkpoint error: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    std::printf("checkpoint written to %s\n",
-                flags.Get("checkpoint", "").c_str());
+    return WriteEstimatorCheckpoint(in_stream,
+                                    flags.Get("checkpoint", ""));
   }
   return 0;
 }
@@ -290,12 +428,80 @@ int RunResume(const Flags& flags) {
               stream->size());
   for (const Edge& e : *stream) estimator->Process(e);
   PrintEstimates("in-stream estimates (resumed)", estimator->Estimates());
+  if (flags.Has("save")) {
+    // Persist the continued state so interrupted runs can chain
+    // checkpoint -> resume -> resume indefinitely.
+    return WriteEstimatorCheckpoint(*estimator, flags.Get("save", ""));
+  }
+  return 0;
+}
+
+int RunCheckpointShards(const Flags& flags) {
+  if (!flags.Has("out")) {
+    std::fprintf(stderr,
+                 "error: checkpoint-shards needs --out DIR for the "
+                 "manifest and shard files\n");
+    return 1;
+  }
+  auto stream = LoadStream(flags);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  auto weight = WeightFromName(flags.Get("weight", "triangle"));
+  if (!weight.ok()) {
+    std::fprintf(stderr, "error: %s\n", weight.status().ToString().c_str());
+    return 1;
+  }
+  ShardedRunConfig config;
+  if (!ParseShardedRunConfig(flags, stream->size(), &config)) return 1;
+  config.sampler.weight = *weight;
+
+  std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
+              "(batch %llu)\n",
+              stream->size(), config.sampler.capacity,
+              static_cast<unsigned long long>(config.shards),
+              static_cast<unsigned long long>(config.batch));
+  ShardedEngineOptions engine_options;
+  engine_options.sampler = config.sampler;
+  engine_options.num_shards = static_cast<uint32_t>(config.shards);
+  engine_options.batch_size = config.batch;
+  ShardedEngine engine(engine_options);
+  for (const Edge& e : *stream) engine.Process(e);
+  engine.Finish();
+  PrintEstimates(kMergedInStreamLabel, engine.MergedEstimates());
+
+  const std::string dir = flags.Get("out", "");
+  if (Status s = engine.SerializeShards(dir); !s.ok()) {
+    std::fprintf(stderr, "checkpoint error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("manifest written to %s/%s (%u shard files)\n", dir.c_str(),
+              kShardManifestFilename, engine.num_shards());
+  return 0;
+}
+
+int RunMergeCheckpoints(const Flags& flags) {
+  const std::vector<std::string>& manifests = flags.GetAll("manifest");
+  if (manifests.empty()) {
+    std::fprintf(stderr,
+                 "error: merge-checkpoints needs at least one "
+                 "--manifest FILE\n");
+    return 1;
+  }
+  auto merged = ShardedEngine::MergeFromCheckpoints(manifests);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "error: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  PrintEstimates(kMergedInStreamLabel, *merged);
   return 0;
 }
 
 int RunGenerate(const Flags& flags) {
-  auto graph = MakeCorpusGraph(flags.Get("name", ""),
-                               flags.GetDouble("scale", 1.0));
+  double scale = 1.0;
+  if (!GetFlag(flags.GetDouble("scale", 1.0), &scale)) return 1;
+  auto graph = MakeCorpusGraph(flags.Get("name", ""), scale);
   if (!graph.ok()) {
     std::fprintf(stderr, "error: %s\n", graph.status().ToString().c_str());
     return 1;
@@ -344,7 +550,12 @@ int main(int argc, char** argv) {
                "estimator", "no-permute", "shards", "batch",
                "threads",   "checkpoint"};
   } else if (command == "resume") {
-    allowed = {"checkpoint", "input", "seed", "no-permute"};
+    allowed = {"checkpoint", "input", "seed", "save", "no-permute"};
+  } else if (command == "checkpoint-shards") {
+    allowed = {"input", "capacity", "seed",      "weight",
+               "shards", "batch",   "no-permute", "out"};
+  } else if (command == "merge-checkpoints") {
+    allowed = {"manifest"};
   } else if (command == "generate") {
     allowed = {"name", "scale", "output"};
   } else if (command == "exact") {
@@ -364,6 +575,8 @@ int main(int argc, char** argv) {
   }
   if (command == "estimate") return RunEstimate(*flags);
   if (command == "resume") return RunResume(*flags);
+  if (command == "checkpoint-shards") return RunCheckpointShards(*flags);
+  if (command == "merge-checkpoints") return RunMergeCheckpoints(*flags);
   if (command == "generate") return RunGenerate(*flags);
   if (command == "exact") return RunExact(*flags);
   if (command == "corpus") return RunCorpus();
