@@ -1,14 +1,18 @@
 // Real-time tracking: monitor triangle counts and clustering coefficient of
-// a live edge stream with GPS in-stream estimation (paper Section 5 /
-// Figure 3). Models a social-media monitoring scenario: interactions arrive
-// continuously; the application keeps fresh, low-variance estimates with
-// confidence bounds while storing only a small sample.
+// a live edge stream with the sharded GPS engine's continuous-monitoring
+// mode (paper Section 5 / Figure 3). Models a social-media monitoring
+// scenario: interactions arrive continuously; the application keeps fresh,
+// low-variance merged estimates with confidence bounds while storing only a
+// small sample, and periodically rewrites a resumable checkpoint so a
+// crashed monitor continues where it left off (gps_cli resume-shards).
 //
 //   build/examples/realtime_tracking
+//
+// The same mode is scriptable as `gps_cli monitor --every N --output csv`.
 
 #include <cstdio>
 
-#include "core/in_stream.h"
+#include "engine/sharded_engine.h"
 #include "gen/registry.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
@@ -23,38 +27,48 @@ int main() {
   }
   const std::vector<gps::Edge> stream = gps::MakePermutedStream(*graph, 3);
 
-  gps::GpsSamplerOptions options;
-  options.capacity = stream.size() / 25;  // store 4% of the stream
-  options.seed = 99;
-  gps::InStreamEstimator monitor(options);
+  gps::ShardedEngineOptions options;
+  options.sampler.capacity = stream.size() / 25;  // store 4% of the stream
+  options.sampler.seed = 99;
+  options.num_shards = 4;  // parallel ingestion, merged estimates
+  gps::ShardedEngine monitor(options);
 
   // Track exactly alongside (only feasible offline; shown for comparison).
   gps::ExactStreamCounter exact;
 
-  std::printf("monitoring %zu-edge stream with a %zu-edge reservoir\n\n",
-              stream.size(), options.capacity);
-  std::printf("%12s %14s %14s %22s %10s %10s\n", "edges seen",
-              "tri (actual)", "tri (est)", "tri 95% CI", "cc (actual)",
-              "cc (est)");
+  std::printf("monitoring %zu-edge stream: %u shards, %zu-edge reservoir\n\n",
+              stream.size(), monitor.num_shards(),
+              options.sampler.capacity);
+  std::printf("%12s %14s %14s %22s %10s %10s %10s\n", "edges seen",
+              "tri (actual)", "tri (est)", "tri 95% CI", "ci width",
+              "cc (actual)", "cc (est)");
 
-  const size_t report_every = stream.size() / 12;
-  for (size_t i = 0; i < stream.size(); ++i) {
-    monitor.Process(stream[i]);
-    exact.AddEdge(stream[i]);
-    if ((i + 1) % report_every != 0 && i + 1 != stream.size()) continue;
+  // The engine drains and reports merged estimates every report_every
+  // edges; the callback runs on the ingestion thread, so reading the
+  // exact counter alongside is safe.
+  const gps::ExactStreamCounter* exact_ptr = &exact;
+  monitor.EstimateEvery(
+      stream.size() / 12, [exact_ptr](const gps::MonitorRecord& record) {
+        const gps::Estimate& tri = record.estimates.triangles;
+        const gps::Estimate cc = record.estimates.ClusteringCoefficient();
+        std::printf(
+            "%12llu %14.0f %14.0f [%9.0f,%9.0f] %10.0f %10.4f %10.4f\n",
+            static_cast<unsigned long long>(record.edges_processed),
+            exact_ptr->Counts().triangles, tri.value, tri.Lower(),
+            tri.Upper(), tri.Upper() - tri.Lower(),
+            exact_ptr->Counts().ClusteringCoefficient(), cc.value);
+      });
 
-    const gps::GraphEstimates est = monitor.Estimates();
-    const gps::Estimate cc = est.ClusteringCoefficient();
-    std::printf("%12zu %14.0f %14.0f [%9.0f,%9.0f] %10.4f %10.4f\n", i + 1,
-                exact.Counts().triangles, est.triangles.value,
-                est.triangles.Lower(), est.triangles.Upper(),
-                exact.Counts().ClusteringCoefficient(), cc.value);
+  for (const gps::Edge& e : stream) {
+    exact.AddEdge(e);   // before Process: the periodic drain sees both
+    monitor.Process(e);
   }
+  monitor.Finish();
 
-  std::printf("\nfinal reservoir: %zu edges (%.1f%% of stream), threshold "
-              "z* = %.3f\n",
-              monitor.reservoir().size(),
-              100.0 * monitor.reservoir().size() / stream.size(),
-              monitor.reservoir().threshold());
+  const gps::GraphEstimates final_estimates = monitor.MergedEstimates();
+  std::printf("\nfinal: %llu edges seen, triangle estimate %.0f "
+              "(exact %.0f)\n",
+              static_cast<unsigned long long>(monitor.edges_processed()),
+              final_estimates.triangles.value, exact.Counts().triangles);
   return 0;
 }

@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Local CI: Release build + full ctest, then an ASan/UBSan Debug pass over
-# the threaded engine, checkpoint serialization, and cli suites (the code
-# most at risk of data races, UB, and parser abuse). Mirrors the release +
-# sanitize jobs of .github/workflows/ci.yml (CI additionally runs TSan).
+# the threaded engine, checkpoint serialization, resume, and cli suites
+# (the code most at risk of data races, UB, and parser abuse). Mirrors the
+# release + sanitize jobs of .github/workflows/ci.yml (CI additionally
+# runs TSan and a nightly GPS_STAT_TRIALS=200 statistical pass).
+#
+# Every ctest invocation carries --timeout 300: a hung shard worker (ring
+# deadlock, missed drain handshake) must fail the suite fast, not stall
+# the whole run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "=== Release build + ctest ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j"$(nproc)"
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)" --timeout 300
 
 echo "=== ASan/UBSan build + engine/serialization/cli tests ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_checkpoint_test \
-  core_parallel_test core_serialize_test cli_test gps_cli
+  engine_resume_test core_parallel_test core_serialize_test cli_test \
+  gps_cli
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  -R 'engine_|core_parallel|core_serialize|cli_test'
+  --timeout 300 -R 'engine_|core_parallel|core_serialize|cli_test'
 
 echo "OK"

@@ -17,6 +17,11 @@ constexpr const char* kSamplerHeader = "GPS-SAMPLER";
 constexpr const char* kInStreamHeader = "GPS-INSTREAM";
 constexpr const char* kManifestHeader = "GPS-MANIFEST";
 constexpr int kFormatVersion = 1;
+// Manifests are versioned independently of the single-estimator formats:
+// v2 added the engine-level stream offset (resume support). Readers stay
+// compatible with v1.
+constexpr int kManifestVersion = 2;
+constexpr int kManifestMinReadVersion = 1;
 
 void WriteDouble(std::ostream& out, double v) {
   char buf[40];
@@ -24,7 +29,11 @@ void WriteDouble(std::ostream& out, double v) {
   out << buf;
 }
 
-Status ExpectHeader(std::istream& in, const std::string& want) {
+/// Reads and checks "<HEADER> <version>", accepting any version in
+/// [min_version, max_version]; returns the version actually found so
+/// multi-version readers (the manifest) can branch on it.
+Result<int> ExpectHeaderVersioned(std::istream& in, const std::string& want,
+                                  int min_version, int max_version) {
   std::string header;
   int version = 0;
   if (!(in >> header >> version)) {
@@ -34,11 +43,18 @@ Status ExpectHeader(std::istream& in, const std::string& want) {
     return Status::InvalidArgument("checkpoint header mismatch: expected " +
                                    want + ", found " + header);
   }
-  if (version != kFormatVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version " +
-                                   std::to_string(version));
+  if (version < min_version || version > max_version) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " for " + want + " (supported: " + std::to_string(min_version) +
+        ".." + std::to_string(max_version) + ")");
   }
-  return Status::Ok();
+  return version;
+}
+
+Status ExpectHeader(std::istream& in, const std::string& want) {
+  return ExpectHeaderVersioned(in, want, kFormatVersion, kFormatVersion)
+      .status();
 }
 
 Status ValidateWeightOptions(const WeightOptions& weight) {
@@ -85,6 +101,18 @@ Result<WeightOptions> ReadWeightOptions(std::istream& in) {
 }  // namespace
 
 Status SerializeReservoir(const GpsReservoir& reservoir, std::ostream& out) {
+  // Mirror the read-side ceiling: a checkpoint the deserializer would
+  // reject must fail loudly at WRITE time, not when the operator tries
+  // to resume from it.
+  if (reservoir.options().capacity == 0 ||
+      reservoir.options().capacity > kMaxCheckpointCapacity) {
+    return Status::FailedPrecondition(
+        "reservoir capacity " +
+        std::to_string(reservoir.options().capacity) + " outside (0, " +
+        std::to_string(kMaxCheckpointCapacity) +
+        "] cannot be checkpointed (raise kMaxCheckpointCapacity "
+        "deliberately if needed)");
+  }
   out << kReservoirHeader << ' ' << kFormatVersion << '\n';
   out << reservoir.options().capacity << ' ' << reservoir.options().seed
       << '\n';
@@ -282,6 +310,24 @@ Status ValidateManifest(const ShardManifest& manifest) {
     return Status::InvalidArgument(
         "manifest lists more shard files than shards");
   }
+  if (manifest.stream_offset > 0) {
+    // The entries describe shards of the recorded run prefix, so no shard
+    // can have consumed more arrivals than the engine ever routed — and
+    // the covered shards together cannot exceed the routed total either.
+    // The counts are untrusted: detect wrap-around so crafted huge values
+    // cannot fold back under the offset.
+    uint64_t entry_sum = 0;
+    for (const ShardManifestEntry& entry : manifest.entries) {
+      if (entry_sum + entry.edges_processed < entry_sum ||
+          entry_sum + entry.edges_processed > manifest.stream_offset) {
+        return Status::InvalidArgument(
+            "manifest shard arrival counts exceed the recorded stream "
+            "offset " +
+            std::to_string(manifest.stream_offset));
+      }
+      entry_sum += entry.edges_processed;
+    }
+  }
   std::vector<bool> seen(manifest.num_shards, false);
   for (const ShardManifestEntry& entry : manifest.entries) {
     if (entry.shard_index >= manifest.num_shards) {
@@ -320,10 +366,10 @@ Status ValidateManifest(const ShardManifest& manifest) {
 
 Status SerializeManifest(const ShardManifest& manifest, std::ostream& out) {
   if (Status s = ValidateManifest(manifest); !s.ok()) return s;
-  out << kManifestHeader << ' ' << kFormatVersion << '\n';
+  out << kManifestHeader << ' ' << kManifestVersion << '\n';
   out << manifest.num_shards << ' ' << manifest.base_seed << ' '
       << manifest.total_capacity << ' ' << (manifest.split_capacity ? 1 : 0)
-      << '\n';
+      << ' ' << manifest.stream_offset << '\n';
   if (Status s = WriteWeightOptions(manifest.weight, out); !s.ok()) return s;
   out << manifest.entries.size() << '\n';
   for (const ShardManifestEntry& entry : manifest.entries) {
@@ -336,7 +382,9 @@ Status SerializeManifest(const ShardManifest& manifest, std::ostream& out) {
 }
 
 Result<ShardManifest> DeserializeManifest(std::istream& in) {
-  if (Status s = ExpectHeader(in, kManifestHeader); !s.ok()) return s;
+  Result<int> version = ExpectHeaderVersioned(
+      in, kManifestHeader, kManifestMinReadVersion, kManifestVersion);
+  if (!version.ok()) return version.status();
   ShardManifest manifest;
   int split = -1;
   if (!(in >> manifest.num_shards >> manifest.base_seed >>
@@ -348,6 +396,11 @@ Result<ShardManifest> DeserializeManifest(std::istream& in) {
         "manifest split-capacity flag must be 0 or 1");
   }
   manifest.split_capacity = split == 1;
+  // Version 1 predates the stream offset; leave it 0 (resume derives the
+  // offset from the entries' arrival counts instead).
+  if (*version >= 2 && !(in >> manifest.stream_offset)) {
+    return Status::IoError("truncated manifest: stream offset");
+  }
   Result<WeightOptions> weight = ReadWeightOptions(in);
   if (!weight.ok()) return weight.status();
   manifest.weight = *weight;

@@ -24,6 +24,14 @@
 // A manifest may cover a subset of the K shards; a coordinator merges a
 // set of manifests whose layouts agree and whose entries cover every
 // shard exactly once (src/engine/sharded_engine.h).
+//
+// Manifest versioning: version 2 added `stream_offset` (the number of
+// stream edges the writing engine had ingested) so an interrupted sharded
+// run can be RESUMED, not just merged. Writers emit version 2; readers
+// accept version 1 manifests (stream_offset reported as 0 — resume then
+// derives the offset from the per-entry arrival counts). The per-shard
+// RNG state itself lives in the GPS-INSTREAM shard files, which already
+// round-trip it exactly.
 
 #ifndef GPS_CORE_SERIALIZE_H_
 #define GPS_CORE_SERIALIZE_H_
@@ -79,6 +87,11 @@ struct ShardManifest {
   /// True if per-shard capacity is ceil(total / K) (the engine default);
   /// false if every shard received the full total.
   bool split_capacity = true;
+  /// Stream edges the writing engine had ingested when the checkpoint was
+  /// taken (version >= 2). 0 for version-1 manifests, where resume falls
+  /// back to the sum of the entries' arrival counts (equal for a fully
+  /// covered layout: every routed edge is consumed by exactly one shard).
+  uint64_t stream_offset = 0;
   /// Weight configuration shared by all shards; kind != kCustom.
   WeightOptions weight;
   /// Shard files this manifest covers — possibly a subset of the K shards

@@ -31,6 +31,19 @@ ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options)
   }
 }
 
+ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options,
+                         std::unique_ptr<InStreamEstimator> restored)
+    : index_(index),
+      options_(options),
+      in_stream_(std::move(restored)),
+      ring_(options.ring_capacity) {
+  assert(options_.estimator == ShardEstimatorKind::kInStream);
+  assert(in_stream_ != nullptr);
+  assert(in_stream_->reservoir().options().seed == options_.sampler.seed);
+  assert(in_stream_->reservoir().options().capacity ==
+         options_.sampler.capacity);
+}
+
 ShardWorker::~ShardWorker() { Join(); }
 
 void ShardWorker::Start() {

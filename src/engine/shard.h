@@ -53,6 +53,15 @@ class ShardWorker {
   using Batch = std::vector<Edge>;
 
   ShardWorker(uint32_t index, const ShardOptions& options);
+
+  /// Resume construction: adopts a checkpoint-restored in-stream estimator
+  /// (reservoir, RNG state, and snapshot accumulators mid-stream) instead
+  /// of building a fresh one. The estimator's reservoir options must match
+  /// `options.sampler` (callers validate against the manifest layout);
+  /// requires ShardEstimatorKind::kInStream.
+  ShardWorker(uint32_t index, const ShardOptions& options,
+              std::unique_ptr<InStreamEstimator> restored);
+
   ~ShardWorker();
 
   ShardWorker(const ShardWorker&) = delete;

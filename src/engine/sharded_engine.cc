@@ -26,6 +26,23 @@ bool SameWeightConfig(const WeightOptions& a, const WeightOptions& b) {
          a.default_weight == b.default_weight;
 }
 
+/// Derives shard s's worker configuration from the engine options — the
+/// ONE place the per-shard capacity split and seed derivation live, so
+/// fresh construction and checkpoint resume cannot drift apart (drift
+/// would silently break the resume byte-identity contract).
+ShardOptions MakeShardOptions(const ShardedEngineOptions& options,
+                              uint32_t s, ShardEstimatorKind kind) {
+  ShardOptions shard_options;
+  shard_options.sampler = options.sampler;
+  shard_options.sampler.capacity = PerShardCapacity(
+      options.sampler.capacity, options.num_shards, options.split_capacity);
+  shard_options.sampler.seed =
+      DeriveShardSeed(options.sampler.seed, s, options.num_shards);
+  shard_options.estimator = kind;
+  shard_options.ring_capacity = options.ring_capacity;
+  return shard_options;
+}
+
 /// Layout compatibility between manifests that should describe shards of
 /// one logical run. Field-by-field so errors name what disagrees.
 Status CheckManifestsCompatible(const ShardManifest& base,
@@ -64,6 +81,157 @@ Result<std::string> ReadFileBytes(const std::filesystem::path& path) {
   return buffer.str();
 }
 
+/// A fully validated checkpoint set: the shared layout, the restored
+/// per-shard estimators in shard order, and the stream position the run
+/// was interrupted at. Shared by MergeFromCheckpoints (estimate without
+/// re-streaming) and ResumeFromCheckpoints (continue streaming).
+struct LoadedCheckpoints {
+  ShardManifest layout;
+  std::vector<std::unique_ptr<InStreamEstimator>> estimators;
+  uint64_t stream_offset = 0;
+};
+
+Result<LoadedCheckpoints> LoadCheckpoints(
+    std::span<const std::string> manifest_paths) {
+  if (manifest_paths.empty()) {
+    return Status::InvalidArgument("no manifests to merge");
+  }
+
+  struct LocatedEntry {
+    ShardManifestEntry entry;
+    std::filesystem::path dir;
+  };
+  ShardManifest base;
+  std::vector<LocatedEntry> located;
+  // The recorded stream offset must be validated across ALL manifests,
+  // not just whichever happens to be listed first: version-1 manifests
+  // report 0 ("unknown"), so the consensus is the unique nonzero offset
+  // — order-independent by construction.
+  uint64_t recorded_offset = 0;
+  bool first = true;
+  for (const std::string& path : manifest_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("cannot open manifest " + path);
+    Result<ShardManifest> manifest = DeserializeManifest(in);
+    if (!manifest.ok()) {
+      return manifest.status().WithContext("manifest " + path);
+    }
+    if (first) {
+      base = *manifest;
+      first = false;
+    } else if (Status st = CheckManifestsCompatible(base, *manifest, path);
+               !st.ok()) {
+      return st;
+    }
+    if (manifest->stream_offset > 0) {
+      if (recorded_offset == 0) {
+        recorded_offset = manifest->stream_offset;
+      } else if (recorded_offset != manifest->stream_offset) {
+        return Status::FailedPrecondition(
+            "manifest " + path + ": stream offset " +
+            std::to_string(manifest->stream_offset) +
+            " does not match the " + std::to_string(recorded_offset) +
+            " recorded by another manifest (checkpoints taken at "
+            "different stream positions cannot be combined)");
+      }
+    }
+    const std::filesystem::path dir =
+        std::filesystem::path(path).parent_path();
+    for (ShardManifestEntry& entry : manifest->entries) {
+      located.push_back({std::move(entry), dir});
+    }
+  }
+
+  const uint32_t k = base.num_shards;
+  std::vector<const LocatedEntry*> by_index(k, nullptr);
+  for (const LocatedEntry& le : located) {
+    if (by_index[le.entry.shard_index] != nullptr) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(le.entry.shard_index) +
+          " appears in multiple manifests");
+    }
+    by_index[le.entry.shard_index] = &le;
+  }
+  for (uint32_t s = 0; s < k; ++s) {
+    if (by_index[s] == nullptr) {
+      return Status::FailedPrecondition(
+          "manifests cover " + std::to_string(located.size()) + " of " +
+          std::to_string(k) + " shards (shard " + std::to_string(s) +
+          " missing)");
+    }
+  }
+
+  const size_t per_shard_capacity =
+      PerShardCapacity(base.total_capacity, k, base.split_capacity);
+  LoadedCheckpoints loaded;
+  loaded.estimators.reserve(k);
+  uint64_t arrival_sum = 0;
+  // Shard order matters: summation in the merge must match the live
+  // engine's 0..K-1 iteration for bit-identical merged estimates.
+  for (uint32_t s = 0; s < k; ++s) {
+    const LocatedEntry& le = *by_index[s];
+    const uint64_t want_seed = DeriveShardSeed(base.base_seed, s, k);
+    if (le.entry.shard_seed != want_seed) {
+      return Status::FailedPrecondition(
+          "manifest seed for shard " + std::to_string(s) +
+          " does not match the layout derivation from base seed " +
+          std::to_string(base.base_seed));
+    }
+    const std::filesystem::path file = le.dir / le.entry.filename;
+    Result<std::string> bytes = ReadFileBytes(file);
+    if (!bytes.ok()) return bytes.status();
+    if (ChecksumBytes(*bytes) != le.entry.digest) {
+      return Status::InvalidArgument(
+          "digest mismatch for shard file " + file.string() +
+          " (corrupt or mismatched checkpoint)");
+    }
+    std::istringstream in(*bytes);
+    Result<InStreamEstimator> est = DeserializeInStreamEstimator(in);
+    if (!est.ok()) {
+      return est.status().WithContext("shard file " + file.string());
+    }
+    if (est->reservoir().options().seed != want_seed) {
+      return Status::InvalidArgument(
+          "shard file " + file.string() +
+          " seed disagrees with its manifest entry");
+    }
+    if (est->reservoir().options().capacity != per_shard_capacity) {
+      return Status::InvalidArgument(
+          "shard file " + file.string() +
+          " capacity disagrees with the manifest layout");
+    }
+    if (!SameWeightConfig(est->weight_function().options(), base.weight)) {
+      return Status::InvalidArgument(
+          "shard file " + file.string() +
+          " weight configuration disagrees with the manifest");
+    }
+    // Shard files are untrusted: a wrapped sum must not masquerade as a
+    // consistent stream offset.
+    if (arrival_sum + est->edges_processed() < arrival_sum) {
+      return Status::InvalidArgument(
+          "shard arrival counts overflow across the checkpoint set");
+    }
+    arrival_sum += est->edges_processed();
+    loaded.estimators.push_back(
+        std::make_unique<InStreamEstimator>(std::move(*est)));
+  }
+
+  // Version-2 manifests record the offset explicitly; a fully covered
+  // layout must agree with the per-shard arrival counts (every routed
+  // edge is consumed by exactly one shard). Version-1 manifests fall back
+  // to the derived sum.
+  if (recorded_offset > 0 && recorded_offset != arrival_sum) {
+    return Status::FailedPrecondition(
+        "manifest stream offset " + std::to_string(recorded_offset) +
+        " disagrees with the shards' arrival counts (" +
+        std::to_string(arrival_sum) + ")");
+  }
+  loaded.stream_offset = arrival_sum;
+  loaded.layout = std::move(base);
+  loaded.layout.entries.clear();  // superseded by the restored estimators
+  return loaded;
+}
+
 }  // namespace
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
@@ -71,25 +239,16 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   assert(options_.num_shards >= 1);
   assert(options_.batch_size >= 1);
   const uint32_t k = options_.num_shards;
-  const size_t per_shard_capacity =
-      options_.split_capacity
-          ? (options_.sampler.capacity + k - 1) / k
-          : options_.sampler.capacity;
+  const ShardEstimatorKind kind =
+      options_.merge_mode == MergeMode::kPostStreamMerged
+          ? ShardEstimatorKind::kPostStream
+          : ShardEstimatorKind::kInStream;
 
   shards_.reserve(k);
   pending_.resize(k);
   for (uint32_t s = 0; s < k; ++s) {
-    ShardOptions shard_options;
-    shard_options.sampler = options_.sampler;
-    shard_options.sampler.capacity = per_shard_capacity;
-    shard_options.sampler.seed =
-        DeriveShardSeed(options_.sampler.seed, s, k);
-    shard_options.estimator =
-        options_.merge_mode == MergeMode::kPostStreamMerged
-            ? ShardEstimatorKind::kPostStream
-            : ShardEstimatorKind::kInStream;
-    shard_options.ring_capacity = options_.ring_capacity;
-    shards_.push_back(std::make_unique<ShardWorker>(s, shard_options));
+    shards_.push_back(std::make_unique<ShardWorker>(
+        s, MakeShardOptions(options_, s, kind)));
     pending_[s].reserve(options_.batch_size);
   }
   for (auto& shard : shards_) shard->Start();
@@ -120,6 +279,7 @@ void ShardedEngine::Process(const Edge& e) {
     batch = ShardWorker::Batch();
     batch.reserve(options_.batch_size);
   }
+  if (monitor_every_ != 0 || checkpoint_every_ != 0) FirePeriodicHooks();
 }
 
 void ShardedEngine::Flush() {
@@ -176,6 +336,7 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
   manifest.base_seed = options_.sampler.seed;
   manifest.total_capacity = options_.sampler.capacity;
   manifest.split_capacity = options_.split_capacity;
+  manifest.stream_offset = edges_processed_;
   manifest.weight = options_.sampler.weight;
   // Reject un-serializable layouts (capacity out of range, custom weight)
   // BEFORE overwriting anything: a failed re-checkpoint must not destroy
@@ -191,6 +352,44 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
                            ": " + ec.message());
   }
 
+  // Stage every file under a temporary name and rename only once all
+  // payloads are fully on disk: a write failure (disk full, I/O error)
+  // mid-checkpoint must leave the previous checkpoint in `dir` intact —
+  // the periodic auto-checkpoint path rewrites the same directory, so a
+  // destroyed checkpoint means a destroyed resume point. (A crash inside
+  // the final rename sequence can still mix generations; the per-file
+  // digests make the mix detectable — resume refuses — rather than
+  // silent.)
+  struct StagedFile {
+    std::filesystem::path tmp;
+    std::filesystem::path final;
+  };
+  std::vector<StagedFile> staged;
+  auto discard_staged = [&staged] {
+    for (const StagedFile& f : staged) {
+      std::error_code ignored;
+      std::filesystem::remove(f.tmp, ignored);
+    }
+  };
+  auto stage = [&](const std::string& name,
+                   const std::string& bytes) -> Status {
+    const std::filesystem::path final_path =
+        std::filesystem::path(dir) / name;
+    const std::filesystem::path tmp_path =
+        std::filesystem::path(dir) / (name + ".tmp");
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp_path, ignored);
+      return Status::IoError("cannot write checkpoint file " +
+                             tmp_path.string());
+    }
+    staged.push_back({tmp_path, final_path});
+    return Status::Ok();
+  };
+
   for (uint32_t s = 0; s < num_shards(); ++s) {
     char name[32];
     std::snprintf(name, sizeof(name), "shard-%04u.gps", s);
@@ -200,15 +399,13 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
     if (Status st = SerializeInStreamEstimator(
             shards_[s]->in_stream_estimator(), payload);
         !st.ok()) {
+      discard_staged();
       return st;
     }
     const std::string bytes = payload.str();
-    const std::filesystem::path path = std::filesystem::path(dir) / name;
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!out) {
-      return Status::IoError("cannot write shard checkpoint " +
-                             path.string());
+    if (Status st = stage(name, bytes); !st.ok()) {
+      discard_staged();
+      return st;
     }
     ShardManifestEntry entry;
     entry.shard_index = s;
@@ -219,135 +416,127 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
     manifest.entries.push_back(std::move(entry));
   }
 
-  // Serialize to memory first so the manifest file is only touched once
-  // the content is known good.
   std::ostringstream manifest_payload;
   if (Status st = SerializeManifest(manifest, manifest_payload); !st.ok()) {
+    discard_staged();
     return st;
   }
-  const std::string manifest_bytes = manifest_payload.str();
-  const std::filesystem::path manifest_path =
-      std::filesystem::path(dir) / kShardManifestFilename;
-  std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
-  out.write(manifest_bytes.data(),
-            static_cast<std::streamsize>(manifest_bytes.size()));
-  if (!out) {
-    return Status::IoError("cannot write manifest " +
-                           manifest_path.string());
+  if (Status st = stage(kShardManifestFilename, manifest_payload.str());
+      !st.ok()) {
+    discard_staged();
+    return st;
+  }
+
+  // Everything is on disk; publish. Shard files first, manifest last, so
+  // an interrupted publish leaves at worst a digest-detectable mix.
+  for (const StagedFile& f : staged) {
+    std::error_code ec;
+    std::filesystem::rename(f.tmp, f.final, ec);
+    if (ec) {
+      discard_staged();
+      return Status::IoError("cannot publish checkpoint file " +
+                             f.final.string() + ": " + ec.message());
+    }
   }
   return Status::Ok();
 }
 
 Result<GraphEstimates> ShardedEngine::MergeFromCheckpoints(
     std::span<const std::string> manifest_paths) {
-  if (manifest_paths.empty()) {
-    return Status::InvalidArgument("no manifests to merge");
-  }
-
-  struct LocatedEntry {
-    ShardManifestEntry entry;
-    std::filesystem::path dir;
-  };
-  ShardManifest base;
-  std::vector<LocatedEntry> located;
-  bool first = true;
-  for (const std::string& path : manifest_paths) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) return Status::NotFound("cannot open manifest " + path);
-    Result<ShardManifest> manifest = DeserializeManifest(in);
-    if (!manifest.ok()) {
-      return manifest.status().WithContext("manifest " + path);
-    }
-    if (first) {
-      base = *manifest;
-      first = false;
-    } else if (Status st = CheckManifestsCompatible(base, *manifest, path);
-               !st.ok()) {
-      return st;
-    }
-    const std::filesystem::path dir =
-        std::filesystem::path(path).parent_path();
-    for (ShardManifestEntry& entry : manifest->entries) {
-      located.push_back({std::move(entry), dir});
-    }
-  }
-
-  const uint32_t k = base.num_shards;
-  std::vector<const LocatedEntry*> by_index(k, nullptr);
-  for (const LocatedEntry& le : located) {
-    if (by_index[le.entry.shard_index] != nullptr) {
-      return Status::FailedPrecondition(
-          "shard " + std::to_string(le.entry.shard_index) +
-          " appears in multiple manifests");
-    }
-    by_index[le.entry.shard_index] = &le;
-  }
-  for (uint32_t s = 0; s < k; ++s) {
-    if (by_index[s] == nullptr) {
-      return Status::FailedPrecondition(
-          "manifests cover " + std::to_string(located.size()) + " of " +
-          std::to_string(k) + " shards (shard " + std::to_string(s) +
-          " missing)");
-    }
-  }
-
-  const size_t per_shard_capacity =
-      PerShardCapacity(base.total_capacity, k, base.split_capacity);
-  std::vector<std::unique_ptr<InStreamEstimator>> estimators;
-  estimators.reserve(k);
-  // Shard order matters: summation below must match the live engine's
-  // 0..K-1 iteration for bit-identical merged estimates.
-  for (uint32_t s = 0; s < k; ++s) {
-    const LocatedEntry& le = *by_index[s];
-    const uint64_t want_seed = DeriveShardSeed(base.base_seed, s, k);
-    if (le.entry.shard_seed != want_seed) {
-      return Status::FailedPrecondition(
-          "manifest seed for shard " + std::to_string(s) +
-          " does not match the layout derivation from base seed " +
-          std::to_string(base.base_seed));
-    }
-    const std::filesystem::path file = le.dir / le.entry.filename;
-    Result<std::string> bytes = ReadFileBytes(file);
-    if (!bytes.ok()) return bytes.status();
-    if (ChecksumBytes(*bytes) != le.entry.digest) {
-      return Status::InvalidArgument(
-          "digest mismatch for shard file " + file.string() +
-          " (corrupt or mismatched checkpoint)");
-    }
-    std::istringstream in(*bytes);
-    Result<InStreamEstimator> est = DeserializeInStreamEstimator(in);
-    if (!est.ok()) {
-      return est.status().WithContext("shard file " + file.string());
-    }
-    if (est->reservoir().options().seed != want_seed) {
-      return Status::InvalidArgument(
-          "shard file " + file.string() +
-          " seed disagrees with its manifest entry");
-    }
-    if (est->reservoir().options().capacity != per_shard_capacity) {
-      return Status::InvalidArgument(
-          "shard file " + file.string() +
-          " capacity disagrees with the manifest layout");
-    }
-    if (!SameWeightConfig(est->weight_function().options(), base.weight)) {
-      return Status::InvalidArgument(
-          "shard file " + file.string() +
-          " weight configuration disagrees with the manifest");
-    }
-    estimators.push_back(
-        std::make_unique<InStreamEstimator>(std::move(*est)));
-  }
+  Result<LoadedCheckpoints> loaded = LoadCheckpoints(manifest_paths);
+  if (!loaded.ok()) return loaded.status();
 
   std::vector<GraphEstimates> per_shard;
   std::vector<const GpsReservoir*> reservoirs;
-  per_shard.reserve(k);
-  reservoirs.reserve(k);
-  for (const auto& est : estimators) {
+  per_shard.reserve(loaded->estimators.size());
+  reservoirs.reserve(loaded->estimators.size());
+  for (const auto& est : loaded->estimators) {
     per_shard.push_back(est->Estimates());
     reservoirs.push_back(&est->reservoir());
   }
   return AddEstimates(SumShardEstimates(per_shard),
                       EstimateCrossShard(reservoirs));
+}
+
+ShardedEngine::ShardedEngine(
+    ShardedEngineOptions options,
+    std::vector<std::unique_ptr<InStreamEstimator>> restored,
+    uint64_t stream_offset)
+    : options_(std::move(options)), edges_processed_(stream_offset) {
+  assert(options_.num_shards == restored.size());
+  assert(options_.batch_size >= 1);
+  const uint32_t k = options_.num_shards;
+
+  shards_.reserve(k);
+  pending_.resize(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    shards_.push_back(std::make_unique<ShardWorker>(
+        s, MakeShardOptions(options_, s, ShardEstimatorKind::kInStream),
+        std::move(restored[s])));
+    pending_[s].reserve(options_.batch_size);
+  }
+  for (auto& shard : shards_) shard->Start();
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::ResumeFromCheckpoints(
+    std::span<const std::string> manifest_paths,
+    const ShardedResumeOptions& resume_options) {
+  if (resume_options.batch_size < 1) {
+    return Status::InvalidArgument("resume batch size must be >= 1");
+  }
+  if (resume_options.ring_capacity < 1) {
+    return Status::InvalidArgument("resume ring capacity must be >= 1");
+  }
+  Result<LoadedCheckpoints> loaded = LoadCheckpoints(manifest_paths);
+  if (!loaded.ok()) return loaded.status();
+
+  ShardedEngineOptions options;
+  options.sampler.capacity = loaded->layout.total_capacity;
+  options.sampler.seed = loaded->layout.base_seed;
+  options.sampler.weight = loaded->layout.weight;
+  options.num_shards = loaded->layout.num_shards;
+  options.split_capacity = loaded->layout.split_capacity;
+  options.batch_size = resume_options.batch_size;
+  options.ring_capacity = resume_options.ring_capacity;
+  options.merge_mode = MergeMode::kInStreamPlusCross;
+  return std::unique_ptr<ShardedEngine>(
+      new ShardedEngine(std::move(options), std::move(loaded->estimators),
+                        loaded->stream_offset));
+}
+
+void ShardedEngine::EstimateEvery(
+    uint64_t n_edges, std::function<void(const MonitorRecord&)> callback) {
+  monitor_every_ = callback ? n_edges : 0;
+  monitor_callback_ = monitor_every_ != 0 ? std::move(callback) : nullptr;
+}
+
+Status ShardedEngine::CheckpointEvery(uint64_t n_edges,
+                                      const std::string& dir) {
+  if (n_edges != 0 && dir.empty()) {
+    return Status::InvalidArgument(
+        "auto-checkpointing needs a destination directory");
+  }
+  if (n_edges != 0 &&
+      options_.merge_mode != MergeMode::kInStreamPlusCross) {
+    return Status::FailedPrecondition(
+        "sharded checkpoints require in-stream shard estimators");
+  }
+  checkpoint_every_ = n_edges;
+  checkpoint_dir_ = dir;
+  return Status::Ok();
+}
+
+void ShardedEngine::FirePeriodicHooks() {
+  if (monitor_every_ != 0 && edges_processed_ % monitor_every_ == 0) {
+    MonitorRecord record;
+    record.edges_processed = edges_processed_;
+    record.estimates = MergedEstimates();  // drains
+    monitor_callback_(record);
+  }
+  if (checkpoint_every_ != 0 && auto_checkpoint_status_.ok() &&
+      edges_processed_ % checkpoint_every_ == 0) {
+    auto_checkpoint_status_ = SerializeShards(checkpoint_dir_);
+  }
 }
 
 }  // namespace gps

@@ -35,6 +35,7 @@
 #define GPS_ENGINE_SHARDED_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -71,6 +72,22 @@ struct ShardedEngineOptions {
   bool split_capacity = true;
   /// Estimation strategy; see engine/merge.h.
   MergeMode merge_mode = MergeMode::kInStreamPlusCross;
+};
+
+/// Transport knobs a resumed engine cannot recover from a manifest (they
+/// do not affect the sample path, only hand-off granularity and ring
+/// sizing — see the determinism contract above).
+struct ShardedResumeOptions {
+  size_t batch_size = 1024;
+  size_t ring_capacity = 64;
+};
+
+/// One merged-estimate sample of the continuous-monitoring mode.
+struct MonitorRecord {
+  /// Stream position the sample was taken at (total edges ingested,
+  /// including any checkpointed prefix a resumed engine started from).
+  uint64_t edges_processed = 0;
+  GraphEstimates estimates;
 };
 
 class ShardedEngine {
@@ -122,6 +139,44 @@ class ShardedEngine {
   static Result<GraphEstimates> MergeFromCheckpoints(
       std::span<const std::string> manifest_paths);
 
+  /// Rebuilds a RUNNING engine from checkpoint manifests so the stream
+  /// can continue where the interrupted run left off: per-shard
+  /// reservoirs, snapshot accumulators, and RNG states are restored from
+  /// the shard files (exact round trip), workers are started, and
+  /// edges_processed() resumes at the manifest's stream offset (version-1
+  /// manifests: the sum of per-shard arrival counts). Feeding the suffix
+  /// of the original stream yields per-shard reservoirs and merged
+  /// estimates byte-identical to an uninterrupted run — the sharded
+  /// analog of `gps_cli resume`. Validation rules are those of
+  /// MergeFromCheckpoints (layout agreement, exact coverage, digests).
+  static Result<std::unique_ptr<ShardedEngine>> ResumeFromCheckpoints(
+      std::span<const std::string> manifest_paths,
+      const ShardedResumeOptions& resume_options = {});
+
+  /// Continuous-monitoring mode, layered on Drain(): after every
+  /// `n_edges` ingested edges (measured at absolute stream positions, so
+  /// a resumed engine keeps the cadence of the uninterrupted run),
+  /// Process() drains, computes MergedEstimates(), and invokes `callback`
+  /// on the producer thread. Monitoring never touches estimator state —
+  /// sampling randomness and final results are identical with or without
+  /// it; each sample costs one pipeline drain. n_edges == 0 disables.
+  void EstimateEvery(uint64_t n_edges,
+                     std::function<void(const MonitorRecord&)> callback);
+
+  /// Periodic auto-checkpointing: after every `n_edges` ingested edges
+  /// (absolute positions, like EstimateEvery), SerializeShards(dir) —
+  /// each checkpoint overwrites the previous one, so `dir` always holds
+  /// the latest consistent resume point. Requires in-stream shard
+  /// estimators. A checkpoint failure mid-stream is sticky: it disables
+  /// further attempts and is reported by auto_checkpoint_status().
+  /// n_edges == 0 disables.
+  Status CheckpointEvery(uint64_t n_edges, const std::string& dir);
+
+  /// First error an auto-checkpoint hit, or OK.
+  const Status& auto_checkpoint_status() const {
+    return auto_checkpoint_status_;
+  }
+
   /// Deterministic shard assignment: avalanche hash of the canonical edge
   /// key, reduced to [0, num_shards).
   static uint32_t ShardOfEdge(const Edge& e, uint32_t num_shards);
@@ -139,11 +194,27 @@ class ShardedEngine {
   const ShardedEngineOptions& options() const { return options_; }
 
  private:
+  /// Resume construction: wraps checkpoint-restored estimators (one per
+  /// shard, indexed 0..K-1) and starts the workers.
+  ShardedEngine(ShardedEngineOptions options,
+                std::vector<std::unique_ptr<InStreamEstimator>> restored,
+                uint64_t stream_offset);
+
+  /// Fires monitoring / auto-checkpoint hooks due at the current stream
+  /// position (called from Process after the edge is routed).
+  void FirePeriodicHooks();
+
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<ShardWorker>> shards_;
   std::vector<ShardWorker::Batch> pending_;
   uint64_t edges_processed_ = 0;
   bool finished_ = false;
+
+  uint64_t monitor_every_ = 0;
+  std::function<void(const MonitorRecord&)> monitor_callback_;
+  uint64_t checkpoint_every_ = 0;
+  std::string checkpoint_dir_;
+  Status auto_checkpoint_status_;
 };
 
 }  // namespace gps

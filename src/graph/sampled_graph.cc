@@ -5,26 +5,31 @@
 
 namespace gps {
 
+std::vector<std::pair<NodeId, SlotId>>::const_iterator
+NeighborList::LowerBound(NodeId nbr) const {
+  return std::lower_bound(
+      vec_.begin(), vec_.end(), nbr,
+      [](const std::pair<NodeId, SlotId>& entry, NodeId key) {
+        return entry.first < key;
+      });
+}
+
 void NeighborList::Insert(NodeId nbr, SlotId slot) {
   assert(!Contains(nbr));
+  vec_.emplace(LowerBound(nbr), nbr, slot);
   if (map_) {
     map_->Insert(nbr, slot);
-    return;
+  } else if (vec_.size() > kPromoteThreshold) {
+    Promote();
   }
-  vec_.emplace_back(nbr, slot);
-  if (vec_.size() > kPromoteThreshold) Promote();
 }
 
 bool NeighborList::Erase(NodeId nbr) {
-  if (map_) return map_->Erase(nbr);
-  for (size_t i = 0; i < vec_.size(); ++i) {
-    if (vec_[i].first == nbr) {
-      vec_[i] = vec_.back();
-      vec_.pop_back();
-      return true;
-    }
-  }
-  return false;
+  auto it = LowerBound(nbr);
+  if (it == vec_.end() || it->first != nbr) return false;
+  vec_.erase(it);
+  if (map_) map_->Erase(nbr);
+  return true;
 }
 
 SlotId NeighborList::Find(NodeId nbr) const {
@@ -32,17 +37,15 @@ SlotId NeighborList::Find(NodeId nbr) const {
     const SlotId* slot = map_->Find(nbr);
     return slot ? *slot : kNoSlot;
   }
-  for (const auto& [n, slot] : vec_) {
-    if (n == nbr) return slot;
-  }
-  return kNoSlot;
+  auto it = LowerBound(nbr);
+  return it != vec_.end() && it->first == nbr ? it->second : kNoSlot;
 }
 
 void NeighborList::Promote() {
+  // The map is a Find index on top of the sorted vector, which remains
+  // the (canonically ordered) iteration source.
   map_ = std::make_unique<FlatHashMap<NodeId, SlotId>>(vec_.size() * 2);
   for (const auto& [nbr, slot] : vec_) map_->Insert(nbr, slot);
-  vec_.clear();
-  vec_.shrink_to_fit();
 }
 
 bool SampledGraph::AddEdge(const Edge& e, SlotId slot) {

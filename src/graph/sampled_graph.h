@@ -9,9 +9,21 @@
 // reservoir can map a neighbor entry back to its edge record (weight,
 // priority, covariance accumulators) without a second lookup.
 //
-// Neighbor containers are adaptive: small degrees use an inline vector
-// (cache-friendly, trivially cheap); past a threshold they promote to an
-// open-addressing map so membership queries on hub nodes stay O(1).
+// Neighbor containers are adaptive: every list keeps a vector of
+// (neighbor, slot) pairs SORTED by neighbor id — the iteration source —
+// and hub nodes past a threshold additionally carry an open-addressing
+// map so membership queries stay O(1).
+//
+// The sorted order is a determinism guarantee, not an optimization:
+// iteration order is a pure function of the sampled edge set, never of
+// insertion/eviction history or hash-table layout. Estimators accumulate
+// floating-point sums in iteration order, so a checkpoint-restored
+// reservoir (which rebuilds this index from serialized records, in a
+// different insertion order) produces BIT-IDENTICAL estimates to the
+// live run it resumes — the engine's resume contract
+// (engine/sharded_engine.h) depends on this. The O(deg) insert/erase
+// memmove this costs is dominated by the O(deg) neighborhood scans the
+// estimators already perform per arrival.
 
 #ifndef GPS_GRAPH_SAMPLED_GRAPH_H_
 #define GPS_GRAPH_SAMPLED_GRAPH_H_
@@ -30,16 +42,16 @@ namespace gps {
 using SlotId = uint32_t;
 constexpr SlotId kNoSlot = ~SlotId{0};
 
-/// Adaptive neighbor container: vector of (neighbor, slot) pairs up to
-/// kPromoteThreshold entries, then an open-addressing map.
+/// Adaptive neighbor container: a (neighbor, slot) vector kept sorted by
+/// neighbor id (canonical iteration order — see file comment); past
+/// kPromoteThreshold entries an open-addressing map is layered on top so
+/// Find/Contains on hub nodes stay O(1).
 class NeighborList {
  public:
   static constexpr size_t kPromoteThreshold = 24;
 
-  size_t size() const {
-    return map_ ? map_->size() : vec_.size();
-  }
-  bool empty() const { return size() == 0; }
+  size_t size() const { return vec_.size(); }
+  bool empty() const { return vec_.empty(); }
 
   /// Inserts (neighbor -> slot). Precondition: neighbor not present.
   void Insert(NodeId nbr, SlotId slot);
@@ -52,20 +64,19 @@ class NeighborList {
 
   bool Contains(NodeId nbr) const { return Find(nbr) != kNoSlot; }
 
-  /// Calls fn(neighbor, slot) for each entry.
+  /// Calls fn(neighbor, slot) for each entry, in ascending neighbor-id
+  /// order regardless of insertion/eviction history.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    if (map_) {
-      map_->ForEach([&](NodeId nbr, SlotId slot) { fn(nbr, slot); });
-    } else {
-      for (const auto& [nbr, slot] : vec_) fn(nbr, slot);
-    }
+    for (const auto& [nbr, slot] : vec_) fn(nbr, slot);
   }
 
  private:
+  std::vector<std::pair<NodeId, SlotId>>::const_iterator LowerBound(
+      NodeId nbr) const;
   void Promote();
 
-  std::vector<std::pair<NodeId, SlotId>> vec_;
+  std::vector<std::pair<NodeId, SlotId>> vec_;  // sorted by neighbor id
   std::unique_ptr<FlatHashMap<NodeId, SlotId>> map_;
 };
 

@@ -1,8 +1,11 @@
 // Focused tests for NSAMP internals: the sparse dispatch machinery must
-// preserve the textbook estimator's distributional properties.
+// preserve the textbook estimator's distributional properties. Accuracy
+// is gated through the shared statistical harness (tests/stat_harness.h,
+// trial count scaled by GPS_STAT_TRIALS).
 
 #include "baselines/nsamp.h"
 
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +14,7 @@
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
+#include "stat_harness.h"
 #include "util/welford.h"
 
 namespace gps {
@@ -88,15 +92,44 @@ TEST(NsampInternalsTest, AgreesWithExactOnDenseGraph) {
   const double actual =
       CountExact(CsrGraph::FromEdgeList(graph)).triangles;
   const std::vector<Edge> stream = MakePermutedStream(graph, 16);
-  OnlineStats est;
-  for (int run = 0; run < 150; ++run) {
+  const int trials = stat::StatTrials(150);
+  stat::PointTrials est(actual);
+  for (int run = 0; run < trials; ++run) {
     NeighborhoodSampler nsamp(1024, 15000 + run);
     for (const Edge& e : stream) nsamp.Process(e);
     est.Add(nsamp.TriangleEstimate());
   }
-  EXPECT_NEAR(est.Mean(), actual,
-              std::max(4.0 * est.StdError(), 0.08 * actual));
+  est.ExpectMeanNearExact("NSAMP triangles (Watts-Strogatz)", 4.0, 0.08);
 }
+
+class NsampAccuracyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NsampAccuracyTest, UnbiasedTriangleCountOnGeneratorGraphs) {
+  // NSAMP is exactly unbiased (E[X] = N_t per estimator): gate the trial
+  // mean with a pure standard-error band on ER and BA graphs, and keep a
+  // mean-relative-error ceiling so the per-trial spread at this estimator
+  // budget stays bounded.
+  const bool ba = std::string(GetParam()) == "ba";
+  EdgeList graph = ba ? GenerateBarabasiAlbert(300, 5, 0.5, 17).value()
+                      : GenerateErdosRenyi(250, 3000, 19).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
+  ASSERT_GT(actual.triangles, 0.0);
+  const std::vector<Edge> stream = MakePermutedStream(graph, 18);
+
+  const int trials = stat::StatTrials(120);
+  stat::PointTrials tri(actual.triangles);
+  for (int run = 0; run < trials; ++run) {
+    NeighborhoodSampler nsamp(2048, 17000 + run);
+    for (const Edge& e : stream) nsamp.Process(e);
+    tri.Add(nsamp.TriangleEstimate());
+  }
+  const std::string what = std::string("NSAMP ") + GetParam();
+  tri.ExpectMeanNearExact(what + " triangles", 4.0, 0.05);
+  tri.ExpectMeanRelErrorBelow(1.0, what + " triangles");
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, NsampAccuracyTest,
+                         ::testing::Values("er", "ba"));
 
 }  // namespace
 }  // namespace gps

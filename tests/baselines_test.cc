@@ -1,7 +1,10 @@
 // Tests for the baseline algorithms: TRIEST (base/impr), MASCOT
-// (improved/basic), NSAMP, and the uniform reservoir.
+// (improved/basic), NSAMP, and the uniform reservoir. Accuracy claims on
+// generator graphs are gated through the shared statistical harness
+// (tests/stat_harness.h, trial count scaled by GPS_STAT_TRIALS).
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -14,6 +17,7 @@
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
+#include "stat_harness.h"
 #include "util/welford.h"
 
 namespace gps {
@@ -191,6 +195,85 @@ TEST(NsampTest, EstimatorCountPreserved) {
   nsamp.Process(MakeEdge(0, 1));
   EXPECT_EQ(nsamp.edges_processed(), 1u);
 }
+
+// -------------------------------------- harness accuracy (ER and BA)
+
+/// ER and BA accuracy fixtures shared by the MASCOT/TRIEST harness
+/// suites, mirroring the generator families the GPS estimators and the
+/// JSP/NSAMP suites are gated on.
+struct GeneratorGraph {
+  std::vector<Edge> stream;
+  ExactCounts exact;
+};
+
+GeneratorGraph MakeGeneratorGraph(const std::string& family) {
+  EdgeList graph = family == "ba"
+                       ? GenerateBarabasiAlbert(250, 6, 0.5, 351).value()
+                       : GenerateErdosRenyi(220, 2600, 353).value();
+  GeneratorGraph out;
+  out.stream = MakePermutedStream(graph, 352);
+  out.exact = CountExact(CsrGraph::FromEdgeList(graph));
+  return out;
+}
+
+class BaselineAccuracyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BaselineAccuracyTest, TriestAccurateOnGeneratorGraphs) {
+  const GeneratorGraph g = MakeGeneratorGraph(GetParam());
+  ASSERT_GT(g.exact.triangles, 0.0);
+  const size_t budget = g.stream.size() / 3;
+
+  const int trials = stat::StatTrials(150);
+  stat::PointTrials base(g.exact.triangles);
+  stat::PointTrials impr(g.exact.triangles);
+  for (int trial = 0; trial < trials; ++trial) {
+    Triest tb(budget, 4100 + trial, TriestVariant::kBase);
+    Triest ti(budget, 4100 + trial, TriestVariant::kImproved);
+    for (const Edge& e : g.stream) {
+      tb.Process(e);
+      ti.Process(e);
+    }
+    base.Add(tb.TriangleEstimate());
+    impr.Add(ti.TriangleEstimate());
+  }
+  const std::string what = std::string("TRIEST ") + GetParam();
+  base.ExpectMeanNearExact(what + " base", 4.0, 0.03);
+  impr.ExpectMeanNearExact(what + " impr", 4.0, 0.03);
+  impr.ExpectMeanRelErrorBelow(0.35, what + " impr");
+  // TRIEST-IMPR's never-decrement counter dominates the base variant.
+  EXPECT_LT(impr.values().SampleVariance(), base.values().SampleVariance())
+      << what;
+}
+
+TEST_P(BaselineAccuracyTest, MascotAccurateOnGeneratorGraphs) {
+  const GeneratorGraph g = MakeGeneratorGraph(GetParam());
+  ASSERT_GT(g.exact.triangles, 0.0);
+
+  const int trials = stat::StatTrials(150);
+  stat::PointTrials basic(g.exact.triangles);
+  stat::PointTrials impr(g.exact.triangles);
+  for (int trial = 0; trial < trials; ++trial) {
+    Mascot mb(0.3, 4700 + trial, MascotVariant::kBasic);
+    Mascot mi(0.3, 4700 + trial, MascotVariant::kImproved);
+    for (const Edge& e : g.stream) {
+      mb.Process(e);
+      mi.Process(e);
+    }
+    basic.Add(mb.TriangleEstimate());
+    impr.Add(mi.TriangleEstimate());
+  }
+  const std::string what = std::string("MASCOT ") + GetParam();
+  basic.ExpectMeanNearExact(what + " basic", 4.0, 0.05);
+  impr.ExpectMeanNearExact(what + " impr", 4.0, 0.03);
+  impr.ExpectMeanRelErrorBelow(0.35, what + " impr");
+  // Unconditional counting removes the closing edge's randomness.
+  EXPECT_LT(impr.values().SampleVariance(),
+            basic.values().SampleVariance())
+      << what;
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, BaselineAccuracyTest,
+                         ::testing::Values("er", "ba"));
 
 // ------------------------------------------------ Uniform reservoir
 

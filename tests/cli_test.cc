@@ -2,12 +2,15 @@
 // resume round trips, and error paths. The binary path is injected by
 // CMake via GPS_CLI_PATH.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -340,6 +343,243 @@ TEST_F(CliTest, MergeCheckpointsRequiresManifestFlag) {
   const CommandResult r = RunCli("merge-checkpoints");
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("--manifest"), std::string::npos);
+}
+
+TEST_F(CliTest, RejectsZeroCountFlags) {
+  // Zero is as much operator error as a misparse for positive-count
+  // flags; the error must name the flag (PR 2 strict-parsing rules).
+  const struct {
+    const char* command_args;
+    const char* flag;
+  } kCases[] = {
+      {"estimate --input {} --batch 0", "--batch"},
+      {"estimate --input {} --threads 0", "--threads"},
+      {"monitor --input {} --every 0", "--every"},
+      {"monitor --input {} --every 10 --checkpoint-every 0",
+       "--checkpoint-every"},
+      {"resume-shards --manifest x --input {} --batch 0", "--batch"},
+  };
+  for (const auto& c : kCases) {
+    std::string args = c.command_args;
+    args.replace(args.find("{}"), 2, graph_path_);
+    const CommandResult r = RunCli(args);
+    EXPECT_NE(r.exit_code, 0) << args;
+    EXPECT_NE(r.output.find(std::string("flag '") + c.flag +
+                            "' must be >= 1"),
+              std::string::npos)
+        << args << ": " << r.output;
+  }
+  // And negatives still fail the unsigned parse, naming the flag.
+  const CommandResult negative =
+      RunCli("monitor --input " + graph_path_ + " --every -3");
+  EXPECT_NE(negative.exit_code, 0);
+  EXPECT_NE(negative.output.find("--every"), std::string::npos)
+      << negative.output;
+}
+
+TEST_F(CliTest, MonitorNeedsEvery) {
+  const CommandResult r = RunCli("monitor --input " + graph_path_);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--every"), std::string::npos);
+}
+
+TEST_F(CliTest, MonitorRejectsBadOutputAndCheckpointCombos) {
+  const CommandResult bad_output = RunCli(
+      "monitor --input " + graph_path_ + " --every 100 --output yaml");
+  EXPECT_NE(bad_output.exit_code, 0);
+  EXPECT_NE(bad_output.output.find("output format"), std::string::npos);
+
+  const CommandResult no_dir = RunCli("monitor --input " + graph_path_ +
+                                      " --every 100 --checkpoint-every 50");
+  EXPECT_NE(no_dir.exit_code, 0);
+  EXPECT_NE(no_dir.output.find("--checkpoint"), std::string::npos);
+
+  const CommandResult no_every =
+      RunCli("monitor --input " + graph_path_ +
+             " --every 100 --checkpoint " + TempPath("nope"));
+  EXPECT_NE(no_every.exit_code, 0);
+  EXPECT_NE(no_every.output.find("--checkpoint-every"), std::string::npos);
+}
+
+// Splits `output` into lines.
+std::vector<std::string> Lines(const std::string& output) {
+  std::vector<std::string> lines;
+  std::istringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST_F(CliTest, MonitorEmitsCsvTimeSeriesEndingAtStreamEnd) {
+  const std::string params = " --capacity 1500 --seed 11 --shards 2";
+  const CommandResult r = RunCli("monitor --input " + graph_path_ + params +
+                                 " --every 1000");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::vector<std::string> lines = Lines(r.output);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("edges,triangles,", 0), 0u) << lines[0];
+
+  // Rows at 1000, 2000, ... plus a final partial row; edge counts are
+  // the first CSV column and strictly increase.
+  unsigned long long last_edges = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    unsigned long long edges = 0;
+    ASSERT_EQ(std::sscanf(lines[i].c_str(), "%llu,", &edges), 1)
+        << lines[i];
+    EXPECT_GT(edges, last_edges);
+    if (i + 1 < lines.size()) EXPECT_EQ(edges, i * 1000ull);
+    last_edges = edges;
+  }
+
+  // The final row lands exactly at the end of the stream: one more
+  // monitor run with a sampling interval larger than the stream yields
+  // ONLY that final row, byte-identical (same input, seed, layout).
+  const CommandResult single = RunCli("monitor --input " + graph_path_ +
+                                      params + " --every 99999999");
+  ASSERT_EQ(single.exit_code, 0) << single.output;
+  const std::vector<std::string> single_lines = Lines(single.output);
+  ASSERT_EQ(single_lines.size(), 2u) << single.output;
+  EXPECT_EQ(lines.back(), single_lines.back());
+}
+
+TEST_F(CliTest, MonitorFinalRowMatchesEstimateExactly) {
+  const std::string params = " --capacity 1500 --seed 11 --shards 2";
+  const CommandResult mon = RunCli("monitor --input " + graph_path_ +
+                                   params + " --every 2000");
+  ASSERT_EQ(mon.exit_code, 0) << mon.output;
+  const std::vector<std::string> lines = Lines(mon.output);
+  ASSERT_GE(lines.size(), 2u);
+  double tri = 0.0, wed = 0.0;
+  unsigned long long edges = 0;
+  ASSERT_EQ(std::sscanf(lines.back().c_str(),
+                        "%llu,%lf,%*f,%*f,%*f,%lf", &edges, &tri, &wed),
+            3)
+      << lines.back();
+
+  const CommandResult est = RunCli("estimate --input " + graph_path_ +
+                                   params + " --estimator in-stream");
+  ASSERT_EQ(est.exit_code, 0) << est.output;
+  char tri_line[64], wed_line[64];
+  std::snprintf(tri_line, sizeof(tri_line), "triangles  %14.0f", tri);
+  std::snprintf(wed_line, sizeof(wed_line), "wedges     %14.0f", wed);
+  EXPECT_NE(est.output.find(tri_line), std::string::npos)
+      << "monitor's final triangles " << tri
+      << " not found in estimate output:\n"
+      << est.output;
+  EXPECT_NE(est.output.find(wed_line), std::string::npos) << est.output;
+}
+
+TEST_F(CliTest, MonitorEmptyStreamStillEmitsFinalRow) {
+  // The documented contract guarantees at least one data row; an empty
+  // input yields a single zero-estimate row at edges=0.
+  const std::string empty_input = TempPath("empty.el");
+  std::ofstream(empty_input) << "";
+  const CommandResult r =
+      RunCli("monitor --input " + empty_input + " --every 10 --no-permute");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::vector<std::string> lines = Lines(r.output);
+  ASSERT_EQ(lines.size(), 2u) << r.output;
+  EXPECT_EQ(lines[1].rfind("0,0,", 0), 0u) << lines[1];
+  std::remove(empty_input.c_str());
+}
+
+TEST_F(CliTest, MonitorTableOutput) {
+  const CommandResult r = RunCli("monitor --input " + graph_path_ +
+                                 " --every 5000 --output table");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("tri 95% CI"), std::string::npos);
+}
+
+TEST_F(CliTest, MonitorCheckpointEveryThenResumeShards) {
+  const std::string dir = TempPath("monitor_ckpt");
+  const std::string params = " --capacity 1200 --seed 13 --shards 2";
+  const CommandResult mon =
+      RunCli("monitor --input " + graph_path_ + params +
+             " --every 2500 --checkpoint-every 2500 --checkpoint " + dir);
+  ASSERT_EQ(mon.exit_code, 0) << mon.output;
+  ASSERT_TRUE(std::ifstream(dir + "/manifest.gpsm").good());
+
+  // The directory holds the END-of-stream state, so a resume continues
+  // from the full input (feeding zero further edges keeps the estimates).
+  const std::string empty_input = TempPath("empty.el");
+  std::ofstream(empty_input) << "";
+  const CommandResult resumed =
+      RunCli("resume-shards --manifest " + dir + "/manifest.gpsm --input " +
+             empty_input + " --no-permute");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("resumed 2 shards"), std::string::npos);
+  EXPECT_NE(resumed.output.find("merged in-stream estimates"),
+            std::string::npos);
+  std::remove(empty_input.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, ResumeShardsContinuationMatchesUninterruptedByteForByte) {
+  // Canonicalize and sort the generated edge list so --no-permute streams
+  // it verbatim, then split it: streaming part A, checkpointing, and
+  // resuming over part B must print the same estimates block as an
+  // uninterrupted run over the whole file.
+  std::vector<std::pair<long, long>> edges;
+  {
+    std::ifstream in(graph_path_);
+    long u = 0, v = 0;
+    while (in >> u >> v) {
+      if (u == v) continue;
+      edges.emplace_back(std::min(u, v), std::max(u, v));
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  ASSERT_GT(edges.size(), 100u);
+  const std::string full = TempPath("full.el");
+  const std::string part_a = TempPath("a.el");
+  const std::string part_b = TempPath("b.el");
+  {
+    std::ofstream fo(full), ao(part_a), bo(part_b);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      fo << edges[i].first << ' ' << edges[i].second << '\n';
+      (i < edges.size() / 2 ? ao : bo)
+          << edges[i].first << ' ' << edges[i].second << '\n';
+    }
+  }
+
+  const std::string params = " --capacity 900 --seed 17 --shards 4";
+  const CommandResult uninterrupted =
+      RunCli("estimate --input " + full + params +
+             " --estimator in-stream --no-permute");
+  ASSERT_EQ(uninterrupted.exit_code, 0) << uninterrupted.output;
+
+  const std::string dir = TempPath("resume_dir");
+  const CommandResult ckpt =
+      RunCli("checkpoint-shards --input " + part_a + params +
+             " --no-permute --out " + dir);
+  ASSERT_EQ(ckpt.exit_code, 0) << ckpt.output;
+  const CommandResult resumed =
+      RunCli("resume-shards --manifest " + dir + "/manifest.gpsm --input " +
+             part_b + " --no-permute");
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+
+  const std::string label = "merged in-stream estimates";
+  EXPECT_EQ(EstimatesBlock(uninterrupted.output, label),
+            EstimatesBlock(resumed.output, label));
+
+  std::remove(full.c_str());
+  std::remove(part_a.c_str());
+  std::remove(part_b.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, ResumeShardsRequiresManifest) {
+  const CommandResult r = RunCli("resume-shards --input " + graph_path_);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--manifest"), std::string::npos);
+}
+
+TEST_F(CliTest, ResumeShardsRejectsMissingManifest) {
+  const CommandResult r = RunCli("resume-shards --manifest /nonexistent.gpsm"
+                                 " --input " + graph_path_);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("NOT_FOUND"), std::string::npos) << r.output;
 }
 
 TEST_F(CliTest, ResumeSavePersistsContinuedState) {

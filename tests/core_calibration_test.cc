@@ -1,7 +1,10 @@
-// Deep statistical calibration of the variance/covariance machinery:
-// wedge-variance calibration, triangle-wedge covariance calibration
-// (Eq. 12), clustering-coefficient interval coverage, and agreement of
-// in-stream variance behaviour with post-stream on shared samples.
+// Deep statistical calibration of the variance/covariance machinery,
+// gated through the shared multi-trial harness (tests/stat_harness.h):
+// triangle/wedge accuracy and CI coverage, variance calibration,
+// triangle-wedge covariance calibration (Eq. 12), clustering-coefficient
+// interval coverage, and agreement of in-stream variance behaviour with
+// post-stream on shared samples. Trial counts scale with GPS_STAT_TRIALS
+// (nightly CI runs 200+).
 
 #include <cmath>
 #include <vector>
@@ -14,85 +17,74 @@
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
+#include "stat_harness.h"
 #include "util/welford.h"
 
 namespace gps {
 namespace {
 
-struct TrialSet {
-  OnlineStats tri_vals, wed_vals, cross_vals;
-  OnlineStats tri_vars, wed_vars, covs;
-  OnlineStats cc_vals;
-  int cc_covered = 0;
-  int trials = 0;
-};
-
-template <typename RunFn>
-TrialSet Collect(int trials, double actual_cc, RunFn&& run) {
-  TrialSet out;
-  for (int trial = 0; trial < trials; ++trial) {
-    const GraphEstimates est = run(trial);
-    out.tri_vals.Add(est.triangles.value);
-    out.wed_vals.Add(est.wedges.value);
-    out.cross_vals.Add(est.triangles.value * est.wedges.value);
-    out.tri_vars.Add(est.triangles.variance);
-    out.wed_vars.Add(est.wedges.variance);
-    out.covs.Add(est.tri_wedge_cov);
-    const Estimate cc = est.ClusteringCoefficient();
-    out.cc_vals.Add(cc.value);
-    if (actual_cc >= cc.Lower() && actual_cc <= cc.Upper()) {
-      ++out.cc_covered;
-    }
-    ++out.trials;
-  }
-  return out;
-}
+using stat::EstimateTrials;
+using stat::StatTrials;
 
 class CalibrationTest : public ::testing::TestWithParam<bool> {};
 
 TEST_P(CalibrationTest, VarianceAndCovarianceCalibrated) {
   const bool use_in_stream = GetParam();
+  const std::string what = use_in_stream ? "in-stream" : "post-stream";
   EdgeList graph = GenerateBarabasiAlbert(250, 6, 0.5, 951).value();
   const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
   const std::vector<Edge> stream = MakePermutedStream(graph, 952);
 
-  const TrialSet set = Collect(
-      400, actual.ClusteringCoefficient(), [&](int trial) {
-        GpsSamplerOptions options;
-        options.capacity = stream.size() / 3;
-        options.seed = 21000 + trial;
-        InStreamEstimator est(options);
-        for (const Edge& e : stream) est.Process(e);
-        return use_in_stream ? est.Estimates()
-                             : EstimatePostStream(est.reservoir());
-      });
+  const int trials = StatTrials(400);
+  EstimateTrials tri(actual.triangles);
+  EstimateTrials wed(actual.wedges);
+  EstimateTrials cc(actual.ClusteringCoefficient());
+  OnlineStats cross_vals, covs;
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsSamplerOptions options;
+    options.capacity = stream.size() / 3;
+    options.seed = 21000 + trial;
+    InStreamEstimator est(options);
+    for (const Edge& e : stream) est.Process(e);
+    const GraphEstimates result =
+        use_in_stream ? est.Estimates() : EstimatePostStream(est.reservoir());
+    tri.Add(result.triangles);
+    wed.Add(result.wedges);
+    cc.Add(result.ClusteringCoefficient());
+    cross_vals.Add(result.triangles.value * result.wedges.value);
+    covs.Add(result.tri_wedge_cov);
+  }
 
-  // Triangle variance calibration.
-  const double tri_emp = set.tri_vals.SampleVariance();
-  ASSERT_GT(tri_emp, 0.0);
-  EXPECT_GT(set.tri_vars.Mean() / tri_emp, 0.5) << "in_stream="
-                                                << use_in_stream;
-  EXPECT_LT(set.tri_vars.Mean() / tri_emp, 2.0);
+  // HT estimators are unbiased (Theorems 5-7): trial means must sit
+  // within ~4 standard errors of the exact counts, and the per-trial
+  // relative error stays inside the budget's accuracy band.
+  tri.ExpectMeanNearExact(what + " triangles");
+  wed.ExpectMeanNearExact(what + " wedges");
+  tri.ExpectMeanRelErrorBelow(0.35, what + " triangles");
+  wed.ExpectMeanRelErrorBelow(0.10, what + " wedges");
 
-  // Wedge variance calibration.
-  const double wed_emp = set.wed_vals.SampleVariance();
-  ASSERT_GT(wed_emp, 0.0);
-  EXPECT_GT(set.wed_vars.Mean() / wed_emp, 0.5);
-  EXPECT_LT(set.wed_vars.Mean() / wed_emp, 2.0);
+  // Variance-estimator calibration (Corollaries 3-4 / Theorem 7).
+  tri.ExpectVarianceCalibrated(0.5, 2.0, what + " triangles");
+  wed.ExpectVarianceCalibrated(0.5, 2.0, what + " wedges");
+
+  // 95% CI coverage for the raw counts with binomial tolerance.
+  tri.ExpectCoverageAtLeast(0.90, what + " triangles");
+  wed.ExpectCoverageAtLeast(0.90, what + " wedges");
 
   // Triangle-wedge covariance calibration (Eq. 12): empirical
   // Cov(T̂, Ŵ) vs mean of the covariance estimator. Both nonnegative by
   // Theorem 5(ii).
-  const double cov_emp =
-      set.cross_vals.Mean() - set.tri_vals.Mean() * set.wed_vals.Mean();
-  EXPECT_GE(set.covs.Mean(), 0.0);
+  const double cov_emp = cross_vals.Mean() -
+                         tri.values().Mean() * wed.values().Mean();
+  EXPECT_GE(covs.Mean(), 0.0);
   if (cov_emp > 0.0) {
-    EXPECT_GT(set.covs.Mean() / cov_emp, 0.3);
-    EXPECT_LT(set.covs.Mean() / cov_emp, 3.0);
+    EXPECT_GT(covs.Mean() / cov_emp, 0.3) << what;
+    EXPECT_LT(covs.Mean() / cov_emp, 3.0) << what;
   }
 
-  // Clustering-coefficient delta-method interval coverage.
-  EXPECT_GE(set.cc_covered, static_cast<int>(0.80 * set.trials));
+  // Clustering-coefficient delta-method intervals undercover slightly
+  // (ratio-of-estimates bias); gate the attainable level, not 0.95.
+  cc.ExpectCoverageAtLeast(0.85, what + " clustering coefficient");
 }
 
 INSTANTIATE_TEST_SUITE_P(BothFrameworks, CalibrationTest,
@@ -107,18 +99,18 @@ TEST(CalibrationTest, AccuracyImprovesMonotonicallyWithSampleSize) {
   const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph));
   const std::vector<Edge> stream = MakePermutedStream(graph, 962);
 
+  const int trials = StatTrials(80);
   auto mean_are = [&](size_t capacity) {
-    OnlineStats are;
-    for (int trial = 0; trial < 80; ++trial) {
+    stat::PointTrials are(actual.triangles);
+    for (int trial = 0; trial < trials; ++trial) {
       GpsSamplerOptions options;
       options.capacity = capacity;
       options.seed = 22000 + trial;
       InStreamEstimator est(options);
       for (const Edge& e : stream) est.Process(e);
-      are.Add(std::abs(est.Estimates().triangles.value - actual.triangles) /
-              actual.triangles);
+      are.Add(est.Estimates().triangles.value);
     }
-    return are.Mean();
+    return are.MeanRelError();
   };
   EXPECT_LT(mean_are(stream.size() / 2), mean_are(stream.size() / 10));
 }
@@ -129,8 +121,9 @@ TEST(CalibrationTest, InStreamIntervalsTighterThanPostStream) {
   // comparison).
   EdgeList graph = GenerateBarabasiAlbert(250, 6, 0.5, 971).value();
   const std::vector<Edge> stream = MakePermutedStream(graph, 972);
+  const int trials = StatTrials(100);
   OnlineStats in_sd, post_sd;
-  for (int trial = 0; trial < 100; ++trial) {
+  for (int trial = 0; trial < trials; ++trial) {
     GpsSamplerOptions options;
     options.capacity = stream.size() / 4;
     options.seed = 23000 + trial;

@@ -276,6 +276,7 @@ ShardManifest TestManifest() {
   manifest.base_seed = 42;
   manifest.total_capacity = 1000;
   manifest.split_capacity = true;
+  manifest.stream_offset = 600;
   manifest.weight.kind = WeightKind::kTriangleWedge;
   manifest.weight.coefficient = 9.0;
   manifest.weight.adjacency_coefficient = 2.5;
@@ -295,6 +296,7 @@ TEST(SerializeTest, ManifestRoundTripPreservesEverything) {
   EXPECT_EQ(r->base_seed, manifest.base_seed);
   EXPECT_EQ(r->total_capacity, manifest.total_capacity);
   EXPECT_EQ(r->split_capacity, manifest.split_capacity);
+  EXPECT_EQ(r->stream_offset, manifest.stream_offset);
   EXPECT_EQ(r->weight.kind, manifest.weight.kind);
   EXPECT_DOUBLE_EQ(r->weight.coefficient, manifest.weight.coefficient);
   EXPECT_DOUBLE_EQ(r->weight.adjacency_coefficient,
@@ -331,9 +333,12 @@ TEST(SerializeTest, ManifestSerializationValidates) {
   // Zero capacity.
   ShardManifest zero_cap = TestManifest();
   zero_cap.total_capacity = 0;
+  // Stream offset smaller than the shards' recorded arrival counts.
+  ShardManifest small_offset = TestManifest();
+  small_offset.stream_offset = 100;
 
-  for (const ShardManifest* m :
-       {&dup, &range, &traversal, &spacey, &nan_weight, &zero_cap}) {
+  for (const ShardManifest* m : {&dup, &range, &traversal, &spacey,
+                                 &nan_weight, &zero_cap, &small_offset}) {
     std::stringstream buffer;
     const Status s = SerializeManifest(*m, buffer);
     ASSERT_FALSE(s.ok());
@@ -387,6 +392,50 @@ TEST(SerializeTest, ManifestRejectsCorruptText) {
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), c.want) << r.status().ToString();
   }
+}
+
+TEST(SerializeTest, ManifestVersionCompatibility) {
+  // Version 1 (pre stream-offset) still reads, reporting offset 0.
+  {
+    std::stringstream v1(
+        "GPS-MANIFEST 1\n4 42 1000 1\n2 9 1 1\n1\n"
+        "0 111 250 777 shard.gps\n");
+    auto r = DeserializeManifest(v1);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->stream_offset, 0u);
+    EXPECT_EQ(r->num_shards, 4u);
+  }
+  // Version 2 reads the offset from the layout line.
+  {
+    std::stringstream v2(
+        "GPS-MANIFEST 2\n4 42 1000 1 900\n2 9 1 1\n1\n"
+        "0 111 250 777 shard.gps\n");
+    auto r = DeserializeManifest(v2);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->stream_offset, 900u);
+  }
+  // A truncated version-2 layout line is an IO error, not a misparse.
+  {
+    std::stringstream truncated("GPS-MANIFEST 2\n4 42 1000 1\n");
+    auto r = DeserializeManifest(truncated);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  }
+  // Unknown future versions are refused by name: their layout lines may
+  // carry fields this reader does not understand.
+  {
+    std::stringstream v3(
+        "GPS-MANIFEST 3\n4 42 1000 1 900 extra\n2 9 1 1\n0\n");
+    auto r = DeserializeManifest(v3);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("version"), std::string::npos)
+        << r.status().ToString();
+  }
+  // Writers always emit the current version.
+  std::stringstream out;
+  ASSERT_TRUE(SerializeManifest(TestManifest(), out).ok());
+  EXPECT_EQ(out.str().rfind("GPS-MANIFEST 2", 0), 0u) << out.str();
 }
 
 TEST(SerializeTest, ChecksumIsStableAndSensitive) {

@@ -13,6 +13,7 @@
 
 #include "core/serialize.h"
 #include "engine/sharded_engine.h"
+#include "engine_test_util.h"
 #include "gen/generators.h"
 #include "graph/stream.h"
 #include "util/status.h"
@@ -25,16 +26,8 @@ std::vector<Edge> TestStream(uint64_t seed) {
   return MakePermutedStream(graph, seed + 1);
 }
 
-// Unique per test: ctest runs suites in parallel processes.
 std::filesystem::path FreshDir(const std::string& name) {
-  const ::testing::TestInfo* info =
-      ::testing::UnitTest::GetInstance()->current_test_info();
-  const std::filesystem::path dir =
-      std::filesystem::path(testing::TempDir()) /
-      ("engine_ckpt_" + std::string(info ? info->name() : "unknown") + "_" +
-       name);
-  std::filesystem::remove_all(dir);
-  return dir;
+  return engine_test::FreshDir("engine_ckpt", name);
 }
 
 ShardedEngineOptions EngineOptions(uint32_t num_shards, uint64_t seed) {
@@ -61,17 +54,8 @@ GraphEstimates RunAndCheckpoint(const std::vector<Edge>& stream,
   return engine.MergedEstimates();
 }
 
-std::string ManifestPath(const std::filesystem::path& dir) {
-  return (dir / kShardManifestFilename).string();
-}
-
-void ExpectExactlyEqual(const GraphEstimates& a, const GraphEstimates& b) {
-  EXPECT_EQ(a.triangles.value, b.triangles.value);
-  EXPECT_EQ(a.triangles.variance, b.triangles.variance);
-  EXPECT_EQ(a.wedges.value, b.wedges.value);
-  EXPECT_EQ(a.wedges.variance, b.wedges.variance);
-  EXPECT_EQ(a.tri_wedge_cov, b.tri_wedge_cov);
-}
+using engine_test::ExpectExactlyEqual;
+using engine_test::ManifestPath;
 
 TEST(EngineCheckpointTest, MergeReproducesLiveEstimatesExactly) {
   const std::vector<Edge> stream = TestStream(701);

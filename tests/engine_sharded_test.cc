@@ -5,10 +5,15 @@
 // independence), and K=1 reproduces the serial GpsSampler /
 // InStreamEstimator sample path exactly.
 //
-// Accuracy: merged K ∈ {1, 2, 4, 8} estimates agree with exact counts
-// within 3σ of their own estimated standard deviation on generator graphs,
-// and the cross-shard correction stratum is load-bearing (dropping it
-// undercounts badly for K > 1).
+// Accuracy: merged K ∈ {1, 2, 4, 8} estimates are gated through the
+// shared statistical harness (tests/stat_harness.h) — multi-trial mean
+// relative error and CI coverage with binomial tolerance, trial count
+// scaled by GPS_STAT_TRIALS — and the cross-shard correction stratum is
+// load-bearing (dropping it undercounts badly for K > 1).
+//
+// Monitoring: EstimateEvery() samples the exact stream positions asked
+// for, each sample equals a fresh prefix-only run's merged estimates, and
+// monitoring never perturbs the sample path.
 
 #include <cmath>
 #include <sstream>
@@ -24,10 +29,12 @@
 #include "core/serialize.h"
 #include "engine/merge.h"
 #include "engine/sharded_engine.h"
+#include "engine_test_util.h"
 #include "gen/generators.h"
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
+#include "stat_harness.h"
 
 namespace gps {
 namespace {
@@ -39,11 +46,8 @@ std::vector<Edge> TestStream(uint32_t nodes, uint32_t edges_per_node,
   return MakePermutedStream(graph, stream_seed);
 }
 
-std::string ReservoirBytes(const GpsReservoir& reservoir) {
-  std::ostringstream out;
-  EXPECT_TRUE(SerializeReservoir(reservoir, out).ok());
-  return out.str();
-}
+using engine_test::ExpectExactlyEqual;
+using engine_test::ReservoirBytes;
 
 GpsSamplerOptions BaseOptions(size_t capacity, uint64_t seed) {
   GpsSamplerOptions options;
@@ -238,15 +242,32 @@ struct AccuracyResult {
   ExactCounts exact;
 };
 
-AccuracyResult RunAccuracy(uint32_t num_shards) {
-  EdgeList graph = GenerateBarabasiAlbert(3000, 8, 0.6, 61).value();
-  const std::vector<Edge> stream = MakePermutedStream(graph, 62);
+/// Shared accuracy fixture, built once: trials re-run the engine with
+/// fresh seeds over the same stream.
+struct AccuracyFixture {
+  std::vector<Edge> stream;
+  ExactCounts exact;
+};
+
+const AccuracyFixture& AccuracyStream() {
+  static const AccuracyFixture* fixture = [] {
+    auto* out = new AccuracyFixture;
+    EdgeList graph = GenerateBarabasiAlbert(3000, 8, 0.6, 61).value();
+    out->stream = MakePermutedStream(graph, 62);
+    out->exact = CountExact(CsrGraph::FromEdgeList(graph));
+    return out;
+  }();
+  return *fixture;
+}
+
+AccuracyResult RunAccuracy(uint32_t num_shards, uint64_t engine_seed) {
+  const AccuracyFixture& fixture = AccuracyStream();
 
   ShardedEngineOptions options;
-  options.sampler = BaseOptions(stream.size() / 2, 63);
+  options.sampler = BaseOptions(fixture.stream.size() / 2, engine_seed);
   options.num_shards = num_shards;
   ShardedEngine engine(options);
-  for (const Edge& e : stream) engine.Process(e);
+  for (const Edge& e : fixture.stream) engine.Process(e);
   engine.Finish();
 
   AccuracyResult result;
@@ -256,27 +277,45 @@ AccuracyResult RunAccuracy(uint32_t num_shards) {
     per_shard.push_back(engine.shard(s).InStreamEstimates());
   }
   result.within_only = SumShardEstimates(per_shard);
-  result.exact = CountExact(CsrGraph::FromEdgeList(graph));
+  result.exact = fixture.exact;
   return result;
 }
 
 class ShardedAccuracyTest : public ::testing::TestWithParam<uint32_t> {};
 
-TEST_P(ShardedAccuracyTest, MergedEstimatesWithinThreeSigmaOfExact) {
-  const AccuracyResult r = RunAccuracy(GetParam());
-  ASSERT_GT(r.exact.triangles, 0.0);
-  ASSERT_GT(r.exact.wedges, 0.0);
+TEST_P(ShardedAccuracyTest, MergedEstimatesAccurateAndCovered) {
+  const uint32_t k = GetParam();
+  const std::string what = "K=" + std::to_string(k);
+  const int trials = stat::StatTrials(10);
 
-  const double tri_sigma = r.merged.triangles.StdDev();
-  const double wed_sigma = r.merged.wedges.StdDev();
-  EXPECT_LE(std::abs(r.merged.triangles.value - r.exact.triangles),
-            3.0 * tri_sigma)
-      << "triangles: est " << r.merged.triangles.value << " exact "
-      << r.exact.triangles << " sigma " << tri_sigma;
-  EXPECT_LE(std::abs(r.merged.wedges.value - r.exact.wedges),
-            3.0 * wed_sigma)
-      << "wedges: est " << r.merged.wedges.value << " exact "
-      << r.exact.wedges << " sigma " << wed_sigma;
+  const ExactCounts exact = AccuracyStream().exact;
+  ASSERT_GT(exact.triangles, 0.0);
+  ASSERT_GT(exact.wedges, 0.0);
+  stat::EstimateTrials tri(exact.triangles);
+  stat::EstimateTrials wed(exact.wedges);
+  for (int trial = 0; trial < trials; ++trial) {
+    const AccuracyResult r = RunAccuracy(k, 63 + trial);
+    tri.Add(r.merged.triangles);
+    wed.Add(r.merged.wedges);
+  }
+
+  // K=1 is the serial in-stream estimator: exactly unbiased (Theorem 6),
+  // no slack. For K>1 the cross-shard stratum is a post-stream HT pass
+  // against each shard's FINAL threshold, which carries the classic
+  // finite-capacity priority-sampling bias (the threshold is not fully
+  // independent of an edge's own priority; vanishes as capacity grows —
+  // observed ~0.7% here), so allow a small relative slack on top of the
+  // sampling tolerance.
+  const double slack = k > 1 ? 0.015 : 0.0;
+  tri.ExpectMeanNearExact(what + " triangles", 4.0, slack);
+  wed.ExpectMeanNearExact(what + " wedges", 4.0, slack);
+  tri.ExpectMeanRelErrorBelow(0.10, what + " triangles");
+  wed.ExpectMeanRelErrorBelow(0.05, what + " wedges");
+
+  // Merged CIs omit the cross-stratum covariance (engine README), so
+  // gate the attainable coverage, not the nominal 0.95.
+  tri.ExpectCoverageAtLeast(0.85, what + " triangles");
+  wed.ExpectCoverageAtLeast(0.85, what + " wedges");
 }
 
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedAccuracyTest,
@@ -286,7 +325,7 @@ TEST(ShardedEngineTest, CrossShardCorrectionIsLoadBearing) {
   // With 4 shards, only ~1/16 of triangles have all three edges in one
   // shard: the within-shard stratum alone must undercount badly, and the
   // correction must close the gap.
-  const AccuracyResult r = RunAccuracy(4);
+  const AccuracyResult r = RunAccuracy(4, 63);
   EXPECT_LT(r.within_only.triangles.value, 0.5 * r.exact.triangles);
   EXPECT_GT(r.merged.triangles.value, 0.7 * r.exact.triangles);
   EXPECT_LT(r.merged.triangles.value, 1.3 * r.exact.triangles);
@@ -312,6 +351,83 @@ TEST(ShardedEngineTest, DrainAllowsMidStreamEstimates) {
   EXPECT_EQ(engine.edges_processed(), stream.size());
   // In-stream accumulators are monotone in the stream prefix.
   EXPECT_GE(full.wedges.value, mid.wedges.value);
+}
+
+// --- Continuous monitoring ------------------------------------------------
+
+TEST(ShardedEngineTest, EstimateEverySamplesExactPrefixEstimates) {
+  const std::vector<Edge> stream = TestStream(1200, 6, 81, 82);
+  ShardedEngineOptions options;
+  options.sampler = BaseOptions(1500, 83);
+  options.num_shards = 4;
+  options.batch_size = 64;
+
+  constexpr uint64_t kEvery = 700;
+  std::vector<MonitorRecord> records;
+  ShardedEngine engine(options);
+  engine.EstimateEvery(kEvery,
+                       [&](const MonitorRecord& r) { records.push_back(r); });
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+  const GraphEstimates monitored_final = engine.MergedEstimates();
+
+  ASSERT_EQ(records.size(), stream.size() / kEvery);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].edges_processed, (i + 1) * kEvery);
+  }
+
+  // Each sample equals a fresh engine run over exactly that prefix: the
+  // monitored engine's mid-stream reads are linearizable at edge
+  // boundaries and perturb nothing.
+  for (const MonitorRecord& record : records) {
+    ShardedEngine prefix(options);
+    for (uint64_t i = 0; i < record.edges_processed; ++i) {
+      prefix.Process(stream[i]);
+    }
+    prefix.Finish();
+    ExpectExactlyEqual(record.estimates, prefix.MergedEstimates());
+  }
+
+  // Monitoring must not change the final state either.
+  ShardedEngine unmonitored(options);
+  for (const Edge& e : stream) unmonitored.Process(e);
+  unmonitored.Finish();
+  ExpectExactlyEqual(monitored_final, unmonitored.MergedEstimates());
+  for (uint32_t s = 0; s < engine.num_shards(); ++s) {
+    EXPECT_EQ(ReservoirBytes(engine.shard(s).reservoir()),
+              ReservoirBytes(unmonitored.shard(s).reservoir()))
+        << "shard " << s;
+  }
+}
+
+TEST(ShardedEngineTest, EstimateEveryZeroDisables) {
+  const std::vector<Edge> stream = TestStream(400, 5, 84, 85);
+  ShardedEngineOptions options;
+  options.sampler = BaseOptions(300, 86);
+  options.num_shards = 2;
+  ShardedEngine engine(options);
+  int fired = 0;
+  engine.EstimateEvery(10, [&](const MonitorRecord&) { ++fired; });
+  engine.EstimateEvery(0, [&](const MonitorRecord&) { ++fired; });
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(ShardedEngineTest, CheckpointEveryValidatesUpFront) {
+  ShardedEngineOptions options;
+  options.sampler = BaseOptions(100, 1);
+  options.num_shards = 2;
+  {
+    ShardedEngine engine(options);
+    const Status s = engine.CheckpointEvery(10, "");
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(engine.CheckpointEvery(0, "").ok());  // disable is fine
+  }
+  options.merge_mode = MergeMode::kPostStreamMerged;
+  ShardedEngine post(options);
+  const Status s = post.CheckpointEvery(10, "/tmp/unused");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(ShardedEngineTest, CountsAndOptionsExposed) {

@@ -1,0 +1,63 @@
+// Helpers shared by the engine test suites (sharded / checkpoint /
+// resume): byte-level reservoir comparison, exact estimate equality, and
+// per-test temp directories. One definition each, so a change to the
+// serialization format or the GraphEstimates field set tightens every
+// byte-identity test at once instead of whichever copies got updated.
+
+#ifndef GPS_TESTS_ENGINE_TEST_UTIL_H_
+#define GPS_TESTS_ENGINE_TEST_UTIL_H_
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/estimates.h"
+#include "core/serialize.h"
+#include "engine/sharded_engine.h"
+
+namespace gps {
+namespace engine_test {
+
+/// A unique, pre-cleaned temp directory for the current gtest case:
+/// ctest runs suites in parallel processes, so every path must be unique
+/// per (suite, test, name).
+inline std::filesystem::path FreshDir(const std::string& prefix,
+                                      const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) /
+      (prefix + "_" + std::string(info ? info->name() : "unknown") + "_" +
+       name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+inline std::string ManifestPath(const std::filesystem::path& dir) {
+  return (dir / kShardManifestFilename).string();
+}
+
+/// The reservoir's full serialized state; equal strings mean equal
+/// records, threshold, RNG state, and heap layout.
+inline std::string ReservoirBytes(const GpsReservoir& reservoir) {
+  std::ostringstream out;
+  EXPECT_TRUE(SerializeReservoir(reservoir, out).ok());
+  return out.str();
+}
+
+/// Exact (bitwise, not approximate) equality of every estimate field.
+inline void ExpectExactlyEqual(const GraphEstimates& a,
+                               const GraphEstimates& b) {
+  EXPECT_EQ(a.triangles.value, b.triangles.value);
+  EXPECT_EQ(a.triangles.variance, b.triangles.variance);
+  EXPECT_EQ(a.wedges.value, b.wedges.value);
+  EXPECT_EQ(a.wedges.variance, b.wedges.variance);
+  EXPECT_EQ(a.tri_wedge_cov, b.tri_wedge_cov);
+}
+
+}  // namespace engine_test
+}  // namespace gps
+
+#endif  // GPS_TESTS_ENGINE_TEST_UTIL_H_

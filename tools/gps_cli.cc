@@ -12,6 +12,21 @@
 //   resume    --checkpoint FILE --input FILE [--save FILE] [--no-permute]
 //       Load a saved in-stream estimator and continue over more edges;
 //       --save re-serializes the continued state so runs can chain.
+//   resume-shards  --manifest FILE [--manifest FILE ...] --input FILE
+//             [--save DIR] [--batch B] [--no-permute]
+//       Rebuild a RUNNING sharded engine from checkpoint manifests and
+//       continue streaming. When --input is the exact remaining
+//       substream in arrival order (pass --no-permute for a file that
+//       is already ordered; the default permutes the file standalone),
+//       the result is byte-identical to a run that was never
+//       interrupted. --save re-checkpoints afterwards.
+//   monitor   --input FILE --every N [estimate flags] [--output csv|table]
+//             [--checkpoint-every M --checkpoint DIR]
+//       Continuous-monitoring mode: stream through the sharded engine and
+//       emit a merged-estimate time series (point estimates + 95% CI
+//       bounds and widths) every N edges, plus a final row at end of
+//       stream. --checkpoint-every M additionally rewrites a resumable
+//       checkpoint in DIR every M edges.
 //   checkpoint-shards  --input FILE --out DIR [estimate flags]
 //       Run the sharded in-stream engine and persist per-shard state plus
 //       a GPS-MANIFEST file into DIR.
@@ -138,11 +153,25 @@ bool GetFlag(const Result<T>& parsed, T* out) {
   return true;
 }
 
+/// Strict positive-count flag: misparses AND zero values fail with an
+/// error naming the flag ("--every 0" is as much operator error as
+/// "--every abc"; negatives already fail the unsigned parse).
+bool GetPositiveFlag(const Flags& flags, const std::string& key,
+                     uint64_t fallback, uint64_t* out) {
+  if (!GetFlag(flags.GetU64(key, fallback), out)) return false;
+  if (*out < 1) {
+    std::fprintf(stderr, "error: flag '--%s' must be >= 1\n", key.c_str());
+    return false;
+  }
+  return true;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: gps_cli <estimate|resume|checkpoint-shards|merge-checkpoints"
-      "|generate|exact|corpus> [flags]\n"
+      "usage: gps_cli <estimate|resume|resume-shards|monitor"
+      "|checkpoint-shards|merge-checkpoints|generate|exact|corpus> "
+      "[flags]\n"
       "  estimate --input FILE [--capacity N] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
@@ -150,6 +179,12 @@ int Usage() {
       "           [--checkpoint FILE]  (a directory with --shards K>1)\n"
       "  resume   --checkpoint FILE --input FILE [--save FILE]\n"
       "           [--no-permute]\n"
+      "  resume-shards --manifest FILE [--manifest FILE ...]\n"
+      "           --input FILE [--save DIR] [--batch B] [--no-permute]\n"
+      "  monitor  --input FILE --every N [--capacity N] [--seed S]\n"
+      "           [--weight KIND] [--shards K] [--batch B]\n"
+      "           [--output csv|table] [--no-permute]\n"
+      "           [--checkpoint-every M --checkpoint DIR]\n"
       "  checkpoint-shards --input FILE --out DIR [--capacity N]\n"
       "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
       "           [--no-permute]\n"
@@ -271,7 +306,7 @@ bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
   if (!GetFlag(flags.GetU64("capacity", stream_size / 20 + 1), &capacity) ||
       !GetFlag(flags.GetU64("seed", 1), &out->sampler.seed) ||
       !GetFlag(flags.GetU64("shards", 1), &out->shards) ||
-      !GetFlag(flags.GetU64("batch", 1024), &out->batch)) {
+      !GetPositiveFlag(flags, "batch", 1024, &out->batch)) {
     return false;
   }
   if (capacity < 1 || capacity > kMaxCheckpointCapacity) {
@@ -284,12 +319,27 @@ bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
                  static_cast<unsigned long long>(kMaxManifestShards));
     return false;
   }
-  if (out->batch < 1) {
-    std::fprintf(stderr, "error: --batch must be >= 1\n");
-    return false;
-  }
   out->sampler.capacity = capacity;
   return true;
+}
+
+/// Engine configuration implied by a parsed ShardedRunConfig; the single
+/// place CLI flags map onto ShardedEngineOptions.
+ShardedEngineOptions MakeEngineOptions(const ShardedRunConfig& config) {
+  ShardedEngineOptions options;
+  options.sampler = config.sampler;
+  options.num_shards = static_cast<uint32_t>(config.shards);
+  options.batch_size = config.batch;
+  return options;
+}
+
+/// The standard "stream: ..." banner of the sharded subcommands.
+void PrintShardedBanner(size_t stream_size, const ShardedRunConfig& config) {
+  std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
+              "(batch %llu)\n",
+              stream_size, config.sampler.capacity,
+              static_cast<unsigned long long>(config.shards),
+              static_cast<unsigned long long>(config.batch));
 }
 
 int RunEstimate(const Flags& flags) {
@@ -306,11 +356,7 @@ int RunEstimate(const Flags& flags) {
   ShardedRunConfig config;
   if (!ParseShardedRunConfig(flags, stream->size(), &config)) return 1;
   uint64_t threads = 1;
-  if (!GetFlag(flags.GetU64("threads", 1), &threads)) return 1;
-  if (threads < 1) {
-    std::fprintf(stderr, "error: --threads must be >= 1\n");
-    return 1;
-  }
+  if (!GetPositiveFlag(flags, "threads", 1, &threads)) return 1;
   config.sampler.weight = *weight;
   const GpsSamplerOptions& options = config.sampler;
 
@@ -338,15 +384,8 @@ int RunEstimate(const Flags& flags) {
                    "estimators (drop --estimator post)\n");
       return 1;
     }
-    std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
-                "(batch %llu)\n",
-                stream->size(), options.capacity,
-                static_cast<unsigned long long>(config.shards),
-                static_cast<unsigned long long>(config.batch));
-    ShardedEngineOptions engine_options;
-    engine_options.sampler = options;
-    engine_options.num_shards = static_cast<uint32_t>(config.shards);
-    engine_options.batch_size = config.batch;
+    PrintShardedBanner(stream->size(), config);
+    ShardedEngineOptions engine_options = MakeEngineOptions(config);
     if (estimator == "post") {
       // Post-only: run the cheaper bare samplers per shard and let the
       // engine's own merge branch do the union pass.
@@ -457,16 +496,8 @@ int RunCheckpointShards(const Flags& flags) {
   if (!ParseShardedRunConfig(flags, stream->size(), &config)) return 1;
   config.sampler.weight = *weight;
 
-  std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
-              "(batch %llu)\n",
-              stream->size(), config.sampler.capacity,
-              static_cast<unsigned long long>(config.shards),
-              static_cast<unsigned long long>(config.batch));
-  ShardedEngineOptions engine_options;
-  engine_options.sampler = config.sampler;
-  engine_options.num_shards = static_cast<uint32_t>(config.shards);
-  engine_options.batch_size = config.batch;
-  ShardedEngine engine(engine_options);
+  PrintShardedBanner(stream->size(), config);
+  ShardedEngine engine(MakeEngineOptions(config));
   for (const Edge& e : *stream) engine.Process(e);
   engine.Finish();
   PrintEstimates(kMergedInStreamLabel, engine.MergedEstimates());
@@ -495,6 +526,200 @@ int RunMergeCheckpoints(const Flags& flags) {
     return 1;
   }
   PrintEstimates(kMergedInStreamLabel, *merged);
+  return 0;
+}
+
+int RunResumeShards(const Flags& flags) {
+  const std::vector<std::string>& manifests = flags.GetAll("manifest");
+  if (manifests.empty()) {
+    std::fprintf(stderr,
+                 "error: resume-shards needs at least one --manifest "
+                 "FILE\n");
+    return 1;
+  }
+  ShardedResumeOptions resume_options;
+  uint64_t batch = 0;
+  if (!GetPositiveFlag(flags, "batch", 1024, &batch)) return 1;
+  resume_options.batch_size = batch;
+
+  auto engine = ShardedEngine::ResumeFromCheckpoints(manifests,
+                                                     resume_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  auto stream = LoadStream(flags);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("resumed %u shards at %llu processed edges; feeding %zu "
+              "more\n",
+              (*engine)->num_shards(),
+              static_cast<unsigned long long>((*engine)->edges_processed()),
+              stream->size());
+  for (const Edge& e : *stream) (*engine)->Process(e);
+  (*engine)->Finish();
+  PrintEstimates(kMergedInStreamLabel, (*engine)->MergedEstimates());
+  if (flags.Has("save")) {
+    const std::string dir = flags.Get("save", "");
+    if (Status s = (*engine)->SerializeShards(dir); !s.ok()) {
+      std::fprintf(stderr, "checkpoint error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("sharded checkpoint written to %s (manifest %s)\n",
+                dir.c_str(), kShardManifestFilename);
+  }
+  return 0;
+}
+
+/// Monitoring CSV schema: one row per sample, full-precision doubles so
+/// the series is machine-consumable and final rows compare byte for byte
+/// across runs with different sampling cadences.
+constexpr const char* kMonitorCsvHeader =
+    "edges,triangles,triangles_lo,triangles_hi,triangles_ci_width,"
+    "wedges,wedges_lo,wedges_hi,wedges_ci_width,"
+    "clustering,clustering_lo,clustering_hi";
+
+void PrintMonitorRow(const MonitorRecord& record, bool csv) {
+  const Estimate& tri = record.estimates.triangles;
+  const Estimate& wed = record.estimates.wedges;
+  const Estimate cc = record.estimates.ClusteringCoefficient();
+  if (csv) {
+    std::printf("%llu,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                "%.17g,%.17g,%.17g\n",
+                static_cast<unsigned long long>(record.edges_processed),
+                tri.value, tri.Lower(), tri.Upper(),
+                tri.Upper() - tri.Lower(), wed.value, wed.Lower(),
+                wed.Upper(), wed.Upper() - wed.Lower(), cc.value,
+                cc.Lower(), cc.Upper());
+    return;
+  }
+  std::printf("%12llu %14.0f [%11.0f,%11.0f] %16.0f [%13.0f,%13.0f] "
+              "%8.4f [%6.4f,%6.4f]\n",
+              static_cast<unsigned long long>(record.edges_processed),
+              tri.value, tri.Lower(), tri.Upper(), wed.value, wed.Lower(),
+              wed.Upper(), cc.value, cc.Lower(), cc.Upper());
+}
+
+int RunMonitor(const Flags& flags) {
+  auto stream = LoadStream(flags);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "error: %s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+  auto weight = WeightFromName(flags.Get("weight", "triangle"));
+  if (!weight.ok()) {
+    std::fprintf(stderr, "error: %s\n", weight.status().ToString().c_str());
+    return 1;
+  }
+  ShardedRunConfig config;
+  if (!ParseShardedRunConfig(flags, stream->size(), &config)) return 1;
+  config.sampler.weight = *weight;
+
+  if (!flags.Has("every")) {
+    std::fprintf(stderr, "error: monitor needs --every N (edges between "
+                         "estimate samples)\n");
+    return 1;
+  }
+  uint64_t every = 0;
+  if (!GetPositiveFlag(flags, "every", 1, &every)) return 1;
+
+  const std::string output = flags.Get("output", "csv");
+  if (output != "csv" && output != "table") {
+    std::fprintf(stderr, "error: unknown output format '%s' (expected "
+                         "csv or table)\n",
+                 output.c_str());
+    return 1;
+  }
+  const bool csv = output == "csv";
+
+  uint64_t checkpoint_every = 0;  // 0 = auto-checkpointing off
+  if (flags.Has("checkpoint-every") &&
+      !GetPositiveFlag(flags, "checkpoint-every", 1, &checkpoint_every)) {
+    return 1;
+  }
+  const std::string checkpoint_dir = flags.Get("checkpoint", "");
+  if (checkpoint_every != 0 && checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every needs --checkpoint DIR\n");
+    return 1;
+  }
+  if (checkpoint_every == 0 && !checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: monitor uses --checkpoint only together with "
+                 "--checkpoint-every M\n");
+    return 1;
+  }
+
+  ShardedEngine engine(MakeEngineOptions(config));
+
+  if (csv) {
+    std::printf("%s\n", kMonitorCsvHeader);
+  } else {
+    std::printf("%12s %14s %27s %16s %29s %8s %17s\n", "edges",
+                "triangles", "tri 95% CI", "wedges", "wedge 95% CI", "cc",
+                "cc 95% CI");
+  }
+  bool emitted_any = false;
+  uint64_t last_emitted = 0;
+  engine.EstimateEvery(every, [&](const MonitorRecord& record) {
+    PrintMonitorRow(record, csv);
+    emitted_any = true;
+    last_emitted = record.edges_processed;
+  });
+  if (checkpoint_every != 0) {
+    if (Status s = engine.CheckpointEvery(checkpoint_every, checkpoint_dir);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // A failed auto-checkpoint is sticky (the engine stops refreshing the
+  // resume point), so warn the moment it happens — a long-running
+  // monitor must not stream on for hours with a silently stale
+  // checkpoint — and still fail the run at the end.
+  bool checkpoint_error_reported = false;
+  for (const Edge& e : *stream) {
+    engine.Process(e);
+    if (checkpoint_every != 0 && !checkpoint_error_reported &&
+        !engine.auto_checkpoint_status().ok()) {
+      std::fprintf(stderr,
+                   "checkpoint error (auto-checkpointing disabled): %s\n",
+                   engine.auto_checkpoint_status().ToString().c_str());
+      checkpoint_error_reported = true;
+    }
+  }
+  engine.Finish();
+  if (!engine.auto_checkpoint_status().ok()) {
+    if (!checkpoint_error_reported) {
+      std::fprintf(stderr, "checkpoint error: %s\n",
+                   engine.auto_checkpoint_status().ToString().c_str());
+    }
+    return 1;
+  }
+  // Final row at end of stream, unless a periodic sample already landed
+  // exactly there. An empty stream still gets its (zero-estimate) row:
+  // the time series always has at least one data row.
+  if (!emitted_any || last_emitted != engine.edges_processed()) {
+    MonitorRecord final_record;
+    final_record.edges_processed = engine.edges_processed();
+    final_record.estimates = engine.MergedEstimates();
+    PrintMonitorRow(final_record, csv);
+  }
+  // Leave the directory at the end-of-stream state so a resume continues
+  // from where the monitor stopped, not the last period — skipped when
+  // the periodic hook already landed exactly there (an identical rewrite
+  // would only cost I/O and a needless republish window).
+  if (checkpoint_every != 0 &&
+      (engine.edges_processed() == 0 ||
+       engine.edges_processed() % checkpoint_every != 0)) {
+    if (Status s = engine.SerializeShards(checkpoint_dir); !s.ok()) {
+      std::fprintf(stderr, "checkpoint error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -551,6 +776,13 @@ int main(int argc, char** argv) {
                "threads",   "checkpoint"};
   } else if (command == "resume") {
     allowed = {"checkpoint", "input", "seed", "save", "no-permute"};
+  } else if (command == "resume-shards") {
+    allowed = {"manifest", "input", "seed", "save", "batch", "no-permute"};
+  } else if (command == "monitor") {
+    allowed = {"input",  "capacity", "seed",
+               "weight", "shards",   "batch",
+               "every",  "output",   "checkpoint-every",
+               "checkpoint", "no-permute"};
   } else if (command == "checkpoint-shards") {
     allowed = {"input", "capacity", "seed",      "weight",
                "shards", "batch",   "no-permute", "out"};
@@ -575,6 +807,8 @@ int main(int argc, char** argv) {
   }
   if (command == "estimate") return RunEstimate(*flags);
   if (command == "resume") return RunResume(*flags);
+  if (command == "resume-shards") return RunResumeShards(*flags);
+  if (command == "monitor") return RunMonitor(*flags);
   if (command == "checkpoint-shards") return RunCheckpointShards(*flags);
   if (command == "merge-checkpoints") return RunMergeCheckpoints(*flags);
   if (command == "generate") return RunGenerate(*flags);
