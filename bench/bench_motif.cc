@@ -2,57 +2,64 @@
 // beyond triangles — 4-clique counting accuracy as the sample size grows,
 // with the conservative variance bound. Demonstrates that the Martingale
 // snapshot machinery generalizes to motifs the paper never benchmarked.
+//
+//   bench_motif [--smoke]
+//
+// --smoke runs one small iteration (CI keeps the motif path from rotting
+// without paying the full exact-4-clique oracle).
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "core/snapshot.h"
 #include "gen/generators.h"
 #include "graph/csr_graph.h"
+#include "graph/exact.h"
 #include "graph/stream.h"
 #include "stats/metrics.h"
 #include "util/table.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace gps;         // NOLINT
+  using namespace gps::bench;  // NOLINT
 
-using namespace gps;         // NOLINT
-using namespace gps::bench;  // NOLINT
-
-double CountFourCliquesExact(const CsrGraph& g) {
-  double count = 0;
-  for (NodeId a = 0; a < g.NumNodes(); ++a) {
-    for (NodeId b : g.Neighbors(a)) {
-      if (b <= a) continue;
-      for (NodeId c : g.Neighbors(a)) {
-        if (c <= b || !g.HasEdge(b, c)) continue;
-        for (NodeId d : g.Neighbors(a)) {
-          if (d <= c || !g.HasEdge(b, d) || !g.HasEdge(c, d)) continue;
-          count += 1;
-        }
-      }
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_motif [--smoke]\n");
+      return 2;
     }
   }
-  return count;
-}
 
-}  // namespace
-
-int main() {
   // Clique-rich web-like graph; modest size because the exact 4-clique
-  // oracle is the expensive part.
-  EdgeList graph = GenerateBarabasiAlbert(12000, 16, 0.65, 0xAB9).value();
+  // oracle is the expensive part. Smoke mode shrinks everything to a
+  // single sub-second iteration.
+  EdgeList graph = smoke
+                       ? GenerateBarabasiAlbert(2000, 12, 0.65, 0xAB9).value()
+                       : GenerateBarabasiAlbert(12000, 16, 0.65, 0xAB9).value();
   const std::vector<Edge> stream = MakePermutedStream(graph, 0xABA);
   const CsrGraph csr = CsrGraph::FromEdgeList(graph);
-  const double actual = CountFourCliquesExact(csr);
+  const double actual =
+      CountExact(csr, /*count_higher_motifs=*/true).four_cliques;
 
   std::printf("In-stream 4-clique counting (Section 5.1 snapshots) on a "
               "%zu-edge clique-rich graph; exact 4-cliques: %.0f\n\n",
               stream.size(), actual);
 
+  std::vector<size_t> sample_sizes;
+  if (smoke) {
+    sample_sizes = {stream.size() / 2};
+  } else {
+    sample_sizes = {stream.size() / 16, stream.size() / 8,
+                    stream.size() / 4, stream.size() / 2};
+  }
+
   TextTable t({"m", "fraction", "estimate", "ARE", "conservative sd"});
-  for (size_t m : {stream.size() / 16, stream.size() / 8, stream.size() / 4,
-                   stream.size() / 2}) {
+  for (size_t m : sample_sizes) {
     GpsSamplerOptions options;
     options.capacity = m;
     options.seed = 4242;

@@ -1,38 +1,22 @@
-// Motif monitoring: use the generic in-stream snapshot framework (paper
-// Section 5.1) to track an arbitrary motif — here 4-cliques, a motif the
-// specialized triangle/wedge estimators do not cover — live over a stream,
-// alongside triangles from the same framework.
+// Motif monitoring on the sharded engine: track arbitrary registered
+// motifs (here 4-cliques and 3-paths, which the specialized triangle/wedge
+// estimators do not cover) live over a stream, using the engine's
+// continuous-monitoring mode — the same pipeline `gps_cli monitor
+// --motifs` exposes. Estimation consumes no randomness, so the motif suite
+// rides on the exact same reservoir sample path the tri/wedge estimates
+// use, at any shard count.
 //
 //   build/examples/motif_monitoring
 
+#include <cmath>
 #include <cstdio>
 
-#include "core/snapshot.h"
+#include "core/motifs.h"
+#include "engine/sharded_engine.h"
 #include "gen/generators.h"
 #include "graph/csr_graph.h"
+#include "graph/exact.h"
 #include "graph/stream.h"
-
-namespace {
-
-// Exact 4-clique count for the final comparison (offline only).
-double CountFourCliquesExact(const gps::CsrGraph& g) {
-  double count = 0;
-  for (gps::NodeId a = 0; a < g.NumNodes(); ++a) {
-    for (gps::NodeId b : g.Neighbors(a)) {
-      if (b <= a) continue;
-      for (gps::NodeId c : g.Neighbors(a)) {
-        if (c <= b || !g.HasEdge(b, c)) continue;
-        for (gps::NodeId d : g.Neighbors(a)) {
-          if (d <= c || !g.HasEdge(b, d) || !g.HasEdge(c, d)) continue;
-          count += 1;
-        }
-      }
-    }
-  }
-  return count;
-}
-
-}  // namespace
 
 int main() {
   // A clique-rich collaboration-style graph.
@@ -40,35 +24,42 @@ int main() {
       gps::GenerateBarabasiAlbert(6000, 18, 0.65, 9).value();
   const std::vector<gps::Edge> stream = gps::MakePermutedStream(graph, 10);
 
-  gps::GpsSamplerOptions options;
-  options.capacity = stream.size() / 4;
-  options.seed = 77;
+  gps::ShardedEngineOptions options;
+  options.sampler.capacity = stream.size() / 2;
+  options.sampler.seed = 77;
+  options.num_shards = 4;
+  options.motifs = {"tri", "4clique", "3path"};
 
-  // Two monitors over independent samples: triangles and 4-cliques.
-  gps::InStreamMotifCounter triangles(options, gps::TriangleEnumerator());
-  gps::InStreamMotifCounter cliques(options, gps::FourCliqueEnumerator());
+  gps::ShardedEngine engine(options);
+  std::printf("monitoring %zu-edge stream (%u shards, reservoir budget "
+              "%zu edges)\n\n",
+              stream.size(), options.num_shards, options.sampler.capacity);
+  std::printf("%12s %16s %16s %16s\n", "edges seen", "triangles(est)",
+              "4-cliques(est)", "3-paths(est)");
+  engine.EstimateEvery(stream.size() / 8, [](const gps::MonitorRecord& r) {
+    std::printf("%12llu %16.0f %16.0f %16.0f\n",
+                static_cast<unsigned long long>(r.edges_processed),
+                r.motifs[0].estimate.value, r.motifs[1].estimate.value,
+                r.motifs[2].estimate.value);
+  });
+  for (const gps::Edge& e : stream) engine.Process(e);
+  engine.Finish();
 
-  std::printf("monitoring %zu-edge stream (reservoirs of %zu edges)\n\n",
-              stream.size(), options.capacity);
-  std::printf("%12s %16s %16s %12s\n", "edges seen", "triangles(est)",
-              "4-cliques(est)", "snapshots");
-  const size_t report = stream.size() / 8;
-  for (size_t i = 0; i < stream.size(); ++i) {
-    triangles.Process(stream[i]);
-    cliques.Process(stream[i]);
-    if ((i + 1) % report == 0 || i + 1 == stream.size()) {
-      std::printf("%12zu %16.0f %16.0f %12llu\n", i + 1, triangles.Count(),
-                  cliques.Count(),
-                  static_cast<unsigned long long>(cliques.SnapshotsTaken()));
-    }
-  }
-
-  const double exact =
-      CountFourCliquesExact(gps::CsrGraph::FromEdgeList(graph));
-  std::printf("\nexact 4-cliques: %.0f (estimate off by %.2f%%)\n", exact,
-              100.0 * std::abs(cliques.Count() - exact) /
-                  std::max(1.0, exact));
+  const std::vector<gps::MotifEstimate> final_motifs =
+      engine.MergedMotifEstimates();
+  const gps::ExactCounts exact = gps::CountExact(
+      gps::CsrGraph::FromEdgeList(graph), /*count_higher_motifs=*/true);
+  const double k4 = final_motifs[1].estimate.value;
+  std::printf("\nexact 4-cliques: %.0f (estimate off by %.2f%%)\n",
+              exact.four_cliques,
+              100.0 * std::abs(k4 - exact.four_cliques) /
+                  std::max(1.0, exact.four_cliques));
+  std::printf("exact 3-paths:   %.0f (estimate off by %.2f%%)\n",
+              exact.three_paths,
+              100.0 * std::abs(final_motifs[2].estimate.value -
+                               exact.three_paths) /
+                  std::max(1.0, exact.three_paths));
   std::printf("conservative 4-clique std-dev estimate: %.0f\n",
-              std::sqrt(std::max(0.0, cliques.VarianceLowerEstimate())));
+              final_motifs[1].estimate.StdDev());
   return 0;
 }

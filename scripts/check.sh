@@ -11,10 +11,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== Release build + ctest ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+echo "=== Release build (-Werror) + ctest ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DGPS_WERROR=ON
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)" --timeout 300
+
+echo "=== Motif pipeline smoke ==="
+./build/bench_motif --smoke
 
 echo "=== ASan/UBSan build + engine/serialization/cli tests ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \

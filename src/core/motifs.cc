@@ -1,0 +1,107 @@
+#include "core/motifs.h"
+
+#include <cassert>
+
+namespace gps {
+
+const std::vector<MotifEntry>& MotifEntries() {
+  static const std::vector<MotifEntry>* entries = new std::vector<MotifEntry>{
+      {"tri", "triangles (3-cliques)", 3, &TriangleEnumerator},
+      {"wedge", "wedges (paths of length 2)", 2, &WedgeEnumerator},
+      {"4clique", "4-cliques (K4)", 6, &FourCliqueEnumerator},
+      {"3path", "simple paths of length 3 (4 distinct nodes)", 3,
+       &ThreePathEnumerator},
+  };
+  return *entries;
+}
+
+const MotifEntry* FindMotif(const std::string& name) {
+  for (const MotifEntry& entry : MotifEntries()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+Status ValidateMotifNames(std::span<const std::string> names) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (FindMotif(names[i]) == nullptr) {
+      return Status::InvalidArgument(
+          "unknown motif '" + names[i] +
+          "' (gps_cli list-motifs shows the registry)");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (names[j] == names[i]) {
+        return Status::InvalidArgument("motif '" + names[i] +
+                                       "' listed twice");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ParseMotifNames(const std::string& csv) {
+  std::vector<std::string> names;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    const std::string item = csv.substr(start, end - start);
+    if (item.empty()) {
+      return Status::InvalidArgument(
+          "empty motif name in list '" + csv + "'");
+    }
+    names.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("empty motif list");
+  }
+  if (Status s = ValidateMotifNames(names); !s.ok()) return s;
+  return names;
+}
+
+MotifSuite::MotifSuite(std::span<const std::string> names) {
+  motifs_.reserve(names.size());
+  for (const std::string& name : names) {
+    const MotifEntry* entry = FindMotif(name);
+    assert(entry != nullptr && "unvalidated motif name");
+    motifs_.push_back({entry, entry->make_enumerator(), MotifAccumulator{}});
+  }
+}
+
+void MotifSuite::Observe(const Edge& raw, const GpsReservoir& reservoir) {
+  if (motifs_.empty()) return;
+  const Edge e = raw.Canonical();
+  // Mirror InStreamEstimator::Process: duplicates and loops carry no new
+  // subgraphs under the simple-graph model.
+  if (e.IsSelfLoop() || reservoir.graph().HasEdge(e)) return;
+  for (ActiveMotif& motif : motifs_) {
+    AccumulateMotifSnapshots(e, reservoir, motif.enumerate, &motif.acc);
+  }
+}
+
+std::vector<std::string> MotifSuite::Names() const {
+  std::vector<std::string> names;
+  names.reserve(motifs_.size());
+  for (const ActiveMotif& motif : motifs_) names.push_back(motif.entry->name);
+  return names;
+}
+
+std::vector<MotifEstimate> MotifSuite::Estimates() const {
+  std::vector<MotifEstimate> out;
+  out.reserve(motifs_.size());
+  for (const ActiveMotif& motif : motifs_) {
+    out.push_back({motif.entry->name, motif.acc.ToEstimate(),
+                   motif.acc.snapshots});
+  }
+  return out;
+}
+
+void MotifSuite::RestoreAccumulators(
+    std::span<const MotifAccumulator> accs) {
+  assert(accs.size() == motifs_.size());
+  for (size_t i = 0; i < motifs_.size(); ++i) motifs_[i].acc = accs[i];
+}
+
+}  // namespace gps

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/motifs.h"
+
 namespace gps {
 namespace {
 
@@ -18,9 +20,10 @@ constexpr const char* kInStreamHeader = "GPS-INSTREAM";
 constexpr const char* kManifestHeader = "GPS-MANIFEST";
 constexpr int kFormatVersion = 1;
 // Manifests are versioned independently of the single-estimator formats:
-// v2 added the engine-level stream offset (resume support). Readers stay
-// compatible with v1.
-constexpr int kManifestVersion = 2;
+// v2 added the engine-level stream offset (resume support), v3 the
+// motif-statistic set (names + per-shard accumulators). Readers stay
+// compatible with v1 and v2.
+constexpr int kManifestVersion = 3;
 constexpr int kManifestMinReadVersion = 1;
 
 void WriteDouble(std::ostream& out, double v) {
@@ -306,9 +309,36 @@ Status ValidateManifest(const ShardManifest& manifest) {
         "custom weight callables cannot be serialized");
   }
   if (Status s = ValidateWeightOptions(manifest.weight); !s.ok()) return s;
+  // Motif names resolve against the registry: a manifest naming a motif
+  // this build does not know must be refused BY NAME, not silently
+  // dropped (the accumulators would be meaningless to carry forward).
+  if (Status s = ValidateMotifNames(manifest.motif_names); !s.ok()) {
+    return s.WithContext("manifest motif set");
+  }
   if (manifest.entries.size() > manifest.num_shards) {
     return Status::InvalidArgument(
         "manifest lists more shard files than shards");
+  }
+  for (const ShardManifestEntry& entry : manifest.entries) {
+    if (entry.motif_accumulators.size() != manifest.motif_names.size()) {
+      return Status::InvalidArgument(
+          "manifest shard " + std::to_string(entry.shard_index) +
+          " carries " + std::to_string(entry.motif_accumulators.size()) +
+          " motif accumulators for " +
+          std::to_string(manifest.motif_names.size()) + " named motifs");
+    }
+    for (size_t m = 0; m < entry.motif_accumulators.size(); ++m) {
+      const MotifAccumulator& acc = entry.motif_accumulators[m];
+      // Count and variance accumulators are sums of nonnegative snapshot
+      // terms (core/snapshot.h).
+      if (!std::isfinite(acc.count) || acc.count < 0.0 ||
+          !std::isfinite(acc.variance) || acc.variance < 0.0) {
+        return Status::InvalidArgument(
+            "invalid '" + manifest.motif_names[m] +
+            "' accumulator for manifest shard " +
+            std::to_string(entry.shard_index));
+      }
+    }
   }
   if (manifest.stream_offset > 0) {
     // The entries describe shards of the recorded run prefix, so no shard
@@ -371,11 +401,22 @@ Status SerializeManifest(const ShardManifest& manifest, std::ostream& out) {
       << manifest.total_capacity << ' ' << (manifest.split_capacity ? 1 : 0)
       << ' ' << manifest.stream_offset << '\n';
   if (Status s = WriteWeightOptions(manifest.weight, out); !s.ok()) return s;
+  out << manifest.motif_names.size();
+  for (const std::string& name : manifest.motif_names) out << ' ' << name;
+  out << '\n';
   out << manifest.entries.size() << '\n';
   for (const ShardManifestEntry& entry : manifest.entries) {
     out << entry.shard_index << ' ' << entry.shard_seed << ' '
         << entry.edges_processed << ' ' << entry.digest << ' '
-        << entry.filename << '\n';
+        << entry.filename;
+    for (const MotifAccumulator& acc : entry.motif_accumulators) {
+      out << ' ';
+      WriteDouble(out, acc.count);
+      out << ' ';
+      WriteDouble(out, acc.variance);
+      out << ' ' << acc.snapshots;
+    }
+    out << '\n';
   }
   if (!out) return Status::IoError("write failure while serializing");
   return Status::Ok();
@@ -404,6 +445,28 @@ Result<ShardManifest> DeserializeManifest(std::istream& in) {
   Result<WeightOptions> weight = ReadWeightOptions(in);
   if (!weight.ok()) return weight.status();
   manifest.weight = *weight;
+  // Version 3 added the motif set; earlier manifests describe the bare
+  // tri/wedge estimator stack (empty motif list).
+  if (*version >= 3) {
+    size_t num_motifs = 0;
+    if (!(in >> num_motifs)) {
+      return Status::IoError("truncated manifest: motif count");
+    }
+    if (num_motifs > MotifEntries().size()) {
+      return Status::InvalidArgument(
+          "manifest motif count " + std::to_string(num_motifs) +
+          " exceeds the registry size " +
+          std::to_string(MotifEntries().size()));
+    }
+    manifest.motif_names.reserve(num_motifs);
+    for (size_t m = 0; m < num_motifs; ++m) {
+      std::string name;
+      if (!(in >> name)) {
+        return Status::IoError("truncated manifest: motif names");
+      }
+      manifest.motif_names.push_back(std::move(name));
+    }
+  }
   size_t num_entries = 0;
   if (!(in >> num_entries)) {
     return Status::IoError("truncated manifest: entry count");
@@ -419,6 +482,12 @@ Result<ShardManifest> DeserializeManifest(std::istream& in) {
     if (!(in >> entry.shard_index >> entry.shard_seed >>
           entry.edges_processed >> entry.digest >> entry.filename)) {
       return Status::IoError("truncated manifest: shard entries");
+    }
+    entry.motif_accumulators.resize(manifest.motif_names.size());
+    for (MotifAccumulator& acc : entry.motif_accumulators) {
+      if (!(in >> acc.count >> acc.variance >> acc.snapshots)) {
+        return Status::IoError("truncated manifest: motif accumulators");
+      }
     }
     manifest.entries.push_back(std::move(entry));
   }

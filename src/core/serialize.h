@@ -27,11 +27,15 @@
 //
 // Manifest versioning: version 2 added `stream_offset` (the number of
 // stream edges the writing engine had ingested) so an interrupted sharded
-// run can be RESUMED, not just merged. Writers emit version 2; readers
-// accept version 1 manifests (stream_offset reported as 0 — resume then
-// derives the offset from the per-entry arrival counts). The per-shard
-// RNG state itself lives in the GPS-INSTREAM shard files, which already
-// round-trip it exactly.
+// run can be RESUMED, not just merged. Version 3 added the motif-statistic
+// set: a line naming the run's configured motifs (core/motifs.h registry
+// keys) and, per shard entry, one serialized MotifAccumulator per motif,
+// so multi-motif runs checkpoint/merge/resume like the tri/wedge set.
+// Writers emit version 3; readers accept versions 1 and 2 (empty motif
+// set; stream_offset reported as 0 for v1 — resume then derives the
+// offset from the per-entry arrival counts). Unknown motif names are
+// refused BY NAME at read. The per-shard RNG state itself lives in the
+// GPS-INSTREAM shard files, which already round-trip it exactly.
 
 #ifndef GPS_CORE_SERIALIZE_H_
 #define GPS_CORE_SERIALIZE_H_
@@ -45,6 +49,7 @@
 #include "core/gps.h"
 #include "core/in_stream.h"
 #include "core/reservoir.h"
+#include "core/snapshot.h"
 #include "util/status.h"
 
 namespace gps {
@@ -74,6 +79,10 @@ struct ShardManifestEntry {
   /// Bare file name (no directory separators or whitespace), resolved
   /// relative to the directory holding the manifest.
   std::string filename;
+  /// Motif-statistic accumulators at checkpoint time, one per entry of
+  /// the manifest's `motif_names` (same order). Empty for version <= 2
+  /// manifests and runs without a motif suite.
+  std::vector<MotifAccumulator> motif_accumulators;
 };
 
 /// Versioned multi-shard checkpoint manifest (GPS-MANIFEST header).
@@ -94,6 +103,10 @@ struct ShardManifest {
   uint64_t stream_offset = 0;
   /// Weight configuration shared by all shards; kind != kCustom.
   WeightOptions weight;
+  /// Motif-statistic set the run was configured with (core/motifs.h
+  /// registry names, suite order). Version >= 3; empty before that and
+  /// for runs without a motif suite. Unknown names are refused by name.
+  std::vector<std::string> motif_names;
   /// Shard files this manifest covers — possibly a subset of the K shards
   /// when a host ran only part of the layout.
   std::vector<ShardManifestEntry> entries;

@@ -4,6 +4,26 @@
 
 namespace gps {
 
+void AccumulateMotifSnapshots(
+    const Edge& e, const GpsReservoir& reservoir,
+    const InStreamMotifCounter::EnumerateFn& enumerate,
+    MotifAccumulator* acc) {
+  const InStreamMotifCounter::Emitter emit =
+      [&](std::span<const Edge> edges) {
+        double product = 1.0;
+        for (const Edge& member : edges) {
+          const SlotId slot =
+              reservoir.graph().FindEdge(member.Canonical());
+          if (slot == kNoSlot) return;  // enumerator reported an unsampled edge
+          product /= reservoir.Probability(slot);
+        }
+        acc->count += product;
+        acc->variance += product * (product - 1.0);
+        ++acc->snapshots;
+      };
+  enumerate(e, reservoir.graph(), emit);
+}
+
 InStreamMotifCounter::InStreamMotifCounter(GpsSamplerOptions options,
                                            EnumerateFn enumerate)
     : weight_fn_(options.weight),
@@ -15,18 +35,7 @@ void InStreamMotifCounter::Process(const Edge& raw) {
   if (e.IsSelfLoop() || reservoir_.graph().HasEdge(e)) return;
 
   // Snapshot step: freeze HT products for each completed motif instance.
-  const Emitter emit = [&](std::span<const Edge> edges) {
-    double product = 1.0;
-    for (const Edge& member : edges) {
-      const SlotId slot = reservoir_.graph().FindEdge(member.Canonical());
-      if (slot == kNoSlot) return;  // enumerator reported an unsampled edge
-      product /= reservoir_.Probability(slot);
-    }
-    count_ += product;
-    variance_lower_ += product * (product - 1.0);
-    ++snapshots_;
-  };
-  enumerate_(e, reservoir_, emit);
+  AccumulateMotifSnapshots(e, reservoir_, enumerate_, &acc_);
 
   // Sampling step (GPSUPDATE).
   const double weight = weight_fn_.Compute(e, reservoir_.graph());
@@ -34,9 +43,9 @@ void InStreamMotifCounter::Process(const Edge& raw) {
 }
 
 InStreamMotifCounter::EnumerateFn TriangleEnumerator() {
-  return [](const Edge& arriving, const GpsReservoir& reservoir,
+  return [](const Edge& arriving, const SampledGraph& graph,
             const InStreamMotifCounter::Emitter& emit) {
-    reservoir.graph().ForEachCommonNeighbor(
+    graph.ForEachCommonNeighbor(
         arriving.u, arriving.v, [&](NodeId w, SlotId, SlotId) {
           const Edge members[2] = {MakeEdge(arriving.u, w),
                                    MakeEdge(arriving.v, w)};
@@ -46,11 +55,11 @@ InStreamMotifCounter::EnumerateFn TriangleEnumerator() {
 }
 
 InStreamMotifCounter::EnumerateFn WedgeEnumerator() {
-  return [](const Edge& arriving, const GpsReservoir& reservoir,
+  return [](const Edge& arriving, const SampledGraph& graph,
             const InStreamMotifCounter::Emitter& emit) {
     for (const NodeId endpoint : {arriving.u, arriving.v}) {
       const NodeId other = endpoint == arriving.u ? arriving.v : arriving.u;
-      reservoir.graph().ForEachNeighbor(
+      graph.ForEachNeighbor(
           endpoint, [&](NodeId nbr, SlotId) {
             if (nbr == other) return;
             const Edge members[1] = {MakeEdge(endpoint, nbr)};
@@ -61,18 +70,18 @@ InStreamMotifCounter::EnumerateFn WedgeEnumerator() {
 }
 
 InStreamMotifCounter::EnumerateFn FourCliqueEnumerator() {
-  return [](const Edge& arriving, const GpsReservoir& reservoir,
+  return [](const Edge& arriving, const SampledGraph& graph,
             const InStreamMotifCounter::Emitter& emit) {
     // Collect common neighbors of (u, v), then test each pair for the
     // connecting sampled edge.
     std::vector<NodeId> common;
-    reservoir.graph().ForEachCommonNeighbor(
+    graph.ForEachCommonNeighbor(
         arriving.u, arriving.v,
         [&](NodeId w, SlotId, SlotId) { common.push_back(w); });
     for (size_t i = 0; i < common.size(); ++i) {
       for (size_t j = i + 1; j < common.size(); ++j) {
         const Edge bridge = MakeEdge(common[i], common[j]);
-        if (!reservoir.graph().HasEdge(bridge)) continue;
+        if (!graph.HasEdge(bridge)) continue;
         const Edge members[5] = {MakeEdge(arriving.u, common[i]),
                                  MakeEdge(arriving.v, common[i]),
                                  MakeEdge(arriving.u, common[j]),
@@ -84,9 +93,8 @@ InStreamMotifCounter::EnumerateFn FourCliqueEnumerator() {
 }
 
 InStreamMotifCounter::EnumerateFn ThreePathEnumerator() {
-  return [](const Edge& arriving, const GpsReservoir& reservoir,
+  return [](const Edge& arriving, const SampledGraph& graph,
             const InStreamMotifCounter::Emitter& emit) {
-    const SampledGraph& graph = reservoir.graph();
     const NodeId u = arriving.u;
     const NodeId v = arriving.v;
 

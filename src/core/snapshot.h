@@ -12,8 +12,10 @@
 // enumerator: on each arrival it invokes the enumerator, which reports the
 // sampled edge sets of all motif instances the arriving edge completes;
 // the counter freezes their snapshots, then performs the normal GPS
-// sampling step. Built-in enumerators cover triangles, wedges and
-// 4-cliques; writing a custom one is ~10 lines.
+// sampling step. Built-in enumerators cover triangles, wedges, 4-cliques
+// and 3-paths; writing a custom one is ~10 lines. Named, registry-backed
+// access to the built-ins (and the multi-motif suite that shares one
+// reservoir) lives in core/motifs.h.
 //
 // Variance: per Theorem 5(iii), Σ Ŝ(Ŝ-1) over snapshots unbiasedly
 // estimates the sum of individual snapshot variances; because snapshot
@@ -29,11 +31,33 @@
 #include <functional>
 #include <span>
 
+#include "core/estimates.h"
 #include "core/gps.h"
 #include "core/reservoir.h"
+#include "graph/sampled_graph.h"
 #include "graph/types.h"
 
 namespace gps {
+
+/// Serializable snapshot-accumulator state of one motif statistic: the
+/// running count, the conservative variance estimate, and the number of
+/// snapshots frozen. Checkpoints (GPS-MANIFEST v3) carry these verbatim so
+/// motif estimation can resume mid-stream (core/serialize.h).
+struct MotifAccumulator {
+  /// Σ of frozen snapshots: unbiased estimate of the number of motif
+  /// instances whose edges have all arrived (Theorem 4(ii)).
+  double count = 0.0;
+  /// Σ Ŝ(Ŝ-1): conservative (downward-biased) variance estimate, omitting
+  /// the nonnegative pairwise snapshot covariances.
+  double variance = 0.0;
+  /// Snapshots frozen so far.
+  uint64_t snapshots = 0;
+
+  /// The accumulator as a point estimate with its conservative variance.
+  Estimate ToEstimate() const {
+    return Estimate{count, variance > 0.0 ? variance : 0.0};
+  }
+};
 
 class InStreamMotifCounter {
  public:
@@ -43,11 +67,13 @@ class InStreamMotifCounter {
   using Emitter = std::function<void(std::span<const Edge>)>;
 
   /// Enumerates all motif instances completed by `arriving` whose other
-  /// edges are in the reservoir's sampled graph, calling `emit` once per
-  /// instance.
+  /// edges are present in the sampled adjacency, calling `emit` once per
+  /// instance. Enumerators see only topology (never probabilities), so the
+  /// same enumerator drives both in-stream snapshot estimation and the
+  /// engine's post-stream pass over the merged union sample
+  /// (engine/merge.cc).
   using EnumerateFn = std::function<void(
-      const Edge& arriving, const GpsReservoir& reservoir,
-      const Emitter& emit)>;
+      const Edge& arriving, const SampledGraph& graph, const Emitter& emit)>;
 
   InStreamMotifCounter(GpsSamplerOptions options, EnumerateFn enumerate);
 
@@ -57,15 +83,18 @@ class InStreamMotifCounter {
 
   /// Unbiased estimate of the number of motif instances whose edges have
   /// all arrived (Theorem 4(ii)).
-  double Count() const { return count_; }
+  double Count() const { return acc_.count; }
 
   /// Conservative (downward-biased) variance estimate: the sum of
   /// single-snapshot variance estimators, omitting nonnegative pairwise
   /// covariances.
-  double VarianceLowerEstimate() const { return variance_lower_; }
+  double VarianceLowerEstimate() const { return acc_.variance; }
 
   /// Number of snapshots frozen so far.
-  uint64_t SnapshotsTaken() const { return snapshots_; }
+  uint64_t SnapshotsTaken() const { return acc_.snapshots; }
+
+  /// The full accumulator state, for checkpointing and merging.
+  const MotifAccumulator& accumulator() const { return acc_; }
 
   const GpsReservoir& reservoir() const { return reservoir_; }
 
@@ -73,10 +102,18 @@ class InStreamMotifCounter {
   WeightFunction weight_fn_;
   GpsReservoir reservoir_;
   EnumerateFn enumerate_;
-  double count_ = 0.0;
-  double variance_lower_ = 0.0;
-  uint64_t snapshots_ = 0;
+  MotifAccumulator acc_;
 };
+
+/// Freezes one snapshot per motif instance `enumerate` reports for the
+/// arriving canonical edge `e` (not yet sampled): each instance contributes
+/// the product of inverse inclusion probabilities of its sampled member
+/// edges, measured at the stopping time T_k (before e's sampling step).
+/// Instances reporting an unsampled member are ignored. Shared by
+/// InStreamMotifCounter and MotifSuite (core/motifs.h).
+void AccumulateMotifSnapshots(const Edge& e, const GpsReservoir& reservoir,
+                              const InStreamMotifCounter::EnumerateFn& enumerate,
+                              MotifAccumulator* acc);
 
 /// Built-in enumerator: triangles completed by the arriving edge (the two
 /// sampled edges to each common neighbor).

@@ -1,8 +1,10 @@
 #include "engine/merge.h"
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "core/local_counts.h"
 #include "graph/sampled_graph.h"
 #include "graph/types.h"
 
@@ -153,8 +155,7 @@ GraphEstimates Finalize(const PartialSums& sums) {
 }
 
 template <bool SpanOnly>
-GraphEstimates EstimateUnion(std::span<const GpsReservoir* const> shards) {
-  const MergedSample sample = BuildMergedSample(shards);
+GraphEstimates EstimateOverSample(const MergedSample& sample) {
   PartialSums sums;
   for (SlotId slot = 0; slot < sample.records.size(); ++slot) {
     AccumulateMergedEdge<SpanOnly>(sample, slot, &sums);
@@ -162,7 +163,87 @@ GraphEstimates EstimateUnion(std::span<const GpsReservoir* const> shards) {
   return Finalize(sums);
 }
 
+template <bool SpanOnly>
+GraphEstimates EstimateUnion(std::span<const GpsReservoir* const> shards) {
+  return EstimateOverSample<SpanOnly>(BuildMergedSample(shards));
+}
+
+/// The motif cross-shard pass over a prebuilt union sample; shared by
+/// both EstimateCrossShardMotifs overloads.
+std::vector<MotifAccumulator> CrossShardMotifsOverSample(
+    const MergedSample& sample, size_t num_shards,
+    std::span<const std::string> motif_names) {
+  std::vector<MotifAccumulator> out(motif_names.size());
+  if (num_shards < 2 || motif_names.empty()) return out;
+  for (size_t m = 0; m < motif_names.size(); ++m) {
+    const MotifEntry* entry = FindMotif(motif_names[m]);
+    assert(entry != nullptr && "unvalidated motif name");
+    const InStreamMotifCounter::EnumerateFn enumerate =
+        entry->make_enumerator();
+    MotifAccumulator raw;
+    for (SlotId slot = 0; slot < sample.records.size(); ++slot) {
+      const MergedRecord& rec = sample.records[slot];
+      // Treat each union-sampled edge as the enumerator's "arriving" edge:
+      // the streaming enumerators report instances containing it without
+      // ever listing it among the members, so each instance is enumerated
+      // once per member edge — hence the num_edges division below.
+      const InStreamMotifCounter::Emitter emit =
+          [&](std::span<const Edge> members) {
+            double product = rec.inv_q;
+            bool spans = false;
+            for (const Edge& member : members) {
+              const SlotId member_slot =
+                  sample.graph.FindEdge(member.Canonical());
+              if (member_slot == kNoSlot) return;
+              product *= sample.records[member_slot].inv_q;
+              spans |= sample.records[member_slot].shard != rec.shard;
+            }
+            // Within-shard instances belong to the in-stream stratum.
+            if (!spans) return;
+            raw.count += product;
+            raw.variance += product * (product - 1.0);
+            ++raw.snapshots;
+          };
+      enumerate(rec.edge, sample.graph, emit);
+    }
+    out[m].count = raw.count / entry->num_edges;
+    out[m].variance = raw.variance / entry->num_edges;
+    out[m].snapshots = raw.snapshots / entry->num_edges;
+  }
+  return out;
+}
+
 }  // namespace
+
+struct UnionSample::Impl {
+  MergedSample sample;
+};
+
+UnionSample::UnionSample(std::unique_ptr<Impl> impl, size_t num_shards)
+    : impl_(std::move(impl)), num_shards_(num_shards) {}
+UnionSample::~UnionSample() = default;
+UnionSample::UnionSample(UnionSample&&) noexcept = default;
+UnionSample& UnionSample::operator=(UnionSample&&) noexcept = default;
+
+UnionSample BuildUnionSample(
+    std::span<const GpsReservoir* const> shards) {
+  auto impl = std::make_unique<UnionSample::Impl>();
+  // No pass ever reads the index below two shards (there is no spanning
+  // stratum), so skip the O(total sample) build for K = 1.
+  if (shards.size() >= 2) impl->sample = BuildMergedSample(shards);
+  return UnionSample(std::move(impl), shards.size());
+}
+
+GraphEstimates EstimateCrossShard(const UnionSample& sample) {
+  if (sample.num_shards() < 2) return {};
+  return EstimateOverSample</*SpanOnly=*/true>(sample.impl_->sample);
+}
+
+std::vector<MotifAccumulator> EstimateCrossShardMotifs(
+    const UnionSample& sample, std::span<const std::string> motif_names) {
+  return CrossShardMotifsOverSample(sample.impl_->sample,
+                                    sample.num_shards(), motif_names);
+}
 
 GraphEstimates SumShardEstimates(std::span<const GraphEstimates> shards) {
   GraphEstimates total;
@@ -191,6 +272,70 @@ GraphEstimates AddEstimates(const GraphEstimates& a,
   out.wedges.variance = a.wedges.variance + b.wedges.variance;
   out.tri_wedge_cov = a.tri_wedge_cov + b.tri_wedge_cov;
   return out;
+}
+
+std::vector<MotifAccumulator> SumShardMotifAccumulators(
+    std::span<const std::vector<MotifAccumulator>> shards) {
+  std::vector<MotifAccumulator> total;
+  for (const std::vector<MotifAccumulator>& shard : shards) {
+    if (total.empty()) total.resize(shard.size());
+    assert(shard.size() == total.size() &&
+           "shards carry mismatched motif suites");
+    for (size_t m = 0; m < shard.size(); ++m) {
+      total[m].count += shard[m].count;
+      total[m].variance += shard[m].variance;
+      total[m].snapshots += shard[m].snapshots;
+    }
+  }
+  return total;
+}
+
+std::vector<MotifAccumulator> EstimateCrossShardMotifs(
+    std::span<const GpsReservoir* const> shards,
+    std::span<const std::string> motif_names) {
+  if (shards.size() < 2 || motif_names.empty()) {
+    return std::vector<MotifAccumulator>(motif_names.size());
+  }
+  return CrossShardMotifsOverSample(BuildMergedSample(shards),
+                                    shards.size(), motif_names);
+}
+
+std::vector<MotifEstimate> MakeMotifEstimates(
+    std::span<const std::string> motif_names,
+    std::span<const MotifAccumulator> within,
+    std::span<const MotifAccumulator> cross) {
+  assert(within.size() == motif_names.size());
+  assert(cross.size() == motif_names.size());
+  std::vector<MotifEstimate> out;
+  out.reserve(motif_names.size());
+  for (size_t m = 0; m < motif_names.size(); ++m) {
+    MotifEstimate est;
+    est.name = motif_names[m];
+    est.estimate.value = within[m].count + cross[m].count;
+    est.estimate.variance = within[m].variance + cross[m].variance;
+    if (est.estimate.variance < 0.0) est.estimate.variance = 0.0;
+    est.snapshots = within[m].snapshots + cross[m].snapshots;
+    out.push_back(std::move(est));
+  }
+  return out;
+}
+
+double EstimateMergedEdgeCount(
+    std::span<const GpsReservoir* const> shards) {
+  double total = 0.0;
+  for (const GpsReservoir* reservoir : shards) {
+    total += EstimateEdgeCount(*reservoir);
+  }
+  return total;
+}
+
+double EstimateMergedDegree(std::span<const GpsReservoir* const> shards,
+                            NodeId v) {
+  double total = 0.0;
+  for (const GpsReservoir* reservoir : shards) {
+    total += EstimateDegree(*reservoir, v);
+  }
+  return total;
 }
 
 }  // namespace gps

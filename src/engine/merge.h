@@ -30,10 +30,15 @@
 #ifndef GPS_ENGINE_MERGE_H_
 #define GPS_ENGINE_MERGE_H_
 
+#include <memory>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "core/estimates.h"
+#include "core/motifs.h"
 #include "core/reservoir.h"
+#include "graph/types.h"
 
 namespace gps {
 
@@ -51,10 +56,44 @@ enum class MergeMode {
 /// all add across independent strata).
 GraphEstimates SumShardEstimates(std::span<const GraphEstimates> shards);
 
+/// The union of the shard reservoirs, built once and shared by every
+/// cross-shard pass over the same drained state (tri/wedge correction,
+/// per-motif correction): construction is O(total sample), so callers
+/// that need several passes per drain — the engine's monitoring tick —
+/// must not rebuild it per statistic. Opaque; obtain via BuildUnionSample.
+class UnionSample {
+ public:
+  ~UnionSample();
+  UnionSample(UnionSample&&) noexcept;
+  UnionSample& operator=(UnionSample&&) noexcept;
+
+  size_t num_shards() const { return num_shards_; }
+
+ private:
+  friend UnionSample BuildUnionSample(
+      std::span<const GpsReservoir* const> shards);
+  friend GraphEstimates EstimateCrossShard(const UnionSample& sample);
+  friend std::vector<MotifAccumulator> EstimateCrossShardMotifs(
+      const UnionSample& sample, std::span<const std::string> motif_names);
+
+  struct Impl;
+  explicit UnionSample(std::unique_ptr<Impl> impl, size_t num_shards);
+
+  std::unique_ptr<Impl> impl_;
+  size_t num_shards_ = 0;
+};
+
+/// Indexes the union of the shard reservoirs (edge-hash sharding keeps
+/// them edge-disjoint); each edge keeps min{1, w/z*} of its OWN shard.
+UnionSample BuildUnionSample(std::span<const GpsReservoir* const> shards);
+
 /// Horvitz-Thompson estimates of the subgraphs spanning >= 2 shards, from
 /// the union of the shard reservoirs. Returns zeros for < 2 shards.
 GraphEstimates EstimateCrossShard(
     std::span<const GpsReservoir* const> shards);
+
+/// As above, over a prebuilt union sample.
+GraphEstimates EstimateCrossShard(const UnionSample& sample);
 
 /// Post-stream estimates of ALL subgraphs from the union of the shard
 /// reservoirs. With a single shard this matches EstimatePostStream up to
@@ -64,6 +103,55 @@ GraphEstimates EstimateMergedPostStream(
 
 /// Element-wise sum of two estimate sets from independent strata.
 GraphEstimates AddEstimates(const GraphEstimates& a, const GraphEstimates& b);
+
+// ---- Generic motif statistics (core/motifs.h registry) -------------------
+//
+// The motif decomposition mirrors the triangle/wedge one: an instance is
+// either entirely inside one shard's substream (estimated by that shard's
+// in-stream MotifSuite — counts, conservative variances and snapshot
+// counts all sum across independent shards) or its edges span >= 2 shards
+// (estimated by a post-stream Horvitz-Thompson pass over the union of the
+// shard reservoirs, reusing the registry's streaming enumerators). Both
+// strata report the conservative Σ Ŝ(Ŝ-1) variance bound, so merged motif
+// CIs are mildly anti-conservative-proof (never overstated downward by
+// covariance omission alone — see core/snapshot.h).
+
+/// Element-wise sum of per-shard motif accumulators (independent strata).
+/// All shards must carry the same suite arity/order; the engine guarantees
+/// this by configuring every shard from one ShardedEngineOptions::motifs.
+std::vector<MotifAccumulator> SumShardMotifAccumulators(
+    std::span<const std::vector<MotifAccumulator>> shards);
+
+/// Post-stream HT estimates of the named motifs' instances spanning >= 2
+/// shards, from the union of the shard reservoirs. Enumerates each
+/// instance once per member edge via the registry enumerator and divides
+/// by MotifEntry::num_edges. Returns zeros (one accumulator per name) for
+/// < 2 shards. Names must be registered (callers validate).
+std::vector<MotifAccumulator> EstimateCrossShardMotifs(
+    std::span<const GpsReservoir* const> shards,
+    std::span<const std::string> motif_names);
+
+/// As above, over a prebuilt union sample.
+std::vector<MotifAccumulator> EstimateCrossShardMotifs(
+    const UnionSample& sample, std::span<const std::string> motif_names);
+
+/// Combines the two strata into named estimates, in suite order.
+std::vector<MotifEstimate> MakeMotifEstimates(
+    std::span<const std::string> motif_names,
+    std::span<const MotifAccumulator> within,
+    std::span<const MotifAccumulator> cross);
+
+// ---- Local-count statistics over the merged sample -----------------------
+
+/// Unbiased estimate of the number of distinct edges that have arrived,
+/// summed over the edge-disjoint shard substreams (the sharded analog of
+/// core/local_counts.h EstimateEdgeCount).
+double EstimateMergedEdgeCount(std::span<const GpsReservoir* const> shards);
+
+/// Unbiased estimate of the degree of v in the arrived graph, summed over
+/// shards (each shard holds a disjoint subset of v's edges).
+double EstimateMergedDegree(std::span<const GpsReservoir* const> shards,
+                            NodeId v);
 
 }  // namespace gps
 

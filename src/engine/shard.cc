@@ -23,25 +23,34 @@ class Backoff {
 }  // namespace
 
 ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options)
-    : index_(index), options_(options), ring_(options.ring_capacity) {
+    : index_(index),
+      options_(options),
+      motifs_(options.motifs),
+      ring_(options.ring_capacity) {
   if (options_.estimator == ShardEstimatorKind::kInStream) {
     in_stream_ = std::make_unique<InStreamEstimator>(options_.sampler);
   } else {
+    assert(options_.motifs.empty() &&
+           "motif suites need in-stream shard estimators");
     sampler_ = std::make_unique<GpsSampler>(options_.sampler);
   }
 }
 
 ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options,
-                         std::unique_ptr<InStreamEstimator> restored)
+                         std::unique_ptr<InStreamEstimator> restored,
+                         std::span<const MotifAccumulator> restored_motifs)
     : index_(index),
       options_(options),
       in_stream_(std::move(restored)),
+      motifs_(options.motifs),
       ring_(options.ring_capacity) {
   assert(options_.estimator == ShardEstimatorKind::kInStream);
   assert(in_stream_ != nullptr);
   assert(in_stream_->reservoir().options().seed == options_.sampler.seed);
   assert(in_stream_->reservoir().options().capacity ==
          options_.sampler.capacity);
+  assert(restored_motifs.size() == motifs_.size());
+  motifs_.RestoreAccumulators(restored_motifs);
 }
 
 ShardWorker::~ShardWorker() { Join(); }
@@ -105,7 +114,17 @@ void ShardWorker::RunWorker() {
     }
     backoff.Reset();
     if (in_stream_) {
-      for (const Edge& e : batch) in_stream_->Process(e);
+      if (!motifs_.empty()) {
+        // Motif snapshots freeze at the stopping time BEFORE the arriving
+        // edge's own sampling step, so the suite observes first; it only
+        // reads the reservoir, leaving the sample path untouched.
+        for (const Edge& e : batch) {
+          motifs_.Observe(e, in_stream_->reservoir());
+          in_stream_->Process(e);
+        }
+      } else {
+        for (const Edge& e : batch) in_stream_->Process(e);
+      }
     } else {
       for (const Edge& e : batch) sampler_->Process(e);
     }

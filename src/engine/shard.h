@@ -20,11 +20,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/gps.h"
 #include "core/in_stream.h"
+#include "core/motifs.h"
 #include "engine/ring_buffer.h"
 #include "graph/types.h"
 
@@ -46,6 +49,13 @@ struct ShardOptions {
   ShardEstimatorKind estimator = ShardEstimatorKind::kInStream;
   /// Ring capacity in batches (rounded up to a power of two).
   size_t ring_capacity = 64;
+  /// Motif statistics (core/motifs.h registry names, validated by the
+  /// caller) estimated alongside the tri/wedge estimator on the SAME
+  /// reservoir sample path. The suite only reads the reservoir, so the
+  /// sample path — and thus the K=1 byte-identity and scheduling
+  /// invariance contracts — is unchanged. Requires kInStream when
+  /// non-empty.
+  std::vector<std::string> motifs;
 };
 
 class ShardWorker {
@@ -56,11 +66,14 @@ class ShardWorker {
 
   /// Resume construction: adopts a checkpoint-restored in-stream estimator
   /// (reservoir, RNG state, and snapshot accumulators mid-stream) instead
-  /// of building a fresh one. The estimator's reservoir options must match
-  /// `options.sampler` (callers validate against the manifest layout);
-  /// requires ShardEstimatorKind::kInStream.
+  /// of building a fresh one, plus the restored motif accumulators (one
+  /// per options.motifs entry, same order; empty iff no suite). The
+  /// estimator's reservoir options must match `options.sampler` (callers
+  /// validate against the manifest layout); requires
+  /// ShardEstimatorKind::kInStream.
   ShardWorker(uint32_t index, const ShardOptions& options,
-              std::unique_ptr<InStreamEstimator> restored);
+              std::unique_ptr<InStreamEstimator> restored,
+              std::span<const MotifAccumulator> restored_motifs = {});
 
   ~ShardWorker();
 
@@ -96,6 +109,10 @@ class ShardWorker {
   /// kInStream; caller must hold the drained/joined guarantee.
   const InStreamEstimator& in_stream_estimator() const;
 
+  /// The shard's motif suite (empty when no motifs are configured);
+  /// caller must hold the drained/joined guarantee.
+  const MotifSuite& motif_suite() const { return motifs_; }
+
   ShardEstimatorKind estimator_kind() const { return options_.estimator; }
 
  private:
@@ -107,6 +124,8 @@ class ShardWorker {
   // Exactly one of the two is live, per options_.estimator.
   std::unique_ptr<InStreamEstimator> in_stream_;
   std::unique_ptr<GpsSampler> sampler_;
+  // Worker-owned alongside in_stream_ (reads its reservoir, never writes).
+  MotifSuite motifs_;
 
   SpscRingBuffer<Batch> ring_;
   std::thread thread_;

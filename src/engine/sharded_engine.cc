@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/in_stream.h"
+#include "core/motifs.h"
 #include "core/seeding.h"
 #include "core/serialize.h"
 
@@ -40,6 +41,7 @@ ShardOptions MakeShardOptions(const ShardedEngineOptions& options,
       DeriveShardSeed(options.sampler.seed, s, options.num_shards);
   shard_options.estimator = kind;
   shard_options.ring_capacity = options.ring_capacity;
+  shard_options.motifs = options.motifs;
   return shard_options;
 }
 
@@ -69,6 +71,12 @@ Status CheckManifestsCompatible(const ShardManifest& base,
     return Status::FailedPrecondition(
         "manifest " + path + ": weight configuration does not match");
   }
+  if (other.motif_names != base.motif_names) {
+    return Status::FailedPrecondition(
+        "manifest " + path +
+        ": motif set does not match (shards of one run share one ordered "
+        "motif suite)");
+  }
   return Status::Ok();
 }
 
@@ -86,8 +94,11 @@ Result<std::string> ReadFileBytes(const std::filesystem::path& path) {
 /// was interrupted at. Shared by MergeFromCheckpoints (estimate without
 /// re-streaming) and ResumeFromCheckpoints (continue streaming).
 struct LoadedCheckpoints {
-  ShardManifest layout;
+  ShardManifest layout;  // entries cleared; motif_names retained
   std::vector<std::unique_ptr<InStreamEstimator>> estimators;
+  /// Restored motif accumulators, one vector per shard in shard order;
+  /// every inner vector matches layout.motif_names (possibly empty).
+  std::vector<std::vector<MotifAccumulator>> motif_accumulators;
   uint64_t stream_offset = 0;
 };
 
@@ -214,6 +225,7 @@ Result<LoadedCheckpoints> LoadCheckpoints(
     arrival_sum += est->edges_processed();
     loaded.estimators.push_back(
         std::make_unique<InStreamEstimator>(std::move(*est)));
+    loaded.motif_accumulators.push_back(le.entry.motif_accumulators);
   }
 
   // Version-2 manifests record the offset explicitly; a fully covered
@@ -238,6 +250,11 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(std::move(options)) {
   assert(options_.num_shards >= 1);
   assert(options_.batch_size >= 1);
+  assert((options_.motifs.empty() ||
+          options_.merge_mode == MergeMode::kInStreamPlusCross) &&
+         "motif suites need in-stream shard estimators");
+  assert(ValidateMotifNames(options_.motifs).ok() &&
+         "unvalidated motif names");
   const uint32_t k = options_.num_shards;
   const ShardEstimatorKind kind =
       options_.merge_mode == MergeMode::kPostStreamMerged
@@ -303,27 +320,73 @@ void ShardedEngine::Finish() {
   finished_ = true;
 }
 
-GraphEstimates ShardedEngine::MergedEstimates() {
-  if (!finished_) Drain();
-
+std::vector<const GpsReservoir*> ShardedEngine::CollectReservoirs() const {
   std::vector<const GpsReservoir*> reservoirs;
   reservoirs.reserve(shards_.size());
   for (const auto& shard : shards_) {
     reservoirs.push_back(&shard->reservoir());
   }
+  return reservoirs;
+}
 
-  if (options_.merge_mode == MergeMode::kPostStreamMerged) {
-    return EstimateMergedPostStream(reservoirs);
-  }
-
+GraphEstimates ShardedEngine::MergedGraphEstimatesOver(
+    const UnionSample& sample) {
   std::vector<GraphEstimates> per_shard;
   per_shard.reserve(shards_.size());
   for (const auto& shard : shards_) {
     per_shard.push_back(shard->InStreamEstimates());
   }
-  const GraphEstimates within = SumShardEstimates(per_shard);
-  const GraphEstimates cross = EstimateCrossShard(reservoirs);
-  return AddEstimates(within, cross);
+  return AddEstimates(SumShardEstimates(per_shard),
+                      EstimateCrossShard(sample));
+}
+
+std::vector<MotifEstimate> ShardedEngine::MergedMotifEstimatesOver(
+    const UnionSample& sample) {
+  if (options_.motifs.empty()) return {};
+  std::vector<std::vector<MotifAccumulator>> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const MotifSuite& suite = shard->motif_suite();
+    std::vector<MotifAccumulator> accs;
+    accs.reserve(suite.size());
+    for (size_t m = 0; m < suite.size(); ++m) {
+      accs.push_back(suite.accumulator(m));
+    }
+    per_shard.push_back(std::move(accs));
+  }
+  return MakeMotifEstimates(
+      options_.motifs, SumShardMotifAccumulators(per_shard),
+      EstimateCrossShardMotifs(sample, options_.motifs));
+}
+
+GraphEstimates ShardedEngine::MergedEstimates() {
+  if (!finished_) Drain();
+  if (options_.merge_mode == MergeMode::kPostStreamMerged) {
+    return EstimateMergedPostStream(CollectReservoirs());
+  }
+  return MergedGraphEstimatesOver(BuildUnionSample(CollectReservoirs()));
+}
+
+std::vector<MotifEstimate> ShardedEngine::MergedMotifEstimates() {
+  // Post-stream shards run no suites (guarded by the constructor assert;
+  // double-checked here so a release build degrades to "no motifs"
+  // instead of indexing mismatched suite vectors).
+  if (options_.motifs.empty() ||
+      options_.merge_mode != MergeMode::kInStreamPlusCross) {
+    return {};
+  }
+  if (!finished_) Drain();
+  return MergedMotifEstimatesOver(BuildUnionSample(CollectReservoirs()));
+}
+
+double ShardedEngine::MergedEdgeCountEstimate() {
+  if (!finished_) Drain();
+  return EstimateMergedEdgeCount(CollectReservoirs());
+}
+
+double ShardedEngine::MergedDegreeEstimate(NodeId v) {
+  if (!finished_) Drain();
+  return EstimateMergedDegree(CollectReservoirs(), v);
 }
 
 Status ShardedEngine::SerializeShards(const std::string& dir) {
@@ -338,6 +401,7 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
   manifest.split_capacity = options_.split_capacity;
   manifest.stream_offset = edges_processed_;
   manifest.weight = options_.sampler.weight;
+  manifest.motif_names = options_.motifs;
   // Reject un-serializable layouts (capacity out of range, custom weight)
   // BEFORE overwriting anything: a failed re-checkpoint must not destroy
   // a previous valid checkpoint in the same directory.
@@ -413,6 +477,11 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
     entry.edges_processed = shards_[s]->reservoir().edges_processed();
     entry.digest = ChecksumBytes(bytes);
     entry.filename = name;
+    const MotifSuite& suite = shards_[s]->motif_suite();
+    entry.motif_accumulators.reserve(suite.size());
+    for (size_t m = 0; m < suite.size(); ++m) {
+      entry.motif_accumulators.push_back(suite.accumulator(m));
+    }
     manifest.entries.push_back(std::move(entry));
   }
 
@@ -443,6 +512,14 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
 
 Result<GraphEstimates> ShardedEngine::MergeFromCheckpoints(
     std::span<const std::string> manifest_paths) {
+  Result<CheckpointMergeResult> merged =
+      MergeFromCheckpointsDetailed(manifest_paths);
+  if (!merged.ok()) return merged.status();
+  return merged->graph;
+}
+
+Result<CheckpointMergeResult> ShardedEngine::MergeFromCheckpointsDetailed(
+    std::span<const std::string> manifest_paths) {
   Result<LoadedCheckpoints> loaded = LoadCheckpoints(manifest_paths);
   if (!loaded.ok()) return loaded.status();
 
@@ -454,16 +531,26 @@ Result<GraphEstimates> ShardedEngine::MergeFromCheckpoints(
     per_shard.push_back(est->Estimates());
     reservoirs.push_back(&est->reservoir());
   }
-  return AddEstimates(SumShardEstimates(per_shard),
-                      EstimateCrossShard(reservoirs));
+  const UnionSample sample = BuildUnionSample(reservoirs);
+  CheckpointMergeResult result;
+  result.graph = AddEstimates(SumShardEstimates(per_shard),
+                              EstimateCrossShard(sample));
+  result.motifs = MakeMotifEstimates(
+      loaded->layout.motif_names,
+      SumShardMotifAccumulators(loaded->motif_accumulators),
+      EstimateCrossShardMotifs(sample, loaded->layout.motif_names));
+  result.edge_count = EstimateMergedEdgeCount(reservoirs);
+  return result;
 }
 
 ShardedEngine::ShardedEngine(
     ShardedEngineOptions options,
     std::vector<std::unique_ptr<InStreamEstimator>> restored,
+    std::vector<std::vector<MotifAccumulator>> restored_motifs,
     uint64_t stream_offset)
     : options_(std::move(options)), edges_processed_(stream_offset) {
   assert(options_.num_shards == restored.size());
+  assert(options_.num_shards == restored_motifs.size());
   assert(options_.batch_size >= 1);
   const uint32_t k = options_.num_shards;
 
@@ -472,7 +559,7 @@ ShardedEngine::ShardedEngine(
   for (uint32_t s = 0; s < k; ++s) {
     shards_.push_back(std::make_unique<ShardWorker>(
         s, MakeShardOptions(options_, s, ShardEstimatorKind::kInStream),
-        std::move(restored[s])));
+        std::move(restored[s]), restored_motifs[s]));
     pending_[s].reserve(options_.batch_size);
   }
   for (auto& shard : shards_) shard->Start();
@@ -499,8 +586,10 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::ResumeFromCheckpoints(
   options.batch_size = resume_options.batch_size;
   options.ring_capacity = resume_options.ring_capacity;
   options.merge_mode = MergeMode::kInStreamPlusCross;
+  options.motifs = loaded->layout.motif_names;
   return std::unique_ptr<ShardedEngine>(
       new ShardedEngine(std::move(options), std::move(loaded->estimators),
+                        std::move(loaded->motif_accumulators),
                         loaded->stream_offset));
 }
 
@@ -530,7 +619,16 @@ void ShardedEngine::FirePeriodicHooks() {
   if (monitor_every_ != 0 && edges_processed_ % monitor_every_ == 0) {
     MonitorRecord record;
     record.edges_processed = edges_processed_;
-    record.estimates = MergedEstimates();  // drains
+    if (options_.merge_mode == MergeMode::kPostStreamMerged) {
+      record.estimates = MergedEstimates();  // drains
+    } else {
+      // One drain, one union-sample build for both passes: ticks fire on
+      // every period, so the O(sample) index must not be built twice.
+      if (!finished_) Drain();
+      const UnionSample sample = BuildUnionSample(CollectReservoirs());
+      record.estimates = MergedGraphEstimatesOver(sample);
+      record.motifs = MergedMotifEstimatesOver(sample);
+    }
     monitor_callback_(record);
   }
   if (checkpoint_every_ != 0 && auto_checkpoint_status_.ok() &&

@@ -72,6 +72,14 @@ struct ShardedEngineOptions {
   bool split_capacity = true;
   /// Estimation strategy; see engine/merge.h.
   MergeMode merge_mode = MergeMode::kInStreamPlusCross;
+  /// Motif statistics (core/motifs.h registry names, validated by the
+  /// caller) each shard estimates alongside tri/wedge on the same
+  /// reservoir sample path; merged via per-motif shard sums plus the
+  /// cross-shard union correction (MergedMotifEstimates). Requires
+  /// MergeMode::kInStreamPlusCross when non-empty. Estimation consumes no
+  /// randomness, so enabling motifs never changes reservoirs or tri/wedge
+  /// estimates.
+  std::vector<std::string> motifs;
 };
 
 /// Transport knobs a resumed engine cannot recover from a manifest (they
@@ -88,6 +96,17 @@ struct MonitorRecord {
   /// including any checkpointed prefix a resumed engine started from).
   uint64_t edges_processed = 0;
   GraphEstimates estimates;
+  /// Merged motif estimates in suite order; empty when the engine runs
+  /// without a motif suite.
+  std::vector<MotifEstimate> motifs;
+};
+
+/// Everything a checkpoint set merges to: the tri/wedge estimates, the
+/// configured motif statistics, and the merged edge-count estimate.
+struct CheckpointMergeResult {
+  GraphEstimates graph;
+  std::vector<MotifEstimate> motifs;
+  double edge_count = 0.0;
 };
 
 class ShardedEngine {
@@ -118,6 +137,21 @@ class ShardedEngine {
   /// first if needed.
   GraphEstimates MergedEstimates();
 
+  /// Merged motif estimates in suite order (empty without a motif suite):
+  /// per-motif sums of the shard suites' in-stream accumulators plus the
+  /// cross-shard post-stream correction over the union sample
+  /// (engine/merge.h). Drains first if needed.
+  std::vector<MotifEstimate> MergedMotifEstimates();
+
+  /// Merged unbiased estimate of the number of distinct edges that have
+  /// arrived (engine/merge.h EstimateMergedEdgeCount). Drains first if
+  /// needed.
+  double MergedEdgeCountEstimate();
+
+  /// Merged unbiased estimate of v's degree in the arrived graph. Drains
+  /// first if needed.
+  double MergedDegreeEstimate(NodeId v);
+
   /// Drains and serializes every shard's in-stream estimator into `dir`
   /// (created if missing): one GPS-INSTREAM file per shard plus a
   /// GPS-MANIFEST file (kShardManifestFilename) recording the layout,
@@ -137,6 +171,13 @@ class ShardedEngine {
   /// exactly once, match the core/seeding.h derivation, and every shard
   /// file must match its recorded digest.
   static Result<GraphEstimates> MergeFromCheckpoints(
+      std::span<const std::string> manifest_paths);
+
+  /// MergeFromCheckpoints plus the motif statistics and merged edge-count
+  /// estimate the manifests carry (GPS-MANIFEST v3; v1/v2 merge to an
+  /// empty motif set). The tri/wedge estimates are bit-identical to
+  /// MergeFromCheckpoints'.
+  static Result<CheckpointMergeResult> MergeFromCheckpointsDetailed(
       std::span<const std::string> manifest_paths);
 
   /// Rebuilds a RUNNING engine from checkpoint manifests so the stream
@@ -195,14 +236,27 @@ class ShardedEngine {
 
  private:
   /// Resume construction: wraps checkpoint-restored estimators (one per
-  /// shard, indexed 0..K-1) and starts the workers.
+  /// shard, indexed 0..K-1) with their motif accumulators (one vector per
+  /// shard, matching options.motifs) and starts the workers.
   ShardedEngine(ShardedEngineOptions options,
                 std::vector<std::unique_ptr<InStreamEstimator>> restored,
+                std::vector<std::vector<MotifAccumulator>> restored_motifs,
                 uint64_t stream_offset);
 
   /// Fires monitoring / auto-checkpoint hooks due at the current stream
   /// position (called from Process after the edge is routed).
   void FirePeriodicHooks();
+
+  /// Per-shard reservoir pointers; caller must hold the drained/finished
+  /// guarantee.
+  std::vector<const GpsReservoir*> CollectReservoirs() const;
+
+  /// In-stream-mode merged estimates over a prebuilt union sample, so a
+  /// monitoring tick builds the O(sample) union index once for the
+  /// tri/wedge AND motif passes. Drained state required.
+  GraphEstimates MergedGraphEstimatesOver(const UnionSample& sample);
+  std::vector<MotifEstimate> MergedMotifEstimatesOver(
+      const UnionSample& sample);
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<ShardWorker>> shards_;

@@ -25,7 +25,7 @@ std::vector<uint32_t> DegreeRanks(const CsrGraph& g) {
 
 }  // namespace
 
-ExactCounts CountExact(const CsrGraph& g) {
+ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs) {
   ExactCounts out;
   const size_t n = g.NumNodes();
 
@@ -50,11 +50,14 @@ ExactCounts CountExact(const CsrGraph& g) {
   for (size_t v = 0; v < n; ++v) by_rank[rank[v]] = static_cast<NodeId>(v);
 
   uint64_t triangles = 0;
+  uint64_t four_cliques = 0;
+  std::vector<uint32_t> common;  // reused intersection buffer (rank order)
   for (size_t v = 0; v < n; ++v) {
     const auto& nu = out_nbrs[v];
     for (uint32_t rw : nu) {
       const auto& nw = out_nbrs[by_rank[rw]];
       // Sorted-merge intersection of nu and nw.
+      common.clear();
       auto it_u = nu.begin();
       auto it_w = nw.begin();
       while (it_u != nu.end() && it_w != nw.end()) {
@@ -64,13 +67,43 @@ ExactCounts CountExact(const CsrGraph& g) {
           ++it_w;
         } else {
           ++triangles;
+          if (count_higher_motifs) common.push_back(*it_u);
           ++it_u;
           ++it_w;
+        }
+      }
+      if (!count_higher_motifs) continue;
+      // 4-cliques whose two lowest-rank vertices are (v, w): pairs of
+      // common out-neighbors (x, y), x < y in rank, joined by an edge —
+      // i.e. y appears among x's out-neighbors. Each 4-clique is counted
+      // exactly once, at its bottom edge.
+      for (size_t i = 0; i < common.size(); ++i) {
+        const auto& nx = out_nbrs[by_rank[common[i]]];
+        for (size_t j = i + 1; j < common.size(); ++j) {
+          if (std::binary_search(nx.begin(), nx.end(), common[j])) {
+            ++four_cliques;
+          }
         }
       }
     }
   }
   out.triangles = static_cast<double>(triangles);
+  if (count_higher_motifs) {
+    out.four_cliques = static_cast<double>(four_cliques);
+    // Simple 3-edge paths on 4 distinct nodes: choose the middle edge
+    // (u,v) and one further neighbor at each end; the (d(u)-1)(d(v)-1)
+    // products double-count nothing but include the a == b collisions,
+    // which are exactly the per-edge common neighbors: 3·N(tri) in total.
+    double middle_pairs = 0;
+    for (size_t u = 0; u < n; ++u) {
+      const double du = static_cast<double>(g.Degree(static_cast<NodeId>(u)));
+      for (NodeId v : g.Neighbors(static_cast<NodeId>(u))) {
+        if (v <= u) continue;  // each undirected edge once
+        middle_pairs += (du - 1.0) * (g.Degree(v) - 1.0);
+      }
+    }
+    out.three_paths = middle_pairs - 3.0 * out.triangles;
+  }
   return out;
 }
 

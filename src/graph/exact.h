@@ -25,6 +25,12 @@ namespace gps {
 struct ExactCounts {
   double triangles = 0;
   double wedges = 0;
+  /// Higher-order motif counts, populated only when CountExact runs with
+  /// count_higher_motifs (the 4-clique enumeration is markedly more
+  /// expensive than the triangle pass, so the big-graph benches skip it).
+  /// ExactStreamCounter never maintains these.
+  double four_cliques = 0;
+  double three_paths = 0;
 
   /// Global clustering coefficient alpha = 3*N(tri)/N(wedge); 0 when there
   /// are no wedges.
@@ -33,8 +39,13 @@ struct ExactCounts {
   }
 };
 
-/// Counts triangles and wedges exactly on a static graph.
-ExactCounts CountExact(const CsrGraph& g);
+/// Counts triangles and wedges exactly on a static graph. With
+/// count_higher_motifs additionally fills in exact 4-clique counts
+/// (Chiba–Nishizeki style enumeration over the degree-ordered orientation)
+/// and simple 3-path counts (Σ_{(u,v)∈E} (d(u)-1)(d(v)-1) - 3·N(tri)) —
+/// the accuracy oracles for the motif-statistic pipeline; intended for the
+/// small/medium graphs of the test suites.
+ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs = false);
 
 /// Counts triangles containing each edge (u,v) of the graph; returned in the
 /// order of g's canonical edge enumeration (u < v, lexicographic). Used by

@@ -3,6 +3,7 @@
 // CMake via GPS_CLI_PATH.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -90,6 +91,13 @@ TEST_F(CliTest, ExactCountsRun) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("triangles"), std::string::npos);
   EXPECT_NE(r.output.find("clustering"), std::string::npos);
+  // Higher-order motif oracles are opt-in (expensive on big graphs).
+  EXPECT_EQ(r.output.find("4cliques"), std::string::npos);
+  const CommandResult motifs =
+      RunCli("exact --input " + graph_path_ + " --higher-motifs");
+  EXPECT_EQ(motifs.exit_code, 0) << motifs.output;
+  EXPECT_NE(motifs.output.find("4cliques"), std::string::npos);
+  EXPECT_NE(motifs.output.find("3paths"), std::string::npos);
 }
 
 TEST_F(CliTest, ExactMissingFileFails) {
@@ -427,7 +435,9 @@ TEST_F(CliTest, MonitorEmitsCsvTimeSeriesEndingAtStreamEnd) {
     ASSERT_EQ(std::sscanf(lines[i].c_str(), "%llu,", &edges), 1)
         << lines[i];
     EXPECT_GT(edges, last_edges);
-    if (i + 1 < lines.size()) EXPECT_EQ(edges, i * 1000ull);
+    if (i + 1 < lines.size()) {
+      EXPECT_EQ(edges, i * 1000ull);
+    }
     last_edges = edges;
   }
 
@@ -459,14 +469,28 @@ TEST_F(CliTest, MonitorFinalRowMatchesEstimateExactly) {
   const CommandResult est = RunCli("estimate --input " + graph_path_ +
                                    params + " --estimator in-stream");
   ASSERT_EQ(est.exit_code, 0) << est.output;
-  char tri_line[64], wed_line[64];
-  std::snprintf(tri_line, sizeof(tri_line), "triangles  %14.0f", tri);
-  std::snprintf(wed_line, sizeof(wed_line), "wedges     %14.0f", wed);
-  EXPECT_NE(est.output.find(tri_line), std::string::npos)
+  // The estimate table renders counts with the same "%.0f" the expected
+  // string uses here (string comparison, so the rounding mode can never
+  // disagree). Cell padding depends on the other rows, so parse the
+  // row's second cell instead of matching a padded line verbatim.
+  const auto table_cell = [&est](const std::string& row_label) {
+    const size_t row = est.output.find(" " + row_label);
+    EXPECT_NE(row, std::string::npos) << est.output;
+    if (row == std::string::npos) return std::string();
+    const size_t bar = est.output.find('|', row);
+    std::istringstream cell(est.output.substr(bar + 1));
+    std::string value;
+    cell >> value;
+    return value;
+  };
+  char tri_cell[64], wed_cell[64];
+  std::snprintf(tri_cell, sizeof(tri_cell), "%.0f", tri);
+  std::snprintf(wed_cell, sizeof(wed_cell), "%.0f", wed);
+  EXPECT_EQ(table_cell("triangles"), tri_cell)
       << "monitor's final triangles " << tri
       << " not found in estimate output:\n"
       << est.output;
-  EXPECT_NE(est.output.find(wed_line), std::string::npos) << est.output;
+  EXPECT_EQ(table_cell("wedges"), wed_cell) << est.output;
 }
 
 TEST_F(CliTest, MonitorEmptyStreamStillEmitsFinalRow) {
@@ -566,6 +590,104 @@ TEST_F(CliTest, ResumeShardsContinuationMatchesUninterruptedByteForByte) {
   std::remove(full.c_str());
   std::remove(part_a.c_str());
   std::remove(part_b.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, ListMotifsShowsRegistry) {
+  const CommandResult r = RunCli("list-motifs");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* name : {"tri", "wedge", "4clique", "3path"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(CliTest, EstimateWithMotifsPrintsMotifRows) {
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 2000 --seed 5 --shards 2 --motifs tri,4clique"
+             " --estimator in-stream --degree 3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("motif:tri"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("motif:4clique"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("edges"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("deg(3)"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, EstimateMotifsRouteThroughEngineAtOneShard) {
+  // --motifs without --shards runs the K=1 engine (byte-identical sample
+  // path; manifest checkpoints carry the accumulators).
+  const std::string dir = TempPath("motif_ckpt");
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 1500 --motifs 3path --estimator in-stream"
+             " --checkpoint " + dir);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("motif:3path"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("sharded checkpoint written"), std::string::npos)
+      << r.output;
+  // The checkpoint merges back with the motif column intact.
+  const CommandResult merged =
+      RunCli("merge-checkpoints --manifest " + dir + "/manifest.gpsm");
+  EXPECT_EQ(merged.exit_code, 0) << merged.output;
+  EXPECT_NE(merged.output.find("motif:3path"), std::string::npos)
+      << merged.output;
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, EstimateRejectsBadMotifFlags) {
+  const CommandResult unknown = RunCli(
+      "estimate --input " + graph_path_ + " --motifs tri,pentagon");
+  EXPECT_NE(unknown.exit_code, 0);
+  EXPECT_NE(unknown.output.find("pentagon"), std::string::npos)
+      << unknown.output;
+
+  const CommandResult post = RunCli("estimate --input " + graph_path_ +
+                                    " --motifs tri --estimator post");
+  EXPECT_NE(post.exit_code, 0);
+  EXPECT_NE(post.output.find("in-stream"), std::string::npos)
+      << post.output;
+}
+
+TEST_F(CliTest, MonitorWithMotifsExtendsCsvSchema) {
+  const CommandResult r =
+      RunCli("monitor --input " + graph_path_ +
+             " --capacity 1500 --seed 11 --shards 2 --every 3000"
+             " --motifs 4clique,3path");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::vector<std::string> lines = Lines(r.output);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find(",4clique,4clique_lo,4clique_hi,"
+                          "4clique_ci_width,3path,"),
+            std::string::npos)
+      << lines[0];
+  // Every data row carries the motif columns (base 12 + 2 * 4).
+  for (size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(std::count(lines[i].begin(), lines[i].end(), ','), 19)
+        << lines[i];
+  }
+}
+
+TEST_F(CliTest, ResumeShardsCrossChecksMotifSet) {
+  const std::string dir = TempPath("resume_motifs");
+  ASSERT_EQ(RunCli("checkpoint-shards --input " + graph_path_ +
+                   " --capacity 1000 --shards 2 --motifs tri,4clique"
+                   " --out " + dir)
+                .exit_code,
+            0);
+  // Matching set passes and prints motif rows.
+  const CommandResult ok =
+      RunCli("resume-shards --manifest " + dir + "/manifest.gpsm"
+             " --input " + graph_path_ + " --motifs tri,4clique");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  EXPECT_NE(ok.output.find("motif:4clique"), std::string::npos)
+      << ok.output;
+  // Mismatched set is refused.
+  const CommandResult mismatch =
+      RunCli("resume-shards --manifest " + dir + "/manifest.gpsm"
+             " --input " + graph_path_ + " --motifs tri");
+  EXPECT_NE(mismatch.exit_code, 0);
+  EXPECT_NE(mismatch.output.find("motif"), std::string::npos)
+      << mismatch.output;
   std::filesystem::remove_all(dir);
 }
 

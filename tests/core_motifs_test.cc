@@ -1,0 +1,173 @@
+// Tests for the motif registry (core/motifs.h): name resolution, list
+// parsing with by-name refusal, and the MotifSuite multi-motif pass —
+// which must produce exactly the numbers the standalone
+// InStreamMotifCounter produces on the same sample path, without ever
+// perturbing the shared reservoir.
+
+#include "core/motifs.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/in_stream.h"
+#include "core/serialize.h"
+#include "gen/generators.h"
+#include "graph/stream.h"
+
+namespace gps {
+namespace {
+
+TEST(MotifRegistryTest, CanonicalEntriesPresent) {
+  const std::vector<MotifEntry>& entries = MotifEntries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].name, "tri");
+  EXPECT_EQ(entries[1].name, "wedge");
+  EXPECT_EQ(entries[2].name, "4clique");
+  EXPECT_EQ(entries[3].name, "3path");
+  // The per-instance edge counts drive the post-stream multiplicity
+  // division in engine/merge.cc; a wrong constant silently rescales
+  // every cross-shard motif estimate.
+  EXPECT_EQ(FindMotif("tri")->num_edges, 3);
+  EXPECT_EQ(FindMotif("wedge")->num_edges, 2);
+  EXPECT_EQ(FindMotif("4clique")->num_edges, 6);
+  EXPECT_EQ(FindMotif("3path")->num_edges, 3);
+  EXPECT_EQ(FindMotif("5clique"), nullptr);
+  for (const MotifEntry& entry : entries) {
+    EXPECT_NE(entry.make_enumerator, nullptr) << entry.name;
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+  }
+}
+
+TEST(MotifRegistryTest, ParseMotifNames) {
+  auto ok = ParseMotifNames("tri,4clique");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, (std::vector<std::string>{"tri", "4clique"}));
+
+  auto single = ParseMotifNames("3path");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->size(), 1u);
+
+  // Unknown names are refused BY NAME.
+  auto unknown = ParseMotifNames("tri,pentagon");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.status().message().find("pentagon"), std::string::npos)
+      << unknown.status().ToString();
+
+  auto duplicate = ParseMotifNames("tri,wedge,tri");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().message().find("tri"), std::string::npos);
+
+  EXPECT_FALSE(ParseMotifNames("").ok());
+  EXPECT_FALSE(ParseMotifNames("tri,,wedge").ok());
+  EXPECT_FALSE(ParseMotifNames("tri,").ok());
+}
+
+TEST(MotifRegistryTest, ValidateMotifNames) {
+  EXPECT_TRUE(ValidateMotifNames({}).ok());
+  const std::vector<std::string> all = {"tri", "wedge", "4clique", "3path"};
+  EXPECT_TRUE(ValidateMotifNames(all).ok());
+  const std::vector<std::string> bad = {"tri", "nope"};
+  EXPECT_FALSE(ValidateMotifNames(bad).ok());
+}
+
+TEST(MotifSuiteTest, MatchesStandaloneCountersAndLeavesSamplePathAlone) {
+  EdgeList graph = GenerateBarabasiAlbert(200, 6, 0.6, 571).value();
+  const std::vector<Edge> stream = MakePermutedStream(graph, 572);
+
+  GpsSamplerOptions options;
+  options.capacity = stream.size() / 3;
+  options.seed = 573;
+
+  // Reference: one standalone counter per motif, each with its own
+  // reservoir — identical seeds mean identical sample paths, because
+  // estimation consumes no randomness.
+  InStreamMotifCounter tri_ref(options, TriangleEnumerator());
+  InStreamMotifCounter k4_ref(options, FourCliqueEnumerator());
+  InStreamMotifCounter p3_ref(options, ThreePathEnumerator());
+
+  const std::vector<std::string> names = {"tri", "4clique", "3path"};
+  InStreamEstimator estimator(options);
+  InStreamEstimator bare(options);  // same estimator without a suite
+  MotifSuite suite(names);
+  for (const Edge& e : stream) {
+    tri_ref.Process(e);
+    k4_ref.Process(e);
+    p3_ref.Process(e);
+    suite.Observe(e, estimator.reservoir());
+    estimator.Process(e);
+    bare.Process(e);
+  }
+
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite.Names(), names);
+  EXPECT_DOUBLE_EQ(suite.accumulator(0).count, tri_ref.Count());
+  EXPECT_DOUBLE_EQ(suite.accumulator(0).variance,
+                   tri_ref.VarianceLowerEstimate());
+  EXPECT_EQ(suite.accumulator(0).snapshots, tri_ref.SnapshotsTaken());
+  EXPECT_DOUBLE_EQ(suite.accumulator(1).count, k4_ref.Count());
+  EXPECT_DOUBLE_EQ(suite.accumulator(2).count, p3_ref.Count());
+
+  // The suite's triangle count must also equal the specialized
+  // Algorithm-3 estimate on the shared reservoir.
+  EXPECT_DOUBLE_EQ(suite.accumulator(0).count,
+                   estimator.Estimates().triangles.value);
+
+  // Observing a suite must not perturb the shared sample path: the
+  // estimator with the suite attached ends byte-identical to one without.
+  std::ostringstream with_suite, without_suite;
+  ASSERT_TRUE(SerializeReservoir(estimator.reservoir(), with_suite).ok());
+  ASSERT_TRUE(SerializeReservoir(bare.reservoir(), without_suite).ok());
+  EXPECT_EQ(with_suite.str(), without_suite.str());
+
+  // Estimates() mirrors the accumulators in suite order.
+  const std::vector<MotifEstimate> estimates = suite.Estimates();
+  ASSERT_EQ(estimates.size(), 3u);
+  EXPECT_EQ(estimates[1].name, "4clique");
+  EXPECT_DOUBLE_EQ(estimates[1].estimate.value, k4_ref.Count());
+  EXPECT_EQ(estimates[1].snapshots, k4_ref.SnapshotsTaken());
+}
+
+TEST(MotifSuiteTest, RestoreAccumulatorsRoundTrip) {
+  const std::vector<std::string> names = {"wedge", "3path"};
+  MotifSuite suite(names);
+  const std::vector<MotifAccumulator> saved = {
+      {12.5, 3.25, 7}, {1000.0, 90.0, 420}};
+  suite.RestoreAccumulators(saved);
+  EXPECT_DOUBLE_EQ(suite.accumulator(0).count, 12.5);
+  EXPECT_DOUBLE_EQ(suite.accumulator(0).variance, 3.25);
+  EXPECT_EQ(suite.accumulator(0).snapshots, 7u);
+  EXPECT_DOUBLE_EQ(suite.accumulator(1).count, 1000.0);
+
+  // Restored state keeps accumulating.
+  GpsSamplerOptions options;
+  options.capacity = 16;
+  options.seed = 1;
+  InStreamEstimator est(options);
+  const Edge edges[] = {MakeEdge(0, 1), MakeEdge(1, 2)};
+  for (const Edge& e : edges) {
+    suite.Observe(e, est.reservoir());
+    est.Process(e);
+  }
+  // The second arrival completes one wedge snapshot on top of the
+  // restored 12.5.
+  EXPECT_DOUBLE_EQ(suite.accumulator(0).count, 13.5);
+}
+
+TEST(MotifSuiteTest, EmptySuiteIsInert) {
+  MotifSuite suite;
+  EXPECT_TRUE(suite.empty());
+  GpsSamplerOptions options;
+  options.capacity = 8;
+  options.seed = 2;
+  InStreamEstimator est(options);
+  suite.Observe(MakeEdge(1, 2), est.reservoir());  // must not crash
+  EXPECT_EQ(suite.size(), 0u);
+  EXPECT_TRUE(suite.Estimates().empty());
+}
+
+}  // namespace
+}  // namespace gps

@@ -281,8 +281,8 @@ ShardManifest TestManifest() {
   manifest.weight.coefficient = 9.0;
   manifest.weight.adjacency_coefficient = 2.5;
   manifest.weight.default_weight = 0.5;
-  manifest.entries.push_back({0, 111, 250, 0x1234abcdu, "shard-0000.gps"});
-  manifest.entries.push_back({2, 333, 260, 0x9876fedcu, "shard-0002.gps"});
+  manifest.entries.push_back({0, 111, 250, 0x1234abcdu, "shard-0000.gps", {}});
+  manifest.entries.push_back({2, 333, 260, 0x9876fedcu, "shard-0002.gps", {}});
   return manifest;
 }
 
@@ -311,6 +311,83 @@ TEST(SerializeTest, ManifestRoundTripPreservesEverything) {
               manifest.entries[i].edges_processed);
     EXPECT_EQ(r->entries[i].digest, manifest.entries[i].digest);
     EXPECT_EQ(r->entries[i].filename, manifest.entries[i].filename);
+  }
+}
+
+TEST(SerializeTest, ManifestMotifSetRoundTrip) {
+  ShardManifest manifest = TestManifest();
+  manifest.motif_names = {"tri", "4clique"};
+  manifest.entries[0].motif_accumulators = {{12.5, 3.0, 9}, {0.0, 0.0, 0}};
+  manifest.entries[1].motif_accumulators = {{7.0, 1.0, 4},
+                                            {100.25, 55.5, 17}};
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeManifest(manifest, buffer).ok());
+  auto r = DeserializeManifest(buffer);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->motif_names, manifest.motif_names);
+  ASSERT_EQ(r->entries.size(), 2u);
+  for (size_t i = 0; i < r->entries.size(); ++i) {
+    ASSERT_EQ(r->entries[i].motif_accumulators.size(), 2u) << i;
+    for (size_t m = 0; m < 2; ++m) {
+      EXPECT_DOUBLE_EQ(r->entries[i].motif_accumulators[m].count,
+                       manifest.entries[i].motif_accumulators[m].count);
+      EXPECT_DOUBLE_EQ(r->entries[i].motif_accumulators[m].variance,
+                       manifest.entries[i].motif_accumulators[m].variance);
+      EXPECT_EQ(r->entries[i].motif_accumulators[m].snapshots,
+                manifest.entries[i].motif_accumulators[m].snapshots);
+    }
+  }
+}
+
+TEST(SerializeTest, ManifestMotifValidation) {
+  // Unknown motif names are refused BY NAME on write and read.
+  ShardManifest unknown = TestManifest();
+  unknown.motif_names = {"tri", "pentagon"};
+  for (ShardManifestEntry& entry : unknown.entries) {
+    entry.motif_accumulators.resize(2);
+  }
+  std::stringstream buffer;
+  const Status write = SerializeManifest(unknown, buffer);
+  ASSERT_FALSE(write.ok());
+  EXPECT_NE(write.message().find("pentagon"), std::string::npos)
+      << write.ToString();
+  {
+    std::stringstream crafted(
+        "GPS-MANIFEST 3\n1 42 1000 1 0\n2 9 1 1\n1 pentagon\n0\n");
+    auto r = DeserializeManifest(crafted);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("pentagon"), std::string::npos);
+  }
+
+  // A duplicated motif name is refused.
+  {
+    std::stringstream crafted(
+        "GPS-MANIFEST 3\n1 42 1000 1 0\n2 9 1 1\n2 tri tri\n0\n");
+    EXPECT_FALSE(DeserializeManifest(crafted).ok());
+  }
+
+  // Entry accumulator arity must match the motif set.
+  ShardManifest arity = TestManifest();
+  arity.motif_names = {"tri"};
+  arity.entries[0].motif_accumulators = {{1.0, 0.0, 1}};
+  // entries[1] left without accumulators
+  std::stringstream arity_buffer;
+  EXPECT_FALSE(SerializeManifest(arity, arity_buffer).ok());
+
+  // Negative / non-finite accumulators are refused.
+  ShardManifest negative = TestManifest();
+  negative.motif_names = {"tri"};
+  negative.entries[0].motif_accumulators = {{-1.0, 0.0, 0}};
+  negative.entries[1].motif_accumulators = {{1.0, 0.0, 1}};
+  std::stringstream negative_buffer;
+  const Status neg = SerializeManifest(negative, negative_buffer);
+  ASSERT_FALSE(neg.ok());
+  EXPECT_NE(neg.message().find("tri"), std::string::npos);
+  {
+    std::stringstream crafted(
+        "GPS-MANIFEST 3\n1 42 1000 1 0\n2 9 1 1\n1 tri\n1\n"
+        "0 42 10 123 shard.gps 5 nan 2\n");
+    EXPECT_FALSE(DeserializeManifest(crafted).ok());
   }
 }
 
@@ -421,12 +498,22 @@ TEST(SerializeTest, ManifestVersionCompatibility) {
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kIoError);
   }
+  // Version 3 adds the motif-set line; an empty set reads like v2.
+  {
+    std::stringstream v3(
+        "GPS-MANIFEST 3\n4 42 1000 1 900\n2 9 1 1\n0\n1\n"
+        "0 111 250 777 shard.gps\n");
+    auto r = DeserializeManifest(v3);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->stream_offset, 900u);
+    EXPECT_TRUE(r->motif_names.empty());
+  }
   // Unknown future versions are refused by name: their layout lines may
   // carry fields this reader does not understand.
   {
-    std::stringstream v3(
-        "GPS-MANIFEST 3\n4 42 1000 1 900 extra\n2 9 1 1\n0\n");
-    auto r = DeserializeManifest(v3);
+    std::stringstream v4(
+        "GPS-MANIFEST 4\n4 42 1000 1 900 extra\n2 9 1 1\n0\n0\n");
+    auto r = DeserializeManifest(v4);
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
     EXPECT_NE(r.status().message().find("version"), std::string::npos)
@@ -435,7 +522,7 @@ TEST(SerializeTest, ManifestVersionCompatibility) {
   // Writers always emit the current version.
   std::stringstream out;
   ASSERT_TRUE(SerializeManifest(TestManifest(), out).ok());
-  EXPECT_EQ(out.str().rfind("GPS-MANIFEST 2", 0), 0u) << out.str();
+  EXPECT_EQ(out.str().rfind("GPS-MANIFEST 3", 0), 0u) << out.str();
 }
 
 TEST(SerializeTest, ChecksumIsStableAndSensitive) {

@@ -199,7 +199,7 @@ TEST(InStreamMotifCounterTest, CustomEnumeratorAndMissingEdgeIgnored) {
   options.capacity = 10;
   options.seed = 1;
   InStreamMotifCounter counter(
-      options, [](const Edge&, const GpsReservoir&,
+      options, [](const Edge&, const SampledGraph&,
                   const InStreamMotifCounter::Emitter& emit) {
         const Edge bogus[1] = {MakeEdge(1000, 1001)};
         emit(bogus);

@@ -264,6 +264,79 @@ TEST(EngineCheckpointTest, FailedCheckpointDoesNotClobberExisting) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(EngineCheckpointTest, MotifCheckpointsMergeExactly) {
+  // A motif-configured run checkpoints its per-shard accumulators into
+  // the v3 manifest; MergeFromCheckpointsDetailed must reproduce the live
+  // merged motif estimates and edge count bit for bit, at every K.
+  const std::vector<Edge> stream = TestStream(781);
+  for (const uint32_t k : {1u, 2u, 4u}) {
+    SCOPED_TRACE("K=" + std::to_string(k));
+    ShardedEngineOptions options = EngineOptions(k, 31);
+    options.motifs = {"tri", "4clique", "3path"};
+    const std::filesystem::path dir = FreshDir("motif-k" + std::to_string(k));
+
+    ShardedEngine engine(options);
+    for (const Edge& e : stream) engine.Process(e);
+    engine.Finish();
+    ASSERT_TRUE(engine.SerializeShards(dir.string()).ok());
+    const GraphEstimates live = engine.MergedEstimates();
+    const std::vector<MotifEstimate> live_motifs =
+        engine.MergedMotifEstimates();
+    const double live_edges = engine.MergedEdgeCountEstimate();
+
+    auto merged = ShardedEngine::MergeFromCheckpointsDetailed(
+        std::vector<std::string>{ManifestPath(dir)});
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ExpectExactlyEqual(merged->graph, live);
+    engine_test::ExpectMotifsExactlyEqual(merged->motifs, live_motifs);
+    EXPECT_EQ(merged->edge_count, live_edges);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(EngineCheckpointTest, RejectsMismatchedMotifSets) {
+  // Manifests of one run must agree on the ordered motif suite.
+  const std::vector<Edge> stream = TestStream(791);
+  const std::filesystem::path dir_a = FreshDir("motifs-a");
+  const std::filesystem::path dir_b = FreshDir("motifs-b");
+  ShardedEngineOptions options = EngineOptions(2, 37);
+  options.motifs = {"tri"};
+  RunAndCheckpoint(stream, options, &dir_a);
+  options.motifs = {"tri", "4clique"};
+  RunAndCheckpoint(stream, options, &dir_b);
+
+  // Cross-wire: shard 0 from run A, shard 1 from run B (rewrite the
+  // manifests to cover disjoint shards so only the motif sets disagree).
+  auto load = [](const std::filesystem::path& dir) {
+    std::ifstream in(ManifestPath(dir), std::ios::binary);
+    auto m = DeserializeManifest(in);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return *m;
+  };
+  ShardManifest a = load(dir_a);
+  ShardManifest b = load(dir_b);
+  a.entries.resize(1);
+  b.entries.erase(b.entries.begin());
+  const std::string path_a = (dir_a / "half.gpsm").string();
+  const std::string path_b = (dir_b / "half.gpsm").string();
+  {
+    std::ofstream out(path_a, std::ios::binary);
+    ASSERT_TRUE(SerializeManifest(a, out).ok());
+  }
+  {
+    std::ofstream out(path_b, std::ios::binary);
+    ASSERT_TRUE(SerializeManifest(b, out).ok());
+  }
+  auto merged = ShardedEngine::MergeFromCheckpoints(
+      std::vector<std::string>{path_a, path_b});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(merged.status().message().find("motif"), std::string::npos)
+      << merged.status().ToString();
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
 TEST(EngineCheckpointTest, MergeRequiresAtLeastOneManifest) {
   auto merged =
       ShardedEngine::MergeFromCheckpoints(std::vector<std::string>{});

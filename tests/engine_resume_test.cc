@@ -186,10 +186,51 @@ TEST(EngineResumeTest, ResumeRestoresMonitoringCadence) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(EngineResumeTest, MotifSuiteResumesByteIdentically) {
+  // The v3 manifest carries the motif accumulators; a resumed run must
+  // continue the suite mid-stream and land on exactly the uninterrupted
+  // run's motif estimates (estimation is deterministic given the sample
+  // path, and the sample path round-trips exactly).
+  const std::vector<Edge> stream = TestStream(851);
+  for (const uint32_t k : {1u, 4u}) {
+    SCOPED_TRACE("K=" + std::to_string(k));
+    ShardedEngineOptions options = EngineOptions(k, 59);
+    options.motifs = {"tri", "4clique", "3path"};
+
+    ShardedEngine uninterrupted(options);
+    for (const Edge& e : stream) uninterrupted.Process(e);
+    uninterrupted.Finish();
+    const std::vector<MotifEstimate> expected =
+        uninterrupted.MergedMotifEstimates();
+
+    const size_t cut = stream.size() / 3;
+    const std::filesystem::path dir = FreshDir("motif-k" + std::to_string(k));
+    const std::string manifest = CheckpointPrefix(stream, cut, options, dir);
+
+    auto resumed = ShardedEngine::ResumeFromCheckpoints(
+        std::vector<std::string>{manifest});
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    // The resumed engine adopts the manifest's motif suite.
+    EXPECT_EQ((*resumed)->options().motifs, options.motifs);
+    for (size_t i = cut; i < stream.size(); ++i) {
+      (*resumed)->Process(stream[i]);
+    }
+    (*resumed)->Finish();
+    engine_test::ExpectMotifsExactlyEqual(
+        (*resumed)->MergedMotifEstimates(), expected);
+    for (uint32_t s = 0; s < k; ++s) {
+      EXPECT_EQ(ReservoirBytes((*resumed)->shard(s).reservoir()),
+                ReservoirBytes(uninterrupted.shard(s).reservoir()))
+          << "shard " << s;
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
 TEST(EngineResumeTest, VersionOneManifestStillResumes) {
-  // Backward-compatible read: strip the v2 stream-offset field back to
-  // the v1 layout; resume derives the offset from the shards' arrival
-  // counts instead.
+  // Backward-compatible read: strip the v2 stream-offset field and the v3
+  // motif-set line back to the v1 layout; resume derives the offset from
+  // the shards' arrival counts instead (and runs without a motif suite).
   const std::vector<Edge> stream = TestStream(831);
   const ShardedEngineOptions options = EngineOptions(2, 47);
   const size_t cut = stream.size() / 2;
@@ -200,13 +241,17 @@ TEST(EngineResumeTest, VersionOneManifestStillResumes) {
   std::stringstream rewritten;
   {
     std::ifstream in(manifest_path);
-    std::string header_line, layout_line, rest;
+    std::string header_line, layout_line, weight_line, motif_line;
     ASSERT_TRUE(std::getline(in, header_line));
     ASSERT_TRUE(std::getline(in, layout_line));
-    ASSERT_EQ(header_line, "GPS-MANIFEST 2");
-    // Drop the 5th layout token (the stream offset).
+    ASSERT_TRUE(std::getline(in, weight_line));
+    ASSERT_TRUE(std::getline(in, motif_line));
+    ASSERT_EQ(header_line, "GPS-MANIFEST 3");
+    ASSERT_EQ(motif_line, "0");  // no motifs configured
+    // Drop the 5th layout token (the stream offset) and the motif line.
     layout_line = layout_line.substr(0, layout_line.find_last_of(' '));
-    rewritten << "GPS-MANIFEST 1\n" << layout_line << '\n' << in.rdbuf();
+    rewritten << "GPS-MANIFEST 1\n" << layout_line << '\n' << weight_line
+              << '\n' << in.rdbuf();
   }
   {
     std::ofstream out(manifest_path, std::ios::trunc);
@@ -245,9 +290,9 @@ TEST(EngineResumeTest, RejectsUnknownManifestVersion) {
     buffer << in.rdbuf();
     text = buffer.str();
   }
-  const size_t pos = text.find("GPS-MANIFEST 2");
+  const size_t pos = text.find("GPS-MANIFEST 3");
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, 14, "GPS-MANIFEST 3");
+  text.replace(pos, 14, "GPS-MANIFEST 9");
   {
     std::ofstream out(manifest_path, std::ios::trunc);
     out << text;

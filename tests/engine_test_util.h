@@ -10,10 +10,12 @@
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/estimates.h"
+#include "core/motifs.h"
 #include "core/serialize.h"
 #include "engine/sharded_engine.h"
 
@@ -55,6 +57,19 @@ inline void ExpectExactlyEqual(const GraphEstimates& a,
   EXPECT_EQ(a.wedges.value, b.wedges.value);
   EXPECT_EQ(a.wedges.variance, b.wedges.variance);
   EXPECT_EQ(a.tri_wedge_cov, b.tri_wedge_cov);
+}
+
+/// Exact equality of two merged motif-estimate sets (names, values,
+/// variances, snapshot counts).
+inline void ExpectMotifsExactlyEqual(const std::vector<MotifEstimate>& a,
+                                     const std::vector<MotifEstimate>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t m = 0; m < a.size(); ++m) {
+    EXPECT_EQ(a[m].name, b[m].name) << m;
+    EXPECT_EQ(a[m].estimate.value, b[m].estimate.value) << a[m].name;
+    EXPECT_EQ(a[m].estimate.variance, b[m].estimate.variance) << a[m].name;
+    EXPECT_EQ(a[m].snapshots, b[m].snapshots) << a[m].name;
+  }
 }
 
 }  // namespace engine_test

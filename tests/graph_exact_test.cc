@@ -105,6 +105,80 @@ TEST(CountExactTest, PetersenGraphTriangleFree) {
   EXPECT_EQ(c.wedges, 30.0);
 }
 
+TEST(CountExactTest, HigherMotifsOnKnownGraphs) {
+  // K_n: C(n,4) 4-cliques; 3-paths = 3 * C(n,4) * ... easier by formula:
+  // number of simple 3-edge paths in K_n is n!/(n-4)!/2 (ordered 4-tuples
+  // up to reversal).
+  for (uint32_t n : {4u, 5u, 6u, 8u}) {
+    ExactCounts c = CountExact(CsrGraph::FromEdgeList(Complete(n)),
+                               /*count_higher_motifs=*/true);
+    const double expect_k4 =
+        n * (n - 1.0) * (n - 2.0) * (n - 3.0) / 24.0;
+    const double expect_p4 = n * (n - 1.0) * (n - 2.0) * (n - 3.0) / 2.0;
+    EXPECT_DOUBLE_EQ(c.four_cliques, expect_k4) << "K" << n;
+    EXPECT_DOUBLE_EQ(c.three_paths, expect_p4) << "K" << n;
+  }
+
+  // A path of 4 nodes holds exactly one 3-path and no 4-clique; a 4-cycle
+  // holds four 3-paths; a triangle holds neither.
+  ExactCounts p4 = CountExact(CsrGraph::FromEdgeList(Path(4)), true);
+  EXPECT_DOUBLE_EQ(p4.four_cliques, 0.0);
+  EXPECT_DOUBLE_EQ(p4.three_paths, 1.0);
+  ExactCounts c4 = CountExact(CsrGraph::FromEdgeList(Cycle(4)), true);
+  EXPECT_DOUBLE_EQ(c4.four_cliques, 0.0);
+  EXPECT_DOUBLE_EQ(c4.three_paths, 4.0);
+  ExactCounts k3 = CountExact(CsrGraph::FromEdgeList(Complete(3)), true);
+  EXPECT_DOUBLE_EQ(k3.four_cliques, 0.0);
+  EXPECT_DOUBLE_EQ(k3.three_paths, 0.0);
+
+  // Default (cheap) mode leaves the higher-order fields zero.
+  ExactCounts cheap = CountExact(CsrGraph::FromEdgeList(Complete(6)));
+  EXPECT_DOUBLE_EQ(cheap.four_cliques, 0.0);
+  EXPECT_DOUBLE_EQ(cheap.three_paths, 0.0);
+}
+
+TEST(CountExactTest, HigherMotifsMatchBruteForce) {
+  // Differential test against O(n^4)-ish brute force on random graphs.
+  for (const uint64_t seed : {21u, 22u, 23u}) {
+    EdgeList graph = GenerateErdosRenyi(40, 220, seed).value();
+    const CsrGraph g = CsrGraph::FromEdgeList(graph);
+    const ExactCounts c = CountExact(g, /*count_higher_motifs=*/true);
+
+    double brute_k4 = 0;
+    for (NodeId a = 0; a < g.NumNodes(); ++a) {
+      for (NodeId b : g.Neighbors(a)) {
+        if (b <= a) continue;
+        for (NodeId x : g.Neighbors(a)) {
+          if (x <= b || !g.HasEdge(b, x)) continue;
+          for (NodeId y : g.Neighbors(a)) {
+            if (y <= x || !g.HasEdge(b, y) || !g.HasEdge(x, y)) continue;
+            brute_k4 += 1;
+          }
+        }
+      }
+    }
+    // Independent 3-path oracle: ordered quadruples a-b-c-d of distinct
+    // nodes joined by edges ab, bc, cd; each path enumerated twice (once
+    // per direction).
+    double brute_p4 = 0;
+    for (NodeId a = 0; a < g.NumNodes(); ++a) {
+      for (NodeId b : g.Neighbors(a)) {
+        for (NodeId x : g.Neighbors(b)) {
+          if (x == a) continue;
+          for (NodeId d : g.Neighbors(x)) {
+            if (d == a || d == b) continue;
+            brute_p4 += 1;
+          }
+        }
+      }
+    }
+    brute_p4 /= 2.0;
+
+    EXPECT_DOUBLE_EQ(c.four_cliques, brute_k4) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(c.three_paths, brute_p4) << "seed " << seed;
+  }
+}
+
 TEST(CountTrianglesPerEdgeTest, CompleteGraph) {
   // In K5 every edge participates in n-2 = 3 triangles.
   auto counts = CountTrianglesPerEdge(CsrGraph::FromEdgeList(Complete(5)));

@@ -49,10 +49,14 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/in_stream.h"
+#include "core/local_counts.h"
+#include "core/motifs.h"
 #include "core/post_stream.h"
 #include "core/serialize.h"
 #include "engine/merge.h"
@@ -170,33 +174,40 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: gps_cli <estimate|resume|resume-shards|monitor"
-      "|checkpoint-shards|merge-checkpoints|generate|exact|corpus> "
-      "[flags]\n"
+      "|checkpoint-shards|merge-checkpoints|generate|exact|corpus"
+      "|list-motifs> [flags]\n"
       "  estimate --input FILE [--capacity N] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
       "           [--shards K] [--batch B] [--threads T]\n"
-      "           [--checkpoint FILE]  (a directory with --shards K>1)\n"
+      "           [--motifs tri,wedge,4clique,3path] [--degree NODE ...]\n"
+      "           [--checkpoint FILE]  (a directory with --shards K>1\n"
+      "           or --motifs)\n"
       "  resume   --checkpoint FILE --input FILE [--save FILE]\n"
       "           [--no-permute]\n"
       "  resume-shards --manifest FILE [--manifest FILE ...]\n"
       "           --input FILE [--save DIR] [--batch B] [--no-permute]\n"
+      "           [--motifs LIST]  (cross-checked against the manifest)\n"
       "  monitor  --input FILE --every N [--capacity N] [--seed S]\n"
       "           [--weight KIND] [--shards K] [--batch B]\n"
-      "           [--output csv|table] [--no-permute]\n"
+      "           [--motifs LIST] [--output csv|table] [--no-permute]\n"
       "           [--checkpoint-every M --checkpoint DIR]\n"
       "  checkpoint-shards --input FILE --out DIR [--capacity N]\n"
       "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
-      "           [--no-permute]\n"
+      "           [--motifs LIST] [--no-permute]\n"
       "  merge-checkpoints --manifest FILE [--manifest FILE ...]\n"
       "  generate --name CORPUS [--scale X] [--output FILE]\n"
-      "  exact    --input FILE\n"
-      "  corpus\n");
+      "  exact    --input FILE [--higher-motifs]  (adds 4-clique/3-path\n"
+      "           oracles; expensive on big graphs)\n"
+      "  corpus\n"
+      "  list-motifs\n");
   return 2;
 }
 
 /// Flags that take no value.
-bool IsBooleanFlag(const std::string& key) { return key == "no-permute"; }
+bool IsBooleanFlag(const std::string& key) {
+  return key == "no-permute" || key == "higher-motifs";
+}
 
 Result<Flags> ParseFlags(int argc, char** argv, int first,
                          const std::string& command,
@@ -261,15 +272,60 @@ Result<std::vector<Edge>> LoadStream(const Flags& flags) {
   return MakePermutedStream(*list, *seed);
 }
 
-void PrintEstimates(const char* label, const GraphEstimates& est) {
-  const Estimate cc = est.ClusteringCoefficient();
+// ---- Shared estimate formatting ------------------------------------------
+//
+// Every estimate block the CLI prints — estimate (serial and sharded),
+// merge-checkpoints, resume, resume-shards, checkpoint-shards, and the
+// monitor table mode — renders through these helpers over util/table, so a
+// statistic added in one place (a motif column, the edge count) shows up
+// with the same precision and alignment everywhere.
+
+/// Count-style cell: integers with no padding ("1234567").
+std::string CountCell(double value) { return FormatDouble(value, 0); }
+
+/// 95% confidence-interval cell: "[lo, hi]" at the given precision.
+std::string CiCell(const Estimate& est, int decimals) {
+  return "[" + FormatDouble(est.Lower(), decimals) + ", " +
+         FormatDouble(est.Upper(), decimals) + "]";
+}
+
+/// Everything one estimate block can carry. The graph estimates are always
+/// present; motif rows, the edge-count row, and degree rows appear when
+/// the producing path supplies them.
+struct EstimateReport {
+  GraphEstimates graph;
+  std::vector<MotifEstimate> motifs;
+  double edge_count = -1.0;  ///< < 0: not computed by this path
+  std::vector<std::pair<NodeId, double>> degrees;  ///< --degree rows
+};
+
+EstimateReport MakeReport(const GraphEstimates& graph) {
+  EstimateReport report;
+  report.graph = graph;
+  return report;
+}
+
+void PrintEstimateReport(const char* label, const EstimateReport& report) {
   std::printf("%s:\n", label);
-  std::printf("  triangles  %14.0f  [%.0f, %.0f]\n", est.triangles.value,
-              est.triangles.Lower(), est.triangles.Upper());
-  std::printf("  wedges     %14.0f  [%.0f, %.0f]\n", est.wedges.value,
-              est.wedges.Lower(), est.wedges.Upper());
-  std::printf("  clustering %14.4f  [%.4f, %.4f]\n", cc.value, cc.Lower(),
-              cc.Upper());
+  TextTable t({"statistic", "estimate", "95% CI"});
+  const auto add = [&t](const std::string& name, const Estimate& est,
+                        int decimals) {
+    t.AddRow({name, FormatDouble(est.value, decimals),
+              CiCell(est, decimals)});
+  };
+  add("triangles", report.graph.triangles, 0);
+  add("wedges", report.graph.wedges, 0);
+  add("clustering", report.graph.ClusteringCoefficient(), 4);
+  for (const MotifEstimate& motif : report.motifs) {
+    add("motif:" + motif.name, motif.estimate, 0);
+  }
+  if (report.edge_count >= 0.0) {
+    t.AddRow({"edges", CountCell(report.edge_count), "-"});
+  }
+  for (const auto& [node, degree] : report.degrees) {
+    t.AddRow({"deg(" + std::to_string(node) + ")", CountCell(degree), "-"});
+  }
+  std::printf("%s", t.ToString().c_str());
 }
 
 /// Serializes an in-stream estimator to `path`; used by `estimate
@@ -291,11 +347,43 @@ int WriteEstimatorCheckpoint(const InStreamEstimator& estimator,
   return 0;
 }
 
+/// Parses the optional --motifs flag into validated registry names;
+/// reports misparses/unknown names (by name) on stderr. `names` stays
+/// empty when the flag is absent.
+bool GetMotifNames(const Flags& flags, std::vector<std::string>* names) {
+  if (!flags.Has("motifs")) return true;
+  auto parsed = ParseMotifNames(flags.Get("motifs", ""));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return false;
+  }
+  *names = std::move(*parsed);
+  return true;
+}
+
+/// Parses every --degree occurrence into node ids.
+bool GetDegreeNodes(const Flags& flags, std::vector<NodeId>* nodes) {
+  for (const std::string& text : flags.GetAll("degree")) {
+    uint64_t node = 0;
+    if (!GetFlag(ParseU64Flag("degree", text), &node)) return false;
+    if (node > 0xffffffffull) {
+      std::fprintf(stderr,
+                   "error: flag '--degree' node id %llu exceeds the "
+                   "32-bit node space\n",
+                   static_cast<unsigned long long>(node));
+      return false;
+    }
+    nodes->push_back(static_cast<NodeId>(node));
+  }
+  return true;
+}
+
 /// Options common to the sharded paths of estimate and checkpoint-shards.
 struct ShardedRunConfig {
   GpsSamplerOptions sampler;
   uint64_t shards = 1;
   uint64_t batch = 1024;
+  std::vector<std::string> motifs;
 };
 
 /// Parses and range-checks the sampler/sharding flags; false (after
@@ -306,7 +394,8 @@ bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
   if (!GetFlag(flags.GetU64("capacity", stream_size / 20 + 1), &capacity) ||
       !GetFlag(flags.GetU64("seed", 1), &out->sampler.seed) ||
       !GetFlag(flags.GetU64("shards", 1), &out->shards) ||
-      !GetPositiveFlag(flags, "batch", 1024, &out->batch)) {
+      !GetPositiveFlag(flags, "batch", 1024, &out->batch) ||
+      !GetMotifNames(flags, &out->motifs)) {
     return false;
   }
   if (capacity < 1 || capacity > kMaxCheckpointCapacity) {
@@ -330,6 +419,7 @@ ShardedEngineOptions MakeEngineOptions(const ShardedRunConfig& config) {
   options.sampler = config.sampler;
   options.num_shards = static_cast<uint32_t>(config.shards);
   options.batch_size = config.batch;
+  options.motifs = config.motifs;
   return options;
 }
 
@@ -367,8 +457,20 @@ int RunEstimate(const Flags& flags) {
                  estimator.c_str());
     return 1;
   }
+  std::vector<NodeId> degree_nodes;
+  if (!GetDegreeNodes(flags, &degree_nodes)) return 1;
 
-  if (config.shards > 1) {
+  if (!config.motifs.empty() && estimator == "post") {
+    std::fprintf(stderr,
+                 "error: motif statistics are in-stream only (drop "
+                 "--estimator post or --motifs)\n");
+    return 1;
+  }
+
+  // Motif suites always run on the engine (K >= 1): K=1 reproduces the
+  // serial sample path byte for byte, and only the engine's manifest
+  // checkpoints carry motif accumulators.
+  if (config.shards > 1 || !config.motifs.empty()) {
     // Sharded engine path: K worker threads, hash-partitioned substreams,
     // merged stratified estimates (src/engine/).
     if (flags.Has("threads")) {
@@ -394,11 +496,25 @@ int RunEstimate(const Flags& flags) {
     ShardedEngine engine(engine_options);
     for (const Edge& e : *stream) engine.Process(e);
     engine.Finish();
+    const auto degree_rows = [&] {
+      std::vector<std::pair<NodeId, double>> rows;
+      for (const NodeId node : degree_nodes) {
+        rows.emplace_back(node, engine.MergedDegreeEstimate(node));
+      }
+      return rows;
+    };
     if (estimator == "post") {
-      PrintEstimates(kMergedPostStreamLabel, engine.MergedEstimates());
+      EstimateReport report = MakeReport(engine.MergedEstimates());
+      report.edge_count = engine.MergedEdgeCountEstimate();
+      report.degrees = degree_rows();
+      PrintEstimateReport(kMergedPostStreamLabel, report);
       return 0;
     }
-    PrintEstimates(kMergedInStreamLabel, engine.MergedEstimates());
+    EstimateReport report = MakeReport(engine.MergedEstimates());
+    report.motifs = engine.MergedMotifEstimates();
+    report.edge_count = engine.MergedEdgeCountEstimate();
+    report.degrees = degree_rows();
+    PrintEstimateReport(kMergedInStreamLabel, report);
     if (estimator == "both") {
       // Reuse the reservoirs the in-stream engine already built instead
       // of streaming twice.
@@ -406,8 +522,8 @@ int RunEstimate(const Flags& flags) {
       for (uint32_t s = 0; s < engine.num_shards(); ++s) {
         reservoirs.push_back(&engine.shard(s).reservoir());
       }
-      PrintEstimates(kMergedPostStreamLabel,
-                     EstimateMergedPostStream(reservoirs));
+      PrintEstimateReport(kMergedPostStreamLabel,
+                          MakeReport(EstimateMergedPostStream(reservoirs)));
     }
     if (flags.Has("checkpoint")) {
       const std::string dir = flags.Get("checkpoint", "");
@@ -427,15 +543,30 @@ int RunEstimate(const Flags& flags) {
 
   InStreamEstimator in_stream(options);
   for (const Edge& e : *stream) in_stream.Process(e);
+  const auto serial_degree_rows = [&] {
+    std::vector<std::pair<NodeId, double>> rows;
+    for (const NodeId node : degree_nodes) {
+      rows.emplace_back(node, EstimateDegree(in_stream.reservoir(), node));
+    }
+    return rows;
+  };
   if (estimator == "in-stream" || estimator == "both") {
-    PrintEstimates("in-stream estimates (Algorithm 3)",
-                   in_stream.Estimates());
+    EstimateReport report = MakeReport(in_stream.Estimates());
+    report.edge_count = EstimateEdgeCount(in_stream.reservoir());
+    report.degrees = serial_degree_rows();
+    PrintEstimateReport("in-stream estimates (Algorithm 3)", report);
   }
   if (estimator == "post" || estimator == "both") {
-    PrintEstimates("post-stream estimates (Algorithm 2)",
-                   EstimatePostStreamParallel(
-                       in_stream.reservoir(),
-                       static_cast<unsigned>(threads)));
+    EstimateReport report = MakeReport(EstimatePostStreamParallel(
+        in_stream.reservoir(), static_cast<unsigned>(threads)));
+    if (estimator == "post") {
+      // The sample path is shared, so the HT edge/degree statistics are
+      // identical for both frameworks; print them in whichever block
+      // appears alone.
+      report.edge_count = EstimateEdgeCount(in_stream.reservoir());
+      report.degrees = serial_degree_rows();
+    }
+    PrintEstimateReport("post-stream estimates (Algorithm 2)", report);
   }
 
   if (flags.Has("checkpoint")) {
@@ -466,7 +597,9 @@ int RunResume(const Flags& flags) {
               static_cast<unsigned long long>(estimator->edges_processed()),
               stream->size());
   for (const Edge& e : *stream) estimator->Process(e);
-  PrintEstimates("in-stream estimates (resumed)", estimator->Estimates());
+  EstimateReport report = MakeReport(estimator->Estimates());
+  report.edge_count = EstimateEdgeCount(estimator->reservoir());
+  PrintEstimateReport("in-stream estimates (resumed)", report);
   if (flags.Has("save")) {
     // Persist the continued state so interrupted runs can chain
     // checkpoint -> resume -> resume indefinitely.
@@ -500,7 +633,10 @@ int RunCheckpointShards(const Flags& flags) {
   ShardedEngine engine(MakeEngineOptions(config));
   for (const Edge& e : *stream) engine.Process(e);
   engine.Finish();
-  PrintEstimates(kMergedInStreamLabel, engine.MergedEstimates());
+  EstimateReport report = MakeReport(engine.MergedEstimates());
+  report.motifs = engine.MergedMotifEstimates();
+  report.edge_count = engine.MergedEdgeCountEstimate();
+  PrintEstimateReport(kMergedInStreamLabel, report);
 
   const std::string dir = flags.Get("out", "");
   if (Status s = engine.SerializeShards(dir); !s.ok()) {
@@ -520,12 +656,15 @@ int RunMergeCheckpoints(const Flags& flags) {
                  "--manifest FILE\n");
     return 1;
   }
-  auto merged = ShardedEngine::MergeFromCheckpoints(manifests);
+  auto merged = ShardedEngine::MergeFromCheckpointsDetailed(manifests);
   if (!merged.ok()) {
     std::fprintf(stderr, "error: %s\n", merged.status().ToString().c_str());
     return 1;
   }
-  PrintEstimates(kMergedInStreamLabel, *merged);
+  EstimateReport report = MakeReport(merged->graph);
+  report.motifs = merged->motifs;
+  report.edge_count = merged->edge_count;
+  PrintEstimateReport(kMergedInStreamLabel, report);
   return 0;
 }
 
@@ -548,6 +687,19 @@ int RunResumeShards(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+  // The motif set is part of the checkpoint layout; --motifs here is a
+  // cross-check (useful in scripted pipelines), not a reconfiguration.
+  std::vector<std::string> expected_motifs;
+  if (!GetMotifNames(flags, &expected_motifs)) return 1;
+  if (flags.Has("motifs") &&
+      expected_motifs != (*engine)->options().motifs) {
+    std::fprintf(stderr,
+                 "error: --motifs does not match the checkpoint's motif "
+                 "set (%zu configured); resume adopts the manifest's "
+                 "suite\n",
+                 (*engine)->options().motifs.size());
+    return 1;
+  }
   auto stream = LoadStream(flags);
   if (!stream.ok()) {
     std::fprintf(stderr, "error: %s\n", stream.status().ToString().c_str());
@@ -560,7 +712,10 @@ int RunResumeShards(const Flags& flags) {
               stream->size());
   for (const Edge& e : *stream) (*engine)->Process(e);
   (*engine)->Finish();
-  PrintEstimates(kMergedInStreamLabel, (*engine)->MergedEstimates());
+  EstimateReport report = MakeReport((*engine)->MergedEstimates());
+  report.motifs = (*engine)->MergedMotifEstimates();
+  report.edge_count = (*engine)->MergedEdgeCountEstimate();
+  PrintEstimateReport(kMergedInStreamLabel, report);
   if (flags.Has("save")) {
     const std::string dir = flags.Get("save", "");
     if (Status s = (*engine)->SerializeShards(dir); !s.ok()) {
@@ -575,31 +730,73 @@ int RunResumeShards(const Flags& flags) {
 
 /// Monitoring CSV schema: one row per sample, full-precision doubles so
 /// the series is machine-consumable and final rows compare byte for byte
-/// across runs with different sampling cadences.
+/// across runs with different sampling cadences. Per configured motif the
+/// base columns are followed by `<name>,<name>_lo,<name>_hi,
+/// <name>_ci_width` in suite order.
 constexpr const char* kMonitorCsvHeader =
     "edges,triangles,triangles_lo,triangles_hi,triangles_ci_width,"
     "wedges,wedges_lo,wedges_hi,wedges_ci_width,"
     "clustering,clustering_lo,clustering_hi";
 
-void PrintMonitorRow(const MonitorRecord& record, bool csv) {
+std::string MonitorCsvHeader(std::span<const std::string> motifs) {
+  std::string header = kMonitorCsvHeader;
+  for (const std::string& name : motifs) {
+    header += "," + name + "," + name + "_lo," + name + "_hi," + name +
+              "_ci_width";
+  }
+  return header;
+}
+
+/// The monitor's table layout; shares the CiCell/FormatDouble formatting
+/// of the estimate blocks, with per-motif columns appended in suite order.
+StreamingTable MonitorTable(std::span<const std::string> motifs) {
+  std::vector<StreamingTable::Column> columns = {
+      {"edges", 12},      {"triangles", 14}, {"tri 95% CI", 26},
+      {"wedges", 16},     {"wedge 95% CI", 28}, {"cc", 8},
+      {"cc 95% CI", 18},
+  };
+  for (const std::string& name : motifs) {
+    columns.push_back({name, 14});
+    columns.push_back({name + " 95% CI", 26});
+  }
+  return StreamingTable(std::move(columns));
+}
+
+void PrintMonitorRow(const MonitorRecord& record, bool csv,
+                     const StreamingTable& table) {
   const Estimate& tri = record.estimates.triangles;
   const Estimate& wed = record.estimates.wedges;
   const Estimate cc = record.estimates.ClusteringCoefficient();
   if (csv) {
     std::printf("%llu,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
-                "%.17g,%.17g,%.17g\n",
+                "%.17g,%.17g,%.17g",
                 static_cast<unsigned long long>(record.edges_processed),
                 tri.value, tri.Lower(), tri.Upper(),
                 tri.Upper() - tri.Lower(), wed.value, wed.Lower(),
                 wed.Upper(), wed.Upper() - wed.Lower(), cc.value,
                 cc.Lower(), cc.Upper());
+    for (const MotifEstimate& motif : record.motifs) {
+      const Estimate& est = motif.estimate;
+      std::printf(",%.17g,%.17g,%.17g,%.17g", est.value, est.Lower(),
+                  est.Upper(), est.Upper() - est.Lower());
+    }
+    std::printf("\n");
     return;
   }
-  std::printf("%12llu %14.0f [%11.0f,%11.0f] %16.0f [%13.0f,%13.0f] "
-              "%8.4f [%6.4f,%6.4f]\n",
-              static_cast<unsigned long long>(record.edges_processed),
-              tri.value, tri.Lower(), tri.Upper(), wed.value, wed.Lower(),
-              wed.Upper(), cc.value, cc.Lower(), cc.Upper());
+  std::vector<std::string> cells = {
+      std::to_string(record.edges_processed),
+      CountCell(tri.value),
+      CiCell(tri, 0),
+      CountCell(wed.value),
+      CiCell(wed, 0),
+      FormatDouble(cc.value, 4),
+      CiCell(cc, 4),
+  };
+  for (const MotifEstimate& motif : record.motifs) {
+    cells.push_back(CountCell(motif.estimate.value));
+    cells.push_back(CiCell(motif.estimate, 0));
+  }
+  std::printf("%s\n", table.RowLine(cells).c_str());
 }
 
 int RunMonitor(const Flags& flags) {
@@ -653,18 +850,17 @@ int RunMonitor(const Flags& flags) {
   }
 
   ShardedEngine engine(MakeEngineOptions(config));
+  const StreamingTable table = MonitorTable(config.motifs);
 
   if (csv) {
-    std::printf("%s\n", kMonitorCsvHeader);
+    std::printf("%s\n", MonitorCsvHeader(config.motifs).c_str());
   } else {
-    std::printf("%12s %14s %27s %16s %29s %8s %17s\n", "edges",
-                "triangles", "tri 95% CI", "wedges", "wedge 95% CI", "cc",
-                "cc 95% CI");
+    std::printf("%s\n", table.HeaderLine().c_str());
   }
   bool emitted_any = false;
   uint64_t last_emitted = 0;
   engine.EstimateEvery(every, [&](const MonitorRecord& record) {
-    PrintMonitorRow(record, csv);
+    PrintMonitorRow(record, csv, table);
     emitted_any = true;
     last_emitted = record.edges_processed;
   });
@@ -706,7 +902,8 @@ int RunMonitor(const Flags& flags) {
     MonitorRecord final_record;
     final_record.edges_processed = engine.edges_processed();
     final_record.estimates = engine.MergedEstimates();
-    PrintMonitorRow(final_record, csv);
+    final_record.motifs = engine.MergedMotifEstimates();
+    PrintMonitorRow(final_record, csv, table);
   }
   // Leave the directory at the end-of-stream state so a resume continues
   // from where the monitor stopped, not the last period — skipped when
@@ -747,10 +944,32 @@ int RunExact(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", list.status().ToString().c_str());
     return 1;
   }
-  const ExactCounts counts = CountExact(CsrGraph::FromEdgeList(*list));
-  std::printf("triangles  %14.0f\n", counts.triangles);
-  std::printf("wedges     %14.0f\n", counts.wedges);
-  std::printf("clustering %14.4f\n", counts.ClusteringCoefficient());
+  // 4-clique enumeration is markedly more expensive than the oriented
+  // triangle pass, so the motif oracles are opt-in: the triangle/wedge
+  // oracle keeps its old cost on big graphs.
+  const bool higher = flags.Has("higher-motifs");
+  const ExactCounts counts =
+      CountExact(CsrGraph::FromEdgeList(*list), higher);
+  TextTable t({"statistic", "value"});
+  t.AddRow({"triangles", CountCell(counts.triangles)});
+  t.AddRow({"wedges", CountCell(counts.wedges)});
+  t.AddRow({"clustering",
+            FormatDouble(counts.ClusteringCoefficient(), 4)});
+  if (higher) {
+    t.AddRow({"4cliques", CountCell(counts.four_cliques)});
+    t.AddRow({"3paths", CountCell(counts.three_paths)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+int RunListMotifs() {
+  TextTable t({"name", "edges/instance", "description"});
+  for (const MotifEntry& entry : MotifEntries()) {
+    t.AddRow({entry.name, std::to_string(entry.num_edges),
+              entry.description});
+  }
+  std::printf("%s", t.ToString().c_str());
   return 0;
 }
 
@@ -773,26 +992,29 @@ int main(int argc, char** argv) {
   if (command == "estimate") {
     allowed = {"input",     "capacity",  "seed",   "weight",
                "estimator", "no-permute", "shards", "batch",
-               "threads",   "checkpoint"};
+               "threads",   "checkpoint", "motifs", "degree"};
   } else if (command == "resume") {
     allowed = {"checkpoint", "input", "seed", "save", "no-permute"};
   } else if (command == "resume-shards") {
-    allowed = {"manifest", "input", "seed", "save", "batch", "no-permute"};
+    allowed = {"manifest", "input", "seed",
+               "save",     "batch", "no-permute",
+               "motifs"};
   } else if (command == "monitor") {
     allowed = {"input",  "capacity", "seed",
                "weight", "shards",   "batch",
                "every",  "output",   "checkpoint-every",
-               "checkpoint", "no-permute"};
+               "checkpoint", "no-permute", "motifs"};
   } else if (command == "checkpoint-shards") {
     allowed = {"input", "capacity", "seed",      "weight",
-               "shards", "batch",   "no-permute", "out"};
+               "shards", "batch",   "no-permute", "out",
+               "motifs"};
   } else if (command == "merge-checkpoints") {
     allowed = {"manifest"};
   } else if (command == "generate") {
     allowed = {"name", "scale", "output"};
   } else if (command == "exact") {
-    allowed = {"input"};
-  } else if (command == "corpus") {
+    allowed = {"input", "higher-motifs"};
+  } else if (command == "corpus" || command == "list-motifs") {
     allowed = {};
   } else {
     std::fprintf(stderr, "error: unknown subcommand '%s'\n",
@@ -814,5 +1036,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return RunGenerate(*flags);
   if (command == "exact") return RunExact(*flags);
   if (command == "corpus") return RunCorpus();
+  if (command == "list-motifs") return RunListMotifs();
   return Usage();  // unreachable: the allowed-flags gate covers commands
 }
