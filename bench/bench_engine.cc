@@ -1,7 +1,10 @@
 // Sharded-engine ingestion throughput: edges/sec vs. shard count on a
-// Barabási–Albert stream, against the serial InStreamEstimator baseline.
+// Barabási–Albert stream, against the serial InStreamEstimator baseline,
+// plus the work-stealing scheduler on a deliberately skewed (hub-heavy)
+// partition.
 //
 //   build/bench_engine [--edges N] [--capacity M] [--no-exact]
+//                      [--json FILE] [--baseline FILE]
 //
 // Defaults reproduce the PR acceptance setup: a ~1M-edge BA stream
 // (62.5K nodes × 16 edges/node, triad probability 0.5 for realistic
@@ -10,16 +13,38 @@
 // total memory. Timing covers ingestion + Finish() (workers joined);
 // the merge column reports MergedEstimates() separately.
 //
-// Two effects stack:
+// Two effects stack on the uniform partition:
 //   * partitioning: each shard's sampled adjacency holds ~1/K of any
 //     node's sampled neighbors, so the per-edge neighborhood scans of
 //     GPSESTIMATE and the weight function shrink by ~K even on one core;
 //   * parallelism: shard workers run on their own threads.
+//
+// The steal rows run the SAME stream through a 4-shard layout whose
+// routing is skew-injected (shard_skew, sharded_engine.h) so shard 0
+// carries most of the cost — the pathology hash partitioning has on
+// power-law streams. steal=off (kArmed) serializes behind the overloaded
+// owner; steal=on (kActive) spreads the batches and must win by >= 1.3x
+// while producing byte-identical estimates (asserted here, gated in
+// tests/engine_steal_test.cc).
+//
+// --json FILE emits every row plus the two gated relative metrics
+// (speedup_k4, steal_speedup_hub_heavy) as machine-readable JSON —
+// BENCH_engine.json in CI, archived per run so the perf trajectory is
+// diffable. --baseline FILE compares those relative metrics against a
+// checked-in reference (bench/BENCH_engine.baseline.json) and fails on a
+// > 10% regression. Absolute edges/sec is reported but never gated
+// cross-machine.
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/in_stream.h"
@@ -37,10 +62,14 @@ using namespace gps;  // NOLINT
 
 struct Row {
   std::string config;
+  uint32_t shards = 0;  // 0 = serial
+  std::string steal = "n/a";
+  double skew = 0.0;
   double seconds = 0.0;
   double merge_seconds = 0.0;
   double edges_per_sec = 0.0;
   double speedup = 1.0;
+  double critical_path = 0.0;  // busiest worker's executed seconds
   GraphEstimates estimates;
 };
 
@@ -50,12 +79,141 @@ std::string Fmt(const char* fmt, double v) {
   return buf;
 }
 
+Row RunEngineRow(const std::vector<Edge>& stream, const GpsSamplerOptions& base,
+                 uint32_t shards, StealMode steal, double skew,
+                 double serial_seconds, uint64_t* steals = nullptr,
+                 size_t batch_size = 0, size_t ring_capacity = 0) {
+  Row row;
+  row.shards = shards;
+  row.skew = skew;
+  ShardedEngineOptions options;
+  options.sampler = base;
+  options.num_shards = shards;
+  options.steal = steal;
+  options.shard_skew = skew;
+  if (batch_size != 0) options.batch_size = batch_size;
+  if (ring_capacity != 0) options.ring_capacity = ring_capacity;
+  WallTimer timer;
+  ShardedEngine engine(options);
+  for (const Edge& e : stream) engine.Process(e);
+  engine.Finish();
+  row.seconds = timer.ElapsedSeconds();
+  if (steals != nullptr) *steals = engine.StealsPerformed();
+  row.critical_path = engine.MaxWorkerBusySeconds();
+  WallTimer merge_timer;
+  row.estimates = engine.MergedEstimates();
+  row.merge_seconds = merge_timer.ElapsedSeconds();
+  row.edges_per_sec = stream.size() / row.seconds;
+  row.speedup = serial_seconds / row.seconds;
+  switch (steal) {
+    case StealMode::kDisabled:
+      row.steal = "n/a";
+      break;
+    case StealMode::kArmed:
+      row.steal = "off";
+      break;
+    case StealMode::kActive:
+      row.steal = "on";
+      break;
+  }
+  return row;
+}
+
+/// Minimal JSON writer for the bench artifact (flat schema, %.17g
+/// numbers); hand-rolled so the bench stays dependency-free.
+void WriteJson(const std::string& path, const std::vector<Row>& rows,
+               uint64_t edges, size_t capacity, unsigned hw,
+               double speedup_k4, double steal_speedup,
+               double steal_wall_speedup, double steal_critical_speedup,
+               uint64_t steals) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"bench\": \"bench_engine\",\n";
+  out << "  \"edges\": " << edges << ",\n";
+  out << "  \"capacity\": " << capacity << ",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"config\": \"" << r.config << "\", \"shards\": "
+        << r.shards << ", \"steal\": \"" << r.steal << "\", \"skew\": "
+        << Fmt("%.3g", r.skew) << ", \"seconds\": "
+        << Fmt("%.6g", r.seconds) << ", \"merge_seconds\": "
+        << Fmt("%.6g", r.merge_seconds) << ", \"critical_path_seconds\": "
+        << Fmt("%.6g", r.critical_path) << ", \"edges_per_sec\": "
+        << Fmt("%.17g", r.edges_per_sec) << ", \"speedup\": "
+        << Fmt("%.17g", r.speedup) << ", \"triangles\": "
+        << Fmt("%.17g", r.estimates.triangles.value) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  // The gated, machine-independent relative metrics. The gated
+  // steal_speedup_hub_heavy is wall-clock where the host can actually run
+  // the workers in parallel, critical-path otherwise (see the gate note
+  // on stdout).
+  out << "  \"speedup_k4\": " << Fmt("%.17g", speedup_k4) << ",\n";
+  out << "  \"steal_speedup_hub_heavy\": " << Fmt("%.17g", steal_speedup)
+      << ",\n";
+  out << "  \"steal_wall_speedup_hub_heavy\": "
+      << Fmt("%.17g", steal_wall_speedup) << ",\n";
+  out << "  \"steal_critical_path_speedup_hub_heavy\": "
+      << Fmt("%.17g", steal_critical_speedup) << ",\n";
+  out << "  \"steals_hub_heavy\": " << steals << "\n";
+  out << "}\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write JSON artifact %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::printf("JSON artifact written to %s\n", path.c_str());
+}
+
+/// Pulls `"key": <number>` out of a baseline file (the strict flat subset
+/// WriteJson emits); returns NaN when absent so missing keys are skipped,
+/// keeping old baselines readable by newer benches.
+double ReadBaselineKey(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+/// Relative-metric regression gate: fresh must reach 90% of baseline
+/// (> 10% regression fails). Returns false on failure.
+bool GateAgainstBaseline(const std::string& path, double speedup_k4,
+                         double steal_speedup) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  bool ok = true;
+  const auto gate = [&](const char* key, double fresh) {
+    const double base = ReadBaselineKey(text, key);
+    if (std::isnan(base)) return;  // key not gated by this baseline
+    const double floor = 0.9 * base;
+    const bool pass = fresh >= floor;
+    std::printf("baseline %-24s %.2f vs %.2f (floor %.2f): %s\n", key,
+                fresh, base, floor, pass ? "PASS" : "FAIL");
+    ok &= pass;
+  };
+  gate("speedup_k4", speedup_k4);
+  gate("steal_speedup_hub_heavy", steal_speedup);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t target_edges = 1000000;
   size_t capacity = 250000;
   bool run_exact = true;
+  std::string json_path;
+  std::string baseline_path;
+  size_t kStealBatch = 8192;
+  size_t kStealRing = 4;
+  double kStealSkew = 3.0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--edges") && i + 1 < argc) {
       target_edges = std::strtoull(argv[++i], nullptr, 10);
@@ -63,10 +221,22 @@ int main(int argc, char** argv) {
       capacity = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--no-exact")) {
       run_exact = false;
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--baseline") && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--steal-batch") && i + 1 < argc) {
+      kStealBatch = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--steal-ring") && i + 1 < argc) {
+      kStealRing = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--steal-skew") && i + 1 < argc) {
+      kStealSkew = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: bench_engine [--edges N] [--capacity M] "
-                   "[--no-exact]\n");
+                   "[--no-exact] [--json FILE] [--baseline FILE]\n"
+                   "       [--steal-batch B] [--steal-ring R] "
+                   "[--steal-skew S]\n");
       return 2;
     }
   }
@@ -102,23 +272,52 @@ int main(int argc, char** argv) {
   const double serial_seconds = rows[0].seconds;
 
   for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
-    Row row;
+    Row row = RunEngineRow(stream, base, shards, StealMode::kDisabled, 0.0,
+                           serial_seconds);
     row.config = "engine K=" + std::to_string(shards);
-    ShardedEngineOptions options;
-    options.sampler = base;
-    options.num_shards = shards;
-    WallTimer timer;
-    ShardedEngine engine(options);
-    for (const Edge& e : stream) engine.Process(e);
-    engine.Finish();
-    row.seconds = timer.ElapsedSeconds();
-    WallTimer merge_timer;
-    row.estimates = engine.MergedEstimates();
-    row.merge_seconds = merge_timer.ElapsedSeconds();
-    row.edges_per_sec = stream.size() / row.seconds;
-    row.speedup = serial_seconds / row.seconds;
     rows.push_back(row);
   }
+  const double speedup_k4 = rows[3].speedup;
+
+  // Hub-heavy skewed workload: shard 0 is overloaded by construction, so
+  // the off row serializes behind it and the on row spreads the batches.
+  // Large batches make each detached unit carry substantial estimation
+  // work, and a tight ring transmits backpressure quickly so light shards
+  // actually idle (and steal) instead of buffering the imbalance away.
+  uint64_t steals = 0;
+  {
+    Row off = RunEngineRow(stream, base, 4, StealMode::kArmed, kStealSkew,
+                           serial_seconds, nullptr, kStealBatch, kStealRing);
+    off.config = "engine K=4 skewed steal=off";
+    Row on = RunEngineRow(stream, base, 4, StealMode::kActive, kStealSkew,
+                          serial_seconds, &steals, kStealBatch, kStealRing);
+    on.config = "engine K=4 skewed steal=on";
+    // Determinism cross-check while we have both states: stealing must
+    // not move the estimates by a single bit.
+    if (on.estimates.triangles.value != off.estimates.triangles.value ||
+        on.estimates.wedges.value != off.estimates.wedges.value) {
+      std::fprintf(stderr,
+                   "FATAL: steal=on estimates diverged from steal=off\n");
+      return 1;
+    }
+    rows.push_back(off);
+    rows.push_back(on);
+  }
+  const Row& steal_off_row = rows[rows.size() - 2];
+  const Row& steal_on_row = rows.back();
+  const double steal_wall_speedup =
+      steal_off_row.seconds / steal_on_row.seconds;
+  // The machine-independent scheduler metric: how much the busiest
+  // worker's executed time shrank. On a host with >= K+1 cores this IS
+  // the wall-clock bound; on smaller hosts (CI runners, 1-core
+  // containers) wall-clock cannot improve — there is no idle core to
+  // steal onto — but the balance win still shows here.
+  const double steal_critical_speedup =
+      steal_off_row.critical_path / steal_on_row.critical_path;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const bool wall_gate_meaningful = hw >= 5;  // 4 workers + producer
+  const double steal_speedup =
+      wall_gate_meaningful ? steal_wall_speedup : steal_critical_speedup;
 
   ExactCounts exact;
   if (run_exact) exact = CountExact(CsrGraph::FromEdgeList(graph));
@@ -143,13 +342,34 @@ int main(int argc, char** argv) {
                 exact.wedges);
   }
 
-  // Regression gate: parallel ingestion must stay well ahead of serial.
-  // Recalibrated from 2.0x when the sorted-adjacency index change made
-  // the SERIAL baseline ~30% faster (binary-search membership probes);
-  // absolute sharded throughput was unchanged, but the ratio's
-  // denominator shrank.
-  const double speedup4 = rows[3].speedup;
-  std::printf("\n4-shard speedup vs serial: %.2fx (%s)\n", speedup4,
-              speedup4 >= 1.7 ? "PASS" : "FAIL");
-  return speedup4 >= 1.7 ? 0 : 1;
+  if (!json_path.empty()) {
+    WriteJson(json_path, rows, stream.size(), capacity, hw, speedup_k4,
+              steal_speedup, steal_wall_speedup, steal_critical_speedup,
+              steals);
+  }
+
+  // Regression gates.
+  //  * parallel ingestion must stay well ahead of serial (recalibrated
+  //    from 2.0x when the sorted-adjacency index made the SERIAL baseline
+  //    ~30% faster: the ratio's denominator shrank);
+  //  * on the skewed workload, stealing must beat not-stealing by 1.3x
+  //    (the whole point of the scheduler).
+  bool ok = true;
+  std::printf("\n4-shard speedup vs serial: %.2fx (%s)\n", speedup_k4,
+              speedup_k4 >= 1.7 ? "PASS" : "FAIL");
+  ok &= speedup_k4 >= 1.7;
+  std::printf(
+      "steal on hub-heavy skew: wall %.2fx, critical path %.2fx "
+      "(%.2fs -> %.2fs busiest worker), %" PRIu64 " steals\n",
+      steal_wall_speedup, steal_critical_speedup,
+      steal_off_row.critical_path, steal_on_row.critical_path, steals);
+  std::printf(
+      "steal gate uses %s (hardware concurrency %u): %.2fx (%s)\n",
+      wall_gate_meaningful ? "wall-clock" : "critical-path", hw,
+      steal_speedup, steal_speedup >= 1.3 ? "PASS" : "FAIL");
+  ok &= steal_speedup >= 1.3;
+  if (!baseline_path.empty()) {
+    ok &= GateAgainstBaseline(baseline_path, speedup_k4, steal_speedup);
+  }
+  return ok ? 0 : 1;
 }

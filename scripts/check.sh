@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Local CI: Release build + full ctest, then an ASan/UBSan Debug pass over
-# the threaded engine, checkpoint serialization, resume, and cli suites
-# (the code most at risk of data races, UB, and parser abuse). Mirrors the
-# release + sanitize jobs of .github/workflows/ci.yml (CI additionally
-# runs TSan and a nightly GPS_STAT_TRIALS=200 statistical pass).
+# Local CI: Release build + full ctest, then the engine perf smoke with
+# its machine-readable JSON artifact gated against the checked-in
+# baseline (> 10% relative regression fails), then an ASan/UBSan Debug
+# pass and a TSan Debug pass over the threaded engine suites — the TSan
+# pass includes engine_steal_test, the work-stealing hand-off stress.
+# Mirrors the release + sanitize + tsan jobs of .github/workflows/ci.yml
+# (CI additionally archives BENCH_engine.json / BENCH_scaling.json per
+# run and schedules a nightly GPS_STAT_TRIALS=200 statistical pass).
 #
 # Every ctest invocation carries --timeout 300: a hung shard worker (ring
-# deadlock, missed drain handshake) must fail the suite fast, not stall
-# the whole run.
+# deadlock, missed drain handshake, stuck steal merge) must fail the
+# suite fast, not stall the whole run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,14 +22,29 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" --timeout 300
 echo "=== Motif pipeline smoke ==="
 ./build/bench_motif --smoke
 
+echo "=== Engine perf smoke (JSON + baseline regression gate) ==="
+./build/bench_engine --edges 200000 --capacity 50000 \
+  --json build/BENCH_engine.json \
+  --baseline bench/BENCH_engine.baseline.json
+GPS_BENCH_SCALE=0.05 ./build/bench_scaling --json build/BENCH_scaling.json
+
 echo "=== ASan/UBSan build + engine/serialization/cli tests ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_checkpoint_test \
-  engine_resume_test core_parallel_test core_serialize_test cli_test \
-  gps_cli
+  engine_resume_test engine_steal_test core_parallel_test \
+  core_serialize_test cli_test gps_cli
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
   --timeout 300 -R 'engine_|core_parallel|core_serialize|cli_test'
+
+echo "=== TSan build + threaded suites (steal hand-off stress) ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=thread \
+  -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j"$(nproc)" --target \
+  engine_ring_buffer_test engine_sharded_test engine_steal_test \
+  core_parallel_test
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  --timeout 300 -R 'engine_ring_buffer|engine_sharded|engine_steal|core_parallel'
 
 echo "OK"

@@ -11,6 +11,7 @@ const std::vector<MotifEntry>& MotifEntries() {
       {"4clique", "4-cliques (K4)", 6, &FourCliqueEnumerator},
       {"3path", "simple paths of length 3 (4 distinct nodes)", 3,
        &ThreePathEnumerator},
+      {"4cycle", "4-cycles (C4, chords allowed)", 4, &FourCycleEnumerator},
   };
   return *entries;
 }
@@ -102,6 +103,23 @@ void MotifSuite::RestoreAccumulators(
     std::span<const MotifAccumulator> accs) {
   assert(accs.size() == motifs_.size());
   for (size_t i = 0; i < motifs_.size(); ++i) motifs_[i].acc = accs[i];
+}
+
+void MotifSuite::AbsorbAccumulators(
+    std::span<const MotifAccumulator> accs) {
+  assert(accs.size() == motifs_.size());
+  for (size_t i = 0; i < motifs_.size(); ++i) {
+    motifs_[i].acc.count += accs[i].count;
+    motifs_[i].acc.variance += accs[i].variance;
+    motifs_[i].acc.snapshots += accs[i].snapshots;
+  }
+}
+
+std::vector<MotifAccumulator> MotifSuite::Accumulators() const {
+  std::vector<MotifAccumulator> accs;
+  accs.reserve(motifs_.size());
+  for (const ActiveMotif& motif : motifs_) accs.push_back(motif.acc);
+  return accs;
 }
 
 }  // namespace gps

@@ -36,10 +36,35 @@ GpsReservoir::ProcessResult GpsReservoir::Process(const Edge& raw,
   const double u = rng_.UniformOpenClosed01();
   const double priority = weight / u;
 
+  // O(1) admission pre-check: a full reservoir discards any priority at
+  // or below z* — z* <= min surviving priority <= heap top, so the heap
+  // comparison below would discard it anyway, and max(z*, priority) is a
+  // no-op. One cached-double comparison instead of a heap-array load.
+  if (priority <= z_star_ && heap_.size() >= options_.capacity) {
+    return {};
+  }
+
+  return InsertWithPriority(e, EdgeRecord{e, weight, priority, 0.0, 0.0});
+}
+
+GpsReservoir::ProcessResult GpsReservoir::Admit(const EdgeRecord& record) {
+  const Edge e = record.edge.Canonical();
+  if (e.IsSelfLoop() || graph_.HasEdge(e)) return {};
+  if (record.priority <= z_star_ && heap_.size() >= options_.capacity) {
+    return {};
+  }
+  EdgeRecord canonical = record;
+  canonical.edge = e;
+  return InsertWithPriority(e, canonical);
+}
+
+GpsReservoir::ProcessResult GpsReservoir::InsertWithPriority(
+    const Edge& e, const EdgeRecord& record) {
+  const double priority = record.priority;
   ProcessResult result;
   if (heap_.size() < options_.capacity) {
     const SlotId slot = AllocateSlot();
-    slots_[slot] = EdgeRecord{e, weight, priority, 0.0, 0.0};
+    slots_[slot] = record;
     heap_.Push(HeapItem{priority, slot});
     graph_.AddEdge(e, slot);
     result.inserted = true;
@@ -63,7 +88,7 @@ GpsReservoir::ProcessResult GpsReservoir::Process(const Edge& raw,
   FreeSlot(evicted.slot);
 
   const SlotId slot = AllocateSlot();
-  slots_[slot] = EdgeRecord{e, weight, priority, 0.0, 0.0};
+  slots_[slot] = record;
   heap_.Push(HeapItem{priority, slot});
   graph_.AddEdge(e, slot);
   result.inserted = true;

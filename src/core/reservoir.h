@@ -71,7 +71,41 @@ class GpsReservoir {
 
   /// Processes one arriving edge with externally computed weight w(k) > 0
   /// (GPSUPDATE). Self loops and edges already in the sample are ignored.
+  ///
+  /// Fast path: once the reservoir is full, an arriving priority at or
+  /// below z* cannot enter the sample (and cannot raise the threshold), so
+  /// it is rejected after ONE comparison against the cached threshold —
+  /// before touching the heap or the slot table. On full reservoirs with
+  /// skewed priorities this is the common case for the sampling step.
   ProcessResult Process(const Edge& e, double weight);
+
+  // ---- Scheduler / merge hooks (engine/shard.h steal mode) ---------------
+  //
+  // The work-stealing scheduler processes detached batches into
+  // mini-reservoirs with counter-based priorities (core/seeding.h
+  // DeriveBatchSeed) and re-binds them to the owner shard by merging the
+  // mini records back, in batch-index order. Because the priorities are a
+  // pure function of (batch, offset) rather than of a sequential RNG,
+  // "top-m by priority" composes exactly: merging per-batch top-m samples
+  // reproduces the top-m (and threshold) of the full candidate set. These
+  // hooks expose the pieces of that merge; they are NOT part of the
+  // streaming API.
+
+  /// Inserts a record with an externally fixed priority (no RNG draw).
+  /// Duplicate edges and self loops are ignored (earlier-merged batches
+  /// win, which is deterministic under in-order merging). Does not count
+  /// as an arrival — pair with NoteExternalArrivals.
+  ProcessResult Admit(const EdgeRecord& record);
+
+  /// Accounts `n` arrivals processed externally (by a mini-reservoir whose
+  /// sampled records are re-bound through Admit).
+  void NoteExternalArrivals(uint64_t n) { processed_ += n; }
+
+  /// Raises z* to at least `z` (the threshold evidence a merged
+  /// mini-reservoir carries: priorities it evicted internally).
+  void RaiseThreshold(double z) {
+    if (z > z_star_) z_star_ = z;
+  }
 
   /// Number of edges currently sampled, |K̂| = min(t, m).
   size_t size() const { return heap_.size(); }
@@ -143,6 +177,11 @@ class GpsReservoir {
 
   SlotId AllocateSlot();
   void FreeSlot(SlotId slot);
+
+  /// Shared insertion step of Process and Admit: the canonical edge `e`
+  /// (not a loop, not sampled) enters with a fixed priority; the minimum
+  /// of the m+1 candidates is discarded and z* updated.
+  ProcessResult InsertWithPriority(const Edge& e, const EdgeRecord& record);
 
   GpsOptions options_;
   Rng rng_;

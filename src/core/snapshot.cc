@@ -92,6 +92,28 @@ InStreamMotifCounter::EnumerateFn FourCliqueEnumerator() {
   };
 }
 
+InStreamMotifCounter::EnumerateFn FourCycleEnumerator() {
+  return [](const Edge& arriving, const SampledGraph& graph,
+            const InStreamMotifCounter::Emitter& emit) {
+    const NodeId u = arriving.u;
+    const NodeId v = arriving.v;
+    // Cycle u-v-x-y-u: x a sampled neighbor of v, y a sampled neighbor of
+    // u, joined by the sampled edge (x,y). Chords (x,u) or (y,v) may also
+    // be sampled — a C4 subgraph counts whether or not it is induced,
+    // matching the exact oracle.
+    graph.ForEachNeighbor(v, [&](NodeId x, SlotId) {
+      if (x == u) return;
+      graph.ForEachNeighbor(u, [&](NodeId y, SlotId) {
+        if (y == v || y == x) return;
+        const Edge bridge = MakeEdge(x, y);
+        if (!graph.HasEdge(bridge)) return;
+        const Edge members[3] = {MakeEdge(v, x), bridge, MakeEdge(y, u)};
+        emit(members);
+      });
+    });
+  };
+}
+
 InStreamMotifCounter::EnumerateFn ThreePathEnumerator() {
   return [](const Edge& arriving, const SampledGraph& graph,
             const InStreamMotifCounter::Emitter& emit) {

@@ -133,6 +133,11 @@ InStreamMotifCounter::EnumerateFn FourCliqueEnumerator();
 /// edge of the path; two sampled edges per instance.
 InStreamMotifCounter::EnumerateFn ThreePathEnumerator();
 
+/// Built-in enumerator: 4-cycles (C4, chords allowed) closed by the
+/// arriving edge (u,v) — sampled paths u–y, y–x, x–v for x ∈ Γ̂(v),
+/// y ∈ Γ̂(u), x ≠ y; three sampled edges per instance.
+InStreamMotifCounter::EnumerateFn FourCycleEnumerator();
+
 }  // namespace gps
 
 #endif  // GPS_CORE_SNAPSHOT_H_

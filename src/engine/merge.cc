@@ -15,10 +15,15 @@ namespace {
 // adjacency whose slot payloads point into a flat record array. Edge-hash
 // sharding guarantees shard samples are edge-disjoint, so AddEdge never
 // collides.
+//
+// `stratum` packs (shard << 32 | sub-stratum): with empty sub-stratum
+// tables every edge of shard s carries stratum s<<32, so all stratum
+// comparisons below reduce to the classic shard comparisons bit for bit;
+// steal-mode engines supply per-slot batch ids as sub-strata.
 struct MergedRecord {
   Edge edge;
   double inv_q = 0.0;   // 1 / min{1, w / z*_shard}
-  uint32_t shard = 0;
+  uint64_t stratum = 0;
 };
 
 struct MergedSample {
@@ -26,22 +31,39 @@ struct MergedSample {
   std::vector<MergedRecord> records;
 };
 
-MergedSample BuildMergedSample(std::span<const GpsReservoir* const> shards) {
+MergedSample BuildMergedSample(std::span<const ShardSampleRef> shards) {
   MergedSample merged;
   size_t total = 0;
-  for (const GpsReservoir* r : shards) total += r->size();
+  for (const ShardSampleRef& ref : shards) total += ref.reservoir->size();
   merged.records.reserve(total);
   for (uint32_t s = 0; s < shards.size(); ++s) {
-    const GpsReservoir& reservoir = *shards[s];
+    const GpsReservoir& reservoir = *shards[s].reservoir;
+    const std::span<const uint32_t> strata = shards[s].slot_strata;
+    const uint64_t shard_bits = static_cast<uint64_t>(s) << 32;
     reservoir.ForEachEdge(
-        [&](SlotId, const GpsReservoir::EdgeRecord& rec) {
+        [&](SlotId shard_slot, const GpsReservoir::EdgeRecord& rec) {
           const double q = reservoir.ProbabilityForWeight(rec.weight);
           const SlotId slot = static_cast<SlotId>(merged.records.size());
-          merged.records.push_back({rec.edge, 1.0 / q, s});
+          const uint64_t stratum =
+              shard_bits |
+              (shard_slot < strata.size() ? strata[shard_slot] : 0u);
+          merged.records.push_back({rec.edge, 1.0 / q, stratum});
           merged.graph.AddEdge(rec.edge, slot);
         });
   }
   return merged;
+}
+
+std::vector<ShardSampleRef> PlainRefs(
+    std::span<const GpsReservoir* const> shards) {
+  std::vector<ShardSampleRef> refs;
+  refs.reserve(shards.size());
+  for (const GpsReservoir* r : shards) refs.push_back({r, {}});
+  return refs;
+}
+
+MergedSample BuildMergedSample(std::span<const GpsReservoir* const> shards) {
+  return BuildMergedSample(std::span<const ShardSampleRef>(PlainRefs(shards)));
 }
 
 // Mirrors PartialSums/AccumulateEdge of core/post_stream.cc (Algorithm 2
@@ -70,7 +92,7 @@ void AccumulateMergedEdge(const MergedSample& sample, SlotId slot_k,
   if (graph.Degree(v1) > graph.Degree(v2)) std::swap(v1, v2);
 
   const double inv_q = rec.inv_q;
-  const uint32_t sh = rec.shard;
+  const uint64_t sh = rec.stratum;
 
   double nk_tri = 0.0, vk_tri = 0.0;
   double nk_wed = 0.0, vk_wed = 0.0;
@@ -91,7 +113,7 @@ void AccumulateMergedEdge(const MergedSample& sample, SlotId slot_k,
       const MergedRecord& r2 = sample.records[slot_k2];
       const double inv_q2 = r2.inv_q;
       const bool tri_counted =
-          !SpanOnly || !(r1.shard == sh && r2.shard == sh);
+          !SpanOnly || !(r1.stratum == sh && r2.stratum == sh);
       if (tri_counted) {
         const double inv_q1q2 = inv_q1 * inv_q2;
         const double est = inv_q * inv_q1q2;
@@ -102,17 +124,17 @@ void AccumulateMergedEdge(const MergedSample& sample, SlotId slot_k,
         // Pairs (triangle, wedge ⊂ triangle sharing only k) to subtract
         // from the run_tri * run_wed product: only wedges this pass
         // counted participate in run_wed.
-        if (!SpanOnly || r1.shard != sh) d_contained += inv_q1q2 * inv_q1;
-        if (!SpanOnly || r2.shard != sh) d_contained += inv_q1q2 * inv_q2;
+        if (!SpanOnly || r1.stratum != sh) d_contained += inv_q1q2 * inv_q1;
+        if (!SpanOnly || r2.stratum != sh) d_contained += inv_q1q2 * inv_q2;
         // Case |tri ∩ wedge| = 2: the wedge {k1, k2} inside the triangle.
-        if (!SpanOnly || r1.shard != r2.shard) {
+        if (!SpanOnly || r1.stratum != r2.stratum) {
           covb += est * (inv_q1q2 - 1.0);
         }
       }
     }
 
     // Wedge {k1, k} at the shared endpoint v1.
-    if (!SpanOnly || r1.shard != sh) {
+    if (!SpanOnly || r1.stratum != sh) {
       const double west = inv_q * inv_q1;
       nk_wed += west;
       vk_wed += west * (west - 1.0);
@@ -124,7 +146,7 @@ void AccumulateMergedEdge(const MergedSample& sample, SlotId slot_k,
   graph.ForEachNeighbor(v2, [&](NodeId v3, SlotId slot_k2) {
     if (v3 == v1) return;
     const MergedRecord& r2 = sample.records[slot_k2];
-    if (SpanOnly && r2.shard == sh) return;
+    if (SpanOnly && r2.stratum == sh) return;
     const double inv_q2 = r2.inv_q;
     const double west = inv_q * inv_q2;
     nk_wed += west;
@@ -196,7 +218,7 @@ std::vector<MotifAccumulator> CrossShardMotifsOverSample(
                   sample.graph.FindEdge(member.Canonical());
               if (member_slot == kNoSlot) return;
               product *= sample.records[member_slot].inv_q;
-              spans |= sample.records[member_slot].shard != rec.shard;
+              spans |= sample.records[member_slot].stratum != rec.stratum;
             }
             // Within-shard instances belong to the in-stream stratum.
             if (!spans) return;
@@ -230,6 +252,12 @@ UnionSample BuildUnionSample(
   auto impl = std::make_unique<UnionSample::Impl>();
   // No pass ever reads the index below two shards (there is no spanning
   // stratum), so skip the O(total sample) build for K = 1.
+  if (shards.size() >= 2) impl->sample = BuildMergedSample(shards);
+  return UnionSample(std::move(impl), shards.size());
+}
+
+UnionSample BuildUnionSample(std::span<const ShardSampleRef> shards) {
+  auto impl = std::make_unique<UnionSample::Impl>();
   if (shards.size() >= 2) impl->sample = BuildMergedSample(shards);
   return UnionSample(std::move(impl), shards.size());
 }

@@ -56,6 +56,21 @@ enum class MergeMode {
 /// all add across independent strata).
 GraphEstimates SumShardEstimates(std::span<const GraphEstimates> shards);
 
+/// One shard's contribution to the union sample: its reservoir plus an
+/// optional per-slot sub-stratum table (engine steal mode: the batch each
+/// sampled edge was processed in, indexed by reservoir SlotId). The
+/// spanning test of the cross pass compares full stratum ids
+/// (shard, sub-stratum): with an empty table every edge of the shard
+/// shares sub-stratum 0, reproducing the classic shard-granularity
+/// decomposition bit for bit; with batch sub-strata, instances whose
+/// edges span different batches of ONE shard also fall into the cross
+/// stratum (their within-batch counterparts were counted by the batch
+/// mini-estimators).
+struct ShardSampleRef {
+  const GpsReservoir* reservoir = nullptr;
+  std::span<const uint32_t> slot_strata = {};
+};
+
 /// The union of the shard reservoirs, built once and shared by every
 /// cross-shard pass over the same drained state (tri/wedge correction,
 /// per-motif correction): construction is O(total sample), so callers
@@ -72,6 +87,8 @@ class UnionSample {
  private:
   friend UnionSample BuildUnionSample(
       std::span<const GpsReservoir* const> shards);
+  friend UnionSample BuildUnionSample(
+      std::span<const ShardSampleRef> shards);
   friend GraphEstimates EstimateCrossShard(const UnionSample& sample);
   friend std::vector<MotifAccumulator> EstimateCrossShardMotifs(
       const UnionSample& sample, std::span<const std::string> motif_names);
@@ -86,6 +103,9 @@ class UnionSample {
 /// Indexes the union of the shard reservoirs (edge-hash sharding keeps
 /// them edge-disjoint); each edge keeps min{1, w/z*} of its OWN shard.
 UnionSample BuildUnionSample(std::span<const GpsReservoir* const> shards);
+
+/// As above with per-shard sub-stratum tables (see ShardSampleRef).
+UnionSample BuildUnionSample(std::span<const ShardSampleRef> shards);
 
 /// Horvitz-Thompson estimates of the subgraphs spanning >= 2 shards, from
 /// the union of the shard reservoirs. Returns zeros for < 2 shards.

@@ -30,9 +30,15 @@ namespace gps {
 template <typename T>
 class SpscRingBuffer {
  public:
-  /// Capacity is rounded up to a power of two (minimum 2) so index
-  /// wrapping is a mask, not a modulo.
+  /// Capacity contract: `capacity` must be >= 1 (asserted — a zero-slot
+  /// ring cannot hand anything off and always indicates a caller bug); the
+  /// effective capacity is `capacity` rounded UP to a power of two with a
+  /// floor of 2, because index wrapping is a mask, not a modulo. In
+  /// particular a requested capacity of 1 yields a 2-slot ring — callers
+  /// that need strict single-occupancy hand-off must enforce it
+  /// themselves. capacity() reports the effective value.
   explicit SpscRingBuffer(size_t capacity) {
+    assert(capacity >= 1 && "SpscRingBuffer needs at least one slot");
     size_t cap = 2;
     while (cap < capacity) cap <<= 1;
     slots_.resize(cap);

@@ -1,9 +1,48 @@
 #include "engine/shard.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <ctime>
+#include <utility>
+
+#include "core/seeding.h"
 
 namespace gps {
 namespace {
+
+/// Charges the enclosing scope's duration to a worker's busy clock
+/// (batch granularity, so the clock reads are amortized). Uses per-THREAD
+/// CPU time, not wall time: on oversubscribed hosts (CI runners, 1-core
+/// containers) wall time inside a scope includes time spent descheduled
+/// while OTHER workers ran, which would double-count the same core and
+/// flatten the critical-path metric stealing is gated on.
+class BusyScope {
+ public:
+  explicit BusyScope(std::atomic<uint64_t>* counter)
+      : counter_(counter), start_(Now()) {}
+  ~BusyScope() {
+    counter_->fetch_add(Now() - start_, std::memory_order_relaxed);
+  }
+
+ private:
+  static uint64_t Now() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+#else
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+  }
+
+  std::atomic<uint64_t>* counter_;
+  uint64_t start_;
+};
 
 // Backoff for full/empty ring waits: spin briefly (the partner is usually
 // one batch away), then yield so single-core hosts make progress.
@@ -26,12 +65,15 @@ ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options)
     : index_(index),
       options_(options),
       motifs_(options.motifs),
-      ring_(options.ring_capacity) {
+      ring_(options.ring_capacity),
+      recycle_(options.ring_capacity) {
   if (options_.estimator == ShardEstimatorKind::kInStream) {
     in_stream_ = std::make_unique<InStreamEstimator>(options_.sampler);
   } else {
     assert(options_.motifs.empty() &&
            "motif suites need in-stream shard estimators");
+    assert(options_.steal == StealMode::kDisabled &&
+           "the steal scheduler needs in-stream shard estimators");
     sampler_ = std::make_unique<GpsSampler>(options_.sampler);
   }
 }
@@ -43,8 +85,11 @@ ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options,
       options_(options),
       in_stream_(std::move(restored)),
       motifs_(options.motifs),
-      ring_(options.ring_capacity) {
+      ring_(options.ring_capacity),
+      recycle_(options.ring_capacity) {
   assert(options_.estimator == ShardEstimatorKind::kInStream);
+  assert(options_.steal == StealMode::kDisabled &&
+         "checkpoints restore sequential shard processing");
   assert(in_stream_ != nullptr);
   assert(in_stream_->reservoir().options().seed == options_.sampler.seed);
   assert(in_stream_->reservoir().options().capacity ==
@@ -55,12 +100,17 @@ ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options,
 
 ShardWorker::~ShardWorker() { Join(); }
 
+void ShardWorker::SetStealPeers(std::vector<ShardWorker*> peers) {
+  assert(!thread_.joinable() && "peers must be registered before Start");
+  peers_ = std::move(peers);
+}
+
 void ShardWorker::Start() {
   assert(!thread_.joinable());
   thread_ = std::thread([this] { RunWorker(); });
 }
 
-void ShardWorker::Submit(Batch&& batch) {
+void ShardWorker::Submit(EdgeBatch&& batch) {
   if (batch.empty()) return;
   assert(thread_.joinable() && !joined_);
   submitted_edges_ += batch.size();
@@ -98,7 +148,15 @@ const InStreamEstimator& ShardWorker::in_stream_estimator() const {
 }
 
 void ShardWorker::RunWorker() {
-  Batch batch;
+  if (options_.steal == StealMode::kDisabled) {
+    RunWorkerSequential();
+  } else {
+    RunWorkerStealing();
+  }
+}
+
+void ShardWorker::RunWorkerSequential() {
+  EdgeBatch batch;
   Backoff backoff;
   for (;;) {
     if (!ring_.TryPop(&batch)) {
@@ -113,25 +171,227 @@ void ShardWorker::RunWorker() {
       }
     }
     backoff.Reset();
+    const BusyScope busy(&busy_ns_);
+    const size_t n = batch.size();
     if (in_stream_) {
       if (!motifs_.empty()) {
         // Motif snapshots freeze at the stopping time BEFORE the arriving
         // edge's own sampling step, so the suite observes first; it only
         // reads the reservoir, leaving the sample path untouched.
-        for (const Edge& e : batch) {
+        for (size_t i = 0; i < n; ++i) {
+          const Edge e = batch.edge(i);
           motifs_.Observe(e, in_stream_->reservoir());
           in_stream_->Process(e);
         }
       } else {
-        for (const Edge& e : batch) in_stream_->Process(e);
+        for (size_t i = 0; i < n; ++i) in_stream_->Process(batch.edge(i));
       }
     } else {
-      for (const Edge& e : batch) sampler_->Process(e);
+      for (size_t i = 0; i < n; ++i) sampler_->Process(batch.edge(i));
     }
     // Release so a producer observing the new count also observes the
     // estimator state those edges produced.
-    consumed_edges_.fetch_add(batch.size(), std::memory_order_release);
+    consumed_edges_.fetch_add(n, std::memory_order_release);
+    // Return the emptied buffer so the producer reuses its capacity
+    // instead of allocating per batch; best effort — a full recycle ring
+    // just drops the buffer.
     batch.clear();
+    if (ring_.closed() || recycle_.TryPush(std::move(batch))) {
+      batch = EdgeBatch();
+    }
+  }
+}
+
+// ---- Steal scheduler -----------------------------------------------------
+
+bool ShardWorker::PumpRing() {
+  bool moved = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Bounded transfer: once the shared queue holds a ring's worth of
+      // batches, leave the rest in the ring so a slow pipeline still
+      // backpressures the producer.
+      if (queue_.size() >= options_.ring_capacity) break;
+    }
+    EdgeBatch incoming;
+    if (!ring_.TryPop(&incoming)) break;
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back({batches_enqueued_++, std::move(incoming)});
+    moved = true;
+  }
+  return moved;
+}
+
+bool ShardWorker::MergeReadyResults() {
+  bool merged_any = false;
+  for (;;) {
+    BatchResult result;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = completed_.find(next_merge_);
+      if (it == completed_.end()) break;
+      result = std::move(it->second);
+      completed_.erase(it);
+    }
+    {
+      const BusyScope busy(&busy_ns_);
+      AbsorbResult(result);
+    }
+    ++next_merge_;
+    unmerged_results_.fetch_sub(1, std::memory_order_relaxed);
+    // Publish the merged state BEFORE the drain handshake observes the
+    // consumed count (release pairs with WaitDrained's acquire).
+    consumed_edges_.fetch_add(result.arrivals, std::memory_order_release);
+    merged_any = true;
+  }
+  return merged_any;
+}
+
+bool ShardWorker::TakeFront(PendingBatch* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  unmerged_results_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ShardWorker::TryStealBatch(PendingBatch* out) {
+  if (unmerged_results_.load(std::memory_order_relaxed) >=
+      kMaxUnmergedResults) {
+    return false;  // owner is behind on merging; do not pile on
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Leave the oldest batch for the owner: it is the next to merge, so the
+  // owner processing it keeps the merge frontier moving.
+  if (queue_.size() <= 1) return false;
+  *out = std::move(queue_.back());
+  queue_.pop_back();
+  unmerged_results_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ShardWorker::StealOne() {
+  const uint32_t n = static_cast<uint32_t>(peers_.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t candidate = (next_victim_ + i) % n;
+    ShardWorker* victim = peers_[candidate];
+    if (victim == this) continue;
+    PendingBatch batch;
+    if (victim->TryStealBatch(&batch)) {
+      next_victim_ = candidate;
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      BatchResult result;
+      {
+        // Executed by THIS worker, so the time lands on the thief's busy
+        // clock — the whole point of the critical-path metric.
+        const BusyScope busy(&busy_ns_);
+        result = victim->ProcessDetached(std::move(batch));
+      }
+      PostResult(victim, std::move(result));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ShardWorker::OwnWorkComplete() {
+  if (!ring_.closed()) return false;
+  // Close() is store-released after the producer's final push: one more
+  // pump distinguishes drained from racing.
+  if (PumpRing()) return false;
+  if (ring_.SizeApprox() != 0) return false;  // queue was full; not done
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && completed_.empty() &&
+         next_merge_ == batches_enqueued_;
+}
+
+ShardWorker::BatchResult ShardWorker::ProcessDetached(
+    PendingBatch&& batch) const {
+  BatchResult result;
+  result.index = batch.index;
+  result.arrivals = batch.edges.size();
+
+  // The mini-estimator is an ordinary in-stream GPS estimator over just
+  // this batch, seeded by the counter-based batch substream. A batch can
+  // fill at most batch-many slots, so the mini capacity is capped at the
+  // batch size: behavior is identical (no eviction happens below the
+  // cap either way) and per-batch memory stays O(batch).
+  GpsSamplerOptions mini_options = options_.sampler;
+  mini_options.capacity =
+      std::min(options_.sampler.capacity, batch.edges.size());
+  mini_options.seed = DeriveBatchSeed(options_.sampler.seed, batch.index);
+  result.mini = std::make_unique<InStreamEstimator>(mini_options);
+
+  MotifSuite suite(options_.motifs);
+  const size_t n = batch.edges.size();
+  if (!suite.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      const Edge e = batch.edges.edge(i);
+      suite.Observe(e, result.mini->reservoir());
+      result.mini->Process(e);
+    }
+    result.motif_accs = suite.Accumulators();
+  } else {
+    for (size_t i = 0; i < n; ++i) result.mini->Process(batch.edges.edge(i));
+  }
+  return result;
+}
+
+void ShardWorker::AbsorbResult(const BatchResult& result) {
+  GpsReservoir* reservoir = in_stream_->mutable_reservoir();
+  // Threshold evidence first: priorities the mini evicted internally are
+  // candidates this merge never sees. Raising z* early is safe — every
+  // surviving mini record beats the mini's own threshold.
+  reservoir->RaiseThreshold(result.mini->reservoir().threshold());
+  const uint32_t batch_id = static_cast<uint32_t>(result.index);
+  result.mini->reservoir().ForEachEdge(
+      [&](SlotId, const GpsReservoir::EdgeRecord& record) {
+        const GpsReservoir::ProcessResult admitted =
+            reservoir->Admit(record);
+        if (admitted.inserted) {
+          if (admitted.slot >= slot_strata_.size()) {
+            slot_strata_.resize(admitted.slot + 1, 0);
+          }
+          slot_strata_[admitted.slot] = batch_id;
+        }
+      });
+  reservoir->NoteExternalArrivals(result.mini->edges_processed());
+  in_stream_->AbsorbAccumulators(result.mini->SaveAccumulators());
+  if (!motifs_.empty()) motifs_.AbsorbAccumulators(result.motif_accs);
+}
+
+void ShardWorker::PostResult(ShardWorker* owner, BatchResult&& result) {
+  std::lock_guard<std::mutex> lock(owner->mu_);
+  owner->completed_.emplace(result.index, std::move(result));
+}
+
+void ShardWorker::RunWorkerStealing() {
+  Backoff backoff;
+  for (;;) {
+    bool progress = PumpRing();
+    if (MergeReadyResults()) progress = true;
+
+    PendingBatch own;
+    if (TakeFront(&own)) {
+      BatchResult result;
+      {
+        const BusyScope busy(&busy_ns_);
+        result = ProcessDetached(std::move(own));
+      }
+      PostResult(this, std::move(result));
+      progress = true;
+    } else if (options_.steal == StealMode::kActive && !peers_.empty()) {
+      if (StealOne()) progress = true;
+    }
+
+    if (progress) {
+      backoff.Reset();
+      continue;
+    }
+    if (OwnWorkComplete()) break;
+    backoff.Pause();
   }
 }
 

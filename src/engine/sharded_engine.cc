@@ -1,6 +1,8 @@
 #include "engine/sharded_engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -32,7 +34,8 @@ bool SameWeightConfig(const WeightOptions& a, const WeightOptions& b) {
 /// fresh construction and checkpoint resume cannot drift apart (drift
 /// would silently break the resume byte-identity contract).
 ShardOptions MakeShardOptions(const ShardedEngineOptions& options,
-                              uint32_t s, ShardEstimatorKind kind) {
+                              uint32_t s, ShardEstimatorKind kind,
+                              StealMode steal) {
   ShardOptions shard_options;
   shard_options.sampler = options.sampler;
   shard_options.sampler.capacity = PerShardCapacity(
@@ -42,6 +45,7 @@ ShardOptions MakeShardOptions(const ShardedEngineOptions& options,
   shard_options.estimator = kind;
   shard_options.ring_capacity = options.ring_capacity;
   shard_options.motifs = options.motifs;
+  shard_options.steal = steal;
   return shard_options;
 }
 
@@ -253,6 +257,9 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   assert((options_.motifs.empty() ||
           options_.merge_mode == MergeMode::kInStreamPlusCross) &&
          "motif suites need in-stream shard estimators");
+  assert((options_.steal == StealMode::kDisabled ||
+          options_.merge_mode == MergeMode::kInStreamPlusCross) &&
+         "the steal scheduler needs in-stream shard estimators");
   assert(ValidateMotifNames(options_.motifs).ok() &&
          "unvalidated motif names");
   const uint32_t k = options_.num_shards;
@@ -260,13 +267,25 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
       options_.merge_mode == MergeMode::kPostStreamMerged
           ? ShardEstimatorKind::kPostStream
           : ShardEstimatorKind::kInStream;
+  // A single-shard layout has no peers to steal from or to: bypass the
+  // scheduler so K=1 keeps replaying the serial sample path byte for
+  // byte even with stealing enabled (the engine's K=1 contract).
+  effective_steal_ = (k >= 2 && kind == ShardEstimatorKind::kInStream)
+                         ? options_.steal
+                         : StealMode::kDisabled;
 
   shards_.reserve(k);
   pending_.resize(k);
   for (uint32_t s = 0; s < k; ++s) {
     shards_.push_back(std::make_unique<ShardWorker>(
-        s, MakeShardOptions(options_, s, kind)));
+        s, MakeShardOptions(options_, s, kind, effective_steal_)));
     pending_[s].reserve(options_.batch_size);
+  }
+  if (effective_steal_ == StealMode::kActive) {
+    std::vector<ShardWorker*> peers;
+    peers.reserve(k);
+    for (auto& shard : shards_) peers.push_back(shard.get());
+    for (auto& shard : shards_) shard->SetStealPeers(peers);
   }
   for (auto& shard : shards_) shard->Start();
 }
@@ -285,16 +304,40 @@ uint32_t ShardedEngine::ShardOfEdge(const Edge& e, uint32_t num_shards) {
       (static_cast<unsigned __int128>(h) * num_shards) >> 64);
 }
 
+uint32_t ShardedEngine::RouteShard(const Edge& e) const {
+  const uint32_t k = num_shards();
+  if (options_.shard_skew <= 0.0 || k <= 1) return ShardOfEdge(e, k);
+  // Skew-injected routing (benchmarks / steal stress): push the hash unit
+  // variate toward 0 so low shard indices are overloaded. Deterministic
+  // per edge, like the uniform route.
+  uint64_t state = EdgeKey(e);
+  const uint64_t h = SplitMix64Next(&state);
+  const double unit = static_cast<double>(h) * 0x1.0p-64;
+  const double skewed = std::pow(unit, 1.0 + options_.shard_skew);
+  const uint32_t s = static_cast<uint32_t>(skewed * k);
+  return s >= k ? k - 1 : s;
+}
+
+void ShardedEngine::RefillPending(uint32_t s) {
+  // Reuse a buffer the worker handed back instead of allocating per
+  // batch; recycled buffers keep their capacity.
+  if (shards_[s]->TryRecycle(&pending_[s])) {
+    pending_[s].clear();
+  } else {
+    pending_[s] = EdgeBatch();
+  }
+  pending_[s].reserve(options_.batch_size);
+}
+
 void ShardedEngine::Process(const Edge& e) {
   assert(!finished_);
   ++edges_processed_;
-  const uint32_t s = ShardOfEdge(e, num_shards());
-  ShardWorker::Batch& batch = pending_[s];
+  const uint32_t s = RouteShard(e);
+  EdgeBatch& batch = pending_[s];
   batch.push_back(e);
   if (batch.size() >= options_.batch_size) {
     shards_[s]->Submit(std::move(batch));
-    batch = ShardWorker::Batch();
-    batch.reserve(options_.batch_size);
+    RefillPending(s);
   }
   if (monitor_every_ != 0 || checkpoint_every_ != 0) FirePeriodicHooks();
 }
@@ -303,8 +346,7 @@ void ShardedEngine::Flush() {
   for (uint32_t s = 0; s < num_shards(); ++s) {
     if (pending_[s].empty()) continue;
     shards_[s]->Submit(std::move(pending_[s]));
-    pending_[s] = ShardWorker::Batch();
-    pending_[s].reserve(options_.batch_size);
+    RefillPending(s);
   }
 }
 
@@ -327,6 +369,29 @@ std::vector<const GpsReservoir*> ShardedEngine::CollectReservoirs() const {
     reservoirs.push_back(&shard->reservoir());
   }
   return reservoirs;
+}
+
+std::vector<ShardSampleRef> ShardedEngine::CollectSampleRefs() const {
+  std::vector<ShardSampleRef> refs;
+  refs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    refs.push_back({&shard->reservoir(), shard->slot_strata()});
+  }
+  return refs;
+}
+
+uint64_t ShardedEngine::StealsPerformed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->steals_performed();
+  return total;
+}
+
+double ShardedEngine::MaxWorkerBusySeconds() const {
+  double max_busy = 0.0;
+  for (const auto& shard : shards_) {
+    max_busy = std::max(max_busy, shard->busy_seconds());
+  }
+  return max_busy;
 }
 
 GraphEstimates ShardedEngine::MergedGraphEstimatesOver(
@@ -364,7 +429,8 @@ GraphEstimates ShardedEngine::MergedEstimates() {
   if (options_.merge_mode == MergeMode::kPostStreamMerged) {
     return EstimateMergedPostStream(CollectReservoirs());
   }
-  return MergedGraphEstimatesOver(BuildUnionSample(CollectReservoirs()));
+  return MergedGraphEstimatesOver(
+      BuildUnionSample(std::span<const ShardSampleRef>(CollectSampleRefs())));
 }
 
 std::vector<MotifEstimate> ShardedEngine::MergedMotifEstimates() {
@@ -376,7 +442,8 @@ std::vector<MotifEstimate> ShardedEngine::MergedMotifEstimates() {
     return {};
   }
   if (!finished_) Drain();
-  return MergedMotifEstimatesOver(BuildUnionSample(CollectReservoirs()));
+  return MergedMotifEstimatesOver(
+      BuildUnionSample(std::span<const ShardSampleRef>(CollectSampleRefs())));
 }
 
 double ShardedEngine::MergedEdgeCountEstimate() {
@@ -393,6 +460,16 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
   if (options_.merge_mode != MergeMode::kInStreamPlusCross) {
     return Status::FailedPrecondition(
         "sharded checkpoints require in-stream shard estimators");
+  }
+  // Skewed routing is a bench/stress knob, and the manifest does not
+  // carry it: a resumed engine would silently fall back to the uniform
+  // hash and route the continued stream to DIFFERENT shards, breaking
+  // the resume byte-identity contract. Refuse rather than corrupt.
+  if (options_.shard_skew > 0.0) {
+    return Status::FailedPrecondition(
+        "sharded checkpoints require the uniform edge-hash partition "
+        "(shard_skew is a benchmark knob and is not recorded in "
+        "manifests)");
   }
   ShardManifest manifest;
   manifest.num_shards = num_shards();
@@ -557,8 +634,13 @@ ShardedEngine::ShardedEngine(
   shards_.reserve(k);
   pending_.resize(k);
   for (uint32_t s = 0; s < k; ++s) {
+    // Checkpoints restore sequential shard processing (a manifest does
+    // not carry batch-substream state), so the resumed engine runs with
+    // the scheduler disabled.
     shards_.push_back(std::make_unique<ShardWorker>(
-        s, MakeShardOptions(options_, s, ShardEstimatorKind::kInStream),
+        s,
+        MakeShardOptions(options_, s, ShardEstimatorKind::kInStream,
+                         StealMode::kDisabled),
         std::move(restored[s]), restored_motifs[s]));
     pending_[s].reserve(options_.batch_size);
   }
@@ -610,6 +692,12 @@ Status ShardedEngine::CheckpointEvery(uint64_t n_edges,
     return Status::FailedPrecondition(
         "sharded checkpoints require in-stream shard estimators");
   }
+  if (n_edges != 0 && options_.shard_skew > 0.0) {
+    return Status::FailedPrecondition(
+        "sharded checkpoints require the uniform edge-hash partition "
+        "(shard_skew is a benchmark knob and is not recorded in "
+        "manifests)");
+  }
   checkpoint_every_ = n_edges;
   checkpoint_dir_ = dir;
   return Status::Ok();
@@ -625,7 +713,8 @@ void ShardedEngine::FirePeriodicHooks() {
       // One drain, one union-sample build for both passes: ticks fire on
       // every period, so the O(sample) index must not be built twice.
       if (!finished_) Drain();
-      const UnionSample sample = BuildUnionSample(CollectReservoirs());
+      const UnionSample sample =
+          BuildUnionSample(std::span<const ShardSampleRef>(CollectSampleRefs()));
       record.estimates = MergedGraphEstimatesOver(sample);
       record.motifs = MergedMotifEstimatesOver(sample);
     }

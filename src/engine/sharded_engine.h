@@ -80,6 +80,29 @@ struct ShardedEngineOptions {
   /// randomness, so enabling motifs never changes reservoirs or tri/wedge
   /// estimates.
   std::vector<std::string> motifs;
+  /// Work-stealing scheduler mode (engine/shard.h). kArmed and kActive
+  /// switch shard processing to deterministic batch substreams: every
+  /// batch is bound to a counter-based RNG substream derived from (owner
+  /// shard, batch index) and processed as an independent mini-estimator,
+  /// re-bound to its owner at merge time — so kActive (idle workers steal
+  /// pending batches from overloaded peers) produces merged estimates,
+  /// motif statistics, and checkpoint manifests BYTE-IDENTICAL to kArmed
+  /// (no thief ever fires) on the same substream assignment, regardless
+  /// of thread scheduling. Requires MergeMode::kInStreamPlusCross. In
+  /// steal mode the batch size is part of the sample path (it defines the
+  /// substream boundaries); with num_shards == 1 the scheduler is
+  /// bypassed (there are no peers), preserving the serial byte-identity
+  /// contract with stealing enabled.
+  StealMode steal = StealMode::kDisabled;
+  /// Deliberate routing skew for scheduler benchmarks and steal stress
+  /// tests: 0 (default) is the production uniform edge-hash partition;
+  /// s > 0 biases the hash toward low shard indices (the hash unit
+  /// variate is raised to 1+s before the range reduction), overloading
+  /// shard 0 so stealing provably has work to move. Still a pure,
+  /// deterministic function of the edge. Because manifests do not record
+  /// the knob (a resumed run would silently reroute uniformly),
+  /// SerializeShards/CheckpointEvery refuse when it is nonzero.
+  double shard_skew = 0.0;
 };
 
 /// Transport knobs a resumed engine cannot recover from a manifest (they
@@ -222,11 +245,29 @@ class ShardedEngine {
   /// key, reduced to [0, num_shards).
   static uint32_t ShardOfEdge(const Edge& e, uint32_t num_shards);
 
+  /// ShardOfEdge with the engine's configured shard_skew applied (equal to
+  /// ShardOfEdge for the default skew 0).
+  uint32_t RouteShard(const Edge& e) const;
+
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
   /// Total edges routed (submitted + still pending in batches).
   uint64_t edges_processed() const { return edges_processed_; }
+
+  /// The scheduler mode actually in effect (options().steal downgraded to
+  /// kDisabled for single-shard or post-stream-merged layouts).
+  StealMode effective_steal() const { return effective_steal_; }
+
+  /// Total batches stolen across all workers so far (kActive only;
+  /// diagnostics — by the determinism contract the count never affects
+  /// results). Caller must hold the Drain()/Finish() guarantee.
+  uint64_t StealsPerformed() const;
+
+  /// The scheduler's critical path: the busiest worker's executed-work
+  /// seconds (ShardWorker::busy_seconds). On a host with >= K+1 cores
+  /// this bounds ingestion wall-clock; stealing shrinks it on any host.
+  double MaxWorkerBusySeconds() const;
 
   /// Per-shard worker access (reservoirs, in-stream estimates). Caller
   /// must hold the Drain()/Finish() guarantee.
@@ -251,6 +292,13 @@ class ShardedEngine {
   /// guarantee.
   std::vector<const GpsReservoir*> CollectReservoirs() const;
 
+  /// Per-shard union-sample inputs (reservoir + batch sub-strata in steal
+  /// mode); caller must hold the drained/finished guarantee.
+  std::vector<ShardSampleRef> CollectSampleRefs() const;
+
+  /// Hands the shard a fresh (recycled when possible) pending buffer.
+  void RefillPending(uint32_t s);
+
   /// In-stream-mode merged estimates over a prebuilt union sample, so a
   /// monitoring tick builds the O(sample) union index once for the
   /// tri/wedge AND motif passes. Drained state required.
@@ -259,8 +307,9 @@ class ShardedEngine {
       const UnionSample& sample);
 
   ShardedEngineOptions options_;
+  StealMode effective_steal_ = StealMode::kDisabled;
   std::vector<std::unique_ptr<ShardWorker>> shards_;
-  std::vector<ShardWorker::Batch> pending_;
+  std::vector<EdgeBatch> pending_;
   uint64_t edges_processed_ = 0;
   bool finished_ = false;
 

@@ -31,6 +31,7 @@ struct ExactCounts {
   /// ExactStreamCounter never maintains these.
   double four_cliques = 0;
   double three_paths = 0;
+  double four_cycles = 0;
 
   /// Global clustering coefficient alpha = 3*N(tri)/N(wedge); 0 when there
   /// are no wedges.
@@ -41,10 +42,12 @@ struct ExactCounts {
 
 /// Counts triangles and wedges exactly on a static graph. With
 /// count_higher_motifs additionally fills in exact 4-clique counts
-/// (Chiba–Nishizeki style enumeration over the degree-ordered orientation)
-/// and simple 3-path counts (Σ_{(u,v)∈E} (d(u)-1)(d(v)-1) - 3·N(tri)) —
-/// the accuracy oracles for the motif-statistic pipeline; intended for the
-/// small/medium graphs of the test suites.
+/// (Chiba–Nishizeki style enumeration over the degree-ordered orientation),
+/// simple 3-path counts (Σ_{(u,v)∈E} (d(u)-1)(d(v)-1) - 3·N(tri)), and
+/// 4-cycle counts (each C4 has exactly two diagonal node pairs, so
+/// N(C4) = ½ Σ_{u<w} C(codeg(u,w), 2) over the wedge-derived co-degree
+/// table) — the accuracy oracles for the motif-statistic pipeline;
+/// intended for the small/medium graphs of the test suites.
 ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs = false);
 
 /// Counts triangles containing each edge (u,v) of the graph; returned in the

@@ -98,6 +98,7 @@ TEST_F(CliTest, ExactCountsRun) {
   EXPECT_EQ(motifs.exit_code, 0) << motifs.output;
   EXPECT_NE(motifs.output.find("4cliques"), std::string::npos);
   EXPECT_NE(motifs.output.find("3paths"), std::string::npos);
+  EXPECT_NE(motifs.output.find("4cycles"), std::string::npos);
 }
 
 TEST_F(CliTest, ExactMissingFileFails) {
@@ -190,6 +191,34 @@ TEST_F(CliTest, EstimateSharded) {
   EXPECT_NE(r.output.find("merged in-stream estimates"), std::string::npos);
   EXPECT_NE(r.output.find("merged post-stream estimates"),
             std::string::npos);
+}
+
+TEST_F(CliTest, EstimateStealOnMatchesStealOffByteForByte) {
+  // The scheduler's user-facing contract: --steal on output equals
+  // --steal off output exactly (same deterministic batch-substream
+  // semantics; only thief activation differs).
+  const std::string args = "estimate --input " + graph_path_ +
+                           " --capacity 2000 --shards 4 --batch 128 "
+                           "--seed 9 --motifs tri,4cycle --steal ";
+  const CommandResult off = RunCli(args + "off");
+  ASSERT_EQ(off.exit_code, 0) << off.output;
+  const CommandResult on = RunCli(args + "on");
+  ASSERT_EQ(on.exit_code, 0) << on.output;
+  EXPECT_EQ(off.output, on.output);
+  EXPECT_NE(on.output.find("merged in-stream estimates"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, EstimateStealFlagValidation) {
+  const CommandResult bad =
+      RunCli("estimate --input " + graph_path_ + " --steal sideways");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("expects on or off"), std::string::npos);
+  const CommandResult post =
+      RunCli("estimate --input " + graph_path_ +
+             " --estimator post --steal on");
+  EXPECT_NE(post.exit_code, 0);
+  EXPECT_NE(post.output.find("in-stream"), std::string::npos);
 }
 
 TEST_F(CliTest, EstimatePostStreamHonorsThreads) {
@@ -596,7 +625,7 @@ TEST_F(CliTest, ResumeShardsContinuationMatchesUninterruptedByteForByte) {
 TEST_F(CliTest, ListMotifsShowsRegistry) {
   const CommandResult r = RunCli("list-motifs");
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  for (const char* name : {"tri", "wedge", "4clique", "3path"}) {
+  for (const char* name : {"tri", "wedge", "4clique", "3path", "4cycle"}) {
     EXPECT_NE(r.output.find(name), std::string::npos) << name;
   }
 }

@@ -95,14 +95,14 @@ INSTANTIATE_TEST_SUITE_P(BothFrameworks, CalibrationTest,
                          });
 
 // Generic-motif calibration (Section 5.1 snapshots through the registry
-// suite): 4-clique and 3-path estimates are unbiased and accurate on both
-// a heavy-tailed (BA) and a homogeneous (ER) stream. Variance gates stay
-// out deliberately: the generic accumulator reports the conservative
-// Σ Ŝ(Ŝ-1) lower bound, which is calibrated only when instance overlaps
-// are rare.
+// suite): 4-clique, 3-path, and 4-cycle estimates are unbiased and
+// accurate on both a heavy-tailed (BA) and a homogeneous (ER) stream.
+// Variance gates stay out deliberately: the generic accumulator reports
+// the conservative Σ Ŝ(Ŝ-1) lower bound, which is calibrated only when
+// instance overlaps are rare.
 class MotifCalibrationTest : public ::testing::TestWithParam<bool> {};
 
-TEST_P(MotifCalibrationTest, FourCliqueAndThreePathUnbiased) {
+TEST_P(MotifCalibrationTest, FourCliqueThreePathFourCycleUnbiased) {
   const bool heavy_tailed = GetParam();
   const std::string what = heavy_tailed ? "BA" : "ER";
   EdgeList graph = heavy_tailed
@@ -112,12 +112,14 @@ TEST_P(MotifCalibrationTest, FourCliqueAndThreePathUnbiased) {
                                         /*count_higher_motifs=*/true);
   ASSERT_GT(actual.four_cliques, 0.0) << what;
   ASSERT_GT(actual.three_paths, 0.0) << what;
+  ASSERT_GT(actual.four_cycles, 0.0) << what;
   const std::vector<Edge> stream = MakePermutedStream(graph, 983);
 
   const int trials = StatTrials(120);
-  const std::vector<std::string> names = {"4clique", "3path"};
+  const std::vector<std::string> names = {"4clique", "3path", "4cycle"};
   stat::PointTrials k4(actual.four_cliques);
   stat::PointTrials p3(actual.three_paths);
+  stat::PointTrials c4(actual.four_cycles);
   for (int trial = 0; trial < trials; ++trial) {
     GpsSamplerOptions options;
     options.capacity = stream.size() / 2;
@@ -130,14 +132,17 @@ TEST_P(MotifCalibrationTest, FourCliqueAndThreePathUnbiased) {
     }
     k4.Add(suite.accumulator(0).count);
     p3.Add(suite.accumulator(1).count);
+    c4.Add(suite.accumulator(2).count);
   }
 
   // Theorem 4(ii): snapshot sums are exactly unbiased for any motif the
   // arriving edge completes.
   k4.ExpectMeanNearExact(what + " 4-cliques");
   p3.ExpectMeanNearExact(what + " 3-paths");
+  c4.ExpectMeanNearExact(what + " 4-cycles");
   k4.ExpectMeanRelErrorBelow(0.60, what + " 4-cliques");
   p3.ExpectMeanRelErrorBelow(0.08, what + " 3-paths");
+  c4.ExpectMeanRelErrorBelow(0.35, what + " 4-cycles");
 }
 
 INSTANTIATE_TEST_SUITE_P(BothFamilies, MotifCalibrationTest,

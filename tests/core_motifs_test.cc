@@ -22,11 +22,12 @@ namespace {
 
 TEST(MotifRegistryTest, CanonicalEntriesPresent) {
   const std::vector<MotifEntry>& entries = MotifEntries();
-  ASSERT_EQ(entries.size(), 4u);
+  ASSERT_EQ(entries.size(), 5u);
   EXPECT_EQ(entries[0].name, "tri");
   EXPECT_EQ(entries[1].name, "wedge");
   EXPECT_EQ(entries[2].name, "4clique");
   EXPECT_EQ(entries[3].name, "3path");
+  EXPECT_EQ(entries[4].name, "4cycle");
   // The per-instance edge counts drive the post-stream multiplicity
   // division in engine/merge.cc; a wrong constant silently rescales
   // every cross-shard motif estimate.
@@ -34,6 +35,7 @@ TEST(MotifRegistryTest, CanonicalEntriesPresent) {
   EXPECT_EQ(FindMotif("wedge")->num_edges, 2);
   EXPECT_EQ(FindMotif("4clique")->num_edges, 6);
   EXPECT_EQ(FindMotif("3path")->num_edges, 3);
+  EXPECT_EQ(FindMotif("4cycle")->num_edges, 4);
   EXPECT_EQ(FindMotif("5clique"), nullptr);
   for (const MotifEntry& entry : entries) {
     EXPECT_NE(entry.make_enumerator, nullptr) << entry.name;

@@ -26,8 +26,12 @@ TEST(SpscRingBufferTest, FifoOrder) {
 TEST(SpscRingBufferTest, CapacityRoundsUpToPowerOfTwo) {
   SpscRingBuffer<int> ring(5);
   EXPECT_EQ(ring.capacity(), 8u);
-  SpscRingBuffer<int> tiny(0);
+  // Documented minimum: a requested capacity of 1 is a valid request but
+  // yields the 2-slot floor (capacity 0 asserts — see ring_buffer.h).
+  SpscRingBuffer<int> tiny(1);
   EXPECT_EQ(tiny.capacity(), 2u);
+  SpscRingBuffer<int> two(2);
+  EXPECT_EQ(two.capacity(), 2u);
 }
 
 TEST(SpscRingBufferTest, PushFailsWhenFullPopFailsWhenEmpty) {

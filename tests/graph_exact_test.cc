@@ -115,8 +115,12 @@ TEST(CountExactTest, HigherMotifsOnKnownGraphs) {
     const double expect_k4 =
         n * (n - 1.0) * (n - 2.0) * (n - 3.0) / 24.0;
     const double expect_p4 = n * (n - 1.0) * (n - 2.0) * (n - 3.0) / 2.0;
+    // Each 4-node subset of K_n carries all 3 of its pairings as a C4
+    // (chords allowed).
+    const double expect_c4 = 3.0 * expect_k4;
     EXPECT_DOUBLE_EQ(c.four_cliques, expect_k4) << "K" << n;
     EXPECT_DOUBLE_EQ(c.three_paths, expect_p4) << "K" << n;
+    EXPECT_DOUBLE_EQ(c.four_cycles, expect_c4) << "K" << n;
   }
 
   // A path of 4 nodes holds exactly one 3-path and no 4-clique; a 4-cycle
@@ -124,17 +128,21 @@ TEST(CountExactTest, HigherMotifsOnKnownGraphs) {
   ExactCounts p4 = CountExact(CsrGraph::FromEdgeList(Path(4)), true);
   EXPECT_DOUBLE_EQ(p4.four_cliques, 0.0);
   EXPECT_DOUBLE_EQ(p4.three_paths, 1.0);
+  EXPECT_DOUBLE_EQ(p4.four_cycles, 0.0);
   ExactCounts c4 = CountExact(CsrGraph::FromEdgeList(Cycle(4)), true);
   EXPECT_DOUBLE_EQ(c4.four_cliques, 0.0);
   EXPECT_DOUBLE_EQ(c4.three_paths, 4.0);
+  EXPECT_DOUBLE_EQ(c4.four_cycles, 1.0);
   ExactCounts k3 = CountExact(CsrGraph::FromEdgeList(Complete(3)), true);
   EXPECT_DOUBLE_EQ(k3.four_cliques, 0.0);
   EXPECT_DOUBLE_EQ(k3.three_paths, 0.0);
+  EXPECT_DOUBLE_EQ(k3.four_cycles, 0.0);
 
   // Default (cheap) mode leaves the higher-order fields zero.
   ExactCounts cheap = CountExact(CsrGraph::FromEdgeList(Complete(6)));
   EXPECT_DOUBLE_EQ(cheap.four_cliques, 0.0);
   EXPECT_DOUBLE_EQ(cheap.three_paths, 0.0);
+  EXPECT_DOUBLE_EQ(cheap.four_cycles, 0.0);
 }
 
 TEST(CountExactTest, HigherMotifsMatchBruteForce) {
@@ -174,8 +182,26 @@ TEST(CountExactTest, HigherMotifsMatchBruteForce) {
     }
     brute_p4 /= 2.0;
 
+    // Independent 4-cycle oracle: closed walks a-b-x-d-a on 4 distinct
+    // nodes; each C4 is traversed 8 times (4 starting points x 2
+    // directions).
+    double brute_c4 = 0;
+    for (NodeId a = 0; a < g.NumNodes(); ++a) {
+      for (NodeId b : g.Neighbors(a)) {
+        for (NodeId x : g.Neighbors(b)) {
+          if (x == a) continue;
+          for (NodeId d : g.Neighbors(x)) {
+            if (d == a || d == b) continue;
+            if (g.HasEdge(d, a)) brute_c4 += 1;
+          }
+        }
+      }
+    }
+    brute_c4 /= 8.0;
+
     EXPECT_DOUBLE_EQ(c.four_cliques, brute_k4) << "seed " << seed;
     EXPECT_DOUBLE_EQ(c.three_paths, brute_p4) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(c.four_cycles, brute_c4) << "seed " << seed;
   }
 }
 

@@ -179,10 +179,15 @@ int Usage() {
       "  estimate --input FILE [--capacity N] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
-      "           [--shards K] [--batch B] [--threads T]\n"
-      "           [--motifs tri,wedge,4clique,3path] [--degree NODE ...]\n"
-      "           [--checkpoint FILE]  (a directory with --shards K>1\n"
-      "           or --motifs)\n"
+      "           [--shards K] [--batch B] [--threads T] [--steal on|off]\n"
+      "           [--motifs tri,wedge,4clique,3path,4cycle]\n"
+      "           [--degree NODE ...]\n"
+      "           [--checkpoint FILE]  (a directory with --shards K>1,\n"
+      "           --motifs, or --steal)\n"
+      "           --steal on: idle shard workers steal batches from\n"
+      "           overloaded peers; off: same deterministic\n"
+      "           batch-substream scheduler, no stealing (byte-identical\n"
+      "           results); omit for the classic sequential path\n"
       "  resume   --checkpoint FILE --input FILE [--save FILE]\n"
       "           [--no-permute]\n"
       "  resume-shards --manifest FILE [--manifest FILE ...]\n"
@@ -190,11 +195,11 @@ int Usage() {
       "           [--motifs LIST]  (cross-checked against the manifest)\n"
       "  monitor  --input FILE --every N [--capacity N] [--seed S]\n"
       "           [--weight KIND] [--shards K] [--batch B]\n"
-      "           [--motifs LIST] [--output csv|table] [--no-permute]\n"
-      "           [--checkpoint-every M --checkpoint DIR]\n"
+      "           [--steal on|off] [--motifs LIST] [--output csv|table]\n"
+      "           [--no-permute] [--checkpoint-every M --checkpoint DIR]\n"
       "  checkpoint-shards --input FILE --out DIR [--capacity N]\n"
       "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
-      "           [--motifs LIST] [--no-permute]\n"
+      "           [--steal on|off] [--motifs LIST] [--no-permute]\n"
       "  merge-checkpoints --manifest FILE [--manifest FILE ...]\n"
       "  generate --name CORPUS [--scale X] [--output FILE]\n"
       "  exact    --input FILE [--higher-motifs]  (adds 4-clique/3-path\n"
@@ -384,6 +389,7 @@ struct ShardedRunConfig {
   uint64_t shards = 1;
   uint64_t batch = 1024;
   std::vector<std::string> motifs;
+  StealMode steal = StealMode::kDisabled;
 };
 
 /// Parses and range-checks the sampler/sharding flags; false (after
@@ -409,6 +415,23 @@ bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
     return false;
   }
   out->sampler.capacity = capacity;
+  // The work-stealing scheduler: "--steal on" activates thieves, "--steal
+  // off" arms the same deterministic batch-substream scheduler without
+  // them (the two are byte-identical by contract — src/engine/README.md);
+  // omitting the flag keeps the classic sequential per-shard path.
+  if (flags.Has("steal")) {
+    const std::string steal = flags.Get("steal", "");
+    if (steal == "on") {
+      out->steal = StealMode::kActive;
+    } else if (steal == "off") {
+      out->steal = StealMode::kArmed;
+    } else {
+      std::fprintf(stderr,
+                   "error: flag '--steal' expects on or off, got '%s'\n",
+                   steal.c_str());
+      return false;
+    }
+  }
   return true;
 }
 
@@ -420,6 +443,7 @@ ShardedEngineOptions MakeEngineOptions(const ShardedRunConfig& config) {
   options.num_shards = static_cast<uint32_t>(config.shards);
   options.batch_size = config.batch;
   options.motifs = config.motifs;
+  options.steal = config.steal;
   return options;
 }
 
@@ -466,11 +490,20 @@ int RunEstimate(const Flags& flags) {
                  "--estimator post or --motifs)\n");
     return 1;
   }
+  if (config.steal != StealMode::kDisabled && estimator == "post") {
+    std::fprintf(stderr,
+                 "error: the steal scheduler needs in-stream shard "
+                 "estimators (drop --estimator post or --steal)\n");
+    return 1;
+  }
 
   // Motif suites always run on the engine (K >= 1): K=1 reproduces the
   // serial sample path byte for byte, and only the engine's manifest
-  // checkpoints carry motif accumulators.
-  if (config.shards > 1 || !config.motifs.empty()) {
+  // checkpoints carry motif accumulators. Likewise --steal routes through
+  // the engine (a single-shard engine bypasses the scheduler but still
+  // replays the serial path exactly).
+  if (config.shards > 1 || !config.motifs.empty() ||
+      config.steal != StealMode::kDisabled) {
     // Sharded engine path: K worker threads, hash-partitioned substreams,
     // merged stratified estimates (src/engine/).
     if (flags.Has("threads")) {
@@ -958,6 +991,7 @@ int RunExact(const Flags& flags) {
   if (higher) {
     t.AddRow({"4cliques", CountCell(counts.four_cliques)});
     t.AddRow({"3paths", CountCell(counts.three_paths)});
+    t.AddRow({"4cycles", CountCell(counts.four_cycles)});
   }
   std::printf("%s", t.ToString().c_str());
   return 0;
@@ -992,7 +1026,8 @@ int main(int argc, char** argv) {
   if (command == "estimate") {
     allowed = {"input",     "capacity",  "seed",   "weight",
                "estimator", "no-permute", "shards", "batch",
-               "threads",   "checkpoint", "motifs", "degree"};
+               "threads",   "checkpoint", "motifs", "degree",
+               "steal"};
   } else if (command == "resume") {
     allowed = {"checkpoint", "input", "seed", "save", "no-permute"};
   } else if (command == "resume-shards") {
@@ -1003,11 +1038,12 @@ int main(int argc, char** argv) {
     allowed = {"input",  "capacity", "seed",
                "weight", "shards",   "batch",
                "every",  "output",   "checkpoint-every",
-               "checkpoint", "no-permute", "motifs"};
+               "checkpoint", "no-permute", "motifs",
+               "steal"};
   } else if (command == "checkpoint-shards") {
     allowed = {"input", "capacity", "seed",      "weight",
                "shards", "batch",   "no-permute", "out",
-               "motifs"};
+               "motifs", "steal"};
   } else if (command == "merge-checkpoints") {
     allowed = {"manifest"};
   } else if (command == "generate") {
