@@ -53,6 +53,7 @@
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
+#include "util/metrics.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -70,7 +71,9 @@ struct Row {
   double edges_per_sec = 0.0;
   double speedup = 1.0;
   double critical_path = 0.0;  // busiest worker's executed seconds
+  uint64_t steals_performed = 0;
   GraphEstimates estimates;
+  MetricsSnapshot metrics;  // empty for the serial row
 };
 
 std::string Fmt(const char* fmt, double v) {
@@ -100,6 +103,8 @@ Row RunEngineRow(const std::vector<Edge>& stream, const GpsSamplerOptions& base,
   row.seconds = timer.ElapsedSeconds();
   if (steals != nullptr) *steals = engine.StealsPerformed();
   row.critical_path = engine.MaxWorkerBusySeconds();
+  row.steals_performed = engine.StealsPerformed();
+  row.metrics = engine.SnapshotMetrics();  // after the timer: observation only
   WallTimer merge_timer;
   row.estimates = engine.MergedEstimates();
   row.merge_seconds = merge_timer.ElapsedSeconds();
@@ -139,10 +144,16 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
         << Fmt("%.3g", r.skew) << ", \"seconds\": "
         << Fmt("%.6g", r.seconds) << ", \"merge_seconds\": "
         << Fmt("%.6g", r.merge_seconds) << ", \"critical_path_seconds\": "
-        << Fmt("%.6g", r.critical_path) << ", \"edges_per_sec\": "
+        << Fmt("%.6g", r.critical_path)
+        << ", \"max_worker_busy_seconds\": " << Fmt("%.6g", r.critical_path)
+        << ", \"steals_performed\": " << r.steals_performed
+        << ", \"edges_per_sec\": "
         << Fmt("%.17g", r.edges_per_sec) << ", \"speedup\": "
         << Fmt("%.17g", r.speedup) << ", \"triangles\": "
-        << Fmt("%.17g", r.estimates.triangles.value) << "}"
+        << Fmt("%.17g", r.estimates.triangles.value) << ",\n"
+        // The full engine metrics snapshot (src/util/metrics.h); empty
+        // sections for the serial row, which has no engine.
+        << "     \"metrics\": " << r.metrics.ToJson(2) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
@@ -203,12 +214,49 @@ bool GateAgainstBaseline(const std::string& path, double speedup_k4,
   return ok;
 }
 
+/// --ingest-probe: best-of-N ingest throughput for the serial estimator
+/// and the K=4 engine, printed as `key value` lines. The metrics-overhead
+/// gate (scripts/overhead_gate.sh) runs this from an instrumented build
+/// and a -DGPS_METRICS=OFF build and compares the ratios; best-of-N
+/// (not mean) because the gate cares about the code's speed, not the
+/// machine's noise floor.
+int RunIngestProbe(const std::vector<Edge>& stream,
+                   const GpsSamplerOptions& base, int trials) {
+  double serial_best = 0.0;
+  double engine_best = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    {
+      WallTimer timer;
+      InStreamEstimator serial(base);
+      for (const Edge& e : stream) serial.Process(e);
+      serial_best =
+          std::max(serial_best, stream.size() / timer.ElapsedSeconds());
+    }
+    {
+      ShardedEngineOptions options;
+      options.sampler = base;
+      options.num_shards = 4;
+      WallTimer timer;
+      ShardedEngine engine(options);
+      for (const Edge& e : stream) engine.Process(e);
+      engine.Finish();
+      engine_best =
+          std::max(engine_best, stream.size() / timer.ElapsedSeconds());
+    }
+  }
+  std::printf("metrics_enabled %d\n", MetricsEnabled() ? 1 : 0);
+  std::printf("ingest_probe_serial_eps %.17g\n", serial_best);
+  std::printf("ingest_probe_k4_eps %.17g\n", engine_best);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t target_edges = 1000000;
   size_t capacity = 250000;
   bool run_exact = true;
+  int ingest_probe = 0;  // 0 = full bench; N = probe with N trials
   std::string json_path;
   std::string baseline_path;
   size_t kStealBatch = 8192;
@@ -231,12 +279,18 @@ int main(int argc, char** argv) {
       kStealRing = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--steal-skew") && i + 1 < argc) {
       kStealSkew = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "--ingest-probe") && i + 1 < argc) {
+      ingest_probe = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (ingest_probe < 1) {
+        std::fprintf(stderr, "--ingest-probe needs a trial count >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_engine [--edges N] [--capacity M] "
                    "[--no-exact] [--json FILE] [--baseline FILE]\n"
                    "       [--steal-batch B] [--steal-ring R] "
-                   "[--steal-skew S]\n");
+                   "[--steal-skew S] [--ingest-probe TRIALS]\n");
       return 2;
     }
   }
@@ -255,6 +309,8 @@ int main(int argc, char** argv) {
   GpsSamplerOptions base;
   base.capacity = capacity;
   base.seed = 903;
+
+  if (ingest_probe > 0) return RunIngestProbe(stream, base, ingest_probe);
 
   std::vector<Row> rows;
 

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Local CI: Release build + full ctest, then the engine perf smoke with
 # its machine-readable JSON artifact gated against the checked-in
-# baseline (> 10% relative regression fails), then an ASan/UBSan Debug
-# pass and a TSan Debug pass over the threaded engine suites — the TSan
-# pass includes engine_steal_test, the work-stealing hand-off stress.
+# baseline (> 10% relative regression fails), then the metrics-overhead
+# gate (instrumented vs GPS_METRICS=0 ingest, scripts/overhead_gate.sh),
+# then an ASan/UBSan Debug pass and a TSan Debug pass over the threaded
+# engine suites — the TSan pass includes engine_steal_test (the
+# work-stealing hand-off stress) and engine_metrics_test (snapshot
+# aggregation racing live relaxed-atomic writers).
 # Mirrors the release + sanitize + tsan jobs of .github/workflows/ci.yml
 # (CI additionally archives BENCH_engine.json / BENCH_scaling.json per
 # run and schedules a nightly GPS_STAT_TRIALS=200 statistical pass).
@@ -28,23 +31,30 @@ echo "=== Engine perf smoke (JSON + baseline regression gate) ==="
   --baseline bench/BENCH_engine.baseline.json
 GPS_BENCH_SCALE=0.05 ./build/bench_scaling --json build/BENCH_scaling.json
 
+echo "=== Metrics overhead gate (< 2% vs GPS_METRICS=0) ==="
+# Reuses the Release build above as the instrumented side.
+scripts/overhead_gate.sh build
+
 echo "=== ASan/UBSan build + engine/serialization/cli tests ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_checkpoint_test \
-  engine_resume_test engine_steal_test core_parallel_test \
-  core_serialize_test cli_test gps_cli
+  engine_resume_test engine_steal_test engine_metrics_test \
+  core_parallel_test core_serialize_test cli_test gps_cli
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
   --timeout 300 -R 'engine_|core_parallel|core_serialize|cli_test'
 
 echo "=== TSan build + threaded suites (steal hand-off stress) ==="
+# engine_metrics_test rides along: metric snapshots race live relaxed
+# writers by design, exactly what TSan must bless.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=thread \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_steal_test \
-  core_parallel_test
+  engine_metrics_test core_parallel_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-  --timeout 300 -R 'engine_ring_buffer|engine_sharded|engine_steal|core_parallel'
+  --timeout 300 \
+  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|core_parallel'
 
 echo "OK"

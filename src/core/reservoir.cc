@@ -41,6 +41,7 @@ GpsReservoir::ProcessResult GpsReservoir::Process(const Edge& raw,
   // comparison below would discard it anyway, and max(z*, priority) is a
   // no-op. One cached-double comparison instead of a heap-array load.
   if (priority <= z_star_ && heap_.size() >= options_.capacity) {
+    metrics_.precheck_rejects.Increment();
     return {};
   }
 
@@ -51,6 +52,7 @@ GpsReservoir::ProcessResult GpsReservoir::Admit(const EdgeRecord& record) {
   const Edge e = record.edge.Canonical();
   if (e.IsSelfLoop() || graph_.HasEdge(e)) return {};
   if (record.priority <= z_star_ && heap_.size() >= options_.capacity) {
+    metrics_.precheck_rejects.Increment();
     return {};
   }
   EdgeRecord canonical = record;
@@ -69,6 +71,7 @@ GpsReservoir::ProcessResult GpsReservoir::InsertWithPriority(
     graph_.AddEdge(e, slot);
     result.inserted = true;
     result.slot = slot;
+    metrics_.admissions.Increment();
     return result;
   }
 
@@ -94,6 +97,8 @@ GpsReservoir::ProcessResult GpsReservoir::InsertWithPriority(
   result.inserted = true;
   result.evicted = true;
   result.slot = slot;
+  metrics_.admissions.Increment();
+  metrics_.evictions.Increment();
   return result;
 }
 

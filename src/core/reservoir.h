@@ -31,9 +31,32 @@
 #include "graph/sampled_graph.h"
 #include "graph/types.h"
 #include "util/binary_heap.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace gps {
+
+/// Observation-only sampling counters (no-ops under GPS_METRICS=0).
+/// Embedded in each reservoir so shard-local updates never contend; the
+/// engine registers them with its MetricsRegistry under shared names.
+/// Copyable along with the reservoir (see util/metrics.h copy semantics).
+struct ReservoirMetrics {
+  /// Arrivals rejected by the O(1) z*-precheck before touching the heap.
+  Counter precheck_rejects;
+  /// Edges that entered the sample (Process draws and Admit re-binds).
+  Counter admissions;
+  /// Sampled edges evicted to make room for a higher priority.
+  Counter evictions;
+
+  /// Folds another reservoir's counts into this one (steal mode: a
+  /// detached mini-reservoir's activity is attributed to its owner shard
+  /// at re-bind time).
+  void Absorb(const ReservoirMetrics& other) {
+    precheck_rejects.Add(other.precheck_rejects.Value());
+    admissions.Add(other.admissions.Value());
+    evictions.Add(other.evictions.Value());
+  }
+};
 
 /// Reservoir configuration.
 struct GpsOptions {
@@ -153,6 +176,10 @@ class GpsReservoir {
   /// Reservoir configuration.
   const GpsOptions& options() const { return options_; }
 
+  /// Sampling counters (precheck rejects / admissions / evictions).
+  const ReservoirMetrics& metrics() const { return metrics_; }
+  ReservoirMetrics* mutable_metrics() { return &metrics_; }
+
   /// Current RNG state, for checkpointing (see core/serialize.h).
   std::array<uint64_t, 4> RngState() const { return rng_.SaveState(); }
 
@@ -191,6 +218,7 @@ class GpsReservoir {
   SampledGraph graph_;
   double z_star_ = 0.0;
   uint64_t processed_ = 0;
+  ReservoirMetrics metrics_;
 };
 
 }  // namespace gps

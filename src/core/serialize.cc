@@ -103,6 +103,10 @@ Result<WeightOptions> ReadWeightOptions(std::istream& in) {
 
 }  // namespace
 
+int ManifestFormatVersion() { return kManifestVersion; }
+int ManifestMinReadVersion() { return kManifestMinReadVersion; }
+int EstimatorFormatVersion() { return kFormatVersion; }
+
 Status SerializeReservoir(const GpsReservoir& reservoir, std::ostream& out) {
   // Mirror the read-side ceiling: a checkpoint the deserializer would
   // reject must fail loudly at WRITE time, not when the operator tries

@@ -62,6 +62,14 @@ inline constexpr size_t kMaxCheckpointCapacity = size_t{1} << 28;
 /// Ceiling on a manifest's shard count K (matches gps_cli --shards).
 inline constexpr uint32_t kMaxManifestShards = 4096;
 
+/// The GPS-MANIFEST version this build writes (see the versioning note
+/// above). Exposed for compat triage (`gps_cli version`).
+int ManifestFormatVersion();
+/// The oldest GPS-MANIFEST version this build still reads.
+int ManifestMinReadVersion();
+/// The single-estimator (GPS-RESERVOIR/-SAMPLER/-INSTREAM) format version.
+int EstimatorFormatVersion();
+
 /// FNV-1a 64-bit digest of a byte string; binds manifest entries to the
 /// exact shard-file bytes they were written with.
 uint64_t ChecksumBytes(std::string_view bytes);

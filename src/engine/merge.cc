@@ -247,6 +247,10 @@ UnionSample::~UnionSample() = default;
 UnionSample::UnionSample(UnionSample&&) noexcept = default;
 UnionSample& UnionSample::operator=(UnionSample&&) noexcept = default;
 
+size_t UnionSample::num_edges() const {
+  return impl_ ? impl_->sample.records.size() : 0;
+}
+
 UnionSample BuildUnionSample(
     std::span<const GpsReservoir* const> shards) {
   auto impl = std::make_unique<UnionSample::Impl>();

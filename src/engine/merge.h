@@ -84,6 +84,10 @@ class UnionSample {
 
   size_t num_shards() const { return num_shards_; }
 
+  /// Number of sampled edges in the union (0 for < 2 shards, where no
+  /// union index is built). Observability only.
+  size_t num_edges() const;
+
  private:
   friend UnionSample BuildUnionSample(
       std::span<const GpsReservoir* const> shards);

@@ -25,7 +25,25 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace gps {
+
+/// Per-ring backpressure counters (no-ops under GPS_METRICS=0). push_fail
+/// is incremented by the producer, pop_empty by the consumer, and the
+/// occupancy high-water mark by the producer — each metric stays
+/// single-writer, so relaxed atomics tell the whole story.
+struct RingMetrics {
+  /// TryPush calls that found the ring full (producer stalls/backoff).
+  Counter push_fail;
+  /// TryPop calls that found the ring empty (consumer idle probes).
+  Counter pop_empty;
+  /// Highest occupancy observed at push time. Computed from the
+  /// producer's cached head, so it is an upper bound on true occupancy,
+  /// bounded by capacity(); saturation (== capacity) is the backpressure
+  /// signal that matters.
+  Gauge occupancy_hwm;
+};
 
 template <typename T>
 class SpscRingBuffer {
@@ -56,10 +74,15 @@ class SpscRingBuffer {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ == slots_.size()) {
       cached_head_ = head_.load(std::memory_order_acquire);
-      if (tail - cached_head_ == slots_.size()) return false;
+      if (tail - cached_head_ == slots_.size()) {
+        metrics_.push_fail.Increment();
+        return false;
+      }
     }
     slots_[tail & mask_] = std::move(item);
     tail_.store(tail + 1, std::memory_order_release);
+    metrics_.occupancy_hwm.SetMax(
+        static_cast<double>(tail - cached_head_ + 1));
     return true;
   }
 
@@ -69,7 +92,10 @@ class SpscRingBuffer {
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
-      if (head == cached_tail_) return false;
+      if (head == cached_tail_) {
+        metrics_.pop_empty.Increment();
+        return false;
+      }
     }
     *out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
@@ -88,6 +114,9 @@ class SpscRingBuffer {
            head_.load(std::memory_order_acquire);
   }
 
+  /// Backpressure counters (see RingMetrics).
+  const RingMetrics& metrics() const { return metrics_; }
+
  private:
   static constexpr size_t kCacheLine = 64;
 
@@ -99,6 +128,7 @@ class SpscRingBuffer {
   alignas(kCacheLine) std::atomic<size_t> tail_{0};  // producer-owned
   alignas(kCacheLine) size_t cached_head_ = 0;       // producer's view
   alignas(kCacheLine) std::atomic<bool> closed_{false};
+  alignas(kCacheLine) RingMetrics metrics_;
 };
 
 }  // namespace gps

@@ -105,6 +105,13 @@ void ShardWorker::SetStealPeers(std::vector<ShardWorker*> peers) {
   peers_ = std::move(peers);
 }
 
+void ShardWorker::SetTrace(TraceEventSink* sink, TraceBuffer* buffer) {
+  assert(!thread_.joinable() && "trace must be attached before Start");
+  assert((sink == nullptr) == (buffer == nullptr));
+  trace_sink_ = sink;
+  trace_buf_ = buffer;
+}
+
 void ShardWorker::Start() {
   assert(!thread_.joinable());
   thread_ = std::thread([this] { RunWorker(); });
@@ -158,6 +165,7 @@ void ShardWorker::RunWorker() {
 void ShardWorker::RunWorkerSequential() {
   EdgeBatch batch;
   Backoff backoff;
+  uint64_t idle_start = 0;  // wall-clock mark of the first fruitless probe
   for (;;) {
     if (!ring_.TryPop(&batch)) {
       // Close() is store-released after the producer's final push, so
@@ -166,28 +174,41 @@ void ShardWorker::RunWorkerSequential() {
       if (ring_.closed()) {
         if (!ring_.TryPop(&batch)) break;
       } else {
+        if (MetricsEnabled() && idle_start == 0) idle_start = MetricsNowNs();
         backoff.Pause();
         continue;
       }
     }
     backoff.Reset();
-    const BusyScope busy(&busy_ns_);
+    if (MetricsEnabled() && idle_start != 0) {
+      idle_ns_.fetch_add(MetricsNowNs() - idle_start,
+                         std::memory_order_relaxed);
+      idle_start = 0;
+    }
     const size_t n = batch.size();
-    if (in_stream_) {
-      if (!motifs_.empty()) {
-        // Motif snapshots freeze at the stopping time BEFORE the arriving
-        // edge's own sampling step, so the suite observes first; it only
-        // reads the reservoir, leaving the sample path untouched.
-        for (size_t i = 0; i < n; ++i) {
-          const Edge e = batch.edge(i);
-          motifs_.Observe(e, in_stream_->reservoir());
-          in_stream_->Process(e);
+    {
+      const BusyScope busy(&busy_ns_);
+      const ScopedLatencyTimer latency(&worker_metrics_.batch_latency);
+      TraceSpan span(trace_sink_, trace_buf_, "batch");
+      span.SetArg("edges", static_cast<int64_t>(n));
+      if (in_stream_) {
+        if (!motifs_.empty()) {
+          // Motif snapshots freeze at the stopping time BEFORE the
+          // arriving edge's own sampling step, so the suite observes
+          // first; it only reads the reservoir, leaving the sample path
+          // untouched.
+          for (size_t i = 0; i < n; ++i) {
+            const Edge e = batch.edge(i);
+            motifs_.Observe(e, in_stream_->reservoir());
+            in_stream_->Process(e);
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) in_stream_->Process(batch.edge(i));
         }
       } else {
-        for (size_t i = 0; i < n; ++i) in_stream_->Process(batch.edge(i));
+        for (size_t i = 0; i < n; ++i) sampler_->Process(batch.edge(i));
       }
-    } else {
-      for (size_t i = 0; i < n; ++i) sampler_->Process(batch.edge(i));
+      worker_metrics_.batches_processed.Increment();
     }
     // Release so a producer observing the new count also observes the
     // estimator state those edges produced.
@@ -199,6 +220,10 @@ void ShardWorker::RunWorkerSequential() {
     if (ring_.closed() || recycle_.TryPush(std::move(batch))) {
       batch = EdgeBatch();
     }
+  }
+  if (MetricsEnabled() && idle_start != 0) {
+    idle_ns_.fetch_add(MetricsNowNs() - idle_start,
+                       std::memory_order_relaxed);
   }
 }
 
@@ -236,7 +261,10 @@ bool ShardWorker::MergeReadyResults() {
     }
     {
       const BusyScope busy(&busy_ns_);
+      TraceSpan span(trace_sink_, trace_buf_, "rebind");
+      span.SetArg("batch", static_cast<int64_t>(result.index));
       AbsorbResult(result);
+      worker_metrics_.batches_rebound.Increment();
     }
     ++next_merge_;
     unmerged_results_.fetch_sub(1, std::memory_order_relaxed);
@@ -282,12 +310,17 @@ bool ShardWorker::StealOne() {
     if (victim->TryStealBatch(&batch)) {
       next_victim_ = candidate;
       steals_.fetch_add(1, std::memory_order_relaxed);
+      worker_metrics_.batches_stolen.Increment();
       BatchResult result;
       {
         // Executed by THIS worker, so the time lands on the thief's busy
         // clock — the whole point of the critical-path metric.
         const BusyScope busy(&busy_ns_);
+        const ScopedLatencyTimer latency(&worker_metrics_.batch_latency);
+        TraceSpan span(trace_sink_, trace_buf_, "steal");
+        span.SetArg("victim", static_cast<int64_t>(victim->index()));
         result = victim->ProcessDetached(std::move(batch));
+        worker_metrics_.batches_processed.Increment();
       }
       PostResult(victim, std::move(result));
       return true;
@@ -360,6 +393,11 @@ void ShardWorker::AbsorbResult(const BatchResult& result) {
   reservoir->NoteExternalArrivals(result.mini->edges_processed());
   in_stream_->AbsorbAccumulators(result.mini->SaveAccumulators());
   if (!motifs_.empty()) motifs_.AbsorbAccumulators(result.motif_accs);
+  // Attribute the mini-reservoir's sampling activity to the owner shard.
+  // Note the semantics: `admissions` then counts both the mini's internal
+  // admissions and the Admit() re-binds above — a measure of sampling
+  // WORK, not of final sample size (which is a gauge, not a counter).
+  reservoir->mutable_metrics()->Absorb(result.mini->reservoir().metrics());
 }
 
 void ShardWorker::PostResult(ShardWorker* owner, BatchResult&& result) {
@@ -369,16 +407,22 @@ void ShardWorker::PostResult(ShardWorker* owner, BatchResult&& result) {
 
 void ShardWorker::RunWorkerStealing() {
   Backoff backoff;
+  uint64_t idle_start = 0;  // wall-clock mark of the first fruitless pass
   for (;;) {
     bool progress = PumpRing();
     if (MergeReadyResults()) progress = true;
 
     PendingBatch own;
     if (TakeFront(&own)) {
+      const uint64_t own_index = own.index;
       BatchResult result;
       {
         const BusyScope busy(&busy_ns_);
+        const ScopedLatencyTimer latency(&worker_metrics_.batch_latency);
+        TraceSpan span(trace_sink_, trace_buf_, "batch");
+        span.SetArg("batch", static_cast<int64_t>(own_index));
         result = ProcessDetached(std::move(own));
+        worker_metrics_.batches_processed.Increment();
       }
       PostResult(this, std::move(result));
       progress = true;
@@ -388,10 +432,20 @@ void ShardWorker::RunWorkerStealing() {
 
     if (progress) {
       backoff.Reset();
+      if (MetricsEnabled() && idle_start != 0) {
+        idle_ns_.fetch_add(MetricsNowNs() - idle_start,
+                           std::memory_order_relaxed);
+        idle_start = 0;
+      }
       continue;
     }
     if (OwnWorkComplete()) break;
+    if (MetricsEnabled() && idle_start == 0) idle_start = MetricsNowNs();
     backoff.Pause();
+  }
+  if (MetricsEnabled() && idle_start != 0) {
+    idle_ns_.fetch_add(MetricsNowNs() - idle_start,
+                       std::memory_order_relaxed);
   }
 }
 

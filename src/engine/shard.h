@@ -73,8 +73,25 @@
 #include "core/motifs.h"
 #include "engine/ring_buffer.h"
 #include "graph/types.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace gps {
+
+/// Per-worker scheduler counters (no-ops under GPS_METRICS=0). Owned by
+/// the worker, updated only by the thread doing the work, aggregated by
+/// the engine's MetricsRegistry at snapshot time.
+struct WorkerMetrics {
+  /// Batches this worker executed (its own, plus any it stole).
+  Counter batches_processed;
+  /// Batches this worker took from a peer's pending queue (kActive only).
+  Counter batches_stolen;
+  /// Completed batch results this worker re-bound in index order
+  /// (steal modes only; 0 in sequential mode).
+  Counter batches_rebound;
+  /// Wall-clock duration of each batch execution.
+  LatencyHistogram batch_latency;
+};
 
 /// Which estimator a shard runs. kInStream maintains Algorithm 3 snapshot
 /// accumulators while sampling (lower-variance estimates, more work per
@@ -170,6 +187,11 @@ class ShardWorker {
   /// the worker skips itself). Only meaningful under StealMode::kActive.
   void SetStealPeers(std::vector<ShardWorker*> peers);
 
+  /// Attaches a trace buffer for this worker's spans ("batch", "steal",
+  /// "rebind"). Call before Start; null disables tracing (the default).
+  /// The sink must outlive the worker thread.
+  void SetTrace(TraceEventSink* sink, TraceBuffer* buffer);
+
   /// Launches the worker thread. Call once before the first Submit.
   void Start();
 
@@ -210,6 +232,21 @@ class ShardWorker {
     return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) *
            1e-9;
   }
+
+  /// Wall-clock seconds this worker spent with no work available (waiting
+  /// on an empty ring / pending queue). Complements busy_seconds(): a
+  /// large idle share on a loaded engine means the shard layout, not the
+  /// worker, is the bottleneck. Always 0 under GPS_METRICS=0.
+  double idle_seconds() const {
+    return static_cast<double>(idle_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  /// Scheduler counters (batches processed/stolen/re-bound, latency).
+  const WorkerMetrics& worker_metrics() const { return worker_metrics_; }
+
+  /// Backpressure counters of the data ring feeding this worker.
+  const RingMetrics& ring_metrics() const { return ring_.metrics(); }
 
   /// The shard's reservoir; caller must hold the drained/joined guarantee.
   const GpsReservoir& reservoir() const;
@@ -306,6 +343,10 @@ class ShardWorker {
   uint64_t submitted_edges_ = 0;                   // producer-owned
   std::atomic<uint64_t> consumed_edges_{0};        // worker publishes
   std::atomic<uint64_t> busy_ns_{0};               // executed-work clock
+  std::atomic<uint64_t> idle_ns_{0};               // no-work wall clock
+  WorkerMetrics worker_metrics_;                   // worker-thread writes
+  TraceEventSink* trace_sink_ = nullptr;  // set before Start, then const
+  TraceBuffer* trace_buf_ = nullptr;      // worker-thread writes
 
   // ---- Steal-mode state ----------------------------------------------
   std::mutex mu_;  // guards queue_ and completed_

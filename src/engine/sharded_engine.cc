@@ -287,6 +287,7 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     for (auto& shard : shards_) peers.push_back(shard.get());
     for (auto& shard : shards_) shard->SetStealPeers(peers);
   }
+  RegisterObservability();
   for (auto& shard : shards_) shard->Start();
 }
 
@@ -394,8 +395,77 @@ double ShardedEngine::MaxWorkerBusySeconds() const {
   return max_busy;
 }
 
+void ShardedEngine::RegisterObservability() {
+  const uint32_t k = num_shards();
+  shard_sample_size_.resize(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    // Per-shard instances share one registry name; Snapshot() sums
+    // counters/histograms and maxes gauges across shards.
+    const ShardWorker& shard = *shards_[s];
+    const RingMetrics& ring = shard.ring_metrics();
+    metrics_.AddCounter("ring.push_fail", &ring.push_fail);
+    metrics_.AddCounter("ring.pop_empty", &ring.pop_empty);
+    metrics_.AddGauge("ring.occupancy_hwm", &ring.occupancy_hwm);
+    const WorkerMetrics& worker = shard.worker_metrics();
+    metrics_.AddCounter("worker.batches_processed",
+                        &worker.batches_processed);
+    metrics_.AddCounter("worker.batches_stolen", &worker.batches_stolen);
+    metrics_.AddCounter("worker.batches_rebound", &worker.batches_rebound);
+    metrics_.AddHistogram("worker.batch_latency", &worker.batch_latency);
+    const ReservoirMetrics& res = shard.reservoir().metrics();
+    metrics_.AddCounter("reservoir.precheck_rejects", &res.precheck_rejects);
+    metrics_.AddCounter("reservoir.admissions", &res.admissions);
+    metrics_.AddCounter("reservoir.evictions", &res.evictions);
+    metrics_.AddGauge("merge.sample_size.shard" + std::to_string(s),
+                      &shard_sample_size_[s]);
+  }
+  metrics_.AddGauge("engine.edges_ingested", &derived_.edges_ingested);
+  metrics_.AddGauge("reservoir.zstar", &derived_.zstar_max);
+  metrics_.AddGauge("reservoir.sample_size", &derived_.sample_size_total);
+  metrics_.AddGauge("merge.union_sample_size", &derived_.union_sample_size);
+  metrics_.AddGauge("worker.busy_seconds", &derived_.busy_seconds_max);
+  metrics_.AddGauge("worker.idle_seconds", &derived_.idle_seconds_max);
+
+  if (options_.trace != nullptr) {
+    for (uint32_t s = 0; s < k; ++s) {
+      shards_[s]->SetTrace(
+          options_.trace,
+          options_.trace->MakeBuffer(static_cast<int>(s),
+                                     "shard-" + std::to_string(s)));
+    }
+    producer_trace_buf_ = options_.trace->MakeBuffer(static_cast<int>(k),
+                                                     "producer");
+  }
+}
+
+void ShardedEngine::RefreshDerivedGauges() {
+  if (!MetricsEnabled()) return;
+  derived_.edges_ingested.Set(static_cast<double>(edges_processed_));
+  double zstar_max = 0.0, busy_max = 0.0, idle_max = 0.0;
+  double sample_total = 0.0;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    const GpsReservoir& res = shards_[s]->reservoir();
+    zstar_max = std::max(zstar_max, res.threshold());
+    sample_total += static_cast<double>(res.size());
+    shard_sample_size_[s].Set(static_cast<double>(res.size()));
+    busy_max = std::max(busy_max, shards_[s]->busy_seconds());
+    idle_max = std::max(idle_max, shards_[s]->idle_seconds());
+  }
+  derived_.zstar_max.Set(zstar_max);
+  derived_.sample_size_total.Set(sample_total);
+  derived_.busy_seconds_max.Set(busy_max);
+  derived_.idle_seconds_max.Set(idle_max);
+}
+
+MetricsSnapshot ShardedEngine::SnapshotMetrics() {
+  if (!finished_) Drain();
+  RefreshDerivedGauges();
+  return metrics_.Snapshot();
+}
+
 GraphEstimates ShardedEngine::MergedGraphEstimatesOver(
     const UnionSample& sample) {
+  derived_.union_sample_size.Set(static_cast<double>(sample.num_edges()));
   std::vector<GraphEstimates> per_shard;
   per_shard.reserve(shards_.size());
   for (const auto& shard : shards_) {
@@ -483,6 +553,9 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
   // BEFORE overwriting anything: a failed re-checkpoint must not destroy
   // a previous valid checkpoint in the same directory.
   if (Status st = ValidateManifest(manifest); !st.ok()) return st;
+
+  TraceSpan span(options_.trace, producer_trace_buf_, "checkpoint");
+  span.SetArg("edges", static_cast<int64_t>(edges_processed_));
 
   if (!finished_) Drain();
 
@@ -644,6 +717,7 @@ ShardedEngine::ShardedEngine(
         std::move(restored[s]), restored_motifs[s]));
     pending_[s].reserve(options_.batch_size);
   }
+  RegisterObservability();
   for (auto& shard : shards_) shard->Start();
 }
 
@@ -669,6 +743,7 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::ResumeFromCheckpoints(
   options.ring_capacity = resume_options.ring_capacity;
   options.merge_mode = MergeMode::kInStreamPlusCross;
   options.motifs = loaded->layout.motif_names;
+  options.trace = resume_options.trace;
   return std::unique_ptr<ShardedEngine>(
       new ShardedEngine(std::move(options), std::move(loaded->estimators),
                         std::move(loaded->motif_accumulators),
@@ -705,6 +780,8 @@ Status ShardedEngine::CheckpointEvery(uint64_t n_edges,
 
 void ShardedEngine::FirePeriodicHooks() {
   if (monitor_every_ != 0 && edges_processed_ % monitor_every_ == 0) {
+    TraceSpan span(options_.trace, producer_trace_buf_, "estimate");
+    span.SetArg("edges", static_cast<int64_t>(edges_processed_));
     MonitorRecord record;
     record.edges_processed = edges_processed_;
     if (options_.merge_mode == MergeMode::kPostStreamMerged) {
@@ -718,6 +795,9 @@ void ShardedEngine::FirePeriodicHooks() {
       record.estimates = MergedGraphEstimatesOver(sample);
       record.motifs = MergedMotifEstimatesOver(sample);
     }
+    // Drained above, so the snapshot is consistent with the estimates.
+    RefreshDerivedGauges();
+    record.metrics = metrics_.Snapshot();
     monitor_callback_(record);
   }
   if (checkpoint_every_ != 0 && auto_checkpoint_status_.ok() &&

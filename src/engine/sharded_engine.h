@@ -46,7 +46,9 @@
 #include "engine/merge.h"
 #include "engine/shard.h"
 #include "graph/types.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace gps {
 
@@ -103,6 +105,13 @@ struct ShardedEngineOptions {
   /// the knob (a resumed run would silently reroute uniformly),
   /// SerializeShards/CheckpointEvery refuse when it is nonzero.
   double shard_skew = 0.0;
+  /// Optional Chrome-trace recorder (util/trace.h). When set, every worker
+  /// gets a per-thread span buffer ("batch"/"steal"/"rebind" spans) and
+  /// the producer thread records "estimate" and "checkpoint" spans; the
+  /// sink must outlive the engine, and the caller writes the JSON after
+  /// Finish(). Null (default) disables tracing entirely. Observation-only:
+  /// tracing never changes the sample path.
+  TraceEventSink* trace = nullptr;
 };
 
 /// Transport knobs a resumed engine cannot recover from a manifest (they
@@ -111,6 +120,8 @@ struct ShardedEngineOptions {
 struct ShardedResumeOptions {
   size_t batch_size = 1024;
   size_t ring_capacity = 64;
+  /// Optional trace recorder, as ShardedEngineOptions::trace.
+  TraceEventSink* trace = nullptr;
 };
 
 /// One merged-estimate sample of the continuous-monitoring mode.
@@ -122,6 +133,9 @@ struct MonitorRecord {
   /// Merged motif estimates in suite order; empty when the engine runs
   /// without a motif suite.
   std::vector<MotifEstimate> motifs;
+  /// Point-in-time engine metrics (ring backpressure, scheduler activity,
+  /// sampling internals — util/metrics.h). Empty under GPS_METRICS=0.
+  MetricsSnapshot metrics;
 };
 
 /// Everything a checkpoint set merges to: the tri/wedge estimates, the
@@ -269,6 +283,18 @@ class ShardedEngine {
   /// this bounds ingestion wall-clock; stealing shrinks it on any host.
   double MaxWorkerBusySeconds() const;
 
+  /// Aggregated engine metrics: per-shard ring/worker/reservoir counters
+  /// plus derived gauges (z* max, sample sizes, busy/idle seconds).
+  /// Drains first if needed, so the snapshot is consistent with every
+  /// edge ingested so far. Empty under GPS_METRICS=0.
+  ///
+  /// A mid-stream call therefore flushes the pending partial batches,
+  /// exactly like the monitor/checkpoint hooks: invisible in sequential
+  /// mode (batch boundaries don't enter the sample path), and in steal
+  /// modes part of the run's batch partition — kArmed and kActive remain
+  /// byte-identical under the same snapshot points.
+  MetricsSnapshot SnapshotMetrics();
+
   /// Per-shard worker access (reservoirs, in-stream estimates). Caller
   /// must hold the Drain()/Finish() guarantee.
   const ShardWorker& shard(uint32_t i) const { return *shards_[i]; }
@@ -287,6 +313,14 @@ class ShardedEngine {
   /// Fires monitoring / auto-checkpoint hooks due at the current stream
   /// position (called from Process after the edge is routed).
   void FirePeriodicHooks();
+
+  /// Registers every shard's metric instances with the registry and
+  /// attaches trace buffers (both ctors call it once shards_ is built).
+  void RegisterObservability();
+
+  /// Refreshes the engine-owned derived gauges from drained shard state
+  /// (called under the drained guarantee, before metrics_.Snapshot()).
+  void RefreshDerivedGauges();
 
   /// Per-shard reservoir pointers; caller must hold the drained/finished
   /// guarantee.
@@ -318,6 +352,23 @@ class ShardedEngine {
   uint64_t checkpoint_every_ = 0;
   std::string checkpoint_dir_;
   Status auto_checkpoint_status_;
+
+  // ---- Observability (observation-only; see util/metrics.h) ----------
+  MetricsRegistry metrics_;
+  /// Engine-owned gauges derived from drained shard state at snapshot
+  /// time (not hot-path instruments).
+  struct DerivedGauges {
+    Gauge edges_ingested;      // engine.edges_ingested
+    Gauge zstar_max;           // reservoir.zstar (max across shards)
+    Gauge sample_size_total;   // reservoir.sample_size (sum across shards)
+    Gauge union_sample_size;   // merge.union_sample_size (last merge pass)
+    Gauge busy_seconds_max;    // worker.busy_seconds (max across workers)
+    Gauge idle_seconds_max;    // worker.idle_seconds (max across workers)
+  };
+  DerivedGauges derived_;
+  /// Per-stratum (per-shard) sample sizes: merge.sample_size.shard<k>.
+  std::vector<Gauge> shard_sample_size_;
+  TraceBuffer* producer_trace_buf_ = nullptr;  // producer-thread spans
 };
 
 }  // namespace gps

@@ -1,0 +1,163 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace gps {
+
+namespace {
+
+std::string Indent(int levels) { return std::string(2 * levels, ' '); }
+
+void AppendDouble(std::ostringstream& out, double v) {
+  // Print integral gauges without a mantissa for readability.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v < 1e15 &&
+      v > -1e15) {
+    out << static_cast<int64_t>(v);
+  } else {
+    out.precision(9);
+    out << v;
+  }
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::CounterOr0(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeOr0(const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+bool MetricsSnapshot::FindHistogram(const std::string& name,
+                                    HistogramValue* out) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) {
+      if (out != nullptr) *out = h;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  // Stable output: sections in fixed order, entries already name-sorted.
+  std::ostringstream out;
+  const std::string pad0 = Indent(indent);
+  const std::string pad1 = Indent(indent + 1);
+  const std::string pad2 = Indent(indent + 2);
+  const std::string pad3 = Indent(indent + 3);
+  out << "{\n" << pad1 << "\"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << pad2 << "\"" << counters[i].name
+        << "\": " << counters[i].value;
+  }
+  if (!counters.empty()) out << "\n" << pad1;
+  out << "},\n" << pad1 << "\"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << pad2 << "\"" << gauges[i].name
+        << "\": ";
+    AppendDouble(out, gauges[i].value);
+  }
+  if (!gauges.empty()) out << "\n" << pad1;
+  out << "},\n" << pad1 << "\"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << pad2 << "\"" << h.name << "\": {\n";
+    out << pad3 << "\"count\": " << h.count << ",\n";
+    out << pad3 << "\"sum_ns\": " << h.sum_ns << ",\n";
+    // Only emit occupied buckets; keys are the bucket's lower bound in ns.
+    out << pad3 << "\"buckets_ns\": {";
+    bool first = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      out << (first ? "" : ", ") << "\"" << (b == 0 ? 0ull : (1ull << b))
+          << "\": " << h.buckets[b];
+      first = false;
+    }
+    out << "}\n" << pad2 << "}";
+  }
+  if (!histograms.empty()) out << "\n" << pad1;
+  out << "}\n" << pad0 << "}";
+  return out.str();
+}
+
+#if GPS_METRICS
+
+void MetricsRegistry::AddCounter(std::string name, const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.emplace_back(std::move(name), counter);
+}
+
+void MetricsRegistry::AddGauge(std::string name, const Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.emplace_back(std::move(name), gauge);
+}
+
+void MetricsRegistry::AddHistogram(std::string name,
+                                   const LatencyHistogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.emplace_back(std::move(name), histogram);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+
+  {
+    std::map<std::string, uint64_t> agg;  // sum same-name instances
+    for (const auto& [name, counter] : counters_) {
+      agg[name] += counter->Value();
+    }
+    snap.counters.reserve(agg.size());
+    for (const auto& [name, value] : agg) {
+      snap.counters.push_back({name, value});
+    }
+  }
+
+  {
+    std::map<std::string, double> agg;  // max of same-name instances
+    for (const auto& [name, gauge] : gauges_) {
+      auto [it, inserted] = agg.emplace(name, gauge->Value());
+      if (!inserted) it->second = std::max(it->second, gauge->Value());
+    }
+    snap.gauges.reserve(agg.size());
+    for (const auto& [name, value] : agg) {
+      snap.gauges.push_back({name, value});
+    }
+  }
+
+  {
+    std::map<std::string, MetricsSnapshot::HistogramValue> agg;
+    for (const auto& [name, histogram] : histograms_) {
+      auto& h = agg[name];
+      if (h.buckets.empty()) {
+        h.name = name;
+        h.buckets.assign(LatencyHistogram::kNumBuckets, 0);
+      }
+      h.count += histogram->Count();
+      h.sum_ns += histogram->SumNs();
+      for (size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+        h.buckets[b] += histogram->BucketCount(b);
+      }
+    }
+    snap.histograms.reserve(agg.size());
+    for (auto& [name, value] : agg) {
+      snap.histograms.push_back(std::move(value));
+    }
+  }
+
+  return snap;
+}
+
+#endif  // GPS_METRICS
+
+}  // namespace gps

@@ -1,0 +1,73 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gps {
+
+TraceBuffer* TraceEventSink::MakeBuffer(int tid, std::string thread_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.emplace_back(TraceBuffer(tid, std::move(thread_name)));
+  return &buffers_.back();
+}
+
+size_t TraceEventSink::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& b : buffers_) total += b.spans_.size();
+  return total;
+}
+
+uint64_t TraceEventSink::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& b : buffers_) total += b.dropped_;
+  return total;
+}
+
+Status TraceEventSink::WriteJson(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Thread-name metadata events so chrome://tracing labels each track.
+  for (const auto& b : buffers_) {
+    out << (first ? "" : ",\n")
+        << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << b.tid_
+        << R"(,"args":{"name":")" << b.thread_name_ << "\"}}";
+    first = false;
+  }
+  // Complete ("X") events; trace_event timestamps are microseconds, kept
+  // fractional to preserve nanosecond resolution.
+  for (const auto& b : buffers_) {
+    for (const auto& s : b.spans_) {
+      char ts[32], dur[32];
+      std::snprintf(ts, sizeof(ts), "%.3f", s.start_ns / 1e3);
+      std::snprintf(dur, sizeof(dur), "%.3f",
+                    (s.end_ns - s.start_ns) / 1e3);
+      out << (first ? "" : ",\n") << R"({"name":")" << s.name
+          << R"(","ph":"X","pid":0,"tid":)" << b.tid_ << R"(,"ts":)" << ts
+          << R"(,"dur":)" << dur;
+      if (s.arg_name != nullptr) {
+        out << R"(,"args":{")" << s.arg_name << "\":" << s.arg << "}";
+      }
+      out << "}";
+      first = false;
+    }
+  }
+  out << "\n]}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  const std::string payload = out.str();
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != payload.size() || close_rc != 0) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gps

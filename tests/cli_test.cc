@@ -754,4 +754,109 @@ TEST_F(CliTest, ResumeSavePersistsContinuedState) {
   std::remove(second.c_str());
 }
 
+TEST_F(CliTest, VersionReportsFormats) {
+  const CommandResult r = RunCli("version");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("manifest format"), std::string::npos);
+  EXPECT_NE(r.output.find("v3"), std::string::npos);
+  EXPECT_NE(r.output.find("manifest min read"), std::string::npos);
+  EXPECT_NE(r.output.find("estimator format"), std::string::npos);
+  EXPECT_NE(r.output.find("metrics"), std::string::npos);
+}
+
+TEST_F(CliTest, VersionRejectsFlags) {
+  const CommandResult r = RunCli("version --bogus 1");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(CliTest, EstimateStatsPrintsMetrics) {
+  const CommandResult r = RunCli("estimate --input " + graph_path_ +
+                                 " --capacity 500 --shards 2 --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metrics:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"engine.edges_ingested\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"reservoir.admissions\""), std::string::npos);
+}
+
+// --stats routes even a single-shard run through the engine and must not
+// change the estimates the serial path would report (the engine's K=1
+// byte-identity contract, observed through the CLI surface).
+TEST_F(CliTest, EstimateStatsKeepsSerialEstimates) {
+  const std::string base_args =
+      "estimate --input " + graph_path_ + " --capacity 500 --seed 5";
+  const CommandResult plain = RunCli(base_args);
+  const CommandResult stats = RunCli(base_args + " --stats");
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  ASSERT_EQ(stats.exit_code, 0) << stats.output;
+  // Compare the estimate tables line by line; the stats run prints the
+  // same rows (under engine labels) before the metrics block.
+  std::istringstream lines(plain.output);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("triangles") == std::string::npos &&
+        line.find("wedges") == std::string::npos) {
+      continue;
+    }
+    EXPECT_NE(stats.output.find(line.substr(line.find('|'))),
+              std::string::npos)
+        << "missing row: " << line;
+  }
+}
+
+TEST_F(CliTest, EstimateStatsOutWritesFile) {
+  const std::string stats_path = TempPath("stats.json");
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 500 --shards 2 --stats-out " + stats_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metrics written to"), std::string::npos);
+  std::ifstream in(stats_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"counters\""), std::string::npos);
+  std::remove(stats_path.c_str());
+}
+
+TEST_F(CliTest, EstimateTraceWritesChromeTraceFile) {
+  const std::string trace_path = TempPath("trace.json");
+  const CommandResult r =
+      RunCli("estimate --input " + graph_path_ +
+             " --capacity 500 --shards 2 --steal on --trace " + trace_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trace written to"), std::string::npos);
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"batch\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliTest, MonitorStatsAndTrace) {
+  const std::string trace_path = TempPath("mon_trace.json");
+  const CommandResult r = RunCli(
+      "monitor --input " + graph_path_ +
+      " --capacity 500 --shards 2 --every 2000 --stats --trace " +
+      trace_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metrics:"), std::string::npos);
+  EXPECT_NE(r.output.find("trace written to"), std::string::npos);
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream text;
+  text << in.rdbuf();
+  // The monitor's periodic estimate spans land on the producer track.
+  EXPECT_NE(text.str().find("\"estimate\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST_F(CliTest, StatsFlagIsPerSubcommand) {
+  const CommandResult r = RunCli("exact --input " + graph_path_ + " --stats");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("stats"), std::string::npos);
+}
+
 }  // namespace

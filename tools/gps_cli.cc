@@ -40,6 +40,16 @@
 //       Exact triangle/wedge/clustering counts (offline oracle).
 //   corpus
 //       List the paper-analog corpus.
+//   version
+//       Print the checkpoint format versions this build writes/reads, the
+//       build type, and whether metrics instrumentation is compiled in.
+//
+// Observability (estimate and monitor): --stats prints an aggregated
+// metrics snapshot (ring backpressure, scheduler activity, sampling
+// internals) after the run; --stats-out FILE writes it as JSON instead;
+// --trace FILE records per-worker Chrome trace_event spans loadable in
+// chrome://tracing or Perfetto. All observation-only: estimates are
+// byte-identical with or without these flags.
 
 #include <cctype>
 #include <cerrno>
@@ -65,7 +75,14 @@
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/trace.h"
+
+// Stamped by the build system (CMake passes the configured build type).
+#ifndef GPS_BUILD_TYPE
+#define GPS_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -175,13 +192,14 @@ int Usage() {
       stderr,
       "usage: gps_cli <estimate|resume|resume-shards|monitor"
       "|checkpoint-shards|merge-checkpoints|generate|exact|corpus"
-      "|list-motifs> [flags]\n"
+      "|list-motifs|version> [flags]\n"
       "  estimate --input FILE [--capacity N] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
       "           [--shards K] [--batch B] [--threads T] [--steal on|off]\n"
       "           [--motifs tri,wedge,4clique,3path,4cycle]\n"
       "           [--degree NODE ...]\n"
+      "           [--stats] [--stats-out FILE.json] [--trace FILE.json]\n"
       "           [--checkpoint FILE]  (a directory with --shards K>1,\n"
       "           --motifs, or --steal)\n"
       "           --steal on: idle shard workers steal batches from\n"
@@ -197,6 +215,7 @@ int Usage() {
       "           [--weight KIND] [--shards K] [--batch B]\n"
       "           [--steal on|off] [--motifs LIST] [--output csv|table]\n"
       "           [--no-permute] [--checkpoint-every M --checkpoint DIR]\n"
+      "           [--stats] [--stats-out FILE.json] [--trace FILE.json]\n"
       "  checkpoint-shards --input FILE --out DIR [--capacity N]\n"
       "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
       "           [--steal on|off] [--motifs LIST] [--no-permute]\n"
@@ -205,13 +224,14 @@ int Usage() {
       "  exact    --input FILE [--higher-motifs]  (adds 4-clique/3-path\n"
       "           oracles; expensive on big graphs)\n"
       "  corpus\n"
-      "  list-motifs\n");
+      "  list-motifs\n"
+      "  version\n");
   return 2;
 }
 
 /// Flags that take no value.
 bool IsBooleanFlag(const std::string& key) {
-  return key == "no-permute" || key == "higher-motifs";
+  return key == "no-permute" || key == "higher-motifs" || key == "stats";
 }
 
 Result<Flags> ParseFlags(int argc, char** argv, int first,
@@ -447,6 +467,56 @@ ShardedEngineOptions MakeEngineOptions(const ShardedRunConfig& config) {
   return options;
 }
 
+/// Observability surface shared by estimate and monitor: a metrics
+/// snapshot (stdout or file) and/or a Chrome trace_event capture.
+struct StatsConfig {
+  bool stats = false;
+  std::string stats_out;
+  std::string trace;
+  bool any() const { return stats || !trace.empty(); }
+};
+
+/// Parses --stats / --stats-out / --trace. --stats-out implies --stats.
+StatsConfig ParseStatsConfig(const Flags& flags) {
+  StatsConfig config;
+  config.stats = flags.Has("stats");
+  config.stats_out = flags.Get("stats-out", "");
+  config.trace = flags.Get("trace", "");
+  if (!config.stats_out.empty()) config.stats = true;
+  return config;
+}
+
+/// Emits the requested observability outputs after the engine finished:
+/// the aggregated metrics snapshot (stdout or --stats-out file) and the
+/// trace_event JSON (--trace file). Returns false (after printing the
+/// error) if a file write fails.
+bool EmitObservability(ShardedEngine& engine, const StatsConfig& config,
+                       const TraceEventSink* sink) {
+  if (config.stats) {
+    const std::string json = engine.SnapshotMetrics().ToJson(2);
+    if (config.stats_out.empty()) {
+      std::printf("metrics:\n%s\n", json.c_str());
+    } else {
+      std::ofstream out(config.stats_out);
+      if (!out || !(out << json << "\n") || !out.flush()) {
+        std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                     config.stats_out.c_str());
+        return false;
+      }
+      std::printf("metrics written to %s\n", config.stats_out.c_str());
+    }
+  }
+  if (!config.trace.empty() && sink != nullptr) {
+    if (Status s = sink->WriteJson(config.trace); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return false;
+    }
+    std::printf("trace written to %s (%zu spans)\n", config.trace.c_str(),
+                sink->SpanCount());
+  }
+  return true;
+}
+
 /// The standard "stream: ..." banner of the sharded subcommands.
 void PrintShardedBanner(size_t stream_size, const ShardedRunConfig& config) {
   std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
@@ -483,6 +553,7 @@ int RunEstimate(const Flags& flags) {
   }
   std::vector<NodeId> degree_nodes;
   if (!GetDegreeNodes(flags, &degree_nodes)) return 1;
+  const StatsConfig obs = ParseStatsConfig(flags);
 
   if (!config.motifs.empty() && estimator == "post") {
     std::fprintf(stderr,
@@ -501,9 +572,11 @@ int RunEstimate(const Flags& flags) {
   // serial sample path byte for byte, and only the engine's manifest
   // checkpoints carry motif accumulators. Likewise --steal routes through
   // the engine (a single-shard engine bypasses the scheduler but still
-  // replays the serial path exactly).
+  // replays the serial path exactly), and so do --stats/--trace runs
+  // (the metrics registry and tracer are engine subsystems; observation
+  // does not perturb the sample — src/engine/README.md).
   if (config.shards > 1 || !config.motifs.empty() ||
-      config.steal != StealMode::kDisabled) {
+      config.steal != StealMode::kDisabled || obs.any()) {
     // Sharded engine path: K worker threads, hash-partitioned substreams,
     // merged stratified estimates (src/engine/).
     if (flags.Has("threads")) {
@@ -526,6 +599,8 @@ int RunEstimate(const Flags& flags) {
       // engine's own merge branch do the union pass.
       engine_options.merge_mode = MergeMode::kPostStreamMerged;
     }
+    TraceEventSink trace_sink;
+    engine_options.trace = obs.trace.empty() ? nullptr : &trace_sink;
     ShardedEngine engine(engine_options);
     for (const Edge& e : *stream) engine.Process(e);
     engine.Finish();
@@ -541,7 +616,7 @@ int RunEstimate(const Flags& flags) {
       report.edge_count = engine.MergedEdgeCountEstimate();
       report.degrees = degree_rows();
       PrintEstimateReport(kMergedPostStreamLabel, report);
-      return 0;
+      return EmitObservability(engine, obs, &trace_sink) ? 0 : 1;
     }
     EstimateReport report = MakeReport(engine.MergedEstimates());
     report.motifs = engine.MergedMotifEstimates();
@@ -568,7 +643,7 @@ int RunEstimate(const Flags& flags) {
       std::printf("sharded checkpoint written to %s (manifest %s)\n",
                   dir.c_str(), kShardManifestFilename);
     }
-    return 0;
+    return EmitObservability(engine, obs, &trace_sink) ? 0 : 1;
   }
 
   std::printf("stream: %zu edges, reservoir: %zu edges\n", stream->size(),
@@ -882,7 +957,11 @@ int RunMonitor(const Flags& flags) {
     return 1;
   }
 
-  ShardedEngine engine(MakeEngineOptions(config));
+  const StatsConfig obs = ParseStatsConfig(flags);
+  TraceEventSink trace_sink;
+  ShardedEngineOptions engine_options = MakeEngineOptions(config);
+  engine_options.trace = obs.trace.empty() ? nullptr : &trace_sink;
+  ShardedEngine engine(engine_options);
   const StreamingTable table = MonitorTable(config.motifs);
 
   if (csv) {
@@ -950,7 +1029,7 @@ int RunMonitor(const Flags& flags) {
       return 1;
     }
   }
-  return 0;
+  return EmitObservability(engine, obs, &trace_sink) ? 0 : 1;
 }
 
 int RunGenerate(const Flags& flags) {
@@ -1016,6 +1095,23 @@ int RunCorpus() {
   return 0;
 }
 
+/// On-disk format and build provenance, for compat triage: "can this
+/// binary read that checkpoint?" is answered by comparing the manifest
+/// format line here against the GPS-MANIFEST header version.
+int RunVersion() {
+  TextTable t({"component", "value"});
+  t.AddRow({"manifest format",
+            "v" + std::to_string(ManifestFormatVersion())});
+  t.AddRow({"manifest min read",
+            "v" + std::to_string(ManifestMinReadVersion())});
+  t.AddRow({"estimator format",
+            "v" + std::to_string(EstimatorFormatVersion())});
+  t.AddRow({"build type", GPS_BUILD_TYPE});
+  t.AddRow({"metrics", MetricsEnabled() ? "on" : "off (GPS_METRICS=0)"});
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1027,7 +1123,7 @@ int main(int argc, char** argv) {
     allowed = {"input",     "capacity",  "seed",   "weight",
                "estimator", "no-permute", "shards", "batch",
                "threads",   "checkpoint", "motifs", "degree",
-               "steal"};
+               "steal",     "stats",      "stats-out", "trace"};
   } else if (command == "resume") {
     allowed = {"checkpoint", "input", "seed", "save", "no-permute"};
   } else if (command == "resume-shards") {
@@ -1039,7 +1135,8 @@ int main(int argc, char** argv) {
                "weight", "shards",   "batch",
                "every",  "output",   "checkpoint-every",
                "checkpoint", "no-permute", "motifs",
-               "steal"};
+               "steal",  "stats",    "stats-out",
+               "trace"};
   } else if (command == "checkpoint-shards") {
     allowed = {"input", "capacity", "seed",      "weight",
                "shards", "batch",   "no-permute", "out",
@@ -1050,7 +1147,8 @@ int main(int argc, char** argv) {
     allowed = {"name", "scale", "output"};
   } else if (command == "exact") {
     allowed = {"input", "higher-motifs"};
-  } else if (command == "corpus" || command == "list-motifs") {
+  } else if (command == "corpus" || command == "list-motifs" ||
+             command == "version") {
     allowed = {};
   } else {
     std::fprintf(stderr, "error: unknown subcommand '%s'\n",
@@ -1073,5 +1171,6 @@ int main(int argc, char** argv) {
   if (command == "exact") return RunExact(*flags);
   if (command == "corpus") return RunCorpus();
   if (command == "list-motifs") return RunListMotifs();
+  if (command == "version") return RunVersion();
   return Usage();  // unreachable: the allowed-flags gate covers commands
 }
