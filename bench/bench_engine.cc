@@ -3,8 +3,9 @@
 // plus the work-stealing scheduler on a deliberately skewed (hub-heavy)
 // partition.
 //
-//   build/bench_engine [--edges N] [--capacity M] [--no-exact]
-//                      [--json FILE] [--baseline FILE]
+//   build/bench_engine [--edges N] [--capacity M | --mem BYTES]
+//                      [--no-exact] [--json FILE] [--baseline FILE]
+//                      [--alloc-report FILE]
 //
 // Defaults reproduce the PR acceptance setup: a ~1M-edge BA stream
 // (62.5K nodes × 16 edges/node, triad probability 0.5 for realistic
@@ -27,13 +28,24 @@
 // while producing byte-identical estimates (asserted here, gated in
 // tests/engine_steal_test.cc).
 //
-// --json FILE emits every row plus the two gated relative metrics
-// (speedup_k4, steal_speedup_hub_heavy) as machine-readable JSON —
+// A fixed-envelope row re-runs the K=4 ingest under an explicit byte
+// budget (--mem when given, otherwise the bytes the configured capacity
+// needs) and reports the store-health gauges — load factor, probe-length
+// p99 — plus whole-process peak RSS next to the budget, so memory
+// regressions show up in the same artifact as throughput ones.
+// --alloc-report FILE archives the store's allocation report (the same
+// text `gps_cli --mem` prints at startup) next to the JSON.
+//
+// --json FILE emits every row plus the gated relative metrics
+// (speedup_k4, steal_speedup_hub_heavy, fixed_envelope_ingest_speedup)
+// as machine-readable JSON —
 // BENCH_engine.json in CI, archived per run so the perf trajectory is
 // diffable. --baseline FILE compares those relative metrics against a
 // checked-in reference (bench/BENCH_engine.baseline.json) and fails on a
 // > 10% regression. Absolute edges/sec is reported but never gated
 // cross-machine.
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <cinttypes>
@@ -48,12 +60,14 @@
 #include <vector>
 
 #include "core/in_stream.h"
+#include "core/packed_store.h"
 #include "engine/sharded_engine.h"
 #include "gen/generators.h"
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
 #include "util/metrics.h"
+#include "util/parse_bytes.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -74,7 +88,21 @@ struct Row {
   uint64_t steals_performed = 0;
   GraphEstimates estimates;
   MetricsSnapshot metrics;  // empty for the serial row
+  // Fixed-envelope fields; zero for every other row.
+  uint64_t mem_budget_bytes = 0;
+  double load_factor = 0.0;
+  double probe_len_p99 = 0.0;
+  uint64_t peak_rss_bytes = 0;
 };
+
+/// Peak resident set size of this process, in bytes (Linux reports
+/// ru_maxrss in KiB). High-water mark, so it covers everything the bench
+/// allocated up to the call — report it right after the row it describes.
+uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
 
 std::string Fmt(const char* fmt, double v) {
   char buf[64];
@@ -130,7 +158,8 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
                uint64_t edges, size_t capacity, unsigned hw,
                double speedup_k4, double steal_speedup,
                double steal_wall_speedup, double steal_critical_speedup,
-               uint64_t steals) {
+               uint64_t steals, uint64_t envelope_bytes,
+               double env_speedup) {
   std::ofstream out(path, std::ios::trunc);
   out << "{\n  \"bench\": \"bench_engine\",\n";
   out << "  \"edges\": " << edges << ",\n";
@@ -150,7 +179,11 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
         << ", \"edges_per_sec\": "
         << Fmt("%.17g", r.edges_per_sec) << ", \"speedup\": "
         << Fmt("%.17g", r.speedup) << ", \"triangles\": "
-        << Fmt("%.17g", r.estimates.triangles.value) << ",\n"
+        << Fmt("%.17g", r.estimates.triangles.value)
+        << ", \"mem_budget_bytes\": " << r.mem_budget_bytes
+        << ", \"load_factor\": " << Fmt("%.6g", r.load_factor)
+        << ", \"probe_len_p99\": " << Fmt("%.6g", r.probe_len_p99)
+        << ", \"peak_rss_bytes\": " << r.peak_rss_bytes << ",\n"
         // The full engine metrics snapshot (src/util/metrics.h); empty
         // sections for the serial row, which has no engine.
         << "     \"metrics\": " << r.metrics.ToJson(2) << "}"
@@ -168,7 +201,10 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
       << Fmt("%.17g", steal_wall_speedup) << ",\n";
   out << "  \"steal_critical_path_speedup_hub_heavy\": "
       << Fmt("%.17g", steal_critical_speedup) << ",\n";
-  out << "  \"steals_hub_heavy\": " << steals << "\n";
+  out << "  \"steals_hub_heavy\": " << steals << ",\n";
+  out << "  \"mem_budget_bytes\": " << envelope_bytes << ",\n";
+  out << "  \"fixed_envelope_ingest_speedup\": " << Fmt("%.17g", env_speedup)
+      << "\n";
   out << "}\n";
   if (!out) {
     std::fprintf(stderr, "cannot write JSON artifact %s\n", path.c_str());
@@ -190,7 +226,7 @@ double ReadBaselineKey(const std::string& text, const std::string& key) {
 /// Relative-metric regression gate: fresh must reach 90% of baseline
 /// (> 10% regression fails). Returns false on failure.
 bool GateAgainstBaseline(const std::string& path, double speedup_k4,
-                         double steal_speedup) {
+                         double steal_speedup, double env_speedup) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
@@ -211,6 +247,7 @@ bool GateAgainstBaseline(const std::string& path, double speedup_k4,
   };
   gate("speedup_k4", speedup_k4);
   gate("steal_speedup_hub_heavy", steal_speedup);
+  gate("fixed_envelope_ingest_speedup", env_speedup);
   return ok;
 }
 
@@ -255,10 +292,13 @@ int RunIngestProbe(const std::vector<Edge>& stream,
 int main(int argc, char** argv) {
   uint64_t target_edges = 1000000;
   size_t capacity = 250000;
+  bool capacity_explicit = false;
+  uint64_t mem_budget = 0;  // 0 = capacity path (explicit or default)
   bool run_exact = true;
   int ingest_probe = 0;  // 0 = full bench; N = probe with N trials
   std::string json_path;
   std::string baseline_path;
+  std::string alloc_report_path;
   size_t kStealBatch = 8192;
   size_t kStealRing = 4;
   double kStealSkew = 3.0;
@@ -267,6 +307,16 @@ int main(int argc, char** argv) {
       target_edges = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--capacity") && i + 1 < argc) {
       capacity = std::strtoull(argv[++i], nullptr, 10);
+      capacity_explicit = true;
+    } else if (!std::strcmp(argv[i], "--mem") && i + 1 < argc) {
+      Result<uint64_t> budget = ParseByteSize(argv[++i], "flag '--mem'");
+      if (!budget.ok()) {
+        std::fprintf(stderr, "error: %s\n", budget.status().ToString().c_str());
+        return 2;
+      }
+      mem_budget = *budget;
+    } else if (!std::strcmp(argv[i], "--alloc-report") && i + 1 < argc) {
+      alloc_report_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--no-exact")) {
       run_exact = false;
     } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
@@ -287,12 +337,49 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: bench_engine [--edges N] [--capacity M] "
-                   "[--no-exact] [--json FILE] [--baseline FILE]\n"
+                   "usage: bench_engine [--edges N] [--capacity M | "
+                   "--mem BYTES] [--no-exact]\n"
+                   "       [--json FILE] [--baseline FILE] "
+                   "[--alloc-report FILE]\n"
                    "       [--steal-batch B] [--steal-ring R] "
                    "[--steal-skew S] [--ingest-probe TRIALS]\n");
       return 2;
     }
+  }
+  if (mem_budget > 0 && capacity_explicit) {
+    std::fprintf(stderr,
+                 "error: --mem and --capacity are mutually exclusive "
+                 "(--mem derives the capacity from a byte budget)\n");
+    return 2;
+  }
+
+  // The store layout every row runs under: derived from --mem when given,
+  // otherwise the bytes the configured capacity implies. Either way the
+  // fixed-envelope row reports against layout.total_bytes.
+  StoreLayout layout = LayoutForCapacity(capacity, 0);
+  if (mem_budget > 0) {
+    Result<StoreLayout> derived = DeriveStoreLayout(mem_budget);
+    if (!derived.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   derived.status().ToString().c_str());
+      return 2;
+    }
+    layout = *derived;
+    capacity = layout.capacity;
+    std::printf("%s", FormatAllocationReport(layout).c_str());
+  }
+  const uint64_t envelope_bytes =
+      mem_budget > 0 ? mem_budget : layout.total_bytes;
+  if (!alloc_report_path.empty()) {
+    std::ofstream report(alloc_report_path, std::ios::trunc);
+    report << FormatAllocationReport(layout);
+    if (!report) {
+      std::fprintf(stderr, "cannot write allocation report %s\n",
+                   alloc_report_path.c_str());
+      return 2;
+    }
+    std::printf("allocation report written to %s\n",
+                alloc_report_path.c_str());
   }
 
   const uint32_t edges_per_node = 16;
@@ -309,6 +396,7 @@ int main(int argc, char** argv) {
   GpsSamplerOptions base;
   base.capacity = capacity;
   base.seed = 903;
+  base.mem_bytes = mem_budget;  // provenance only; never affects sampling
 
   if (ingest_probe > 0) return RunIngestProbe(stream, base, ingest_probe);
 
@@ -334,6 +422,29 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
   const double speedup_k4 = rows[3].speedup;
+
+  // Fixed-envelope row: the same K=4 ingest with the byte envelope pinned
+  // (identical capacity, so identical estimates), annotated with the
+  // store-health gauges and whole-process peak RSS. Values are copied to
+  // locals immediately — later push_backs may reallocate `rows`.
+  double env_speedup = 1.0;
+  double env_load_factor = 0.0;
+  double env_probe_p99 = 0.0;
+  uint64_t env_peak_rss = 0;
+  {
+    Row row = RunEngineRow(stream, base, 4, StealMode::kDisabled, 0.0,
+                           serial_seconds);
+    row.config = "engine K=4 fixed-envelope";
+    row.mem_budget_bytes = envelope_bytes;
+    row.load_factor = row.metrics.GaugeOr0("store.load_factor");
+    row.probe_len_p99 = row.metrics.GaugeOr0("store.probe_len_p99");
+    row.peak_rss_bytes = PeakRssBytes();
+    env_speedup = row.speedup;
+    env_load_factor = row.load_factor;
+    env_probe_p99 = row.probe_len_p99;
+    env_peak_rss = row.peak_rss_bytes;
+    rows.push_back(row);
+  }
 
   // Hub-heavy skewed workload: shard 0 is overloaded by construction, so
   // the off row serializes behind it and the on row spreads the batches.
@@ -398,10 +509,17 @@ int main(int argc, char** argv) {
                 exact.wedges);
   }
 
+  std::printf(
+      "fixed envelope: budget %s, peak RSS %.1f MiB, load factor %.2f, "
+      "probe p99 %.0f\n",
+      FormatByteSize(envelope_bytes).c_str(),
+      static_cast<double>(env_peak_rss) / (1024.0 * 1024.0),
+      env_load_factor, env_probe_p99);
+
   if (!json_path.empty()) {
     WriteJson(json_path, rows, stream.size(), capacity, hw, speedup_k4,
               steal_speedup, steal_wall_speedup, steal_critical_speedup,
-              steals);
+              steals, envelope_bytes, env_speedup);
   }
 
   // Regression gates.
@@ -425,7 +543,8 @@ int main(int argc, char** argv) {
       steal_speedup, steal_speedup >= 1.3 ? "PASS" : "FAIL");
   ok &= steal_speedup >= 1.3;
   if (!baseline_path.empty()) {
-    ok &= GateAgainstBaseline(baseline_path, speedup_k4, steal_speedup);
+    ok &= GateAgainstBaseline(baseline_path, speedup_k4, steal_speedup,
+                              env_speedup);
   }
   return ok ? 0 : 1;
 }

@@ -26,8 +26,12 @@ echo "=== Motif pipeline smoke ==="
 ./build/bench_motif --smoke
 
 echo "=== Engine perf smoke (JSON + baseline regression gate) ==="
+# --alloc-report archives the packed-store budget breakdown next to the
+# perf record, so a capacity-derivation change shows up in the artifact
+# diff.
 ./build/bench_engine --edges 200000 --capacity 50000 \
   --json build/BENCH_engine.json \
+  --alloc-report build/BENCH_alloc_report.txt \
   --baseline bench/BENCH_engine.baseline.json
 GPS_BENCH_SCALE=0.05 ./build/bench_scaling --json build/BENCH_scaling.json
 
@@ -35,26 +39,29 @@ echo "=== Metrics overhead gate (< 2% vs GPS_METRICS=0) ==="
 # Reuses the Release build above as the instrumented side.
 scripts/overhead_gate.sh build
 
-echo "=== ASan/UBSan build + engine/serialization/cli tests ==="
+echo "=== ASan/UBSan build + engine/serialization/cli/store tests ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_checkpoint_test \
   engine_resume_test engine_steal_test engine_metrics_test \
-  core_parallel_test core_serialize_test cli_test gps_cli
+  core_parallel_test core_serialize_test core_packed_store_test \
+  util_parse_bytes_test cli_test gps_cli
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-  --timeout 300 -R 'engine_|core_parallel|core_serialize|cli_test'
+  --timeout 300 \
+  -R 'engine_|core_parallel|core_serialize|core_packed_store|util_parse_bytes|cli_test'
 
 echo "=== TSan build + threaded suites (steal hand-off stress) ==="
 # engine_metrics_test rides along: metric snapshots race live relaxed
-# writers by design, exactly what TSan must bless.
+# writers by design, exactly what TSan must bless. core_packed_store_test
+# covers the striped-lock admission path of the budget-sized store.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=thread \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_steal_test \
-  engine_metrics_test core_parallel_test
+  engine_metrics_test core_parallel_test core_packed_store_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   --timeout 300 \
-  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|core_parallel'
+  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|core_parallel|core_packed_store'
 
 echo "OK"

@@ -4,7 +4,8 @@ namespace gps {
 
 GpsSampler::GpsSampler(GpsSamplerOptions options)
     : weight_fn_(options.weight),
-      reservoir_(GpsOptions{options.capacity, options.seed}) {}
+      reservoir_(GpsOptions{options.capacity, options.seed,
+                            options.mem_bytes}) {}
 
 GpsReservoir::ProcessResult GpsSampler::Process(const Edge& raw) {
   const Edge e = raw.Canonical();

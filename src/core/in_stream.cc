@@ -4,7 +4,8 @@ namespace gps {
 
 InStreamEstimator::InStreamEstimator(GpsSamplerOptions options)
     : weight_fn_(options.weight),
-      reservoir_(GpsOptions{options.capacity, options.seed}) {}
+      reservoir_(GpsOptions{options.capacity, options.seed,
+                            options.mem_bytes}) {}
 
 void InStreamEstimator::Process(const Edge& raw) {
   const Edge e = raw.Canonical();
@@ -28,15 +29,17 @@ void InStreamEstimator::Process(const Edge& raw) {
         const double q1 = reservoir_.Probability(slot_k1);
         const double q2 = reservoir_.Probability(slot_k2);
         const double inv = 1.0 / (q1 * q2);
-        GpsReservoir::EdgeRecord* r1 = reservoir_.MutableRecord(slot_k1);
-        GpsReservoir::EdgeRecord* r2 = reservoir_.MutableRecord(slot_k2);
 
-        n_tri_ += inv;                                   // line 14
-        v_tri_ += (inv - 1.0) * inv;                     // line 15
-        v_tri_ += 2.0 * (r1->cov_tri + r2->cov_tri) * inv;  // line 16
-        cov_tw_ += (r1->cov_wedge + r2->cov_wedge) * inv;   // line 17
-        r1->cov_tri += (1.0 / q1 - 1.0) / q2;            // line 18
-        r2->cov_tri += (1.0 / q2 - 1.0) / q1;            // line 19
+        n_tri_ += inv;                // line 14
+        v_tri_ += (inv - 1.0) * inv;  // line 15
+        v_tri_ += 2.0 *
+                  (reservoir_.cov_tri(slot_k1) + reservoir_.cov_tri(slot_k2)) *
+                  inv;  // line 16
+        cov_tw_ += (reservoir_.cov_wedge(slot_k1) +
+                    reservoir_.cov_wedge(slot_k2)) *
+                   inv;                                         // line 17
+        reservoir_.AddCovTri(slot_k1, (1.0 / q1 - 1.0) / q2);   // line 18
+        reservoir_.AddCovTri(slot_k2, (1.0 / q2 - 1.0) / q1);   // line 19
       });
 
   // Wedges formed by k with each sampled edge adjacent to it
@@ -44,12 +47,11 @@ void InStreamEstimator::Process(const Edge& raw) {
   auto process_wedge = [&](SlotId slot) {
     const double q = reservoir_.Probability(slot);
     const double inv = 1.0 / q;
-    GpsReservoir::EdgeRecord* r = reservoir_.MutableRecord(slot);
-    n_wed_ += inv;                          // line 23
-    v_wed_ += inv * (inv - 1.0);            // line 24
-    v_wed_ += 2.0 * r->cov_wedge * inv;     // line 25
-    cov_tw_ += r->cov_tri * inv;            // line 26
-    r->cov_wedge += inv - 1.0;              // line 27
+    n_wed_ += inv;                                      // line 23
+    v_wed_ += inv * (inv - 1.0);                        // line 24
+    v_wed_ += 2.0 * reservoir_.cov_wedge(slot) * inv;   // line 25
+    cov_tw_ += reservoir_.cov_tri(slot) * inv;          // line 26
+    reservoir_.AddCovWedge(slot, inv - 1.0);            // line 27
   };
   graph.ForEachNeighbor(e.u, [&](NodeId nbr, SlotId slot) {
     if (nbr == e.v) return;  // cannot occur (duplicate guarded above)

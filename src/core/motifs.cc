@@ -12,6 +12,9 @@ const std::vector<MotifEntry>& MotifEntries() {
       {"3path", "simple paths of length 3 (4 distinct nodes)", 3,
        &ThreePathEnumerator},
       {"4cycle", "4-cycles (C4, chords allowed)", 4, &FourCycleEnumerator},
+      {"5clique", "5-cliques (K5)", 10, &FiveCliqueEnumerator},
+      {"tailed_triangle", "tailed triangles (triangle + pendant edge)", 4,
+       &TailedTriangleEnumerator},
   };
   return *entries;
 }

@@ -6,23 +6,10 @@
 namespace gps {
 
 GpsReservoir::GpsReservoir(GpsOptions options)
-    : options_(options), rng_(options.seed) {
+    : options_(options), rng_(options.seed), store_(options.capacity) {
   assert(options_.capacity > 0);
   heap_.reserve(options_.capacity + 1);
-  slots_.reserve(options_.capacity + 1);
 }
-
-SlotId GpsReservoir::AllocateSlot() {
-  if (!free_slots_.empty()) {
-    const SlotId slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  slots_.emplace_back();
-  return static_cast<SlotId>(slots_.size() - 1);
-}
-
-void GpsReservoir::FreeSlot(SlotId slot) { free_slots_.push_back(slot); }
 
 GpsReservoir::ProcessResult GpsReservoir::Process(const Edge& raw,
                                                   double weight) {
@@ -65,8 +52,8 @@ GpsReservoir::ProcessResult GpsReservoir::InsertWithPriority(
   const double priority = record.priority;
   ProcessResult result;
   if (heap_.size() < options_.capacity) {
-    const SlotId slot = AllocateSlot();
-    slots_[slot] = record;
+    const SlotId slot = store_.Allocate();
+    store_.Store(slot, record);
     heap_.Push(HeapItem{priority, slot});
     graph_.AddEdge(e, slot);
     result.inserted = true;
@@ -85,13 +72,13 @@ GpsReservoir::ProcessResult GpsReservoir::InsertWithPriority(
 
   const HeapItem evicted = heap_.PopMin();
   z_star_ = std::max(z_star_, evicted.priority);
-  const SlotId removed = graph_.RemoveEdge(slots_[evicted.slot].edge);
+  const SlotId removed = graph_.RemoveEdge(store_.edge(evicted.slot));
   (void)removed;
   assert(removed == evicted.slot);
-  FreeSlot(evicted.slot);
+  store_.Free(evicted.slot);
 
-  const SlotId slot = AllocateSlot();
-  slots_[slot] = record;
+  const SlotId slot = store_.Allocate();
+  store_.Store(slot, record);
   heap_.Push(HeapItem{priority, slot});
   graph_.AddEdge(e, slot);
   result.inserted = true;
@@ -111,8 +98,8 @@ GpsReservoir GpsReservoir::FromParts(
   res.z_star_ = z_star;
   res.processed_ = processed;
   for (const EdgeRecord& rec : records) {
-    const SlotId slot = res.AllocateSlot();
-    res.slots_[slot] = rec;
+    const SlotId slot = res.store_.Allocate();
+    res.store_.Store(slot, rec);
     res.heap_.Push(HeapItem{rec.priority, slot});
     res.graph_.AddEdge(rec.edge, slot);
   }
@@ -123,16 +110,18 @@ bool GpsReservoir::CheckInvariants() const {
   if (!heap_.IsValidHeap()) return false;
   if (heap_.size() > options_.capacity) return false;
   if (graph_.NumEdges() != heap_.size()) return false;
+  if (store_.live_slots() != heap_.size()) return false;
   for (const HeapItem& item : heap_.Items()) {
-    const EdgeRecord& rec = slots_[item.slot];
-    if (rec.priority != item.priority) return false;
+    if (!store_.live(item.slot)) return false;
+    if (store_.priority(item.slot) != item.priority) return false;
     // Every surviving edge must beat the threshold (selection event B_i).
-    if (rec.priority < z_star_ && heap_.size() == options_.capacity) {
+    if (store_.priority(item.slot) < z_star_ &&
+        heap_.size() == options_.capacity) {
       // Priorities below z* can only remain if they entered before the
       // threshold rose past them — impossible under priority sampling.
       return false;
     }
-    if (graph_.FindEdge(rec.edge) != item.slot) return false;
+    if (graph_.FindEdge(store_.edge(item.slot)) != item.slot) return false;
   }
   return true;
 }

@@ -11,8 +11,10 @@
 // Structure:
 //   * a binary min-heap over (priority, slot) gives O(1) access to the
 //     lowest-priority edge and O(log m) insert/evict;
-//   * a slot table holds per-edge records (endpoints, weight, priority, and
-//     the in-stream covariance accumulators of Algorithm 3);
+//   * a PackedSampleStore holds per-edge records as SoA columns
+//     (endpoints, weight, priority, and the in-stream covariance
+//     accumulators of Algorithm 3) with stable recycled SlotIds, sized
+//     once — optionally from a --mem byte budget (core/packed_store.h);
 //   * a SampledGraph adjacency indexes the sampled topology so weight
 //     functions and estimators can query neighborhoods in O(min deg).
 //
@@ -28,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "core/packed_store.h"
 #include "graph/sampled_graph.h"
 #include "graph/types.h"
 #include "util/binary_heap.h"
@@ -64,21 +67,19 @@ struct GpsOptions {
   size_t capacity = 100000;
   /// Seed for the priority randomization u(k).
   uint64_t seed = 1;
+  /// Provenance of `capacity`: the --mem byte budget it was derived from,
+  /// or 0 when the capacity was given explicitly. Never affects the
+  /// sample path — a budget-derived run is byte-identical to an explicit
+  /// --capacity run of the same size; recorded so manifests and
+  /// allocation reports can state where the number came from.
+  uint64_t mem_bytes = 0;
 };
 
 class GpsReservoir {
  public:
-  /// Per-sampled-edge record.
-  struct EdgeRecord {
-    Edge edge;
-    double weight = 0.0;
-    double priority = 0.0;
-    /// Cumulative covariance accumulators for in-stream estimation
-    /// (Algorithm 3: C̃_k(△) and C̃_k(Λ)); zeroed on insertion, discarded on
-    /// eviction. Unused by post-stream estimation.
-    double cov_tri = 0.0;
-    double cov_wedge = 0.0;
-  };
+  /// Per-sampled-edge record (hoisted to core/packed_store.h; the nested
+  /// name remains for the many existing users).
+  using EdgeRecord = gps::EdgeRecord;
 
   /// Outcome of processing one arrival.
   struct ProcessResult {
@@ -98,7 +99,7 @@ class GpsReservoir {
   /// Fast path: once the reservoir is full, an arriving priority at or
   /// below z* cannot enter the sample (and cannot raise the threshold), so
   /// it is rejected after ONE comparison against the cached threshold —
-  /// before touching the heap or the slot table. On full reservoirs with
+  /// before touching the heap or the slot store. On full reservoirs with
   /// skewed priorities this is the common case for the sampling step.
   ProcessResult Process(const Edge& e, double weight);
 
@@ -130,6 +131,11 @@ class GpsReservoir {
     if (z > z_star_) z_star_ = z;
   }
 
+  /// Arms bucket-level striped locking of the store's slot writes so
+  /// re-bind admission can proceed against concurrent slot readers
+  /// without a store-global mutex (steal mode; see packed_store.h).
+  void EnableConcurrentAdmission() { store_.EnableConcurrentAdmission(); }
+
   /// Number of edges currently sampled, |K̂| = min(t, m).
   size_t size() const { return heap_.size(); }
 
@@ -152,20 +158,32 @@ class GpsReservoir {
 
   /// Inclusion probability of the sampled edge in `slot`.
   double Probability(SlotId slot) const {
-    return ProbabilityForWeight(Record(slot).weight);
+    return ProbabilityForWeight(store_.weight(slot));
   }
 
   /// Sampled topology (node -> neighbors with slot payloads).
   const SampledGraph& graph() const { return graph_; }
 
-  const EdgeRecord& Record(SlotId slot) const { return slots_[slot]; }
-  EdgeRecord* MutableRecord(SlotId slot) { return &slots_[slot]; }
+  /// Materializes the record in `slot` from the store's SoA columns.
+  EdgeRecord Record(SlotId slot) const { return store_.Record(slot); }
+
+  /// In-stream estimation's covariance-accumulator updates (Algorithm 3
+  /// lines 16-19 / 24-27) — the only record mutation that happens after
+  /// admission; replaces the old MutableRecord escape hatch.
+  void AddCovTri(SlotId slot, double delta) {
+    store_.AddCovTri(slot, delta);
+  }
+  void AddCovWedge(SlotId slot, double delta) {
+    store_.AddCovWedge(slot, delta);
+  }
+  double cov_tri(SlotId slot) const { return store_.cov_tri(slot); }
+  double cov_wedge(SlotId slot) const { return store_.cov_wedge(slot); }
 
   /// Calls fn(slot, record) for each sampled edge (heap order).
   template <typename Fn>
   void ForEachEdge(Fn&& fn) const {
     for (const HeapItem& item : heap_.Items()) {
-      fn(item.slot, slots_[item.slot]);
+      fn(item.slot, store_.Record(item.slot));
     }
   }
 
@@ -175,6 +193,9 @@ class GpsReservoir {
 
   /// Reservoir configuration.
   const GpsOptions& options() const { return options_; }
+
+  /// Packed slot storage (SoA columns + free list).
+  const PackedSampleStore& store() const { return store_; }
 
   /// Sampling counters (precheck rejects / admissions / evictions).
   const ReservoirMetrics& metrics() const { return metrics_; }
@@ -202,9 +223,6 @@ class GpsReservoir {
     }
   };
 
-  SlotId AllocateSlot();
-  void FreeSlot(SlotId slot);
-
   /// Shared insertion step of Process and Admit: the canonical edge `e`
   /// (not a loop, not sampled) enters with a fixed priority; the minimum
   /// of the m+1 candidates is discarded and z* updated.
@@ -213,8 +231,7 @@ class GpsReservoir {
   GpsOptions options_;
   Rng rng_;
   BinaryMinHeap<HeapItem, PriorityLess> heap_;
-  std::vector<EdgeRecord> slots_;
-  std::vector<SlotId> free_slots_;
+  PackedSampleStore store_;
   SampledGraph graph_;
   double z_star_ = 0.0;
   uint64_t processed_ = 0;

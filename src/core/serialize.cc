@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/motifs.h"
+#include "core/packed_store.h"
 
 namespace gps {
 namespace {
@@ -21,9 +22,10 @@ constexpr const char* kManifestHeader = "GPS-MANIFEST";
 constexpr int kFormatVersion = 1;
 // Manifests are versioned independently of the single-estimator formats:
 // v2 added the engine-level stream offset (resume support), v3 the
-// motif-statistic set (names + per-shard accumulators). Readers stay
-// compatible with v1 and v2.
-constexpr int kManifestVersion = 3;
+// motif-statistic set (names + per-shard accumulators), v4 the capacity
+// provenance (--mem byte budget; 0 = explicit capacity). Readers stay
+// compatible with v1 through v3.
+constexpr int kManifestVersion = 4;
 constexpr int kManifestMinReadVersion = 1;
 
 void WriteDouble(std::ostream& out, double v) {
@@ -308,6 +310,26 @@ Status ValidateManifest(const ShardManifest& manifest) {
         "manifest capacity " + std::to_string(manifest.total_capacity) +
         " outside (0, " + std::to_string(kMaxCheckpointCapacity) + "]");
   }
+  if (manifest.mem_budget_bytes > 0) {
+    // Capacity provenance: when the run derived its capacity from a byte
+    // budget, the recorded capacity must still be the one that budget
+    // derives to. A mismatch means the manifest was corrupted or
+    // hand-edited, and resuming would silently change the memory
+    // envelope the operator asked for.
+    Result<StoreLayout> layout =
+        DeriveStoreLayout(manifest.mem_budget_bytes);
+    if (!layout.ok()) {
+      return layout.status().WithContext("manifest memory budget");
+    }
+    if (layout->capacity != manifest.total_capacity) {
+      return Status::InvalidArgument(
+          "manifest capacity provenance mismatch: budget " +
+          std::to_string(manifest.mem_budget_bytes) + " bytes derives " +
+          std::to_string(layout->capacity) + " slots, but the manifest "
+          "records total capacity " +
+          std::to_string(manifest.total_capacity));
+    }
+  }
   if (manifest.weight.kind == WeightKind::kCustom) {
     return Status::FailedPrecondition(
         "custom weight callables cannot be serialized");
@@ -403,7 +425,8 @@ Status SerializeManifest(const ShardManifest& manifest, std::ostream& out) {
   out << kManifestHeader << ' ' << kManifestVersion << '\n';
   out << manifest.num_shards << ' ' << manifest.base_seed << ' '
       << manifest.total_capacity << ' ' << (manifest.split_capacity ? 1 : 0)
-      << ' ' << manifest.stream_offset << '\n';
+      << ' ' << manifest.stream_offset << ' ' << manifest.mem_budget_bytes
+      << '\n';
   if (Status s = WriteWeightOptions(manifest.weight, out); !s.ok()) return s;
   out << manifest.motif_names.size();
   for (const std::string& name : manifest.motif_names) out << ' ' << name;
@@ -445,6 +468,11 @@ Result<ShardManifest> DeserializeManifest(std::istream& in) {
   // offset from the entries' arrival counts instead).
   if (*version >= 2 && !(in >> manifest.stream_offset)) {
     return Status::IoError("truncated manifest: stream offset");
+  }
+  // Version 4 added capacity provenance; earlier manifests came from
+  // explicit-capacity runs (budget 0 = "not budget derived").
+  if (*version >= 4 && !(in >> manifest.mem_budget_bytes)) {
+    return Status::IoError("truncated manifest: memory budget");
   }
   Result<WeightOptions> weight = ReadWeightOptions(in);
   if (!weight.ok()) return weight.status();

@@ -31,11 +31,17 @@
 // set: a line naming the run's configured motifs (core/motifs.h registry
 // keys) and, per shard entry, one serialized MotifAccumulator per motif,
 // so multi-motif runs checkpoint/merge/resume like the tri/wedge set.
-// Writers emit version 3; readers accept versions 1 and 2 (empty motif
-// set; stream_offset reported as 0 for v1 — resume then derives the
-// offset from the per-entry arrival counts). Unknown motif names are
-// refused BY NAME at read. The per-shard RNG state itself lives in the
-// GPS-INSTREAM shard files, which already round-trip it exactly.
+// Version 4 added capacity provenance: the --mem byte budget the run's
+// total capacity was derived from (0 for an explicit --capacity), cross-
+// checked against the recorded capacity at read so a corrupt or
+// hand-edited manifest cannot silently resume with a different memory
+// envelope than the one the operator budgeted. Writers emit version 4;
+// readers accept versions 1-3 (empty motif set before v3; stream_offset
+// reported as 0 for v1 — resume then derives the offset from the
+// per-entry arrival counts; budget provenance 0 before v4). Unknown
+// motif names are refused BY NAME at read. The per-shard RNG state
+// itself lives in the GPS-INSTREAM shard files, which already
+// round-trip it exactly.
 
 #ifndef GPS_CORE_SERIALIZE_H_
 #define GPS_CORE_SERIALIZE_H_
@@ -109,6 +115,11 @@ struct ShardManifest {
   /// back to the sum of the entries' arrival counts (equal for a fully
   /// covered layout: every routed edge is consumed by exactly one shard).
   uint64_t stream_offset = 0;
+  /// Capacity provenance (version >= 4): the --mem byte budget
+  /// total_capacity was derived from, or 0 when the operator passed an
+  /// explicit --capacity. When non-zero, validation cross-checks that
+  /// DeriveStoreLayout(mem_budget_bytes).capacity == total_capacity.
+  uint64_t mem_budget_bytes = 0;
   /// Weight configuration shared by all shards; kind != kCustom.
   WeightOptions weight;
   /// Motif-statistic set the run was configured with (core/motifs.h

@@ -114,6 +114,89 @@ InStreamMotifCounter::EnumerateFn FourCycleEnumerator() {
   };
 }
 
+InStreamMotifCounter::EnumerateFn FiveCliqueEnumerator() {
+  return [](const Edge& arriving, const SampledGraph& graph,
+            const InStreamMotifCounter::Emitter& emit) {
+    // A 5-clique completed by (u,v) is a triple of common neighbors that
+    // are themselves pairwise joined by sampled edges. Prune at the first
+    // missing bridge so dense common neighborhoods do not pay the full
+    // cubic scan.
+    std::vector<NodeId> common;
+    graph.ForEachCommonNeighbor(
+        arriving.u, arriving.v,
+        [&](NodeId w, SlotId, SlotId) { common.push_back(w); });
+    for (size_t i = 0; i < common.size(); ++i) {
+      for (size_t j = i + 1; j < common.size(); ++j) {
+        const Edge bridge_ij = MakeEdge(common[i], common[j]);
+        if (!graph.HasEdge(bridge_ij)) continue;
+        for (size_t k = j + 1; k < common.size(); ++k) {
+          const Edge bridge_ik = MakeEdge(common[i], common[k]);
+          const Edge bridge_jk = MakeEdge(common[j], common[k]);
+          if (!graph.HasEdge(bridge_ik) || !graph.HasEdge(bridge_jk)) {
+            continue;
+          }
+          const Edge members[9] = {MakeEdge(arriving.u, common[i]),
+                                   MakeEdge(arriving.v, common[i]),
+                                   MakeEdge(arriving.u, common[j]),
+                                   MakeEdge(arriving.v, common[j]),
+                                   MakeEdge(arriving.u, common[k]),
+                                   MakeEdge(arriving.v, common[k]),
+                                   bridge_ij, bridge_ik, bridge_jk};
+          emit(members);
+        }
+      }
+    }
+  };
+}
+
+InStreamMotifCounter::EnumerateFn TailedTriangleEnumerator() {
+  return [](const Edge& arriving, const SampledGraph& graph,
+            const InStreamMotifCounter::Emitter& emit) {
+    const NodeId u = arriving.u;
+    const NodeId v = arriving.v;
+
+    // Case A: the arriving edge is the pendant tail. Either endpoint may
+    // be the attachment vertex x (the other endpoint is the pendant node
+    // and must stay outside the triangle): every sampled triangle at x
+    // avoiding the pendant node completes one instance.
+    const auto triangles_at = [&](NodeId x, NodeId pendant) {
+      std::vector<NodeId> nbrs;
+      graph.ForEachNeighbor(x, [&](NodeId n, SlotId) {
+        if (n != pendant) nbrs.push_back(n);
+      });
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          const Edge base = MakeEdge(nbrs[i], nbrs[j]);
+          if (!graph.HasEdge(base)) continue;
+          const Edge members[3] = {MakeEdge(x, nbrs[i]),
+                                   MakeEdge(x, nbrs[j]), base};
+          emit(members);
+        }
+      }
+    };
+    triangles_at(u, v);
+    triangles_at(v, u);
+
+    // Case B: the arriving edge is a triangle edge. Each common neighbor
+    // w closes a triangle {u, v, w}; any sampled edge from a triangle
+    // vertex to a fourth node is its tail.
+    graph.ForEachCommonNeighbor(u, v, [&](NodeId w, SlotId, SlotId) {
+      const Edge uw = MakeEdge(u, w);
+      const Edge vw = MakeEdge(v, w);
+      const auto tails_at = [&](NodeId x, NodeId skip1, NodeId skip2) {
+        graph.ForEachNeighbor(x, [&](NodeId t, SlotId) {
+          if (t == skip1 || t == skip2) return;
+          const Edge members[3] = {uw, vw, MakeEdge(x, t)};
+          emit(members);
+        });
+      };
+      tails_at(u, v, w);
+      tails_at(v, u, w);
+      tails_at(w, u, v);
+    });
+  };
+}
+
 InStreamMotifCounter::EnumerateFn ThreePathEnumerator() {
   return [](const Edge& arriving, const SampledGraph& graph,
             const InStreamMotifCounter::Emitter& emit) {

@@ -138,6 +138,17 @@ InStreamMotifCounter::EnumerateFn ThreePathEnumerator();
 /// y ∈ Γ̂(u), x ≠ y; three sampled edges per instance.
 InStreamMotifCounter::EnumerateFn FourCycleEnumerator();
 
+/// Built-in enumerator: 5-cliques completed by the arriving edge (u,v) —
+/// triples of common neighbors w1, w2, w3 with all three bridge edges
+/// sampled; nine sampled edges per instance.
+InStreamMotifCounter::EnumerateFn FiveCliqueEnumerator();
+
+/// Built-in enumerator: tailed triangles (a triangle plus one pendant
+/// edge at a triangle vertex, 4 distinct nodes) completed by the arriving
+/// edge, which may be the pendant tail or one of the triangle edges;
+/// three sampled edges per instance.
+InStreamMotifCounter::EnumerateFn TailedTriangleEnumerator();
+
 }  // namespace gps
 
 #endif  // GPS_CORE_SNAPSHOT_H_

@@ -69,6 +69,13 @@ ShardWorker::ShardWorker(uint32_t index, const ShardOptions& options)
       recycle_(options.ring_capacity) {
   if (options_.estimator == ShardEstimatorKind::kInStream) {
     in_stream_ = std::make_unique<InStreamEstimator>(options_.sampler);
+    if (options_.steal != StealMode::kDisabled) {
+      // Thieves read the owner store's slot columns (ProcessDetached is
+      // pure, but Admit re-binds race with concurrent steals of LATER
+      // batches): arm bucket-level striped locks instead of serializing
+      // the whole store.
+      in_stream_->mutable_reservoir()->EnableConcurrentAdmission();
+    }
   } else {
     assert(options_.motifs.empty() &&
            "motif suites need in-stream shard estimators");
@@ -233,7 +240,7 @@ bool ShardWorker::PumpRing() {
   bool moved = false;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(queue_mu_);
       // Bounded transfer: once the shared queue holds a ring's worth of
       // batches, leave the rest in the ring so a slow pipeline still
       // backpressures the producer.
@@ -241,7 +248,7 @@ bool ShardWorker::PumpRing() {
     }
     EdgeBatch incoming;
     if (!ring_.TryPop(&incoming)) break;
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.push_back({batches_enqueued_++, std::move(incoming)});
     moved = true;
   }
@@ -253,7 +260,7 @@ bool ShardWorker::MergeReadyResults() {
   for (;;) {
     BatchResult result;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(results_mu_);
       auto it = completed_.find(next_merge_);
       if (it == completed_.end()) break;
       result = std::move(it->second);
@@ -277,7 +284,7 @@ bool ShardWorker::MergeReadyResults() {
 }
 
 bool ShardWorker::TakeFront(PendingBatch* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(queue_mu_);
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
@@ -290,7 +297,7 @@ bool ShardWorker::TryStealBatch(PendingBatch* out) {
       kMaxUnmergedResults) {
     return false;  // owner is behind on merging; do not pile on
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(queue_mu_);
   // Leave the oldest batch for the owner: it is the next to merge, so the
   // owner processing it keeps the merge frontier moving.
   if (queue_.size() <= 1) return false;
@@ -335,7 +342,9 @@ bool ShardWorker::OwnWorkComplete() {
   // pump distinguishes drained from racing.
   if (PumpRing()) return false;
   if (ring_.SizeApprox() != 0) return false;  // queue was full; not done
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock order: queue_mu_ before results_mu_ (the only two-lock site).
+  std::lock_guard<std::mutex> queue_lock(queue_mu_);
+  std::lock_guard<std::mutex> results_lock(results_mu_);
   return queue_.empty() && completed_.empty() &&
          next_merge_ == batches_enqueued_;
 }
@@ -401,7 +410,7 @@ void ShardWorker::AbsorbResult(const BatchResult& result) {
 }
 
 void ShardWorker::PostResult(ShardWorker* owner, BatchResult&& result) {
-  std::lock_guard<std::mutex> lock(owner->mu_);
+  std::lock_guard<std::mutex> lock(owner->results_mu_);
   owner->completed_.emplace(result.index, std::move(result));
 }
 

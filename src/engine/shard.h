@@ -48,11 +48,18 @@
 // supports by recording the batch id of every sampled edge
 // (slot_strata()).
 //
-// Steal-mode shared state (the pending-batch queue and the completed-
-// result map) is mutex-guarded; the granularity is whole batches, so the
-// lock is touched O(1/batch_size) per edge. The drain handshake is
-// unchanged: consumed-edge counts publish (release) only after a batch's
-// result is merged, so a drained reader always sees fully re-bound state.
+// Steal-mode shared state is guarded at two independent granularities so
+// thieves and the owner do not serialize on one lock: the pending-batch
+// queue (queue_mu_) and the completed-result map (results_mu_) have
+// separate mutexes — a thief publishing a finished mini (PostResult)
+// never contends with the owner pumping its ring, and vice versa. Both
+// locks are touched O(1/batch_size) per edge. Below them, the owner
+// reservoir's packed store arms bucket-level striped locks
+// (EnableConcurrentAdmission) so re-bind admission's slot writes are
+// safe against concurrent slot readers without any store-global mutex.
+// The drain handshake is unchanged: consumed-edge counts publish
+// (release) only after a batch's result is merged, so a drained reader
+// always sees fully re-bound state.
 
 #ifndef GPS_ENGINE_SHARD_H_
 #define GPS_ENGINE_SHARD_H_
@@ -349,7 +356,11 @@ class ShardWorker {
   TraceBuffer* trace_buf_ = nullptr;      // worker-thread writes
 
   // ---- Steal-mode state ----------------------------------------------
-  std::mutex mu_;  // guards queue_ and completed_
+  // Two independent locks (see the file comment). Lock order when both
+  // are needed: queue_mu_ before results_mu_ (only OwnWorkComplete takes
+  // both).
+  std::mutex queue_mu_;    // guards queue_
+  std::mutex results_mu_;  // guards completed_
   std::deque<PendingBatch> queue_;
   std::map<uint64_t, BatchResult> completed_;
   std::atomic<uint64_t> unmerged_results_{0};

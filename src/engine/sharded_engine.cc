@@ -67,7 +67,8 @@ Status CheckManifestsCompatible(const ShardManifest& base,
         std::to_string(base.base_seed));
   }
   if (other.total_capacity != base.total_capacity ||
-      other.split_capacity != base.split_capacity) {
+      other.split_capacity != base.split_capacity ||
+      other.mem_budget_bytes != base.mem_budget_bytes) {
     return Status::FailedPrecondition(
         "manifest " + path + ": capacity layout does not match");
   }
@@ -425,6 +426,9 @@ void ShardedEngine::RegisterObservability() {
   metrics_.AddGauge("merge.union_sample_size", &derived_.union_sample_size);
   metrics_.AddGauge("worker.busy_seconds", &derived_.busy_seconds_max);
   metrics_.AddGauge("worker.idle_seconds", &derived_.idle_seconds_max);
+  metrics_.AddGauge("store.arena_bytes", &derived_.arena_bytes_total);
+  metrics_.AddGauge("store.load_factor", &derived_.load_factor_max);
+  metrics_.AddGauge("store.probe_len_p99", &derived_.probe_len_p99);
 
   if (options_.trace != nullptr) {
     for (uint32_t s = 0; s < k; ++s) {
@@ -443,6 +447,8 @@ void ShardedEngine::RefreshDerivedGauges() {
   derived_.edges_ingested.Set(static_cast<double>(edges_processed_));
   double zstar_max = 0.0, busy_max = 0.0, idle_max = 0.0;
   double sample_total = 0.0;
+  double arena_total = 0.0, load_factor_max = 0.0, probe_p99_max = 0.0;
+  std::vector<size_t> probes;  // reused across shards
   for (uint32_t s = 0; s < num_shards(); ++s) {
     const GpsReservoir& res = shards_[s]->reservoir();
     zstar_max = std::max(zstar_max, res.threshold());
@@ -450,11 +456,27 @@ void ShardedEngine::RefreshDerivedGauges() {
     shard_sample_size_[s].Set(static_cast<double>(res.size()));
     busy_max = std::max(busy_max, shards_[s]->busy_seconds());
     idle_max = std::max(idle_max, shards_[s]->idle_seconds());
+    // Packed-store memory introspection: snapshot-time only (drained
+    // state required), never a hot-path instrument.
+    const SampledGraph& graph = res.graph();
+    arena_total += static_cast<double>(graph.arena_bytes());
+    load_factor_max = std::max(load_factor_max, graph.node_load_factor());
+    probes.clear();
+    graph.ForEachNodeProbeLength([&](size_t len) { probes.push_back(len); });
+    if (!probes.empty()) {
+      const size_t rank = (probes.size() * 99) / 100;
+      std::nth_element(probes.begin(), probes.begin() + rank, probes.end());
+      probe_p99_max =
+          std::max(probe_p99_max, static_cast<double>(probes[rank]));
+    }
   }
   derived_.zstar_max.Set(zstar_max);
   derived_.sample_size_total.Set(sample_total);
   derived_.busy_seconds_max.Set(busy_max);
   derived_.idle_seconds_max.Set(idle_max);
+  derived_.arena_bytes_total.Set(arena_total);
+  derived_.load_factor_max.Set(load_factor_max);
+  derived_.probe_len_p99.Set(probe_p99_max);
 }
 
 MetricsSnapshot ShardedEngine::SnapshotMetrics() {
@@ -547,6 +569,7 @@ Status ShardedEngine::SerializeShards(const std::string& dir) {
   manifest.total_capacity = options_.sampler.capacity;
   manifest.split_capacity = options_.split_capacity;
   manifest.stream_offset = edges_processed_;
+  manifest.mem_budget_bytes = options_.sampler.mem_bytes;
   manifest.weight = options_.sampler.weight;
   manifest.motif_names = options_.motifs;
   // Reject un-serializable layouts (capacity out of range, custom weight)
@@ -737,6 +760,7 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::ResumeFromCheckpoints(
   options.sampler.capacity = loaded->layout.total_capacity;
   options.sampler.seed = loaded->layout.base_seed;
   options.sampler.weight = loaded->layout.weight;
+  options.sampler.mem_bytes = loaded->layout.mem_budget_bytes;
   options.num_shards = loaded->layout.num_shards;
   options.split_capacity = loaded->layout.split_capacity;
   options.batch_size = resume_options.batch_size;

@@ -59,7 +59,10 @@ inline constexpr const char* kShardManifestFilename = "manifest.gpsm";
 struct ShardedEngineOptions {
   /// Base sampler configuration. `capacity` is the TOTAL memory budget
   /// (split across shards unless split_capacity is false); `seed` is the
-  /// base seed each shard's seed is derived from (core/seeding.h).
+  /// base seed each shard's seed is derived from (core/seeding.h);
+  /// `mem_bytes` is the --mem byte budget the capacity was derived from
+  /// (0 for an explicit capacity) — recorded in checkpoint manifests as
+  /// capacity provenance, never consulted by the sample path.
   GpsSamplerOptions sampler;
   /// Number of shards K (>= 1).
   uint32_t num_shards = 1;
@@ -364,6 +367,9 @@ class ShardedEngine {
     Gauge union_sample_size;   // merge.union_sample_size (last merge pass)
     Gauge busy_seconds_max;    // worker.busy_seconds (max across workers)
     Gauge idle_seconds_max;    // worker.idle_seconds (max across workers)
+    Gauge arena_bytes_total;   // store.arena_bytes (sum across shards)
+    Gauge load_factor_max;     // store.load_factor (max across shards)
+    Gauge probe_len_p99;       // store.probe_len_p99 (max across shards)
   };
   DerivedGauges derived_;
   /// Per-stratum (per-shard) sample sizes: merge.sample_size.shard<k>.

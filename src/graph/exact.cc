@@ -52,11 +52,14 @@ ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs) {
 
   uint64_t triangles = 0;
   uint64_t four_cliques = 0;
+  uint64_t five_cliques = 0;
+  double tailed_triangles = 0;
   std::vector<uint32_t> common;  // reused intersection buffer (rank order)
   for (size_t v = 0; v < n; ++v) {
     const auto& nu = out_nbrs[v];
     for (uint32_t rw : nu) {
-      const auto& nw = out_nbrs[by_rank[rw]];
+      const NodeId w = by_rank[rw];
+      const auto& nw = out_nbrs[w];
       // Sorted-merge intersection of nu and nw.
       common.clear();
       auto it_u = nu.begin();
@@ -68,7 +71,15 @@ ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs) {
           ++it_w;
         } else {
           ++triangles;
-          if (count_higher_motifs) common.push_back(*it_u);
+          if (count_higher_motifs) {
+            common.push_back(*it_u);
+            // Tailed triangles: this triangle (v, w, x) offers deg - 2
+            // pendant choices at each vertex (its neighbors outside the
+            // triangle).
+            tailed_triangles +=
+                static_cast<double>(g.Degree(static_cast<NodeId>(v))) +
+                g.Degree(w) + g.Degree(by_rank[*it_u]) - 6.0;
+          }
           ++it_u;
           ++it_w;
         }
@@ -77,12 +88,20 @@ ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs) {
       // 4-cliques whose two lowest-rank vertices are (v, w): pairs of
       // common out-neighbors (x, y), x < y in rank, joined by an edge —
       // i.e. y appears among x's out-neighbors. Each 4-clique is counted
-      // exactly once, at its bottom edge.
+      // exactly once, at its bottom edge. 5-cliques extend the pair with a
+      // third common out-neighbor adjacent to both; rank order again makes
+      // the bottom edge the unique counting site.
       for (size_t i = 0; i < common.size(); ++i) {
         const auto& nx = out_nbrs[by_rank[common[i]]];
         for (size_t j = i + 1; j < common.size(); ++j) {
-          if (std::binary_search(nx.begin(), nx.end(), common[j])) {
-            ++four_cliques;
+          if (!std::binary_search(nx.begin(), nx.end(), common[j])) continue;
+          ++four_cliques;
+          const auto& ny = out_nbrs[by_rank[common[j]]];
+          for (size_t k = j + 1; k < common.size(); ++k) {
+            if (std::binary_search(nx.begin(), nx.end(), common[k]) &&
+                std::binary_search(ny.begin(), ny.end(), common[k])) {
+              ++five_cliques;
+            }
           }
         }
       }
@@ -91,6 +110,8 @@ ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs) {
   out.triangles = static_cast<double>(triangles);
   if (count_higher_motifs) {
     out.four_cliques = static_cast<double>(four_cliques);
+    out.five_cliques = static_cast<double>(five_cliques);
+    out.tailed_triangles = tailed_triangles;
     // Simple 3-edge paths on 4 distinct nodes: choose the middle edge
     // (u,v) and one further neighbor at each end; the (d(u)-1)(d(v)-1)
     // products double-count nothing but include the a == b collisions,

@@ -32,6 +32,8 @@ struct ExactCounts {
   double four_cliques = 0;
   double three_paths = 0;
   double four_cycles = 0;
+  double five_cliques = 0;
+  double tailed_triangles = 0;
 
   /// Global clustering coefficient alpha = 3*N(tri)/N(wedge); 0 when there
   /// are no wedges.
@@ -46,8 +48,12 @@ struct ExactCounts {
 /// simple 3-path counts (Σ_{(u,v)∈E} (d(u)-1)(d(v)-1) - 3·N(tri)), and
 /// 4-cycle counts (each C4 has exactly two diagonal node pairs, so
 /// N(C4) = ½ Σ_{u<w} C(codeg(u,w), 2) over the wedge-derived co-degree
-/// table) — the accuracy oracles for the motif-statistic pipeline;
-/// intended for the small/medium graphs of the test suites.
+/// table), 5-clique counts (triples of adjacent common out-neighbors over
+/// the same orientation, each K5 counted once at its lowest-rank edge),
+/// and tailed-triangle counts (Σ over triangles of deg(a)+deg(b)+deg(c)-6:
+/// each triangle vertex offers deg-2 pendant choices) — the accuracy
+/// oracles for the motif-statistic pipeline; intended for the small/medium
+/// graphs of the test suites.
 ExactCounts CountExact(const CsrGraph& g, bool count_higher_motifs = false);
 
 /// Counts triangles containing each edge (u,v) of the graph; returned in the

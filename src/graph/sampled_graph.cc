@@ -1,82 +1,77 @@
 #include "graph/sampled_graph.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace gps {
 
-std::vector<std::pair<NodeId, SlotId>>::const_iterator
-NeighborList::LowerBound(NodeId nbr) const {
-  return std::lower_bound(
-      vec_.begin(), vec_.end(), nbr,
-      [](const std::pair<NodeId, SlotId>& entry, NodeId key) {
-        return entry.first < key;
-      });
-}
-
-void NeighborList::Insert(NodeId nbr, SlotId slot) {
-  assert(!Contains(nbr));
-  vec_.emplace(LowerBound(nbr), nbr, slot);
-  if (map_) {
-    map_->Insert(nbr, slot);
-  } else if (vec_.size() > kPromoteThreshold) {
-    Promote();
+void SampledGraph::InsertHalf(NodeId u, NodeId nbr, SlotId slot) {
+  BlockRef* block = nodes_.Find(u);
+  if (block == nullptr) {
+    BlockRef fresh;
+    fresh.log2_cap = AdjacencyArena::kMinClass;
+    fresh.offset = arena_.AllocateBlock(fresh.log2_cap);
+    block = nodes_.Insert(u, fresh).first;
   }
-}
-
-bool NeighborList::Erase(NodeId nbr) {
-  auto it = LowerBound(nbr);
-  if (it == vec_.end() || it->first != nbr) return false;
-  vec_.erase(it);
-  if (map_) map_->Erase(nbr);
-  return true;
-}
-
-SlotId NeighborList::Find(NodeId nbr) const {
-  if (map_) {
-    const SlotId* slot = map_->Find(nbr);
-    return slot ? *slot : kNoSlot;
+  if (block->size == AdjacencyArena::ClassCapacity(block->log2_cap)) {
+    // Promote to the next size class: allocate first (which may move the
+    // arena's backing store), then re-derive both pointers and copy.
+    assert(block->log2_cap < AdjacencyArena::kMaxClass);
+    const uint8_t next_class = static_cast<uint8_t>(block->log2_cap + 1);
+    const uint32_t next_offset = arena_.AllocateBlock(next_class);
+    const AdjEntry* src = arena_.At(block->offset);
+    std::copy(src, src + block->size, arena_.At(next_offset));
+    arena_.FreeBlock(block->offset, block->log2_cap);
+    block->offset = next_offset;
+    block->log2_cap = next_class;
   }
-  auto it = LowerBound(nbr);
-  return it != vec_.end() && it->first == nbr ? it->second : kNoSlot;
+  AdjEntry* begin = arena_.At(block->offset);
+  AdjEntry* pos = begin + (LowerBound(*block, nbr) - begin);
+  assert(pos == begin + block->size || pos->nbr != nbr);
+  std::copy_backward(pos, begin + block->size, begin + block->size + 1);
+  *pos = AdjEntry{nbr, slot};
+  ++block->size;
 }
 
-void NeighborList::Promote() {
-  // The map is a Find index on top of the sorted vector, which remains
-  // the (canonically ordered) iteration source.
-  map_ = std::make_unique<FlatHashMap<NodeId, SlotId>>(vec_.size() * 2);
-  for (const auto& [nbr, slot] : vec_) map_->Insert(nbr, slot);
+SlotId SampledGraph::EraseHalf(NodeId u, NodeId nbr) {
+  BlockRef* block = nodes_.Find(u);
+  if (block == nullptr) return kNoSlot;
+  AdjEntry* begin = arena_.At(block->offset);
+  AdjEntry* pos = begin + (LowerBound(*block, nbr) - begin);
+  if (pos == begin + block->size || pos->nbr != nbr) return kNoSlot;
+  const SlotId slot = pos->slot;
+  std::copy(pos + 1, begin + block->size, pos);
+  --block->size;
+  if (block->size == 0) {
+    arena_.FreeBlock(block->offset, block->log2_cap);
+    nodes_.Erase(u);
+  }
+  return slot;
 }
 
 bool SampledGraph::AddEdge(const Edge& e, SlotId slot) {
   if (e.IsSelfLoop()) return false;
-  NeighborList& lu = nodes_[e.u];
-  if (lu.Contains(e.v)) return false;
-  lu.Insert(e.v, slot);
-  nodes_[e.v].Insert(e.u, slot);
+  const BlockRef* bu = nodes_.Find(e.u);
+  if (bu != nullptr && FindInBlock(*bu, e.v) != kNoSlot) return false;
+  InsertHalf(e.u, e.v, slot);
+  InsertHalf(e.v, e.u, slot);
   ++num_edges_;
   return true;
 }
 
 SlotId SampledGraph::RemoveEdge(const Edge& e) {
-  NeighborList* lu = nodes_.Find(e.u);
-  if (!lu) return kNoSlot;
-  const SlotId slot = lu->Find(e.v);
+  const SlotId slot = EraseHalf(e.u, e.v);
   if (slot == kNoSlot) return kNoSlot;
-  lu->Erase(e.v);
-  if (lu->empty()) nodes_.Erase(e.u);
-  NeighborList* lv = nodes_.Find(e.v);
-  assert(lv != nullptr);
-  lv->Erase(e.u);
-  if (lv->empty()) nodes_.Erase(e.v);
+  const SlotId mirror = EraseHalf(e.v, e.u);
+  (void)mirror;
+  assert(mirror == slot);
   --num_edges_;
   return slot;
 }
 
 SlotId SampledGraph::FindEdge(const Edge& e) const {
-  const NeighborList* lu = nodes_.Find(e.u);
-  if (!lu) return kNoSlot;
-  return lu->Find(e.v);
+  const BlockRef* bu = nodes_.Find(e.u);
+  if (!bu) return kNoSlot;
+  return FindInBlock(*bu, e.v);
 }
 
 size_t SampledGraph::CountCommonNeighbors(NodeId u, NodeId v) const {
@@ -87,7 +82,13 @@ size_t SampledGraph::CountCommonNeighbors(NodeId u, NodeId v) const {
 
 void SampledGraph::Clear() {
   nodes_.clear();
+  arena_.Clear();
   num_edges_ = 0;
+}
+
+void SampledGraph::Reserve(size_t max_nodes, size_t arena_entries) {
+  nodes_.reserve(max_nodes);
+  arena_.Reserve(arena_entries);
 }
 
 }  // namespace gps

@@ -2,20 +2,26 @@
 //
 // This is the reservoir's topology index (paper Section 3.2): arriving edge
 // k = (v1, v2) needs |Γ̂(v1) ∩ Γ̂(v2)| — the number of sampled triangles k
-// would complete — in O(min{deg(v1), deg(v2)}) expected time, and edges must
-// be removable when evicted from the reservoir.
+// would complete — in O(min{deg(v1), deg(v2)} · log deg) expected time, and
+// edges must be removable when evicted from the reservoir.
 //
-// Each incident edge is stored with an opaque 32-bit payload ("slot") so the
-// reservoir can map a neighbor entry back to its edge record (weight,
+// Layout (mccortex gpath_hash idiom, memory-budget refactor): one
+// open-addressing table maps node -> BlockRef, a (offset, size, class)
+// handle into a single bump-allocated AdjacencyArena of (neighbor, slot)
+// entries. Blocks have power-of-two capacities; a node outgrowing its
+// block moves to the next size class and the old block goes on a per-class
+// free list for reuse under eviction churn. Compared to the previous
+// map-of-vectors this removes one heap allocation per node, makes the
+// adjacency footprint a single arena number (`arena_bytes()`) a `--mem`
+// budget can account for, and keeps every entry 8 bytes.
+//
+// Each incident edge is stored with an opaque 32-bit payload ("slot") so
+// the reservoir can map a neighbor entry back to its edge record (weight,
 // priority, covariance accumulators) without a second lookup.
 //
-// Neighbor containers are adaptive: every list keeps a vector of
-// (neighbor, slot) pairs SORTED by neighbor id — the iteration source —
-// and hub nodes past a threshold additionally carry an open-addressing
-// map so membership queries stay O(1).
-//
-// The sorted order is a determinism guarantee, not an optimization:
-// iteration order is a pure function of the sampled edge set, never of
+// Every block is kept SORTED by neighbor id — the iteration source. The
+// sorted order is a determinism guarantee, not an optimization: iteration
+// order is a pure function of the sampled edge set, never of
 // insertion/eviction history or hash-table layout. Estimators accumulate
 // floating-point sums in iteration order, so a checkpoint-restored
 // reservoir (which rebuilds this index from serialized records, in a
@@ -28,8 +34,9 @@
 #ifndef GPS_GRAPH_SAMPLED_GRAPH_H_
 #define GPS_GRAPH_SAMPLED_GRAPH_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <memory>
 #include <utility>
 #include <vector>
 
@@ -42,42 +49,71 @@ namespace gps {
 using SlotId = uint32_t;
 constexpr SlotId kNoSlot = ~SlotId{0};
 
-/// Adaptive neighbor container: a (neighbor, slot) vector kept sorted by
-/// neighbor id (canonical iteration order — see file comment); past
-/// kPromoteThreshold entries an open-addressing map is layered on top so
-/// Find/Contains on hub nodes stay O(1).
-class NeighborList {
+/// One directed adjacency entry: neighbor id + the edge's reservoir slot.
+struct AdjEntry {
+  NodeId nbr;
+  SlotId slot;
+};
+
+/// Bump allocator for fixed-capacity adjacency blocks with per-size-class
+/// free lists. Offsets (not pointers) are the stable handle: the backing
+/// vector may reallocate on bump growth, so callers re-derive pointers via
+/// At() after any allocation.
+class AdjacencyArena {
  public:
-  static constexpr size_t kPromoteThreshold = 24;
+  /// log2 of the smallest block capacity (2 entries).
+  static constexpr uint8_t kMinClass = 1;
+  static constexpr uint8_t kMaxClass = 31;
 
-  size_t size() const { return vec_.size(); }
-  bool empty() const { return vec_.empty(); }
-
-  /// Inserts (neighbor -> slot). Precondition: neighbor not present.
-  void Insert(NodeId nbr, SlotId slot);
-
-  /// Removes neighbor; returns true if present.
-  bool Erase(NodeId nbr);
-
-  /// Returns the slot for neighbor, or kNoSlot.
-  SlotId Find(NodeId nbr) const;
-
-  bool Contains(NodeId nbr) const { return Find(nbr) != kNoSlot; }
-
-  /// Calls fn(neighbor, slot) for each entry, in ascending neighbor-id
-  /// order regardless of insertion/eviction history.
-  template <typename Fn>
-  void ForEach(Fn&& fn) const {
-    for (const auto& [nbr, slot] : vec_) fn(nbr, slot);
+  static constexpr uint32_t ClassCapacity(uint8_t log2_cap) {
+    return uint32_t{1} << log2_cap;
   }
 
- private:
-  std::vector<std::pair<NodeId, SlotId>>::const_iterator LowerBound(
-      NodeId nbr) const;
-  void Promote();
+  /// Returns the offset of a block with capacity 1 << log2_cap, reusing a
+  /// freed block of that class when one exists.
+  uint32_t AllocateBlock(uint8_t log2_cap) {
+    auto& free_list = free_[log2_cap];
+    if (!free_list.empty()) {
+      const uint32_t offset = free_list.back();
+      free_list.pop_back();
+      return offset;
+    }
+    const uint32_t offset = static_cast<uint32_t>(entries_.size());
+    entries_.resize(entries_.size() + ClassCapacity(log2_cap));
+    return offset;
+  }
 
-  std::vector<std::pair<NodeId, SlotId>> vec_;  // sorted by neighbor id
-  std::unique_ptr<FlatHashMap<NodeId, SlotId>> map_;
+  void FreeBlock(uint32_t offset, uint8_t log2_cap) {
+    free_[log2_cap].push_back(offset);
+  }
+
+  AdjEntry* At(uint32_t offset) { return entries_.data() + offset; }
+  const AdjEntry* At(uint32_t offset) const {
+    return entries_.data() + offset;
+  }
+
+  /// Preallocates backing storage (budget mode: one reservation up
+  /// front, no growth jitter during the stream).
+  void Reserve(size_t entry_count) { entries_.reserve(entry_count); }
+
+  void Clear() {
+    entries_.clear();
+    for (auto& fl : free_) fl.clear();
+  }
+
+  /// Bytes owned by the arena backing store (capacity, not size: this is
+  /// what the process actually holds).
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(entries_.capacity()) * sizeof(AdjEntry);
+  }
+
+  /// Entries handed out over the arena's lifetime (bump high-water mark,
+  /// including freed-and-reusable blocks).
+  size_t entries_allocated() const { return entries_.size(); }
+
+ private:
+  std::vector<AdjEntry> entries_;
+  std::array<std::vector<uint32_t>, kMaxClass + 1> free_;
 };
 
 /// Mutable adjacency structure over sampled edges.
@@ -93,8 +129,8 @@ class SampledGraph {
 
   /// Degree of v in the sampled graph (0 if absent).
   size_t Degree(NodeId v) const {
-    const NeighborList* list = nodes_.Find(v);
-    return list ? list->size() : 0;
+    const BlockRef* block = nodes_.Find(v);
+    return block ? block->size : 0;
   }
 
   /// Adds edge e carrying `slot`. Returns false (no-op) if already present
@@ -109,18 +145,23 @@ class SampledGraph {
 
   bool HasEdge(const Edge& e) const { return FindEdge(e) != kNoSlot; }
 
-  /// Calls fn(neighbor, slot) over the neighbors of v.
+  /// Calls fn(neighbor, slot) over the neighbors of v, in ascending
+  /// neighbor-id order regardless of insertion/eviction history.
   template <typename Fn>
   void ForEachNeighbor(NodeId v, Fn&& fn) const {
-    const NeighborList* list = nodes_.Find(v);
-    if (list) list->ForEach(std::forward<Fn>(fn));
+    const BlockRef* block = nodes_.Find(v);
+    if (!block) return;
+    const AdjEntry* entries = arena_.At(block->offset);
+    for (uint32_t i = 0; i < block->size; ++i) {
+      fn(entries[i].nbr, entries[i].slot);
+    }
   }
 
   /// Calls fn(node, degree) for every node with at least one sampled edge.
   template <typename Fn>
   void ForEachNode(Fn&& fn) const {
-    nodes_.ForEach([&](NodeId node, const NeighborList& list) {
-      fn(node, list.size());
+    nodes_.ForEach([&](NodeId node, const BlockRef& block) {
+      fn(node, static_cast<size_t>(block.size));
     });
   }
 
@@ -132,29 +173,84 @@ class SampledGraph {
   /// i.e. for every sampled triangle the (u, v) edge would close.
   template <typename Fn>
   void ForEachCommonNeighbor(NodeId u, NodeId v, Fn&& fn) const {
-    const NeighborList* lu = nodes_.Find(u);
-    const NeighborList* lv = nodes_.Find(v);
-    if (!lu || !lv) return;
+    const BlockRef* bu = nodes_.Find(u);
+    const BlockRef* bv = nodes_.Find(v);
+    if (!bu || !bv) return;
     // Scan the smaller neighborhood, but always report slots in the
     // caller's (u, v) argument order.
-    if (lu->size() <= lv->size()) {
-      lu->ForEach([&](NodeId w, SlotId slot_uw) {
-        const SlotId slot_vw = lv->Find(w);
-        if (slot_vw != kNoSlot) fn(w, slot_uw, slot_vw);
-      });
+    if (bu->size <= bv->size) {
+      const AdjEntry* eu = arena_.At(bu->offset);
+      for (uint32_t i = 0; i < bu->size; ++i) {
+        const SlotId slot_vw = FindInBlock(*bv, eu[i].nbr);
+        if (slot_vw != kNoSlot) fn(eu[i].nbr, eu[i].slot, slot_vw);
+      }
     } else {
-      lv->ForEach([&](NodeId w, SlotId slot_vw) {
-        const SlotId slot_uw = lu->Find(w);
-        if (slot_uw != kNoSlot) fn(w, slot_uw, slot_vw);
-      });
+      const AdjEntry* ev = arena_.At(bv->offset);
+      for (uint32_t i = 0; i < bv->size; ++i) {
+        const SlotId slot_uw = FindInBlock(*bu, ev[i].nbr);
+        if (slot_uw != kNoSlot) fn(ev[i].nbr, slot_uw, ev[i].slot);
+      }
     }
   }
 
-  /// Removes everything.
+  /// Removes everything (arena storage is retained).
   void Clear();
 
+  /// Budget mode: preallocates the node table for `max_nodes` and the
+  /// arena for `arena_entries` entries up front, so steady-state RSS is
+  /// set at startup rather than discovered through doubling.
+  void Reserve(size_t max_nodes, size_t arena_entries);
+
+  // ---- Memory/metrics introspection (engine gauges) ----------------------
+
+  /// Bytes held by the adjacency arena backing store.
+  uint64_t arena_bytes() const { return arena_.bytes(); }
+
+  /// Live fill fraction of the open-addressing node table (<= 7/8).
+  double node_load_factor() const { return nodes_.load_factor(); }
+
+  /// Calls fn(probe_length) per node-table entry; O(table). Snapshot-time
+  /// only — never on the per-arrival path.
+  template <typename Fn>
+  void ForEachNodeProbeLength(Fn&& fn) const {
+    nodes_.ForEachProbeLength(std::forward<Fn>(fn));
+  }
+
  private:
-  FlatHashMap<NodeId, NeighborList> nodes_;
+  /// Handle into the arena: `size` live entries, sorted by neighbor id,
+  /// in a block of capacity 1 << log2_cap. log2_cap == 0 marks "no block
+  /// yet" (smallest real class is kMinClass).
+  struct BlockRef {
+    uint32_t offset = 0;
+    uint32_t size = 0;
+    uint8_t log2_cap = 0;
+  };
+
+  const AdjEntry* LowerBound(const BlockRef& block, NodeId nbr) const {
+    const AdjEntry* begin = arena_.At(block.offset);
+    return std::lower_bound(
+        begin, begin + block.size, nbr,
+        [](const AdjEntry& entry, NodeId key) { return entry.nbr < key; });
+  }
+
+  SlotId FindInBlock(const BlockRef& block, NodeId nbr) const {
+    const AdjEntry* it = LowerBound(block, nbr);
+    return it != arena_.At(block.offset) + block.size && it->nbr == nbr
+               ? it->slot
+               : kNoSlot;
+  }
+
+  /// Inserts the directed half-edge u -> (nbr, slot), growing u's block a
+  /// size class if full. Precondition: nbr not already present.
+  void InsertHalf(NodeId u, NodeId nbr, SlotId slot);
+
+  /// Erases the directed half-edge u -> nbr; frees u's block and erases u
+  /// from the node table when it empties. Returns the erased slot or
+  /// kNoSlot.
+  SlotId EraseHalf(NodeId u, NodeId nbr);
+
+  FlatHashMap<NodeId, BlockRef> nodes_;
+  AdjacencyArena arena_;
   size_t num_edges_ = 0;
 };
 

@@ -147,6 +147,30 @@ class FlatHashMap {
     }
   }
 
+  /// Live-element fill fraction of the table (0 when unallocated). The
+  /// growth policy caps live + tombstones at 7/8, so this never exceeds
+  /// 0.875.
+  double load_factor() const {
+    return ctrl_.empty()
+               ? 0.0
+               : static_cast<double>(size_) / static_cast<double>(ctrl_.size());
+  }
+
+  /// Calls fn(probe_length) for every live element, where probe_length is
+  /// the number of slots between the key's home bucket and where it
+  /// actually resides (0 = home). O(capacity) full-table walk — intended
+  /// for metrics snapshots, never per-arrival hot paths.
+  template <typename Fn>
+  void ForEachProbeLength(Fn&& fn) const {
+    if (ctrl_.empty()) return;
+    const size_t mask = ctrl_.size() - 1;
+    for (size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != Ctrl::kFull) continue;
+      const size_t home = hash_(slots_[i].key) & mask;
+      fn((i - home) & mask);
+    }
+  }
+
  private:
   static size_t NormalizeCapacity(size_t n) {
     size_t cap = 8;

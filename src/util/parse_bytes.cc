@@ -1,0 +1,100 @@
+#include "util/parse_bytes.h"
+
+#include <cctype>
+
+namespace gps {
+namespace {
+
+/// Digits-only core over a substring view; rejects empty input and
+/// overflow. Shared by both public parsers so they cannot drift.
+Result<uint64_t> ParseDigits(const std::string& text, size_t begin,
+                             size_t end, const std::string& what) {
+  if (begin >= end) {
+    return Status::InvalidArgument(what + ": expected a number, got \"" +
+                                   text + "\"");
+  }
+  uint64_t value = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(what + ": \"" + text +
+                                     "\" is not a plain unsigned integer");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (~uint64_t{0} - digit) / 10) {
+      return Status::OutOfRange(what + ": \"" + text +
+                                "\" overflows a 64-bit count");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Binary scale for a suffix letter, or 0 for an unknown suffix.
+uint64_t SuffixScale(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'K':
+      return uint64_t{1} << 10;
+    case 'M':
+      return uint64_t{1} << 20;
+    case 'G':
+      return uint64_t{1} << 30;
+    case 'T':
+      return uint64_t{1} << 40;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+Result<uint64_t> ParseStrictUint64(const std::string& text,
+                                   const std::string& what) {
+  return ParseDigits(text, 0, text.size(), what);
+}
+
+Result<uint64_t> ParseByteSize(const std::string& text,
+                               const std::string& what) {
+  size_t digits_end = text.size();
+  uint64_t scale = 1;
+  if (!text.empty()) {
+    const char last = text.back();
+    if (last < '0' || last > '9') {
+      scale = SuffixScale(last);
+      if (scale == 0) {
+        return Status::InvalidArgument(
+            what + ": \"" + text +
+            "\" has an unknown size suffix (use K, M, G, or T)");
+      }
+      digits_end = text.size() - 1;
+    }
+  }
+  Result<uint64_t> base = ParseDigits(text, 0, digits_end, what);
+  if (!base.ok()) return base.status();
+  if (*base != 0 && *base > ~uint64_t{0} / scale) {
+    return Status::OutOfRange(what + ": \"" + text +
+                              "\" overflows a 64-bit byte count");
+  }
+  const uint64_t bytes = *base * scale;
+  if (bytes == 0) {
+    return Status::InvalidArgument(what +
+                                   ": a byte budget of 0 is meaningless");
+  }
+  return bytes;
+}
+
+std::string FormatByteSize(uint64_t bytes) {
+  static constexpr struct {
+    char suffix;
+    int shift;
+  } kScales[] = {{'T', 40}, {'G', 30}, {'M', 20}, {'K', 10}};
+  for (const auto& s : kScales) {
+    const uint64_t unit = uint64_t{1} << s.shift;
+    if (bytes >= unit && bytes % unit == 0) {
+      return std::to_string(bytes >> s.shift) + s.suffix;
+    }
+  }
+  return std::to_string(bytes);
+}
+
+}  // namespace gps

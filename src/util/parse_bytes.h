@@ -1,0 +1,49 @@
+// Strict numeric flag parsing shared by the CLI and benches.
+//
+// Two layers:
+//   * ParseStrictUint64 — the integer core: digits only, no sign, no
+//     whitespace, no partial consumption, overflow-checked. This is the
+//     parser `--capacity` / `--shards` / `--seed` style flags share (it
+//     replaces the strtoull boilerplate previously duplicated in
+//     gps_cli).
+//   * ParseByteSize — a byte-size literal for `--mem`: a strict integer
+//     optionally followed by ONE binary scale suffix K/M/G/T (case
+//     insensitive, 1024-based), e.g. "512M", "2G", "4096". Zero, junk
+//     suffixes, and post-scale overflow are named errors — a memory
+//     budget silently parsed as 0 or wrapped around would size a store
+//     to garbage.
+//
+// Every error message names the flag (`what`) so CLI refusals read
+// "--mem: ..." without callers re-wrapping.
+
+#ifndef GPS_UTIL_PARSE_BYTES_H_
+#define GPS_UTIL_PARSE_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gps {
+
+/// Parses a base-10 unsigned integer with no sign, whitespace, or
+/// trailing characters. Overflow past uint64_t is an error, not a wrap.
+Result<uint64_t> ParseStrictUint64(const std::string& text,
+                                   const std::string& what);
+
+/// Parses a byte-size literal: a strict integer with an optional single
+/// binary suffix K/M/G/T (KiB/MiB/GiB/TiB multipliers). The result is
+/// the size in bytes and is always > 0; "0", "0G", junk suffixes
+/// ("512MB", "2x"), and sizes that overflow uint64_t after scaling are
+/// all named errors.
+Result<uint64_t> ParseByteSize(const std::string& text,
+                               const std::string& what);
+
+/// Renders a byte count the way ParseByteSize accepts it ("512M",
+/// "1536K", "4096") — exact, never rounded: the output re-parses to the
+/// same value. Used by allocation reports and manifest diagnostics.
+std::string FormatByteSize(uint64_t bytes);
+
+}  // namespace gps
+
+#endif  // GPS_UTIL_PARSE_BYTES_H_

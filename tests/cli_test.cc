@@ -99,6 +99,8 @@ TEST_F(CliTest, ExactCountsRun) {
   EXPECT_NE(motifs.output.find("4cliques"), std::string::npos);
   EXPECT_NE(motifs.output.find("3paths"), std::string::npos);
   EXPECT_NE(motifs.output.find("4cycles"), std::string::npos);
+  EXPECT_NE(motifs.output.find("5cliques"), std::string::npos);
+  EXPECT_NE(motifs.output.find("tailed_triangles"), std::string::npos);
 }
 
 TEST_F(CliTest, ExactMissingFileFails) {
@@ -625,7 +627,8 @@ TEST_F(CliTest, ResumeShardsContinuationMatchesUninterruptedByteForByte) {
 TEST_F(CliTest, ListMotifsShowsRegistry) {
   const CommandResult r = RunCli("list-motifs");
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  for (const char* name : {"tri", "wedge", "4clique", "3path", "4cycle"}) {
+  for (const char* name : {"tri", "wedge", "4clique", "3path", "4cycle",
+                           "5clique", "tailed_triangle"}) {
     EXPECT_NE(r.output.find(name), std::string::npos) << name;
   }
 }
@@ -758,7 +761,7 @@ TEST_F(CliTest, VersionReportsFormats) {
   const CommandResult r = RunCli("version");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("manifest format"), std::string::npos);
-  EXPECT_NE(r.output.find("v3"), std::string::npos);
+  EXPECT_NE(r.output.find("v4"), std::string::npos);
   EXPECT_NE(r.output.find("manifest min read"), std::string::npos);
   EXPECT_NE(r.output.find("estimator format"), std::string::npos);
   EXPECT_NE(r.output.find("metrics"), std::string::npos);
@@ -857,6 +860,54 @@ TEST_F(CliTest, StatsFlagIsPerSubcommand) {
   const CommandResult r = RunCli("exact --input " + graph_path_ + " --stats");
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("stats"), std::string::npos);
+}
+
+TEST_F(CliTest, MemAndCapacityAreMutuallyExclusive) {
+  const CommandResult r = RunCli("estimate --input " + graph_path_ +
+                                 " --mem 1M --capacity 2000");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("mutually exclusive"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(CliTest, MemTooSmallIsNamedRefusal) {
+  // 4K covers only the fixed overhead: zero reservoir slots. The refusal
+  // names the minimum workable budget instead of crashing or clamping.
+  const CommandResult r = RunCli("estimate --input " + graph_path_ +
+                                 " --mem 4K");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cannot hold even one"), std::string::npos)
+      << r.output;
+  const CommandResult junk = RunCli("estimate --input " + graph_path_ +
+                                    " --mem 512MB");
+  EXPECT_NE(junk.exit_code, 0);
+  EXPECT_NE(junk.output.find("--mem"), std::string::npos) << junk.output;
+}
+
+TEST_F(CliTest, MemDerivedCapacityMatchesExplicitCapacity) {
+  // LayoutForCapacity(2000) costs 4096 + 137 * 2000 = 278096 bytes, so a
+  // --mem of exactly that must run the estimator with capacity 2000 and
+  // print byte-identical estimates (capacity is the only thing --mem
+  // changes).
+  const std::string params = " --seed 5 --estimator in-stream";
+  const CommandResult explicit_run =
+      RunCli("estimate --input " + graph_path_ + params +
+             " --capacity 2000");
+  ASSERT_EQ(explicit_run.exit_code, 0) << explicit_run.output;
+  const CommandResult mem_run = RunCli(
+      "estimate --input " + graph_path_ + params + " --mem 278096");
+  ASSERT_EQ(mem_run.exit_code, 0) << mem_run.output;
+
+  const std::string label = "in-stream estimates";
+  EXPECT_EQ(EstimatesBlock(explicit_run.output, label),
+            EstimatesBlock(mem_run.output, label));
+  // The startup allocation report names every budget term and the
+  // derived capacity.
+  for (const char* term :
+       {"derived capacity", "2000", "slot columns", "adjacency arena"}) {
+    EXPECT_NE(mem_run.output.find(term), std::string::npos)
+        << term << "\n" << mem_run.output;
+  }
 }
 
 }  // namespace

@@ -151,6 +151,59 @@ INSTANTIATE_TEST_SUITE_P(BothFamilies, MotifCalibrationTest,
                            return info.param ? "BA" : "ER";
                          });
 
+// 5-clique / tailed-triangle calibration. Denser streams than the 4-node
+// suite: a K5 needs ten edges, so the sparse ER(90, 700) family from
+// above holds almost none. The 5-clique snapshot is a product of NINE
+// inverse probabilities, so its per-trial spread is wide — gate the mean
+// (unbiasedness) tightly and the relative error loosely.
+class HighMotifCalibrationTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(HighMotifCalibrationTest, FiveCliqueTailedTriangleUnbiased) {
+  const bool heavy_tailed = GetParam();
+  const std::string what = heavy_tailed ? "BA" : "ER";
+  EdgeList graph = heavy_tailed
+                       ? GenerateBarabasiAlbert(120, 8, 0.6, 981).value()
+                       : GenerateErdosRenyi(60, 700, 982).value();
+  const ExactCounts actual = CountExact(CsrGraph::FromEdgeList(graph),
+                                        /*count_higher_motifs=*/true);
+  ASSERT_GT(actual.five_cliques, 0.0) << what;
+  ASSERT_GT(actual.tailed_triangles, 0.0) << what;
+  const std::vector<Edge> stream = MakePermutedStream(graph, 985);
+
+  const int trials = StatTrials(120);
+  const std::vector<std::string> names = {"5clique", "tailed_triangle"};
+  stat::PointTrials k5(actual.five_cliques);
+  stat::PointTrials tailed(actual.tailed_triangles);
+  for (int trial = 0; trial < trials; ++trial) {
+    GpsSamplerOptions options;
+    // Deeper sampling than the 4-node suite: a 5-clique snapshot divides
+    // by nine inclusion probabilities, so shallow samples make the
+    // estimator a rare-jackpot lottery whose mean needs far more than
+    // O(100) trials to converge.
+    options.capacity = (3 * stream.size()) / 4;
+    options.seed = 27000 + trial;
+    InStreamEstimator est(options);
+    MotifSuite suite(names);
+    for (const Edge& e : stream) {
+      suite.Observe(e, est.reservoir());
+      est.Process(e);
+    }
+    k5.Add(suite.accumulator(0).count);
+    tailed.Add(suite.accumulator(1).count);
+  }
+
+  k5.ExpectMeanNearExact(what + " 5-cliques");
+  tailed.ExpectMeanNearExact(what + " tailed triangles");
+  k5.ExpectMeanRelErrorBelow(0.90, what + " 5-cliques");
+  tailed.ExpectMeanRelErrorBelow(0.30, what + " tailed triangles");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFamilies, HighMotifCalibrationTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "BA" : "ER";
+                         });
+
 TEST(CalibrationTest, AccuracyImprovesMonotonicallyWithSampleSize) {
   // Figure-2 property as a test: mean ARE at 10% > mean ARE at 50%.
   EdgeList graph = GenerateWattsStrogatz(300, 8, 0.15, 961).value();

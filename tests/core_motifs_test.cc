@@ -22,12 +22,14 @@ namespace {
 
 TEST(MotifRegistryTest, CanonicalEntriesPresent) {
   const std::vector<MotifEntry>& entries = MotifEntries();
-  ASSERT_EQ(entries.size(), 5u);
+  ASSERT_EQ(entries.size(), 7u);
   EXPECT_EQ(entries[0].name, "tri");
   EXPECT_EQ(entries[1].name, "wedge");
   EXPECT_EQ(entries[2].name, "4clique");
   EXPECT_EQ(entries[3].name, "3path");
   EXPECT_EQ(entries[4].name, "4cycle");
+  EXPECT_EQ(entries[5].name, "5clique");
+  EXPECT_EQ(entries[6].name, "tailed_triangle");
   // The per-instance edge counts drive the post-stream multiplicity
   // division in engine/merge.cc; a wrong constant silently rescales
   // every cross-shard motif estimate.
@@ -36,7 +38,9 @@ TEST(MotifRegistryTest, CanonicalEntriesPresent) {
   EXPECT_EQ(FindMotif("4clique")->num_edges, 6);
   EXPECT_EQ(FindMotif("3path")->num_edges, 3);
   EXPECT_EQ(FindMotif("4cycle")->num_edges, 4);
-  EXPECT_EQ(FindMotif("5clique"), nullptr);
+  EXPECT_EQ(FindMotif("5clique")->num_edges, 10);
+  EXPECT_EQ(FindMotif("tailed_triangle")->num_edges, 4);
+  EXPECT_EQ(FindMotif("pentagon"), nullptr);
   for (const MotifEntry& entry : entries) {
     EXPECT_NE(entry.make_enumerator, nullptr) << entry.name;
     EXPECT_FALSE(entry.description.empty()) << entry.name;

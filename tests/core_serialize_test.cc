@@ -499,6 +499,7 @@ TEST(SerializeTest, ManifestVersionCompatibility) {
     EXPECT_EQ(r.status().code(), StatusCode::kIoError);
   }
   // Version 3 adds the motif-set line; an empty set reads like v2.
+  // Pre-v4 manifests report no budget provenance.
   {
     std::stringstream v3(
         "GPS-MANIFEST 3\n4 42 1000 1 900\n2 9 1 1\n0\n1\n"
@@ -507,13 +508,31 @@ TEST(SerializeTest, ManifestVersionCompatibility) {
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_EQ(r->stream_offset, 900u);
     EXPECT_TRUE(r->motif_names.empty());
+    EXPECT_EQ(r->mem_budget_bytes, 0u);
+  }
+  // Version 4 appends the --mem budget the capacity was derived from to
+  // the layout line; 0 marks an explicit --capacity run.
+  {
+    std::stringstream v4(
+        "GPS-MANIFEST 4\n4 42 1000 1 900 141096\n2 9 1 1\n0\n1\n"
+        "0 111 250 777 shard.gps\n");
+    auto r = DeserializeManifest(v4);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->mem_budget_bytes, 141096u);
+  }
+  // A truncated version-4 layout line (budget missing) is an IO error.
+  {
+    std::stringstream truncated("GPS-MANIFEST 4\n4 42 1000 1 900\n");
+    auto r = DeserializeManifest(truncated);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
   }
   // Unknown future versions are refused by name: their layout lines may
   // carry fields this reader does not understand.
   {
-    std::stringstream v4(
-        "GPS-MANIFEST 4\n4 42 1000 1 900 extra\n2 9 1 1\n0\n0\n");
-    auto r = DeserializeManifest(v4);
+    std::stringstream v5(
+        "GPS-MANIFEST 5\n4 42 1000 1 900 0 extra\n2 9 1 1\n0\n0\n");
+    auto r = DeserializeManifest(v5);
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
     EXPECT_NE(r.status().message().find("version"), std::string::npos)
@@ -522,7 +541,58 @@ TEST(SerializeTest, ManifestVersionCompatibility) {
   // Writers always emit the current version.
   std::stringstream out;
   ASSERT_TRUE(SerializeManifest(TestManifest(), out).ok());
-  EXPECT_EQ(out.str().rfind("GPS-MANIFEST 3", 0), 0u) << out.str();
+  EXPECT_EQ(out.str().rfind("GPS-MANIFEST 4", 0), 0u) << out.str();
+}
+
+TEST(SerializeTest, ManifestCapacityProvenanceCrossChecked) {
+  // A version-4 manifest whose recorded budget does not derive its
+  // recorded capacity is corrupt (or hand-edited): resuming it would
+  // silently run under a different memory envelope than the operator
+  // budgeted. LayoutForCapacity(1000) needs 141096 bytes, so that budget
+  // round-trips...
+  ShardManifest manifest;
+  manifest.num_shards = 1;
+  manifest.base_seed = 42;
+  manifest.total_capacity = 1000;
+  manifest.stream_offset = 250;
+  manifest.mem_budget_bytes = 141096;
+  manifest.entries.push_back({0, 9, 250, 777, "shard.gps", {}});
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeManifest(manifest, buffer).ok());
+  auto ok = DeserializeManifest(buffer);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->mem_budget_bytes, 141096u);
+
+  // ...while a 10M budget derives 76508 slots, not 1000: refused by name
+  // on write and on read.
+  manifest.mem_budget_bytes = 10485760;
+  std::stringstream corrupt_buffer;
+  const Status write = SerializeManifest(manifest, corrupt_buffer);
+  ASSERT_FALSE(write.ok());
+  EXPECT_NE(write.message().find("provenance"), std::string::npos)
+      << write.ToString();
+  {
+    std::stringstream crafted(
+        "GPS-MANIFEST 4\n1 42 1000 1 250 10485760\n2 9 1 1\n0\n1\n"
+        "0 9 250 777 shard.gps\n");
+    auto r = DeserializeManifest(crafted);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("provenance"), std::string::npos)
+        << r.status().ToString();
+  }
+  // A budget too small for even one slot is refused by the layout
+  // derivation, with the refusal's context naming the manifest field.
+  {
+    std::stringstream crafted(
+        "GPS-MANIFEST 4\n1 42 1000 1 250 12\n2 9 1 1\n0\n1\n"
+        "0 9 250 777 shard.gps\n");
+    auto r = DeserializeManifest(crafted);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("manifest memory budget"),
+              std::string::npos)
+        << r.status().ToString();
+  }
 }
 
 TEST(SerializeTest, ChecksumIsStableAndSensitive) {

@@ -246,9 +246,11 @@ TEST(EngineResumeTest, VersionOneManifestStillResumes) {
     ASSERT_TRUE(std::getline(in, layout_line));
     ASSERT_TRUE(std::getline(in, weight_line));
     ASSERT_TRUE(std::getline(in, motif_line));
-    ASSERT_EQ(header_line, "GPS-MANIFEST 3");
+    ASSERT_EQ(header_line, "GPS-MANIFEST 4");
     ASSERT_EQ(motif_line, "0");  // no motifs configured
-    // Drop the 5th layout token (the stream offset) and the motif line.
+    // Drop the 5th and 6th layout tokens (stream offset, memory budget)
+    // and the motif line.
+    layout_line = layout_line.substr(0, layout_line.find_last_of(' '));
     layout_line = layout_line.substr(0, layout_line.find_last_of(' '));
     rewritten << "GPS-MANIFEST 1\n" << layout_line << '\n' << weight_line
               << '\n' << in.rdbuf();
@@ -290,7 +292,7 @@ TEST(EngineResumeTest, RejectsUnknownManifestVersion) {
     buffer << in.rdbuf();
     text = buffer.str();
   }
-  const size_t pos = text.find("GPS-MANIFEST 3");
+  const size_t pos = text.find("GPS-MANIFEST 4");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 14, "GPS-MANIFEST 9");
   {

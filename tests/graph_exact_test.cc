@@ -118,9 +118,19 @@ TEST(CountExactTest, HigherMotifsOnKnownGraphs) {
     // Each 4-node subset of K_n carries all 3 of its pairings as a C4
     // (chords allowed).
     const double expect_c4 = 3.0 * expect_k4;
+    // C(n,5) 5-cliques; each of the C(n,3) triangles has 3(n-3) pendant
+    // choices (every vertex offers its n-3 neighbors outside the
+    // triangle).
+    const double expect_k5 =
+        n >= 5 ? n * (n - 1.0) * (n - 2.0) * (n - 3.0) * (n - 4.0) / 120.0
+               : 0.0;
+    const double expect_tailed =
+        n * (n - 1.0) * (n - 2.0) / 6.0 * 3.0 * (n - 3.0);
     EXPECT_DOUBLE_EQ(c.four_cliques, expect_k4) << "K" << n;
     EXPECT_DOUBLE_EQ(c.three_paths, expect_p4) << "K" << n;
     EXPECT_DOUBLE_EQ(c.four_cycles, expect_c4) << "K" << n;
+    EXPECT_DOUBLE_EQ(c.five_cliques, expect_k5) << "K" << n;
+    EXPECT_DOUBLE_EQ(c.tailed_triangles, expect_tailed) << "K" << n;
   }
 
   // A path of 4 nodes holds exactly one 3-path and no 4-clique; a 4-cycle
@@ -137,12 +147,23 @@ TEST(CountExactTest, HigherMotifsOnKnownGraphs) {
   EXPECT_DOUBLE_EQ(k3.four_cliques, 0.0);
   EXPECT_DOUBLE_EQ(k3.three_paths, 0.0);
   EXPECT_DOUBLE_EQ(k3.four_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(k3.five_cliques, 0.0);
+  EXPECT_DOUBLE_EQ(k3.tailed_triangles, 0.0);
+
+  // A triangle with one pendant edge is exactly one tailed triangle.
+  EdgeList paw = Complete(3);
+  paw.Add(0, 3);
+  ExactCounts tailed = CountExact(CsrGraph::FromEdgeList(paw), true);
+  EXPECT_DOUBLE_EQ(tailed.tailed_triangles, 1.0);
+  EXPECT_DOUBLE_EQ(tailed.five_cliques, 0.0);
 
   // Default (cheap) mode leaves the higher-order fields zero.
   ExactCounts cheap = CountExact(CsrGraph::FromEdgeList(Complete(6)));
   EXPECT_DOUBLE_EQ(cheap.four_cliques, 0.0);
   EXPECT_DOUBLE_EQ(cheap.three_paths, 0.0);
   EXPECT_DOUBLE_EQ(cheap.four_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(cheap.five_cliques, 0.0);
+  EXPECT_DOUBLE_EQ(cheap.tailed_triangles, 0.0);
 }
 
 TEST(CountExactTest, HigherMotifsMatchBruteForce) {
@@ -199,9 +220,46 @@ TEST(CountExactTest, HigherMotifsMatchBruteForce) {
     }
     brute_c4 /= 8.0;
 
+    // Independent 5-clique oracle: extend each brute-forced 4-clique
+    // {a,b,x,y} with a fifth node adjacent to all four.
+    double brute_k5 = 0;
+    for (NodeId a = 0; a < g.NumNodes(); ++a) {
+      for (NodeId b : g.Neighbors(a)) {
+        if (b <= a) continue;
+        for (NodeId x : g.Neighbors(a)) {
+          if (x <= b || !g.HasEdge(b, x)) continue;
+          for (NodeId y : g.Neighbors(a)) {
+            if (y <= x || !g.HasEdge(b, y) || !g.HasEdge(x, y)) continue;
+            for (NodeId z : g.Neighbors(a)) {
+              if (z <= y || !g.HasEdge(b, z) || !g.HasEdge(x, z) ||
+                  !g.HasEdge(y, z)) {
+                continue;
+              }
+              brute_k5 += 1;
+            }
+          }
+        }
+      }
+    }
+
+    // Independent tailed-triangle oracle: every triangle paired with each
+    // pendant edge at one of its vertices.
+    double brute_tailed = 0;
+    for (NodeId a = 0; a < g.NumNodes(); ++a) {
+      for (NodeId b : g.Neighbors(a)) {
+        if (b <= a) continue;
+        for (NodeId x : g.Neighbors(a)) {
+          if (x <= b || !g.HasEdge(b, x)) continue;
+          brute_tailed += g.Degree(a) + g.Degree(b) + g.Degree(x) - 6.0;
+        }
+      }
+    }
+
     EXPECT_DOUBLE_EQ(c.four_cliques, brute_k4) << "seed " << seed;
     EXPECT_DOUBLE_EQ(c.three_paths, brute_p4) << "seed " << seed;
     EXPECT_DOUBLE_EQ(c.four_cycles, brute_c4) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(c.five_cliques, brute_k5) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(c.tailed_triangles, brute_tailed) << "seed " << seed;
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include "graph/sampled_graph.h"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -13,41 +14,73 @@
 namespace gps {
 namespace {
 
-TEST(NeighborListTest, VectorModeBasics) {
-  NeighborList list;
-  EXPECT_TRUE(list.empty());
-  list.Insert(5, 100);
-  list.Insert(7, 200);
-  EXPECT_EQ(list.size(), 2u);
-  EXPECT_EQ(list.Find(5), 100u);
-  EXPECT_EQ(list.Find(7), 200u);
-  EXPECT_EQ(list.Find(9), kNoSlot);
-  EXPECT_TRUE(list.Erase(5));
-  EXPECT_FALSE(list.Erase(5));
-  EXPECT_EQ(list.size(), 1u);
+TEST(AdjacencyArenaTest, AllocateReuseAndBytes) {
+  AdjacencyArena arena;
+  const uint32_t a = arena.AllocateBlock(1);
+  const uint32_t b = arena.AllocateBlock(1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.entries_allocated(), 4u);  // two class-1 blocks
+  arena.FreeBlock(a, 1);
+  // A freed block of the same class is reused instead of bumping.
+  EXPECT_EQ(arena.AllocateBlock(1), a);
+  EXPECT_EQ(arena.entries_allocated(), 4u);
+  // A different class bumps fresh storage.
+  const uint32_t c = arena.AllocateBlock(3);
+  EXPECT_EQ(arena.entries_allocated(), 4u + 8u);
+  (void)c;
+  EXPECT_GE(arena.bytes(), arena.entries_allocated() * sizeof(AdjEntry));
 }
 
-TEST(NeighborListTest, PromotionPreservesEntries) {
-  NeighborList list;
-  const uint32_t n = NeighborList::kPromoteThreshold * 4;
-  for (uint32_t i = 0; i < n; ++i) list.Insert(i, i * 10);
-  EXPECT_EQ(list.size(), static_cast<size_t>(n));
-  for (uint32_t i = 0; i < n; ++i) EXPECT_EQ(list.Find(i), i * 10);
-  // Erase across the promoted structure.
-  for (uint32_t i = 0; i < n; i += 2) EXPECT_TRUE(list.Erase(i));
-  EXPECT_EQ(list.size(), static_cast<size_t>(n / 2));
-  for (uint32_t i = 1; i < n; i += 2) EXPECT_EQ(list.Find(i), i * 10);
+TEST(AdjacencyArenaTest, ReservePreallocatesBackingStore) {
+  AdjacencyArena arena;
+  arena.Reserve(1024);
+  const uint64_t reserved = arena.bytes();
+  EXPECT_GE(reserved, 1024 * sizeof(AdjEntry));
+  // Allocations within the reservation do not grow the backing store.
+  for (int i = 0; i < 100; ++i) arena.AllocateBlock(2);
+  EXPECT_EQ(arena.bytes(), reserved);
 }
 
-TEST(NeighborListTest, ForEachVisitsAll) {
-  NeighborList list;
-  for (uint32_t i = 0; i < 10; ++i) list.Insert(i, i);
-  std::set<NodeId> seen;
-  list.ForEach([&](NodeId nbr, SlotId slot) {
+TEST(SampledGraphTest, NeighborIterationIsSortedByNeighborId) {
+  // Sorted iteration is the byte-identity contract: the order must be a
+  // pure function of the edge set, not of insertion/eviction history.
+  SampledGraph g;
+  const NodeId hub = 1000;
+  // Insert in descending order; iterate ascending.
+  for (NodeId v = 50; v > 0; --v) g.AddEdge(MakeEdge(hub, v), v);
+  g.RemoveEdge(MakeEdge(hub, 25));
+  g.AddEdge(MakeEdge(hub, 25), 25);
+  std::vector<NodeId> order;
+  g.ForEachNeighbor(hub, [&](NodeId nbr, SlotId slot) {
     EXPECT_EQ(nbr, slot);
-    seen.insert(nbr);
+    order.push_back(nbr);
   });
-  EXPECT_EQ(seen.size(), 10u);
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(SampledGraphTest, BlockGrowthAcrossSizeClassesKeepsEntries) {
+  // A node growing past each power-of-two block capacity is migrated to
+  // the next size class with all entries intact.
+  SampledGraph g;
+  const uint32_t fan = 300;
+  for (uint32_t i = 1; i <= fan; ++i) g.AddEdge(MakeEdge(0, i), i * 3);
+  EXPECT_EQ(g.Degree(0), static_cast<size_t>(fan));
+  for (uint32_t i = 1; i <= fan; ++i) {
+    EXPECT_EQ(g.FindEdge(MakeEdge(0, i)), i * 3);
+  }
+}
+
+TEST(SampledGraphTest, MemoryIntrospectionGauges) {
+  SampledGraph g;
+  EXPECT_EQ(g.arena_bytes(), 0u);
+  for (uint32_t i = 1; i <= 64; ++i) g.AddEdge(MakeEdge(0, i), i);
+  EXPECT_GT(g.arena_bytes(), 0u);
+  EXPECT_GT(g.node_load_factor(), 0.0);
+  EXPECT_LE(g.node_load_factor(), 7.0 / 8.0);
+  size_t probes = 0;
+  g.ForEachNodeProbeLength([&](size_t) { ++probes; });
+  EXPECT_EQ(probes, g.NumNodes());
 }
 
 TEST(SampledGraphTest, AddFindRemove) {

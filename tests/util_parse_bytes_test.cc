@@ -1,0 +1,98 @@
+// Tests for the strict numeric parsers (util/parse_bytes.h): the shared
+// integer core behind --capacity/--shards-style flags, the byte-size
+// literal behind --mem, and the exact re-parseable formatter used by
+// allocation reports.
+
+#include "util/parse_bytes.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gps {
+namespace {
+
+TEST(ParseStrictUint64Test, AcceptsPlainIntegers) {
+  for (const auto& [text, value] :
+       {std::pair<std::string, uint64_t>{"0", 0},
+        {"1", 1},
+        {"76508", 76508},
+        {"18446744073709551615",
+         std::numeric_limits<uint64_t>::max()}}) {
+    auto parsed = ParseStrictUint64(text, "flag '--capacity'");
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(*parsed, value) << text;
+  }
+}
+
+TEST(ParseStrictUint64Test, RejectsEverythingNonCanonical) {
+  // Strictness is the point: strtoull would silently accept most of
+  // these (partial consumption, signs, whitespace) and size a reservoir
+  // from garbage.
+  for (const char* text : {"", " 1", "1 ", "+1", "-1", "0x10", "12k",
+                           "1.5", "1e3", "12 34"}) {
+    auto parsed = ParseStrictUint64(text, "flag '--capacity'");
+    EXPECT_FALSE(parsed.ok()) << "\"" << text << "\"";
+  }
+  // Errors name the flag so CLI refusals read naturally.
+  auto bad = ParseStrictUint64("abc", "flag '--capacity'");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--capacity"), std::string::npos);
+}
+
+TEST(ParseStrictUint64Test, OverflowIsAnErrorNotAWrap) {
+  auto over = ParseStrictUint64("18446744073709551616", "flag '--seed'");
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("overflow"), std::string::npos)
+      << over.status().ToString();
+}
+
+TEST(ParseByteSizeTest, AcceptsSuffixedSizes) {
+  for (const auto& [text, value] :
+       {std::pair<std::string, uint64_t>{"4096", 4096},
+        {"512K", 512ull * 1024},
+        {"512k", 512ull * 1024},
+        {"512M", 512ull * 1024 * 1024},
+        {"2G", 2ull * 1024 * 1024 * 1024},
+        {"1T", 1ull * 1024 * 1024 * 1024 * 1024}}) {
+    auto parsed = ParseByteSize(text, "flag '--mem'");
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, value) << text;
+  }
+}
+
+TEST(ParseByteSizeTest, RejectsZeroJunkAndOverflow) {
+  // Zero budgets (plain or scaled) are meaningless, suffixes are exactly
+  // one of K/M/G/T, and scaling must not wrap.
+  for (const char* text :
+       {"0", "0G", "", "M", "512MB", "2x", "1.5G", "-1G", "1 G",
+        "17179869184G" /* 2^34 * 2^30 overflows */}) {
+    EXPECT_FALSE(ParseByteSize(text, "flag '--mem'").ok())
+        << "\"" << text << "\"";
+  }
+  auto junk = ParseByteSize("512MB", "flag '--mem'");
+  EXPECT_NE(junk.status().message().find("--mem"), std::string::npos);
+}
+
+TEST(FormatByteSizeTest, ExactAndReParseable) {
+  // The formatter picks the largest evenly-dividing suffix and never
+  // rounds: parse(format(x)) == x for every x.
+  EXPECT_EQ(FormatByteSize(512ull * 1024 * 1024), "512M");
+  EXPECT_EQ(FormatByteSize(1536ull * 1024), "1536K");
+  EXPECT_EQ(FormatByteSize(4096), "4K");
+  EXPECT_EQ(FormatByteSize(4097), "4097");
+  EXPECT_EQ(FormatByteSize(0), "0");
+  for (const uint64_t bytes :
+       {uint64_t{1}, uint64_t{4097}, uint64_t{512} * 1024 * 1024,
+        uint64_t{3} * 1024 * 1024 * 1024, uint64_t{10485760}}) {
+    const std::string text = FormatByteSize(bytes);
+    auto round = ParseByteSize(text, "round-trip");
+    ASSERT_TRUE(round.ok()) << text;
+    EXPECT_EQ(*round, bytes) << text;
+  }
+}
+
+}  // namespace
+}  // namespace gps

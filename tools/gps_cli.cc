@@ -67,6 +67,7 @@
 #include "core/in_stream.h"
 #include "core/local_counts.h"
 #include "core/motifs.h"
+#include "core/packed_store.h"
 #include "core/post_stream.h"
 #include "core/serialize.h"
 #include "engine/merge.h"
@@ -76,6 +77,7 @@
 #include "graph/exact.h"
 #include "graph/stream.h"
 #include "util/metrics.h"
+#include "util/parse_bytes.h"
 #include "util/table.h"
 #include "util/trace.h"
 
@@ -98,26 +100,11 @@ constexpr const char* kMergedPostStreamLabel =
 
 /// Strict numeric parsing: operator-typed flags must not silently
 /// degrade ("--capacity abc" is an error, not 0; "--shards 2x" is an
-/// error, not 2).
+/// error, not 2). The digits-only core lives in util/parse_bytes.h so
+/// the CLI and benches share one parser.
 Result<uint64_t> ParseU64Flag(const std::string& key,
                               const std::string& text) {
-  bool digits_only = !text.empty();
-  for (const char c : text) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) {
-      digits_only = false;
-      break;
-    }
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  if (!digits_only || end != text.c_str() + text.size() ||
-      errno == ERANGE) {
-    return Status::InvalidArgument("flag '--" + key +
-                                   "' expects an unsigned integer, got '" +
-                                   text + "'");
-  }
-  return static_cast<uint64_t>(value);
+  return ParseStrictUint64(text, "flag '--" + key + "'");
 }
 
 Result<double> ParseDoubleFlag(const std::string& key,
@@ -193,11 +180,12 @@ int Usage() {
       "usage: gps_cli <estimate|resume|resume-shards|monitor"
       "|checkpoint-shards|merge-checkpoints|generate|exact|corpus"
       "|list-motifs|version> [flags]\n"
-      "  estimate --input FILE [--capacity N] [--seed S]\n"
+      "  estimate --input FILE [--capacity N | --mem BYTES] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
       "           [--shards K] [--batch B] [--threads T] [--steal on|off]\n"
-      "           [--motifs tri,wedge,4clique,3path,4cycle]\n"
+      "           [--motifs tri,wedge,4clique,3path,4cycle,5clique,\n"
+      "            tailed_triangle]\n"
       "           [--degree NODE ...]\n"
       "           [--stats] [--stats-out FILE.json] [--trace FILE.json]\n"
       "           [--checkpoint FILE]  (a directory with --shards K>1,\n"
@@ -206,22 +194,28 @@ int Usage() {
       "           overloaded peers; off: same deterministic\n"
       "           batch-substream scheduler, no stealing (byte-identical\n"
       "           results); omit for the classic sequential path\n"
+      "           --mem BYTES (e.g. 512M, 2G): derive the reservoir\n"
+      "           capacity from a memory budget instead of --capacity;\n"
+      "           the allocation report prints on stderr at startup\n"
       "  resume   --checkpoint FILE --input FILE [--save FILE]\n"
       "           [--no-permute]\n"
       "  resume-shards --manifest FILE [--manifest FILE ...]\n"
       "           --input FILE [--save DIR] [--batch B] [--no-permute]\n"
       "           [--motifs LIST]  (cross-checked against the manifest)\n"
-      "  monitor  --input FILE --every N [--capacity N] [--seed S]\n"
+      "  monitor  --input FILE --every N [--capacity N | --mem BYTES]\n"
+      "           [--seed S]\n"
       "           [--weight KIND] [--shards K] [--batch B]\n"
       "           [--steal on|off] [--motifs LIST] [--output csv|table]\n"
       "           [--no-permute] [--checkpoint-every M --checkpoint DIR]\n"
       "           [--stats] [--stats-out FILE.json] [--trace FILE.json]\n"
-      "  checkpoint-shards --input FILE --out DIR [--capacity N]\n"
+      "  checkpoint-shards --input FILE --out DIR\n"
+      "           [--capacity N | --mem BYTES]\n"
       "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
       "           [--steal on|off] [--motifs LIST] [--no-permute]\n"
       "  merge-checkpoints --manifest FILE [--manifest FILE ...]\n"
       "  generate --name CORPUS [--scale X] [--output FILE]\n"
-      "  exact    --input FILE [--higher-motifs]  (adds 4-clique/3-path\n"
+      "  exact    --input FILE [--higher-motifs]  (adds the 4-clique,\n"
+      "           3-path, 4-cycle, 5-clique, and tailed-triangle\n"
       "           oracles; expensive on big graphs)\n"
       "  corpus\n"
       "  list-motifs\n"
@@ -416,6 +410,12 @@ struct ShardedRunConfig {
 /// printing the error) on any misparse or out-of-range value.
 bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
                            ShardedRunConfig* out) {
+  if (flags.Has("mem") && flags.Has("capacity")) {
+    std::fprintf(stderr,
+                 "error: --mem and --capacity are mutually exclusive "
+                 "(--mem derives the capacity from a byte budget)\n");
+    return false;
+  }
   uint64_t capacity = 0;
   if (!GetFlag(flags.GetU64("capacity", stream_size / 20 + 1), &capacity) ||
       !GetFlag(flags.GetU64("seed", 1), &out->sampler.seed) ||
@@ -423,6 +423,27 @@ bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
       !GetPositiveFlag(flags, "batch", 1024, &out->batch) ||
       !GetMotifNames(flags, &out->motifs)) {
     return false;
+  }
+  if (flags.Has("mem")) {
+    // Budget-sized run: derive the capacity from the byte budget and
+    // print the allocation report (stderr, so piped estimate output
+    // stays clean). The derived run is byte-identical to an explicit
+    // --capacity run of the derived value.
+    auto budget = ParseByteSize(flags.Get("mem", ""), "flag '--mem'");
+    if (!budget.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   budget.status().ToString().c_str());
+      return false;
+    }
+    auto layout = DeriveStoreLayout(*budget);
+    if (!layout.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   layout.status().ToString().c_str());
+      return false;
+    }
+    capacity = layout->capacity;
+    out->sampler.mem_bytes = *budget;
+    std::fprintf(stderr, "%s", FormatAllocationReport(*layout).c_str());
   }
   if (capacity < 1 || capacity > kMaxCheckpointCapacity) {
     std::fprintf(stderr, "error: --capacity must be in [1, %llu]\n",
@@ -1071,6 +1092,8 @@ int RunExact(const Flags& flags) {
     t.AddRow({"4cliques", CountCell(counts.four_cliques)});
     t.AddRow({"3paths", CountCell(counts.three_paths)});
     t.AddRow({"4cycles", CountCell(counts.four_cycles)});
+    t.AddRow({"5cliques", CountCell(counts.five_cliques)});
+    t.AddRow({"tailed_triangles", CountCell(counts.tailed_triangles)});
   }
   std::printf("%s", t.ToString().c_str());
   return 0;
@@ -1123,7 +1146,8 @@ int main(int argc, char** argv) {
     allowed = {"input",     "capacity",  "seed",   "weight",
                "estimator", "no-permute", "shards", "batch",
                "threads",   "checkpoint", "motifs", "degree",
-               "steal",     "stats",      "stats-out", "trace"};
+               "steal",     "stats",      "stats-out", "trace",
+               "mem"};
   } else if (command == "resume") {
     allowed = {"checkpoint", "input", "seed", "save", "no-permute"};
   } else if (command == "resume-shards") {
@@ -1136,11 +1160,11 @@ int main(int argc, char** argv) {
                "every",  "output",   "checkpoint-every",
                "checkpoint", "no-permute", "motifs",
                "steal",  "stats",    "stats-out",
-               "trace"};
+               "trace",  "mem"};
   } else if (command == "checkpoint-shards") {
     allowed = {"input", "capacity", "seed",      "weight",
                "shards", "batch",   "no-permute", "out",
-               "motifs", "steal"};
+               "motifs", "steal",   "mem"};
   } else if (command == "merge-checkpoints") {
     allowed = {"manifest"};
   } else if (command == "generate") {
