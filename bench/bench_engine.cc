@@ -36,8 +36,15 @@
 // --alloc-report FILE archives the store's allocation report (the same
 // text `gps_cli --mem` prints at startup) next to the JSON.
 //
+// An ingest-only row times the stream's two on-disk decoders against
+// each other over a warm page cache: the strict bulk text parser
+// (EdgeList::Load) vs. the GPS-STREAM v1 mmap block reader
+// (graph/binary_stream.h). Binary must win by >= 3x — hard-gated here
+// and relative-gated against the baseline.
+//
 // --json FILE emits every row plus the gated relative metrics
-// (speedup_k4, steal_speedup_hub_heavy, fixed_envelope_ingest_speedup)
+// (speedup_k4, steal_speedup_hub_heavy, fixed_envelope_ingest_speedup,
+// binary_over_text_ingest_speedup)
 // as machine-readable JSON —
 // BENCH_engine.json in CI, archived per run so the perf trajectory is
 // diffable. --baseline FILE compares those relative metrics against a
@@ -53,6 +60,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -63,6 +71,7 @@
 #include "core/packed_store.h"
 #include "engine/sharded_engine.h"
 #include "gen/generators.h"
+#include "graph/binary_stream.h"
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
@@ -152,6 +161,14 @@ Row RunEngineRow(const std::vector<Edge>& stream, const GpsSamplerOptions& base,
   return row;
 }
 
+/// Result of the ingest-only (format decode) comparison; see
+/// RunIngestOnlyBench below.
+struct IngestOnlyResult {
+  double text_parse_eps = 0.0;
+  double binary_ingest_eps = 0.0;
+  double speedup = 0.0;
+};
+
 /// Minimal JSON writer for the bench artifact (flat schema, %.17g
 /// numbers); hand-rolled so the bench stays dependency-free.
 void WriteJson(const std::string& path, const std::vector<Row>& rows,
@@ -159,7 +176,7 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
                double speedup_k4, double steal_speedup,
                double steal_wall_speedup, double steal_critical_speedup,
                uint64_t steals, uint64_t envelope_bytes,
-               double env_speedup) {
+               double env_speedup, const IngestOnlyResult& ingest) {
   std::ofstream out(path, std::ios::trunc);
   out << "{\n  \"bench\": \"bench_engine\",\n";
   out << "  \"edges\": " << edges << ",\n";
@@ -204,7 +221,15 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
   out << "  \"steals_hub_heavy\": " << steals << ",\n";
   out << "  \"mem_budget_bytes\": " << envelope_bytes << ",\n";
   out << "  \"fixed_envelope_ingest_speedup\": " << Fmt("%.17g", env_speedup)
-      << "\n";
+      << ",\n";
+  // The ingest-only (format decode) row: absolute edges/sec reported for
+  // trend-watching, the RELATIVE binary-over-text ratio gated.
+  out << "  \"text_parse_eps\": " << Fmt("%.17g", ingest.text_parse_eps)
+      << ",\n";
+  out << "  \"binary_ingest_eps\": "
+      << Fmt("%.17g", ingest.binary_ingest_eps) << ",\n";
+  out << "  \"binary_over_text_ingest_speedup\": "
+      << Fmt("%.17g", ingest.speedup) << "\n";
   out << "}\n";
   if (!out) {
     std::fprintf(stderr, "cannot write JSON artifact %s\n", path.c_str());
@@ -226,7 +251,8 @@ double ReadBaselineKey(const std::string& text, const std::string& key) {
 /// Relative-metric regression gate: fresh must reach 90% of baseline
 /// (> 10% regression fails). Returns false on failure.
 bool GateAgainstBaseline(const std::string& path, double speedup_k4,
-                         double steal_speedup, double env_speedup) {
+                         double steal_speedup, double env_speedup,
+                         double ingest_speedup) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
@@ -248,7 +274,99 @@ bool GateAgainstBaseline(const std::string& path, double speedup_k4,
   gate("speedup_k4", speedup_k4);
   gate("steal_speedup_hub_heavy", steal_speedup);
   gate("fixed_envelope_ingest_speedup", env_speedup);
+  gate("binary_over_text_ingest_speedup", ingest_speedup);
   return ok;
+}
+
+/// Front-end (format decode only) throughput: the same stream written as
+/// a text edge list and as a GPS-STREAM v1 binary, read back through
+/// each format's production path — EdgeList::Load (strict bulk parse)
+/// vs. BinaryStreamReader block iteration (mmap + per-block digest, the
+/// zero-copy engine feed of engine/ingest.h). Best-of-N over a warm page
+/// cache, so the ratio measures decode cost, not disk. Gated: the binary
+/// format's reason to exist is outrunning the text parser.
+IngestOnlyResult RunIngestOnlyBench(const std::vector<Edge>& stream) {
+  namespace fs = std::filesystem;
+  const std::string text_path =
+      (fs::temp_directory_path() / "bench_engine_ingest.txt").string();
+  const std::string binary_path =
+      (fs::temp_directory_path() / "bench_engine_ingest.gps").string();
+  IngestOnlyResult result;
+  {
+    EdgeList list;
+    list.Reserve(stream.size());
+    for (const Edge& e : stream) list.Add(e);
+    if (Status s = list.Save(text_path); !s.ok()) {
+      std::fprintf(stderr, "ingest bench: %s\n", s.ToString().c_str());
+      return result;
+    }
+  }
+  if (Status s = WriteBinaryStream(binary_path, stream); !s.ok()) {
+    std::fprintf(stderr, "ingest bench: %s\n", s.ToString().c_str());
+    return result;
+  }
+
+  constexpr int kTrials = 3;
+  uint64_t text_edges = 0;
+  uint64_t sink = 0;  // XOR-consumed so the zero-copy reads cannot be DCE'd
+  for (int t = 0; t < kTrials; ++t) {
+    WallTimer timer;
+    auto list = EdgeList::Load(text_path);
+    const double seconds = timer.ElapsedSeconds();
+    if (!list.ok()) {
+      std::fprintf(stderr, "ingest bench: %s\n",
+                   list.status().ToString().c_str());
+      return result;
+    }
+    text_edges = list->NumEdges();
+    sink ^= (*list)[list->NumEdges() / 2].u;
+    result.text_parse_eps =
+        std::max(result.text_parse_eps, text_edges / seconds);
+  }
+  uint64_t binary_edges = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    WallTimer timer;
+    auto reader = BinaryStreamReader::Open(binary_path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "ingest bench: %s\n",
+                   reader.status().ToString().c_str());
+      return result;
+    }
+    uint64_t n = 0;
+    for (size_t b = 0; b < reader->num_blocks(); ++b) {
+      auto block = reader->Block(b);
+      if (!block.ok()) {
+        std::fprintf(stderr, "ingest bench: %s\n",
+                     block.status().ToString().c_str());
+        return result;
+      }
+      for (const Edge& e : *block) sink ^= e.u + e.v;
+      n += block->size();
+    }
+    const double seconds = timer.ElapsedSeconds();
+    binary_edges = n;
+    result.binary_ingest_eps =
+        std::max(result.binary_ingest_eps, binary_edges / seconds);
+  }
+  fs::remove(text_path);
+  fs::remove(binary_path);
+  if (text_edges != binary_edges || text_edges != stream.size()) {
+    std::fprintf(stderr,
+                 "ingest bench: edge-count mismatch (text %" PRIu64
+                 ", binary %" PRIu64 ", stream %zu)\n",
+                 text_edges, binary_edges, stream.size());
+    return IngestOnlyResult{};
+  }
+  if (result.text_parse_eps > 0.0) {
+    result.speedup = result.binary_ingest_eps / result.text_parse_eps;
+  }
+  // Consume the sink so neither read loop is dead code (value is
+  // meaningless by design).
+  std::printf("ingest-only: text parse %.0f edges/s, binary %.0f edges/s "
+              "(%.2fx, sink %" PRIu64 ")\n",
+              result.text_parse_eps, result.binary_ingest_eps,
+              result.speedup, sink & 1);
+  return result;
 }
 
 /// --ingest-probe: best-of-N ingest throughput for the serial estimator
@@ -486,6 +604,8 @@ int main(int argc, char** argv) {
   const double steal_speedup =
       wall_gate_meaningful ? steal_wall_speedup : steal_critical_speedup;
 
+  const IngestOnlyResult ingest = RunIngestOnlyBench(stream);
+
   ExactCounts exact;
   if (run_exact) exact = CountExact(CsrGraph::FromEdgeList(graph));
 
@@ -519,7 +639,7 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     WriteJson(json_path, rows, stream.size(), capacity, hw, speedup_k4,
               steal_speedup, steal_wall_speedup, steal_critical_speedup,
-              steals, envelope_bytes, env_speedup);
+              steals, envelope_bytes, env_speedup, ingest);
   }
 
   // Regression gates.
@@ -542,9 +662,15 @@ int main(int argc, char** argv) {
       wall_gate_meaningful ? "wall-clock" : "critical-path", hw,
       steal_speedup, steal_speedup >= 1.3 ? "PASS" : "FAIL");
   ok &= steal_speedup >= 1.3;
+  // The binary format's acceptance bar: decoding GPS-STREAM must outrun
+  // even the strict bulk text parser by 3x — otherwise the format is
+  // complexity without a payoff.
+  std::printf("binary-over-text ingest: %.2fx (%s)\n", ingest.speedup,
+              ingest.speedup >= 3.0 ? "PASS" : "FAIL");
+  ok &= ingest.speedup >= 3.0;
   if (!baseline_path.empty()) {
     ok &= GateAgainstBaseline(baseline_path, speedup_k4, steal_speedup,
-                              env_speedup);
+                              env_speedup, ingest.speedup);
   }
   return ok ? 0 : 1;
 }

@@ -39,17 +39,22 @@ echo "=== Metrics overhead gate (< 2% vs GPS_METRICS=0) ==="
 # Reuses the Release build above as the instrumented side.
 scripts/overhead_gate.sh build
 
-echo "=== ASan/UBSan build + engine/serialization/cli/store tests ==="
+echo "=== ASan/UBSan build + engine/serialization/cli/store/ingest tests ==="
+# graph_binary_stream_test + graph_edge_list_test ride along: the mmap'd
+# GPS-STREAM reader hands out spans aliasing the mapping and the strict
+# bulk text parser walks raw mapped bytes — exactly the code ASan must
+# bless for out-of-bounds reads on truncated/corrupt inputs.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_checkpoint_test \
   engine_resume_test engine_steal_test engine_metrics_test \
   core_parallel_test core_serialize_test core_packed_store_test \
+  graph_binary_stream_test graph_edge_list_test \
   util_parse_bytes_test cli_test gps_cli
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
   --timeout 300 \
-  -R 'engine_|core_parallel|core_serialize|core_packed_store|util_parse_bytes|cli_test'
+  -R 'engine_|core_parallel|core_serialize|core_packed_store|graph_binary_stream|graph_edge_list|util_parse_bytes|cli_test'
 
 echo "=== TSan build + threaded suites (steal hand-off stress) ==="
 # engine_metrics_test rides along: metric snapshots race live relaxed
@@ -57,11 +62,15 @@ echo "=== TSan build + threaded suites (steal hand-off stress) ==="
 # covers the striped-lock admission path of the budget-sized store.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=thread \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
+# graph_binary_stream_test exercises IngestBinaryStream feeding mapped
+# block spans into live shard worker rings (ProcessBlock) — the zero-copy
+# hand-off TSan must bless.
 cmake --build build-tsan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_steal_test \
-  engine_metrics_test core_parallel_test core_packed_store_test
+  engine_metrics_test core_parallel_test core_packed_store_test \
+  graph_binary_stream_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   --timeout 300 \
-  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|core_parallel|core_packed_store'
+  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|core_parallel|core_packed_store|graph_binary_stream'
 
 echo "OK"

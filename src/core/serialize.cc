@@ -11,6 +11,7 @@
 
 #include "core/motifs.h"
 #include "core/packed_store.h"
+#include "util/digest.h"
 
 namespace gps {
 namespace {
@@ -288,13 +289,10 @@ Result<InStreamEstimator> DeserializeInStreamEstimator(std::istream& in) {
 
 uint64_t ChecksumBytes(std::string_view bytes) {
   // FNV-1a 64-bit: deterministic across platforms, cheap, and good enough
-  // to detect accidental corruption (not adversarial tampering).
-  uint64_t h = 14695981039346656037ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  // to detect accidental corruption (not adversarial tampering). The same
+  // digest guards GPS-STREAM headers and blocks (graph/binary_stream.h),
+  // so the implementation lives in util/digest.h.
+  return Fnv1a64(bytes);
 }
 
 Status ValidateManifest(const ShardManifest& manifest) {

@@ -1,0 +1,32 @@
+// Zero-copy GPS-STREAM ingestion into a ShardedEngine.
+//
+// The binary path exists so the engine's front end stops being a text
+// parser: BinaryStreamReader::Block() hands back digest-verified edge
+// spans aliasing the file mapping, and ProcessBlock() routes them into
+// the shard rings directly — no per-edge decode, no intermediate
+// EdgeList, no copy of the stream outside the page cache.
+
+#ifndef GPS_ENGINE_INGEST_H_
+#define GPS_ENGINE_INGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/sharded_engine.h"
+#include "util/status.h"
+
+namespace gps {
+
+/// Feeds every edge of the GPS-STREAM file at `path` into `engine` in
+/// stream order and returns the number of edges ingested. Byte-identical
+/// to a Process() loop over the same stream (ProcessBlock contract).
+/// Open/validation and per-block digest refusals propagate unchanged; a
+/// mid-file refusal leaves the engine fed with the verified prefix, so
+/// callers treating the stream as all-or-nothing should discard the
+/// engine on error.
+Result<uint64_t> IngestBinaryStream(const std::string& path,
+                                    ShardedEngine& engine);
+
+}  // namespace gps
+
+#endif  // GPS_ENGINE_INGEST_H_

@@ -161,6 +161,14 @@ class ShardedEngine {
   /// off once the shard's pending batch fills).
   void Process(const Edge& e);
 
+  /// Process() over a whole block of edges — the zero-copy ingest path:
+  /// a GPS-STREAM reader's Block() span aliases the file mapping, so the
+  /// edges go mapping -> pending batch with no intermediate EdgeList.
+  /// Byte-identical to calling Process(e) for each edge in order (same
+  /// routing, same batch boundaries, same hook cadence); the block is
+  /// only a traversal unit, never part of the sample path.
+  void ProcessBlock(std::span<const Edge> block);
+
   /// Pushes all partially filled batches to their shards.
   void Flush();
 

@@ -1,0 +1,260 @@
+#include "graph/binary_stream.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "util/digest.h"
+
+namespace gps {
+namespace {
+
+// The zero-copy contract: a block payload IS an Edge array. Pin every
+// assumption the reinterpret below relies on at compile time.
+static_assert(sizeof(Edge) == 8, "GPS-STREAM stores edges as 8 bytes");
+static_assert(sizeof(NodeId) == 4, "GPS-STREAM v1 is 4-byte node ids");
+static_assert(std::is_trivially_copyable_v<Edge>);
+static_assert(std::endian::native == std::endian::little,
+              "GPS-STREAM block aliasing requires a little-endian host; "
+              "add a byte-swapping copy path before porting");
+
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kNodeWidth = 4;
+constexpr size_t kBlockDigestBytes = 8;
+/// Header bytes covered by the header digest (everything before it).
+constexpr size_t kHeaderDigestedBytes = 32;
+
+void StoreU32(unsigned char* p, uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void StoreU64(unsigned char* p, uint64_t v) {
+  StoreU32(p, static_cast<uint32_t>(v));
+  StoreU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t LoadU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t LoadU64(const unsigned char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+size_t BlockCount(uint64_t edge_count, uint32_t block_edges) {
+  return edge_count == 0
+             ? 0
+             : static_cast<size_t>((edge_count + block_edges - 1) /
+                                   block_edges);
+}
+
+std::string HexFlags(uint32_t flags) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", flags);
+  return buf;
+}
+
+}  // namespace
+
+int BinaryStreamFormatVersion() { return static_cast<int>(kVersion); }
+
+Status WriteBinaryStream(const std::string& path,
+                         std::span<const Edge> edges,
+                         const BinaryStreamWriteOptions& options) {
+  if (options.block_edges < 1 ||
+      options.block_edges > kBinaryStreamMaxBlockEdges) {
+    return Status::InvalidArgument(
+        "GPS-STREAM block size " + std::to_string(options.block_edges) +
+        " out of range [1, " + std::to_string(kBinaryStreamMaxBlockEdges) +
+        "]");
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].u == kInvalidNode || edges[i].v == kInvalidNode) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(i) +
+          " carries the invalid-node sentinel; refusing to write it into "
+          "a GPS-STREAM file");
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+
+  unsigned char header[kBinaryStreamHeaderBytes] = {};
+  std::memcpy(header, kBinaryStreamMagic, sizeof(kBinaryStreamMagic));
+  StoreU32(header + 8, kVersion);
+  StoreU32(header + 12, 0);  // flags: v1 defines none
+  header[16] = kNodeWidth;   // bytes 17-19 stay zero (reserved)
+  StoreU64(header + 20, edges.size());
+  StoreU32(header + 28, options.block_edges);
+  StoreU64(header + kHeaderDigestedBytes,
+           Fnv1a64Words(header, kHeaderDigestedBytes));
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+
+  const size_t blocks = BlockCount(edges.size(), options.block_edges);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t begin = b * options.block_edges;
+    const size_t n =
+        std::min<size_t>(options.block_edges, edges.size() - begin);
+    const char* payload =
+        reinterpret_cast<const char*>(edges.data() + begin);
+    const size_t payload_bytes = n * sizeof(Edge);
+    out.write(payload, static_cast<std::streamsize>(payload_bytes));
+    unsigned char digest[kBlockDigestBytes];
+    StoreU64(digest, Fnv1a64Words(payload, payload_bytes));
+    out.write(reinterpret_cast<const char*>(digest), sizeof(digest));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed for '" + path + "'");
+  return Status::Ok();
+}
+
+bool LooksLikeBinaryStream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[sizeof(kBinaryStreamMagic)];
+  if (!in.read(magic, sizeof(magic))) return false;
+  return std::memcmp(magic, kBinaryStreamMagic, sizeof(magic)) == 0;
+}
+
+Result<BinaryStreamReader> BinaryStreamReader::Open(
+    const std::string& path) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+
+  BinaryStreamReader reader;
+  reader.file_ = std::move(*file);
+  reader.path_ = path;
+  const auto* bytes =
+      reinterpret_cast<const unsigned char*>(reader.file_.data());
+  if (reader.file_.size() < kBinaryStreamHeaderBytes) {
+    return Status::InvalidArgument(
+        "truncated GPS-STREAM header in '" + path + "' (" +
+        std::to_string(reader.file_.size()) + " bytes, need " +
+        std::to_string(kBinaryStreamHeaderBytes) + ")");
+  }
+  if (std::memcmp(bytes, kBinaryStreamMagic, sizeof(kBinaryStreamMagic)) !=
+      0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a GPS-STREAM file (bad magic)");
+  }
+  // Digest before interpretation: a corrupt header must not be trusted
+  // even for its error message. A future-version writer keeps this digest
+  // scheme, so a valid v2 file reaches the version refusal below.
+  const uint64_t header_digest = LoadU64(bytes + kHeaderDigestedBytes);
+  if (Fnv1a64Words(bytes, kHeaderDigestedBytes) != header_digest) {
+    return Status::InvalidArgument("GPS-STREAM header digest mismatch in '" +
+                                   path + "' (corrupt header)");
+  }
+  const uint32_t version = LoadU32(bytes + 8);
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        "unsupported GPS-STREAM version " + std::to_string(version) +
+        " in '" + path + "' (this build reads v" +
+        std::to_string(kVersion) + ")");
+  }
+  const uint32_t flags = LoadU32(bytes + 12);
+  if (flags != 0) {
+    return Status::InvalidArgument("unknown GPS-STREAM flags " +
+                                   HexFlags(flags) + " in '" + path +
+                                   "' (v1 defines none)");
+  }
+  if (bytes[16] != kNodeWidth) {
+    return Status::InvalidArgument(
+        "unsupported GPS-STREAM node-id width " +
+        std::to_string(static_cast<int>(bytes[16])) + " in '" + path +
+        "' (this build reads " + std::to_string(kNodeWidth) + "-byte ids)");
+  }
+  if (bytes[17] != 0 || bytes[18] != 0 || bytes[19] != 0) {
+    return Status::InvalidArgument(
+        "nonzero reserved header bytes in GPS-STREAM file '" + path + "'");
+  }
+  reader.edge_count_ = LoadU64(bytes + 20);
+  reader.block_edges_ = LoadU32(bytes + 28);
+  if (reader.block_edges_ < 1 ||
+      reader.block_edges_ > kBinaryStreamMaxBlockEdges) {
+    return Status::InvalidArgument(
+        "GPS-STREAM block size " + std::to_string(reader.block_edges_) +
+        " out of range [1, " + std::to_string(kBinaryStreamMaxBlockEdges) +
+        "] in '" + path + "'");
+  }
+  // The header fully determines the file size; enforce it exactly so a
+  // truncated tail or appended garbage is a refusal, not a silent
+  // short/long read. Guard the arithmetic against absurd headers first.
+  if (reader.edge_count_ > (uint64_t{1} << 55)) {
+    return Status::InvalidArgument(
+        "implausible GPS-STREAM edge count " +
+        std::to_string(reader.edge_count_) + " in '" + path + "'");
+  }
+  reader.num_blocks_ = BlockCount(reader.edge_count_, reader.block_edges_);
+  const uint64_t expected = kBinaryStreamHeaderBytes +
+                            reader.edge_count_ * sizeof(Edge) +
+                            reader.num_blocks_ * kBlockDigestBytes;
+  if (reader.file_.size() < expected) {
+    return Status::InvalidArgument(
+        "truncated GPS-STREAM file '" + path + "' (" +
+        std::to_string(reader.file_.size()) + " bytes, header implies " +
+        std::to_string(expected) + ")");
+  }
+  if (reader.file_.size() > expected) {
+    return Status::InvalidArgument(
+        "trailing bytes after the final GPS-STREAM block in '" + path +
+        "' (" + std::to_string(reader.file_.size()) +
+        " bytes, header implies " + std::to_string(expected) + ")");
+  }
+  return reader;
+}
+
+Result<std::span<const Edge>> BinaryStreamReader::Block(
+    size_t index) const {
+  if (index >= num_blocks_) {
+    return Status::OutOfRange("GPS-STREAM block index " +
+                              std::to_string(index) + " out of range (" +
+                              std::to_string(num_blocks_) + " blocks)");
+  }
+  const size_t full_block_bytes =
+      static_cast<size_t>(block_edges_) * sizeof(Edge) + kBlockDigestBytes;
+  const char* payload =
+      file_.data() + kBinaryStreamHeaderBytes + index * full_block_bytes;
+  const size_t n =
+      index + 1 < num_blocks_
+          ? block_edges_
+          : static_cast<size_t>(edge_count_ -
+                                static_cast<uint64_t>(index) * block_edges_);
+  const size_t payload_bytes = n * sizeof(Edge);
+  const uint64_t stored = LoadU64(
+      reinterpret_cast<const unsigned char*>(payload + payload_bytes));
+  if (Fnv1a64Words(payload, payload_bytes) != stored) {
+    return Status::InvalidArgument(
+        "GPS-STREAM block " + std::to_string(index) +
+        " digest mismatch in '" + path_ + "' (corrupt payload or digest)");
+  }
+  const Edge* edges = reinterpret_cast<const Edge*>(payload);
+  // A digest-valid but hand-crafted file could still smuggle the
+  // invalid-node sentinel past the writer's refusal; keep it out of the
+  // estimators. Cheap next to the per-byte digest pass above.
+  for (size_t i = 0; i < n; ++i) {
+    if (edges[i].u == kInvalidNode || edges[i].v == kInvalidNode) {
+      return Status::InvalidArgument(
+          "invalid node id in GPS-STREAM block " + std::to_string(index) +
+          " of '" + path_ + "'");
+    }
+  }
+  return std::span<const Edge>(edges, n);
+}
+
+Status BinaryStreamReader::VerifyAll() const {
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    if (auto block = Block(b); !block.ok()) return block.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace gps

@@ -1,15 +1,136 @@
 #include "graph/edge_list.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
+#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <string>
 
 #include "util/flat_hash_map.h"
+#include "util/mmap_file.h"
 
 namespace gps {
+namespace {
+
+// ---- Strict bulk text parser ---------------------------------------------
+//
+// One pointer-walking pass shared by FromText and Load, so both report
+// identical errors and line numbers. Replaces the istringstream-per-line
+// parser twice over: it is an order of magnitude faster (no stream
+// construction, no locale machinery — just digit accumulation), and it is
+// STRICT — a line must be exactly two node ids, so trailing junk and
+// weight columns ("1 2 garbage", "1 2 0.5") are refusals, not silently
+// dropped data feeding a paper-faithful estimator the wrong stream.
+
+/// Ceiling on the offending-line echo in error messages, so a pathological
+/// input (one multi-megabyte line) cannot balloon the error text.
+constexpr size_t kMaxEchoedLineChars = 80;
+
+std::string EchoLine(const char* begin, const char* end) {
+  const size_t len = static_cast<size_t>(end - begin);
+  if (len <= kMaxEchoedLineChars) return std::string(begin, len);
+  return std::string(begin, kMaxEchoedLineChars) + "...";
+}
+
+inline bool IsBlank(char c) { return c == ' ' || c == '\t'; }
+inline bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// How one node-id token parsed.
+enum class TokenKind {
+  kOk,        // nonnegative id within the NodeId range
+  kMalformed, // not a decimal integer
+  kNegative,  // well-formed but negative — out of range, like the old parser
+  kOverflow,  // well-formed but exceeds the 32-bit id space
+};
+
+/// Parses one decimal node id at *p (within [*p, end)), advancing *p past
+/// the digits. Saturates instead of overflowing, so arbitrarily long digit
+/// runs classify as kOverflow.
+TokenKind ParseNodeId(const char** p, const char* end, uint64_t* value) {
+  const char* q = *p;
+  constexpr uint64_t kMaxId = static_cast<uint64_t>(kInvalidNode) - 1;
+  if (q < end && *q == '-') {
+    if (q + 1 < end && IsDigit(q[1])) {
+      // Consume the token so the caller's position stays sane.
+      ++q;
+      while (q < end && IsDigit(*q)) ++q;
+      *p = q;
+      return TokenKind::kNegative;
+    }
+    return TokenKind::kMalformed;
+  }
+  if (q >= end || !IsDigit(*q)) return TokenKind::kMalformed;
+  uint64_t v = 0;
+  bool over = false;
+  while (q < end && IsDigit(*q)) {
+    if (!over) {
+      v = v * 10 + static_cast<uint64_t>(*q - '0');
+      if (v > kMaxId) over = true;  // v <= kMaxId before, so no u64 wrap
+    }
+    ++q;
+  }
+  *p = q;
+  *value = v;
+  return over ? TokenKind::kOverflow : TokenKind::kOk;
+}
+
+/// Parses a whole "u v"-per-line buffer into `out`. Blank lines and
+/// '#'/'%' comment lines are skipped; '\r' before a newline is tolerated
+/// (CRLF files); anything after the two ids is a named refusal.
+Status ParseEdgeTextBuffer(const char* data, size_t size, EdgeList* out) {
+  const char* p = data;
+  const char* const end = data + size;
+  size_t line_no = 0;
+  out->Reserve(size / 16);
+  while (p < end) {
+    ++line_no;
+    const char* const line_begin = p;
+    const char* const nl =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* line_end = nl != nullptr ? nl : end;
+    p = nl != nullptr ? nl + 1 : end;  // next iteration starts past '\n'
+    // Strip one trailing '\r' so CRLF input parses like LF input.
+    if (line_end > line_begin && line_end[-1] == '\r') --line_end;
+
+    const char* q = line_begin;
+    while (q < line_end && IsBlank(*q)) ++q;
+    if (q == line_end) continue;                // blank line
+    if (*q == '#' || *q == '%') continue;       // comment line
+
+    const auto fail = [&](const char* what) {
+      return Status::InvalidArgument(std::string(what) + " on line " +
+                                     std::to_string(line_no) + ": '" +
+                                     EchoLine(line_begin, line_end) + "'");
+    };
+    const auto out_of_range = [&] {
+      return Status::OutOfRange("node id out of range on line " +
+                                std::to_string(line_no));
+    };
+
+    uint64_t a = 0;
+    uint64_t b = 0;
+    switch (ParseNodeId(&q, line_end, &a)) {
+      case TokenKind::kMalformed: return fail("malformed edge");
+      case TokenKind::kNegative: return out_of_range();
+      case TokenKind::kOverflow: return out_of_range();
+      case TokenKind::kOk: break;
+    }
+    if (q < line_end && !IsBlank(*q)) return fail("malformed edge");
+    while (q < line_end && IsBlank(*q)) ++q;
+    switch (ParseNodeId(&q, line_end, &b)) {
+      case TokenKind::kMalformed: return fail("malformed edge");
+      case TokenKind::kNegative: return out_of_range();
+      case TokenKind::kOverflow: return out_of_range();
+      case TokenKind::kOk: break;
+    }
+    while (q < line_end && IsBlank(*q)) ++q;
+    if (q != line_end) return fail("trailing junk after edge");
+
+    out->Add(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 void EdgeList::Add(NodeId u, NodeId v) {
   edges_.push_back(Edge{u, v});
@@ -47,39 +168,27 @@ size_t EdgeList::CountTouchedNodes() const {
 
 Result<EdgeList> EdgeList::FromText(const std::string& text) {
   EdgeList list;
-  std::istringstream in(text);
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    // Strip leading whitespace; skip blank and comment lines.
-    size_t pos = line.find_first_not_of(" \t\r");
-    if (pos == std::string::npos) continue;
-    if (line[pos] == '#' || line[pos] == '%') continue;
-
-    std::istringstream fields(line);
-    long long a = -1, b = -1;
-    if (!(fields >> a >> b)) {
-      return Status::InvalidArgument("malformed edge on line " +
-                                     std::to_string(line_no) + ": '" + line +
-                                     "'");
-    }
-    if (a < 0 || b < 0 || a > static_cast<long long>(kInvalidNode) - 1 ||
-        b > static_cast<long long>(kInvalidNode) - 1) {
-      return Status::OutOfRange("node id out of range on line " +
-                                std::to_string(line_no));
-    }
-    list.Add(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  if (Status s = ParseEdgeTextBuffer(text.data(), text.size(), &list);
+      !s.ok()) {
+    return s;
   }
   return list;
 }
 
 Result<EdgeList> EdgeList::Load(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "' for reading");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return FromText(buffer.str());
+  // One read-only mapping, one parser pass: peak memory is the parsed
+  // edge vector plus reclaimable page cache — the old
+  // file -> ostringstream -> string -> istringstream chain held TWO heap
+  // copies of the file on top of the edges. Errors match FromText on the
+  // same bytes exactly (shared ParseEdgeTextBuffer).
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  EdgeList list;
+  if (Status s = ParseEdgeTextBuffer(file->data(), file->size(), &list);
+      !s.ok()) {
+    return s;
+  }
+  return list;
 }
 
 Status EdgeList::Save(const std::string& path) const {

@@ -48,12 +48,17 @@ class EdgeList {
   /// Counts distinct nodes that appear in at least one edge.
   size_t CountTouchedNodes() const;
 
-  /// Parses a whitespace-separated "u v" edge list (comments beginning with
-  /// '#' or '%' are skipped). Fails on malformed tokens or ids that do not
-  /// fit NodeId.
+  /// Parses a STRICT "u v"-per-line edge list: exactly two nonnegative
+  /// decimal node ids per data line (comments beginning with '#' or '%'
+  /// and blank lines are skipped; CRLF is tolerated). Trailing junk and
+  /// weight columns are InvalidArgument refusals carrying the line number
+  /// (offending lines echoed truncated to 80 chars); negative or
+  /// NodeId-overflowing ids are OutOfRange.
   static Result<EdgeList> FromText(const std::string& text);
 
-  /// Reads FromText from a file path.
+  /// FromText over a memory-mapped file: one parser pass, no intermediate
+  /// file-sized buffer. Error text and line numbers are identical to
+  /// FromText on the same bytes. Refuses directories by name.
   static Result<EdgeList> Load(const std::string& path);
 
   /// Writes "u v" lines. Returns IO error on failure.

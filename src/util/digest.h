@@ -1,0 +1,62 @@
+// FNV-1a 64-bit digests, shared by every on-disk format.
+//
+// One implementation binds them all: GPS-MANIFEST shard-file digests
+// (core/serialize ChecksumBytes), GPS-STREAM per-block digests
+// (graph/binary_stream), and any future format that needs to detect
+// accidental corruption. FNV-1a is deterministic across platforms, cheap,
+// and good enough for corruption detection — it is NOT a defense against
+// adversarial tampering.
+
+#ifndef GPS_UTIL_DIGEST_H_
+#define GPS_UTIL_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gps {
+
+inline constexpr uint64_t kFnv1a64Offset = 14695981039346656037ull;
+inline constexpr uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/// Digest of a raw byte range. `seed` lets callers chain ranges
+/// (Fnv1a64(b, nb, Fnv1a64(a, na)) == digest of a||b).
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = kFnv1a64Offset) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  return Fnv1a64(bytes.data(), bytes.size());
+}
+
+/// Word-wise FNV-1a: the same xor-multiply chain fed 8-byte little-endian
+/// words instead of bytes, for ranges whose length is a multiple of 8
+/// (`size` is in BYTES and must satisfy size % 8 == 0; callers guarantee
+/// it structurally). One multiply per word instead of eight keeps the
+/// digest off the critical path of bulk readers (GPS-STREAM blocks are
+/// 8-byte edges, so this is their natural unit) while any flipped bit
+/// still changes the word and therefore the digest. NOT interchangeable
+/// with the byte-wise Fnv1a64 — formats pick one and version it.
+inline uint64_t Fnv1a64Words(const void* data, size_t size,
+                             uint64_t seed = kFnv1a64Offset) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; i += 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, bytes + i, sizeof(word));
+    h ^= word;
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace gps
+
+#endif  // GPS_UTIL_DIGEST_H_

@@ -1,0 +1,75 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gps {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) munmap(const_cast<char*>(data_), size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path +
+                           "' for reading: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path +
+                           "': " + std::strerror(err));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("'" + path +
+                                   "' is a directory, not a file");
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a regular file");
+  }
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ == 0) {
+    ::close(fd);
+    return file;  // empty view; nothing to map
+  }
+  void* map = mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    return Status::IoError("cannot mmap '" + path +
+                           "': " + std::strerror(map_err));
+  }
+  // Readers stream front to back; tell the kernel so readahead matches.
+  madvise(map, file.size_, MADV_SEQUENTIAL);
+  file.data_ = static_cast<const char*>(map);
+  return file;
+}
+
+}  // namespace gps

@@ -1,0 +1,48 @@
+// Read-only memory-mapped files.
+//
+// The zero-copy ingest paths (graph/binary_stream, the bulk text parser
+// in graph/edge_list) read datasets through one mapping instead of
+// copying the file through userspace buffers: peak memory is the mapping
+// (page cache, reclaimable) plus the parsed output, never file-size
+// worth of heap. Mapping is advisory-sequential, so the kernel readaheads
+// exactly the streaming access pattern these readers have.
+
+#ifndef GPS_UTIL_MMAP_FILE_H_
+#define GPS_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace gps {
+
+/// A read-only mapping of a regular file. Move-only; unmaps on
+/// destruction. A zero-byte file maps to an empty (nullptr, 0) view.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Named refusals: missing file (IoError),
+  /// directory (InvalidArgument — a dataset path must be a file), other
+  /// non-regular files (InvalidArgument).
+  static Result<MappedFile> Open(const std::string& path);
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace gps
+
+#endif  // GPS_UTIL_MMAP_FILE_H_

@@ -525,10 +525,12 @@ TEST_F(CliTest, MonitorFinalRowMatchesEstimateExactly) {
 }
 
 TEST_F(CliTest, MonitorEmptyStreamStillEmitsFinalRow) {
-  // The documented contract guarantees at least one data row; an empty
-  // input yields a single zero-estimate row at edges=0.
+  // The documented contract guarantees at least one data row; a stream
+  // with zero edges yields a single zero-estimate row at edges=0. (A
+  // 0-byte file is refused outright by the input preflight, so the
+  // canonical empty stream is a comment-only file.)
   const std::string empty_input = TempPath("empty.el");
-  std::ofstream(empty_input) << "";
+  std::ofstream(empty_input) << "# no edges\n";
   const CommandResult r =
       RunCli("monitor --input " + empty_input + " --every 10 --no-permute");
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -555,9 +557,11 @@ TEST_F(CliTest, MonitorCheckpointEveryThenResumeShards) {
   ASSERT_TRUE(std::ifstream(dir + "/manifest.gpsm").good());
 
   // The directory holds the END-of-stream state, so a resume continues
-  // from the full input (feeding zero further edges keeps the estimates).
+  // from the full input (feeding zero further edges keeps the
+  // estimates). A 0-byte file would be refused by the preflight; a
+  // comment-only file is the well-formed zero-edge stream.
   const std::string empty_input = TempPath("empty.el");
-  std::ofstream(empty_input) << "";
+  std::ofstream(empty_input) << "# no further edges\n";
   const CommandResult resumed =
       RunCli("resume-shards --manifest " + dir + "/manifest.gpsm --input " +
              empty_input + " --no-permute");
@@ -764,6 +768,7 @@ TEST_F(CliTest, VersionReportsFormats) {
   EXPECT_NE(r.output.find("v4"), std::string::npos);
   EXPECT_NE(r.output.find("manifest min read"), std::string::npos);
   EXPECT_NE(r.output.find("estimator format"), std::string::npos);
+  EXPECT_NE(r.output.find("stream format"), std::string::npos);
   EXPECT_NE(r.output.find("metrics"), std::string::npos);
 }
 
@@ -908,6 +913,134 @@ TEST_F(CliTest, MemDerivedCapacityMatchesExplicitCapacity) {
     EXPECT_NE(mem_run.output.find(term), std::string::npos)
         << term << "\n" << mem_run.output;
   }
+}
+
+// ---- convert + GPS-STREAM binary input -----------------------------------
+
+/// Slurps a file's raw bytes for byte-identity assertions.
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST_F(CliTest, ConvertRoundTripIsByteIdentical) {
+  const std::string binary = TempPath("convert.gps");
+  const std::string back = TempPath("convert_back.txt");
+  const CommandResult to_bin = RunCli("convert --input " + graph_path_ +
+                                      " --output " + binary);
+  ASSERT_EQ(to_bin.exit_code, 0) << to_bin.output;
+  EXPECT_NE(to_bin.output.find("GPS-STREAM v1"), std::string::npos);
+  EXPECT_NE(to_bin.output.find("digest-verified"), std::string::npos);
+  const CommandResult to_text =
+      RunCli("convert --input " + binary + " --output " + back);
+  ASSERT_EQ(to_text.exit_code, 0) << to_text.output;
+  // text -> binary -> text reproduces the original file byte for byte:
+  // the stream format loses nothing.
+  EXPECT_EQ(FileBytes(graph_path_), FileBytes(back));
+  std::remove(binary.c_str());
+  std::remove(back.c_str());
+}
+
+TEST_F(CliTest, EstimateFromBinaryMatchesTextByteForByte) {
+  const std::string binary = TempPath("estimate.gps");
+  ASSERT_EQ(RunCli("convert --input " + graph_path_ + " --output " +
+                   binary).exit_code,
+            0);
+  const std::string params = " --capacity 2000 --seed 5";
+  const CommandResult text = RunCli("estimate --input " + graph_path_ +
+                                    params);
+  const CommandResult bin = RunCli("estimate --input " + binary + params);
+  ASSERT_EQ(text.exit_code, 0) << text.output;
+  ASSERT_EQ(bin.exit_code, 0) << bin.output;
+  // FULL stdout equality: same banner, same estimates, same formatting —
+  // the input format is completely transparent to the estimate path.
+  EXPECT_EQ(text.output, bin.output);
+  std::remove(binary.c_str());
+}
+
+TEST_F(CliTest, InputFormatFlagForcesDecoder) {
+  const std::string binary = TempPath("forced.gps");
+  ASSERT_EQ(RunCli("convert --input " + graph_path_ + " --output " +
+                   binary).exit_code,
+            0);
+  // Forcing the text parser onto a binary file must fail in the parser
+  // (no magic sniffing), not silently decode.
+  const CommandResult forced = RunCli("estimate --input " + binary +
+                                      " --input-format text --capacity 100");
+  EXPECT_NE(forced.exit_code, 0);
+  EXPECT_NE(forced.output.find("malformed edge"), std::string::npos)
+      << forced.output;
+  // Forcing binary onto a text file fails with the magic refusal.
+  const CommandResult forced_bin =
+      RunCli("estimate --input " + graph_path_ +
+             " --input-format binary --capacity 100");
+  EXPECT_NE(forced_bin.exit_code, 0);
+  EXPECT_NE(forced_bin.output.find("not a GPS-STREAM file"),
+            std::string::npos)
+      << forced_bin.output;
+  const CommandResult bogus = RunCli("estimate --input " + graph_path_ +
+                                     " --input-format csv --capacity 100");
+  EXPECT_NE(bogus.exit_code, 0);
+  EXPECT_NE(bogus.output.find("unknown --input-format 'csv'"),
+            std::string::npos)
+      << bogus.output;
+  std::remove(binary.c_str());
+}
+
+TEST_F(CliTest, InputPreflightRefusesDirectoryAndEmptyFile) {
+  const CommandResult dir = RunCli("estimate --input " + testing::TempDir() +
+                                   " --capacity 100");
+  EXPECT_NE(dir.exit_code, 0);
+  EXPECT_NE(dir.output.find("is a directory"), std::string::npos)
+      << dir.output;
+  const std::string empty = TempPath("empty.txt");
+  { std::ofstream touch(empty); }
+  const CommandResult empty_run =
+      RunCli("estimate --input " + empty + " --capacity 100");
+  EXPECT_NE(empty_run.exit_code, 0);
+  EXPECT_NE(empty_run.output.find("is empty"), std::string::npos)
+      << empty_run.output;
+  // convert shares the preflight.
+  const CommandResult conv = RunCli("convert --input " + empty +
+                                    " --output /dev/null");
+  EXPECT_NE(conv.exit_code, 0);
+  EXPECT_NE(conv.output.find("is empty"), std::string::npos) << conv.output;
+  std::remove(empty.c_str());
+}
+
+TEST_F(CliTest, EstimateRefusesCorruptBinaryByName) {
+  const std::string binary = TempPath("corrupt.gps");
+  ASSERT_EQ(RunCli("convert --input " + graph_path_ + " --output " +
+                   binary).exit_code,
+            0);
+  // Flip the final byte (the last block's digest).
+  std::string bytes = FileBytes(binary);
+  ASSERT_GT(bytes.size(), 48u);
+  bytes[bytes.size() - 1] ^= 0x01;
+  {
+    std::ofstream out(binary, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const CommandResult r = RunCli("estimate --input " + binary +
+                                 " --capacity 100");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("digest mismatch"), std::string::npos)
+      << r.output;
+  std::remove(binary.c_str());
+}
+
+TEST_F(CliTest, ConvertValidatesFlags) {
+  EXPECT_NE(RunCli("convert --input " + graph_path_).exit_code, 0);
+  const CommandResult bad_to = RunCli("convert --input " + graph_path_ +
+                                      " --output /dev/null --to xml");
+  EXPECT_NE(bad_to.exit_code, 0);
+  EXPECT_NE(bad_to.output.find("unknown --to 'xml'"), std::string::npos)
+      << bad_to.output;
+  const CommandResult bad_block =
+      RunCli("convert --input " + graph_path_ +
+             " --output /dev/null --block-edges 0");
+  EXPECT_NE(bad_block.exit_code, 0);
 }
 
 }  // namespace

@@ -86,11 +86,113 @@ TEST(EdgeListTest, FromTextParsesEdgesAndComments) {
       "0 1\n"
       "  2   3  \n"
       "\n"
-      "4 5 extra-tokens-ignored\n");
+      "4\t5\n");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->NumEdges(), 3u);
   EXPECT_EQ(result->Edges()[0], MakeEdge(0, 1));
+  EXPECT_EQ(result->Edges()[1], MakeEdge(2, 3));
   EXPECT_EQ(result->Edges()[2], MakeEdge(4, 5));
+}
+
+TEST(EdgeListTest, FromTextToleratesCrlfAndMissingFinalNewline) {
+  auto result = EdgeList::FromText("0 1\r\n2 3\r\n4 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumEdges(), 3u);
+  EXPECT_EQ(result->Edges()[1], MakeEdge(2, 3));
+  EXPECT_EQ(result->Edges()[2], MakeEdge(4, 5));
+}
+
+// ---- Strictness matrix: anything after the two ids is a refusal ----------
+
+TEST(EdgeListTest, FromTextRejectsTrailingJunk) {
+  auto result = EdgeList::FromText("0 1\n1 2 garbage\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("trailing junk"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("'1 2 garbage'"),
+            std::string::npos);
+}
+
+TEST(EdgeListTest, FromTextRejectsWeightColumn) {
+  // A weighted edge list fed to the unweighted parser used to silently
+  // drop the weights; now it is a named refusal.
+  auto result = EdgeList::FromText("1 2 0.5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("trailing junk"),
+            std::string::npos);
+}
+
+TEST(EdgeListTest, FromTextRejectsThirdNodeId) {
+  auto result = EdgeList::FromText("7 8 9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing junk"),
+            std::string::npos);
+}
+
+TEST(EdgeListTest, FromTextRejectsCommentAfterEdge) {
+  auto result = EdgeList::FromText("1 2 # inline comment\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("trailing junk"),
+            std::string::npos);
+}
+
+TEST(EdgeListTest, FromTextRejectsJunkFusedToId) {
+  // "12abc" must not parse as 12: after the digits the parser requires
+  // blank or end of line.
+  auto result = EdgeList::FromText("12abc 3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("malformed edge"),
+            std::string::npos);
+}
+
+TEST(EdgeListTest, FromTextAcceptsTrailingBlanksOnly) {
+  auto result = EdgeList::FromText("1 2 \t \n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumEdges(), 1u);
+}
+
+TEST(EdgeListTest, FromTextTruncatesEchoedLineTo80Chars) {
+  // A pathological multi-kilobyte line must not balloon the error text:
+  // the echo is capped at 80 characters plus "...".
+  const std::string junk(5000, 'x');
+  auto result = EdgeList::FromText("1 2 " + junk + "\n");
+  ASSERT_FALSE(result.ok());
+  const std::string& message = result.status().message();
+  EXPECT_LT(message.size(), 200u);
+  EXPECT_NE(message.find("..."), std::string::npos);
+  EXPECT_NE(message.find("trailing junk"), std::string::npos);
+}
+
+TEST(EdgeListTest, LoadAndFromTextReportIdenticalErrors) {
+  // Load parses the mmap'd bytes with the same parser as FromText; the
+  // error strings (message, line number, echo) must match exactly.
+  const std::string text = "0 1\n# ok\n5 6 junk here\n";
+  const std::string path =
+      testing::TempDir() + "/gps_edge_list_err_test.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  auto from_text = EdgeList::FromText(text);
+  auto from_load = EdgeList::Load(path);
+  ASSERT_FALSE(from_text.ok());
+  ASSERT_FALSE(from_load.ok());
+  EXPECT_EQ(from_text.status().code(), from_load.status().code());
+  EXPECT_EQ(from_text.status().message(), from_load.status().message());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, LoadRejectsDirectoryByName) {
+  auto result = EdgeList::Load(testing::TempDir());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("is a directory"),
+            std::string::npos);
 }
 
 TEST(EdgeListTest, FromTextRejectsMalformedLine) {

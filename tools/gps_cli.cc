@@ -34,6 +34,12 @@
 //       Merge shard checkpoints (possibly produced on different machines)
 //       and print the estimates the live sharded run would produce,
 //       without re-streaming.
+//   convert   --input FILE --output FILE [--to auto|binary|text]
+//             [--input-format auto|text|binary] [--block-edges N]
+//       Convert an edge stream between the text format and GPS-STREAM v1
+//       binary (graph/binary_stream.h), preserving stream order and
+//       duplicates. Binary output is reopened and digest-verified before
+//       the command reports success.
 //   generate  --name CORPUS [--scale X] [--output FILE]
 //       Materialize a corpus graph to an edge-list file.
 //   exact     --input FILE
@@ -50,6 +56,8 @@
 // --trace FILE records per-worker Chrome trace_event spans loadable in
 // chrome://tracing or Perfetto. All observation-only: estimates are
 // byte-identical with or without these flags.
+
+#include <sys/stat.h>
 
 #include <cctype>
 #include <cerrno>
@@ -73,6 +81,7 @@
 #include "engine/merge.h"
 #include "engine/sharded_engine.h"
 #include "gen/registry.h"
+#include "graph/binary_stream.h"
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
 #include "graph/stream.h"
@@ -178,8 +187,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: gps_cli <estimate|resume|resume-shards|monitor"
-      "|checkpoint-shards|merge-checkpoints|generate|exact|corpus"
+      "|checkpoint-shards|merge-checkpoints|convert|generate|exact|corpus"
       "|list-motifs|version> [flags]\n"
+      "  Streaming subcommands read --input as text or GPS-STREAM binary;\n"
+      "  --input-format auto|text|binary (default auto: sniff the magic)\n"
+      "  forces the decoder. Estimates are byte-identical across formats.\n"
       "  estimate --input FILE [--capacity N | --mem BYTES] [--seed S]\n"
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
@@ -213,6 +225,12 @@ int Usage() {
       "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
       "           [--steal on|off] [--motifs LIST] [--no-permute]\n"
       "  merge-checkpoints --manifest FILE [--manifest FILE ...]\n"
+      "  convert  --input FILE --output FILE [--to auto|binary|text]\n"
+      "           [--input-format auto|text|binary] [--block-edges N]\n"
+      "           (text <-> GPS-STREAM v1 binary; stream order and\n"
+      "           duplicates preserved; binary writes are digest-verified\n"
+      "           end to end before the command succeeds; --to auto\n"
+      "           converts to the other format)\n"
       "  generate --name CORPUS [--scale X] [--output FILE]\n"
       "  exact    --input FILE [--higher-motifs]  (adds the 4-clique,\n"
       "           3-path, 4-cycle, 5-clique, and tailed-triangle\n"
@@ -278,8 +296,80 @@ Result<WeightOptions> WeightFromName(const std::string& name) {
   return weight;
 }
 
+// ---- Dataset loading (text and GPS-STREAM binary) ------------------------
+
+/// CLI-level preflight on --input before any parser runs, so the two
+/// classic unhelpful failures — pointing a subcommand at a directory or
+/// at an empty file — are refusals that name the problem, not a generic
+/// parse error (or a silent empty stream).
+Status CheckDatasetPath(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("missing --input FILE");
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError("cannot open '" + path +
+                           "' for reading: " + std::strerror(errno));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is a directory, not an edge-stream "
+                                   "file");
+  }
+  if (S_ISREG(st.st_mode) && st.st_size == 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is empty (0 bytes) — not an edge "
+                                   "stream");
+  }
+  return Status::Ok();
+}
+
+enum class InputFormat { kText, kBinary };
+
+/// Resolves --input-format: explicit text/binary, or auto (the default),
+/// which sniffs the GPS-STREAM magic. An explicit format never sniffs,
+/// so a text file that happens to start with the magic bytes can still
+/// be forced through the text parser and vice versa.
+Result<InputFormat> ResolveInputFormat(const Flags& flags,
+                                       const std::string& path) {
+  const std::string format = flags.Get("input-format", "auto");
+  if (format == "text") return InputFormat::kText;
+  if (format == "binary") return InputFormat::kBinary;
+  if (format != "auto") {
+    return Status::InvalidArgument("unknown --input-format '" + format +
+                                   "' (expected auto, text, or binary)");
+  }
+  return LooksLikeBinaryStream(path) ? InputFormat::kBinary
+                                     : InputFormat::kText;
+}
+
+/// Loads --input as an EdgeList in stream order (duplicates preserved),
+/// from either format. Binary input goes through the digest-verified
+/// block reader; both formats then share the SAME permute/simplify path
+/// downstream, so estimates are byte-identical across a text file and
+/// its GPS-STREAM conversion.
+Result<EdgeList> LoadDatasetEdges(const Flags& flags) {
+  const std::string path = flags.Get("input", "");
+  if (Status s = CheckDatasetPath(path); !s.ok()) return s;
+  auto format = ResolveInputFormat(flags, path);
+  if (!format.ok()) return format.status();
+  if (*format == InputFormat::kBinary) {
+    auto reader = BinaryStreamReader::Open(path);
+    if (!reader.ok()) return reader.status();
+    EdgeList list;
+    list.Reserve(reader->edge_count());
+    for (size_t b = 0; b < reader->num_blocks(); ++b) {
+      auto block = reader->Block(b);
+      if (!block.ok()) return block.status();
+      for (const Edge& e : *block) list.Add(e);
+    }
+    return list;
+  }
+  return EdgeList::Load(path);
+}
+
 Result<std::vector<Edge>> LoadStream(const Flags& flags) {
-  auto list = EdgeList::Load(flags.Get("input", ""));
+  auto list = LoadDatasetEdges(flags);
   if (!list.ok()) return list.status();
   if (flags.Has("no-permute")) {
     EdgeList simplified = *list;
@@ -1072,7 +1162,7 @@ int RunGenerate(const Flags& flags) {
 }
 
 int RunExact(const Flags& flags) {
-  auto list = EdgeList::Load(flags.Get("input", ""));
+  auto list = LoadDatasetEdges(flags);
   if (!list.ok()) {
     std::fprintf(stderr, "error: %s\n", list.status().ToString().c_str());
     return 1;
@@ -1096,6 +1186,94 @@ int RunExact(const Flags& flags) {
     t.AddRow({"tailed_triangles", CountCell(counts.tailed_triangles)});
   }
   std::printf("%s", t.ToString().c_str());
+  return 0;
+}
+
+/// `convert`: text <-> GPS-STREAM binary, preserving stream order and
+/// duplicates (a conversion must not resample or simplify — the binary
+/// file is the SAME stream, just decoded). A binary write is reopened
+/// and every block digest re-verified before the command reports
+/// success, so a `convert` that returns 0 produced a readable file.
+int RunConvert(const Flags& flags) {
+  const std::string input = flags.Get("input", "");
+  const std::string output = flags.Get("output", "");
+  if (input.empty() || output.empty()) {
+    std::fprintf(stderr,
+                 "error: convert needs --input FILE and --output FILE\n");
+    return 1;
+  }
+  if (Status s = CheckDatasetPath(input); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto in_format = ResolveInputFormat(flags, input);
+  if (!in_format.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 in_format.status().ToString().c_str());
+    return 1;
+  }
+  const std::string to = flags.Get("to", "auto");
+  if (to != "auto" && to != "binary" && to != "text") {
+    std::fprintf(stderr,
+                 "error: unknown --to '%s' (expected auto, binary, or "
+                 "text)\n",
+                 to.c_str());
+    return 1;
+  }
+  // --to auto converts to the OTHER format: text in -> binary out and
+  // binary in -> text out. Same-format conversion (re-blocking, text
+  // normalization) is allowed but must be asked for explicitly.
+  const bool to_binary =
+      to == "binary" ||
+      (to == "auto" && *in_format == InputFormat::kText);
+  uint64_t block_edges = kBinaryStreamDefaultBlockEdges;
+  if (!GetPositiveFlag(flags, "block-edges", block_edges, &block_edges)) {
+    return 1;
+  }
+  if (block_edges > kBinaryStreamMaxBlockEdges) {
+    std::fprintf(stderr, "error: --block-edges must be in [1, %u]\n",
+                 kBinaryStreamMaxBlockEdges);
+    return 1;
+  }
+
+  auto list = LoadDatasetEdges(flags);
+  if (!list.ok()) {
+    std::fprintf(stderr, "error: %s\n", list.status().ToString().c_str());
+    return 1;
+  }
+
+  if (to_binary) {
+    BinaryStreamWriteOptions options;
+    options.block_edges = static_cast<uint32_t>(block_edges);
+    if (Status s = WriteBinaryStream(output, list->Edges(), options);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto reader = BinaryStreamReader::Open(output);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "convert verification failed: %s\n",
+                   reader.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = reader->VerifyAll(); !s.ok()) {
+      std::fprintf(stderr, "convert verification failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %llu edges to %s (GPS-STREAM v%d, %zu blocks, "
+                "digest-verified)\n",
+                static_cast<unsigned long long>(reader->edge_count()),
+                output.c_str(), BinaryStreamFormatVersion(),
+                reader->num_blocks());
+    return 0;
+  }
+  if (Status s = list->Save(output); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu edges to %s (text)\n", list->NumEdges(),
+              output.c_str());
   return 0;
 }
 
@@ -1129,6 +1307,8 @@ int RunVersion() {
             "v" + std::to_string(ManifestMinReadVersion())});
   t.AddRow({"estimator format",
             "v" + std::to_string(EstimatorFormatVersion())});
+  t.AddRow({"stream format",
+            "v" + std::to_string(BinaryStreamFormatVersion())});
   t.AddRow({"build type", GPS_BUILD_TYPE});
   t.AddRow({"metrics", MetricsEnabled() ? "on" : "off (GPS_METRICS=0)"});
   std::printf("%s", t.ToString().c_str());
@@ -1147,30 +1327,33 @@ int main(int argc, char** argv) {
                "estimator", "no-permute", "shards", "batch",
                "threads",   "checkpoint", "motifs", "degree",
                "steal",     "stats",      "stats-out", "trace",
-               "mem"};
+               "mem",       "input-format"};
   } else if (command == "resume") {
-    allowed = {"checkpoint", "input", "seed", "save", "no-permute"};
+    allowed = {"checkpoint", "input", "seed", "save", "no-permute",
+               "input-format"};
   } else if (command == "resume-shards") {
     allowed = {"manifest", "input", "seed",
                "save",     "batch", "no-permute",
-               "motifs"};
+               "motifs",   "input-format"};
   } else if (command == "monitor") {
     allowed = {"input",  "capacity", "seed",
                "weight", "shards",   "batch",
                "every",  "output",   "checkpoint-every",
                "checkpoint", "no-permute", "motifs",
                "steal",  "stats",    "stats-out",
-               "trace",  "mem"};
+               "trace",  "mem",      "input-format"};
   } else if (command == "checkpoint-shards") {
     allowed = {"input", "capacity", "seed",      "weight",
                "shards", "batch",   "no-permute", "out",
-               "motifs", "steal",   "mem"};
+               "motifs", "steal",   "mem",       "input-format"};
   } else if (command == "merge-checkpoints") {
     allowed = {"manifest"};
+  } else if (command == "convert") {
+    allowed = {"input", "output", "to", "block-edges", "input-format"};
   } else if (command == "generate") {
     allowed = {"name", "scale", "output"};
   } else if (command == "exact") {
-    allowed = {"input", "higher-motifs"};
+    allowed = {"input", "higher-motifs", "input-format"};
   } else if (command == "corpus" || command == "list-motifs" ||
              command == "version") {
     allowed = {};
@@ -1191,6 +1374,7 @@ int main(int argc, char** argv) {
   if (command == "monitor") return RunMonitor(*flags);
   if (command == "checkpoint-shards") return RunCheckpointShards(*flags);
   if (command == "merge-checkpoints") return RunMergeCheckpoints(*flags);
+  if (command == "convert") return RunConvert(*flags);
   if (command == "generate") return RunGenerate(*flags);
   if (command == "exact") return RunExact(*flags);
   if (command == "corpus") return RunCorpus();
