@@ -42,9 +42,17 @@
 // (graph/binary_stream.h). Binary must win by >= 3x — hard-gated here
 // and relative-gated against the baseline.
 //
+// Router-scaling rows run the SAME K=4 ingest through the block path
+// (ProcessEdges) with R=1 (inline routing, the classic single producer)
+// and R=--routers (default 4) router threads; estimates must match bit
+// for bit (engine contract). Gated >= 1.4x, wall-clock where the host
+// has >= 5 cores, otherwise on the routing-stage critical path
+// max(producer route seconds, busiest router's scatter seconds) — the
+// same small-host fallback pattern as the steal gate.
+//
 // --json FILE emits every row plus the gated relative metrics
 // (speedup_k4, steal_speedup_hub_heavy, fixed_envelope_ingest_speedup,
-// binary_over_text_ingest_speedup)
+// binary_over_text_ingest_speedup, router_scaling_speedup)
 // as machine-readable JSON —
 // BENCH_engine.json in CI, archived per run so the perf trajectory is
 // diffable. --baseline FILE compares those relative metrics against a
@@ -161,6 +169,39 @@ Row RunEngineRow(const std::vector<Edge>& stream, const GpsSamplerOptions& base,
   return row;
 }
 
+/// One router-scaling row: the K=4 block-path ingest with R router
+/// threads (R=1 routes inline on the producer). route_critical is the
+/// routing STAGE's critical path — max(producer route seconds, busiest
+/// router's scatter seconds) — the machine-independent metric the gate
+/// falls back to where wall-clock cannot move (no idle cores).
+Row RunRouterRow(const std::vector<Edge>& stream,
+                 const GpsSamplerOptions& base, uint32_t routers,
+                 double serial_seconds, double* route_critical,
+                 uint64_t* blocks_routed) {
+  Row row;
+  row.shards = 4;
+  ShardedEngineOptions options;
+  options.sampler = base;
+  options.num_shards = 4;
+  options.router_threads = routers;
+  WallTimer timer;
+  ShardedEngine engine(options);
+  engine.ProcessEdges(std::span<const Edge>(stream));
+  engine.Finish();
+  row.seconds = timer.ElapsedSeconds();
+  row.critical_path = engine.MaxWorkerBusySeconds();
+  *route_critical =
+      std::max(engine.ProducerRouteSeconds(), engine.MaxRouterBusySeconds());
+  row.metrics = engine.SnapshotMetrics();
+  *blocks_routed = row.metrics.CounterOr0("router.blocks_routed");
+  WallTimer merge_timer;
+  row.estimates = engine.MergedEstimates();
+  row.merge_seconds = merge_timer.ElapsedSeconds();
+  row.edges_per_sec = stream.size() / row.seconds;
+  row.speedup = serial_seconds / row.seconds;
+  return row;
+}
+
 /// Result of the ingest-only (format decode) comparison; see
 /// RunIngestOnlyBench below.
 struct IngestOnlyResult {
@@ -176,7 +217,9 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
                double speedup_k4, double steal_speedup,
                double steal_wall_speedup, double steal_critical_speedup,
                uint64_t steals, uint64_t envelope_bytes,
-               double env_speedup, const IngestOnlyResult& ingest) {
+               double env_speedup, const IngestOnlyResult& ingest,
+               double router_speedup, double router_wall_speedup,
+               double router_critical_speedup, uint64_t router_blocks) {
   std::ofstream out(path, std::ios::trunc);
   out << "{\n  \"bench\": \"bench_engine\",\n";
   out << "  \"edges\": " << edges << ",\n";
@@ -229,7 +272,17 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
   out << "  \"binary_ingest_eps\": "
       << Fmt("%.17g", ingest.binary_ingest_eps) << ",\n";
   out << "  \"binary_over_text_ingest_speedup\": "
-      << Fmt("%.17g", ingest.speedup) << "\n";
+      << Fmt("%.17g", ingest.speedup) << ",\n";
+  // The router-scaling row: gated wall-clock on >= 5-core hosts,
+  // routing-stage critical path otherwise (same pattern as the steal
+  // gate); both raw variants are archived for trend-watching.
+  out << "  \"router_scaling_speedup\": " << Fmt("%.17g", router_speedup)
+      << ",\n";
+  out << "  \"router_wall_speedup\": " << Fmt("%.17g", router_wall_speedup)
+      << ",\n";
+  out << "  \"router_critical_path_speedup\": "
+      << Fmt("%.17g", router_critical_speedup) << ",\n";
+  out << "  \"router_blocks_routed\": " << router_blocks << "\n";
   out << "}\n";
   if (!out) {
     std::fprintf(stderr, "cannot write JSON artifact %s\n", path.c_str());
@@ -252,7 +305,7 @@ double ReadBaselineKey(const std::string& text, const std::string& key) {
 /// (> 10% regression fails). Returns false on failure.
 bool GateAgainstBaseline(const std::string& path, double speedup_k4,
                          double steal_speedup, double env_speedup,
-                         double ingest_speedup) {
+                         double ingest_speedup, double router_speedup) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
@@ -275,6 +328,7 @@ bool GateAgainstBaseline(const std::string& path, double speedup_k4,
   gate("steal_speedup_hub_heavy", steal_speedup);
   gate("fixed_envelope_ingest_speedup", env_speedup);
   gate("binary_over_text_ingest_speedup", ingest_speedup);
+  gate("router_scaling_speedup", router_speedup);
   return ok;
 }
 
@@ -420,6 +474,7 @@ int main(int argc, char** argv) {
   size_t kStealBatch = 8192;
   size_t kStealRing = 4;
   double kStealSkew = 3.0;
+  uint32_t router_threads = 4;  // R of the scaled router row
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--edges") && i + 1 < argc) {
       target_edges = std::strtoull(argv[++i], nullptr, 10);
@@ -447,6 +502,14 @@ int main(int argc, char** argv) {
       kStealRing = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "--steal-skew") && i + 1 < argc) {
       kStealSkew = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "--routers") && i + 1 < argc) {
+      router_threads =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (router_threads < 2) {
+        std::fprintf(stderr, "--routers needs a thread count >= 2 (the "
+                             "row compares against R=1)\n");
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--ingest-probe") && i + 1 < argc) {
       ingest_probe = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       if (ingest_probe < 1) {
@@ -460,7 +523,8 @@ int main(int argc, char** argv) {
                    "       [--json FILE] [--baseline FILE] "
                    "[--alloc-report FILE]\n"
                    "       [--steal-batch B] [--steal-ring R] "
-                   "[--steal-skew S] [--ingest-probe TRIALS]\n");
+                   "[--steal-skew S] [--routers R] "
+                   "[--ingest-probe TRIALS]\n");
       return 2;
     }
   }
@@ -604,6 +668,42 @@ int main(int argc, char** argv) {
   const double steal_speedup =
       wall_gate_meaningful ? steal_wall_speedup : steal_critical_speedup;
 
+  // Router scaling: the same K=4 ingest through the block path with the
+  // producer routing inline (R=1) vs. R router threads scattering blocks.
+  // Byte-identity is the engine's contract — cross-checked here like the
+  // steal rows, hard-gated in tests/engine_router_test.cc.
+  double router_route_r1 = 0.0, router_route_rn = 0.0;
+  uint64_t router_blocks_r1 = 0, router_blocks = 0;
+  {
+    Row r1 = RunRouterRow(stream, base, 1, serial_seconds,
+                          &router_route_r1, &router_blocks_r1);
+    r1.config = "engine K=4 block-path R=1";
+    Row rn = RunRouterRow(stream, base, router_threads, serial_seconds,
+                          &router_route_rn, &router_blocks);
+    rn.config = "engine K=4 block-path R=" + std::to_string(router_threads);
+    if (rn.estimates.triangles.value != r1.estimates.triangles.value ||
+        rn.estimates.wedges.value != r1.estimates.wedges.value) {
+      std::fprintf(stderr,
+                   "FATAL: R=%u estimates diverged from R=1\n",
+                   router_threads);
+      return 1;
+    }
+    rows.push_back(r1);
+    rows.push_back(rn);
+  }
+  const Row& router_r1_row = rows[rows.size() - 2];
+  const Row& router_rn_row = rows.back();
+  const double router_wall_speedup =
+      router_r1_row.seconds / router_rn_row.seconds;
+  // Machine-independent fallback: how much the routing STAGE's critical
+  // path shrank. R=1 pays the full hash+scatter on the producer; R=N
+  // splits the scatter N ways while the sequencer's bulk appends are
+  // cheaper than the hash+push they replace.
+  const double router_critical_speedup =
+      router_route_rn > 0.0 ? router_route_r1 / router_route_rn : 0.0;
+  const double router_speedup =
+      wall_gate_meaningful ? router_wall_speedup : router_critical_speedup;
+
   const IngestOnlyResult ingest = RunIngestOnlyBench(stream);
 
   ExactCounts exact;
@@ -639,7 +739,8 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     WriteJson(json_path, rows, stream.size(), capacity, hw, speedup_k4,
               steal_speedup, steal_wall_speedup, steal_critical_speedup,
-              steals, envelope_bytes, env_speedup, ingest);
+              steals, envelope_bytes, env_speedup, ingest, router_speedup,
+              router_wall_speedup, router_critical_speedup, router_blocks);
   }
 
   // Regression gates.
@@ -668,9 +769,23 @@ int main(int argc, char** argv) {
   std::printf("binary-over-text ingest: %.2fx (%s)\n", ingest.speedup,
               ingest.speedup >= 3.0 ? "PASS" : "FAIL");
   ok &= ingest.speedup >= 3.0;
+  // The router pool's acceptance bar: R=4 must beat the single producer
+  // by 1.4x — wall-clock where the host can run the routers in parallel,
+  // routing-stage critical path on smaller hosts (same fallback pattern
+  // as the steal gate above).
+  std::printf(
+      "router scaling R=%u vs R=1: wall %.2fx, route critical path %.2fx "
+      "(%.2fs -> %.2fs), %" PRIu64 " blocks routed\n",
+      router_threads, router_wall_speedup, router_critical_speedup,
+      router_route_r1, router_route_rn, router_blocks);
+  std::printf(
+      "router gate uses %s (hardware concurrency %u): %.2fx (%s)\n",
+      wall_gate_meaningful ? "wall-clock" : "critical-path", hw,
+      router_speedup, router_speedup >= 1.4 ? "PASS" : "FAIL");
+  ok &= router_speedup >= 1.4;
   if (!baseline_path.empty()) {
     ok &= GateAgainstBaseline(baseline_path, speedup_k4, steal_speedup,
-                              env_speedup, ingest.speedup);
+                              env_speedup, ingest.speedup, router_speedup);
   }
   return ok ? 0 : 1;
 }

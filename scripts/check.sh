@@ -29,6 +29,9 @@ echo "=== Engine perf smoke (JSON + baseline regression gate) ==="
 # --alloc-report archives the packed-store budget breakdown next to the
 # perf record, so a capacity-derivation change shows up in the artifact
 # diff.
+# The run includes the router-scaling row (R=4 vs R=1, wall-clock with a
+# critical-path fallback on small hosts) gated >= 1.4x and against the
+# baseline's router_scaling_speedup.
 ./build/bench_engine --edges 200000 --capacity 50000 \
   --json build/BENCH_engine.json \
   --alloc-report build/BENCH_alloc_report.txt \
@@ -46,9 +49,13 @@ echo "=== ASan/UBSan build + engine/serialization/cli/store/ingest tests ==="
 # bless for out-of-bounds reads on truncated/corrupt inputs.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \
   -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
+# engine_router_test rides along for the span-lifetime rules: routed
+# blocks alias the producer's input (and the mmap on the binary path)
+# until sequenced — ASan catches any use past a fence.
 cmake --build build-asan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_checkpoint_test \
   engine_resume_test engine_steal_test engine_metrics_test \
+  engine_router_test \
   core_parallel_test core_serialize_test core_packed_store_test \
   graph_binary_stream_test graph_edge_list_test \
   util_parse_bytes_test cli_test gps_cli
@@ -65,12 +72,15 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=thread \
 # graph_binary_stream_test exercises IngestBinaryStream feeding mapped
 # block spans into live shard worker rings (ProcessBlock) — the zero-copy
 # hand-off TSan must bless.
+# engine_router_test is the router-pool hand-off stress: the mutex-guarded
+# job queue, completion map, and shell recycling between R router threads
+# and the sequencing producer are exactly what TSan must bless.
 cmake --build build-tsan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_steal_test \
-  engine_metrics_test core_parallel_test core_packed_store_test \
-  graph_binary_stream_test
+  engine_metrics_test engine_router_test core_parallel_test \
+  core_packed_store_test graph_binary_stream_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   --timeout 300 \
-  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|core_parallel|core_packed_store|graph_binary_stream'
+  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|engine_router|core_parallel|core_packed_store|graph_binary_stream'
 
 echo "OK"

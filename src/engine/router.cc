@@ -1,0 +1,160 @@
+#include "engine/router.h"
+
+#include <cassert>
+#include <ctime>
+#include <utility>
+
+#include "util/affinity.h"
+
+namespace gps {
+
+uint64_t ThreadCpuNowNs() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return MetricsNowNs();
+#endif
+}
+
+RouterPool::RouterPool(const Options& options)
+    : num_shards_(options.num_shards),
+      route_(options.route),
+      max_inflight_(options.max_inflight != 0 ? options.max_inflight
+                                              : 4u * options.routers),
+      metrics_(options.routers),
+      busy_ns_(new std::atomic<uint64_t>[options.routers]),
+      trace_sink_(options.trace),
+      trace_bufs_(options.trace_buffers) {
+  assert(options.routers >= 1);
+  assert(num_shards_ >= 1);
+  assert(route_.num_shards == num_shards_);
+  assert(trace_bufs_.empty() || trace_bufs_.size() == options.routers);
+  for (uint32_t r = 0; r < options.routers; ++r) {
+    busy_ns_[r].store(0, std::memory_order_relaxed);
+  }
+  threads_.reserve(options.routers);
+  for (uint32_t r = 0; r < options.routers; ++r) {
+    threads_.emplace_back([this, r] { RunRouter(r); });
+  }
+}
+
+RouterPool::~RouterPool() { Close(); }
+
+Status RouterPool::PinRouterTo(uint32_t r, int cpu) {
+  assert(r < threads_.size());
+  return PinThreadToCpu(threads_[r], cpu);
+}
+
+void RouterPool::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    assert(jobs_.empty() && completed_.empty() &&
+           "fence the pool (sequence every block) before closing");
+    closed_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool RouterPool::TrySubmitBlock(std::span<const Edge> block) {
+  if (block.empty()) return true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!closed_);
+    if (submitted_ - sequenced_ >= max_inflight_) return false;
+    jobs_.push_back({submitted_++, block});
+  }
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  job_cv_.notify_one();
+  return true;
+}
+
+bool RouterPool::TryPopSequenced(RoutedBlock* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = completed_.find(sequenced_);
+    if (it == completed_.end()) return false;
+    *out = std::move(it->second);
+    completed_.erase(it);
+    ++sequenced_;
+  }
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RouterPool::PopSequenced(RoutedBlock* out) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    assert(submitted_ > sequenced_ &&
+           "PopSequenced requires an outstanding block");
+    auto it = completed_.find(sequenced_);
+    if (it == completed_.end()) {
+      // The head-of-line block is still being scattered: the sequencer is
+      // ready before the routers are. (Later blocks may already sit in
+      // completed_ — in-order hand-off has to wait regardless.)
+      sequencer_stalls_.Increment();
+      done_cv_.wait(lock, [&] {
+        return (it = completed_.find(sequenced_)) != completed_.end();
+      });
+    }
+    *out = std::move(it->second);
+    completed_.erase(it);
+    ++sequenced_;
+  }
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void RouterPool::RecycleShell(RoutedBlock&& shell) {
+  for (EdgeBatch& sub : shell.per_shard) sub.clear();  // keep capacity
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shells_.size() < max_inflight_ + threads_.size()) {
+    shells_.push_back(std::move(shell));
+  }
+}
+
+void RouterPool::RunRouter(uint32_t r) {
+  RouterMetrics& metrics = metrics_[r];
+  TraceBuffer* trace_buf = trace_bufs_.empty() ? nullptr : trace_bufs_[r];
+  for (;;) {
+    Job job;
+    RoutedBlock block;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // closed and drained
+      job = jobs_.front();
+      jobs_.pop_front();
+      if (!shells_.empty()) {
+        block = std::move(shells_.back());
+        shells_.pop_back();
+      }
+    }
+    {
+      const uint64_t t0 = ThreadCpuNowNs();
+      const ScopedLatencyTimer latency(&metrics.block_latency);
+      TraceSpan span(trace_sink_, trace_buf, "route");
+      span.SetArg("edges", static_cast<int64_t>(job.edges.size()));
+      block.index = job.index;
+      block.per_shard.resize(num_shards_);
+      for (const Edge& e : job.edges) {
+        block.per_shard[route_.Route(e)].push_back(e);
+      }
+      metrics.blocks_routed.Increment();
+      busy_ns_[r].fetch_add(ThreadCpuNowNs() - t0,
+                            std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_.emplace(job.index, std::move(block));
+    }
+    // The producer only ever waits for the head-of-line index; waking it
+    // for any completion is at worst a spurious wake of one thread.
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace gps

@@ -1,0 +1,230 @@
+// Parallel deterministic edge routing: a pool of R router threads that
+// claim whole ingest blocks (GPS-STREAM mapped blocks, or fixed-size
+// slices of a text-parsed edge vector), scatter each block into
+// per-(block, shard) sub-batches, and hand the results to a sequencer —
+// the engine's producer thread — that consumes them strictly in block
+// submission order.
+//
+// Why this preserves the engine's byte-identity contracts:
+//
+//   * routing is a pure function of the edge (EdgeRouter below — the same
+//     SplitMix64 + Lemire reduction ShardedEngine::RouteShard uses), so
+//     any thread computes the same shard for the same edge;
+//   * a routed block keeps each shard's edges in their in-block arrival
+//     order, and the sequencer appends sub-batches to the shard's pending
+//     batch in block order — so the per-shard edge SEQUENCE equals the
+//     serial producer's exactly;
+//   * the sequencer splits pending batches at exactly batch_size, like
+//     the serial route-and-batch loop — so the BATCH BOUNDARIES (which in
+//     steal mode define RNG substreams and are part of the sample path)
+//     are reproduced bit for bit.
+//
+// Hence R=1 (no pool; inline routing) == R=2 == R=4 == any R, byte for
+// byte, and the router composes with K=1-serial and steal-on==off
+// identities unchanged. Only wall-clock placement differs.
+//
+// Hand-off structure: one mutex/condvar job queue (routers pull whole
+// blocks; default 64K edges each, so lock traffic is O(1) per ~64K
+// edges, three orders of magnitude below the per-batch ring traffic) and
+// a completion map keyed by block index, mirroring the steal scheduler's
+// completed_/next_merge_ ordered re-bind. The issue's per-router->shard
+// SPSC lane alternative buys nothing at this granularity: the sequencer
+// would still have to walk lanes in block order, and the block-sized
+// critical section is already amortized to noise.
+//
+// Memory: sub-batch shells are recycled through a free list bounded by
+// the in-flight block cap, so steady-state routing allocates nothing.
+//
+// Lifetime: a submitted span is ALIASED, not copied, until its routed
+// block is sequenced — callers (the engine) must fence the pool before
+// the span's backing storage (an mmap'd GPS-STREAM file) goes away.
+
+#ifndef GPS_ENGINE_ROUTER_H_
+#define GPS_ENGINE_ROUTER_H_
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "engine/shard.h"
+#include "graph/types.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace gps {
+
+/// Per-thread CPU clock (CLOCK_THREAD_CPUTIME_ID, wall clock fallback):
+/// the basis of the routing-stage critical-path metric, for the same
+/// reason shard.cc's BusyScope uses it — on oversubscribed hosts wall
+/// time inside a scatter counts time spent descheduled while other
+/// threads ran, which would flatten the metric.
+uint64_t ThreadCpuNowNs();
+
+/// The deterministic shard route as a value: a pure function of the edge
+/// shared by the serial producer path (ShardedEngine::RouteShard) and
+/// every router thread, so the two can never drift apart.
+struct EdgeRouter {
+  uint32_t num_shards = 1;
+  /// Deliberate routing skew (ShardedEngineOptions::shard_skew): 0 is the
+  /// production uniform partition.
+  double skew = 0.0;
+
+  uint32_t Route(const Edge& e) const {
+    if (num_shards <= 1) return 0;
+    // SplitMix64 over the canonical 64-bit edge key: both orientations of
+    // an edge — and thus every re-observation — hash identically.
+    uint64_t state = EdgeKey(e);
+    const uint64_t h = SplitMix64Next(&state);
+    if (skew <= 0.0) {
+      // Lemire multiply-shift reduction: unbiased enough for partitioning
+      // and cheaper than modulo.
+      return static_cast<uint32_t>(
+          (static_cast<unsigned __int128>(h) * num_shards) >> 64);
+    }
+    // Skew-injected routing (benchmarks / steal stress): push the hash
+    // unit variate toward 0 so low shard indices are overloaded.
+    const double unit = static_cast<double>(h) * 0x1.0p-64;
+    const double skewed = std::pow(unit, 1.0 + skew);
+    const uint32_t s = static_cast<uint32_t>(skewed * num_shards);
+    return s >= num_shards ? num_shards - 1 : s;
+  }
+};
+
+/// One block scattered into per-shard sub-batches, ready for in-order
+/// sequencing. per_shard[s] holds shard s's edges in in-block arrival
+/// order.
+struct RoutedBlock {
+  uint64_t index = 0;
+  std::vector<EdgeBatch> per_shard;
+};
+
+/// Per-router-thread scatter counters (single-writer, like WorkerMetrics;
+/// no-ops under GPS_METRICS=0).
+struct RouterMetrics {
+  /// Blocks this router thread scattered.
+  Counter blocks_routed;
+  /// Wall-clock duration of each block scatter.
+  LatencyHistogram block_latency;
+};
+
+class RouterPool {
+ public:
+  struct Options {
+    /// Router threads (>= 1). The engine only builds a pool for R >= 2;
+    /// R == 1 keeps routing inline on the producer.
+    uint32_t routers = 2;
+    uint32_t num_shards = 1;
+    EdgeRouter route;
+    /// Submitted-but-unsequenced block cap (backpressure for the producer
+    /// AND the bound on how much mapped input is aliased at once).
+    /// 0 -> 4 * routers.
+    size_t max_inflight = 0;
+    /// Optional per-router trace buffers ("route" spans). The sink must
+    /// outlive the pool; buffers.size() must be 0 or == routers.
+    TraceEventSink* trace = nullptr;
+    std::vector<TraceBuffer*> trace_buffers;
+  };
+
+  explicit RouterPool(const Options& options);
+  ~RouterPool();  // implies Close()
+
+  RouterPool(const RouterPool&) = delete;
+  RouterPool& operator=(const RouterPool&) = delete;
+
+  /// Hands a block to the pool; false when the in-flight cap is reached
+  /// (the caller must sequence completed blocks — PopSequenced — and
+  /// retry). The span is aliased until its routed block is sequenced.
+  /// Producer thread only. Empty blocks are ignored (returns true).
+  bool TrySubmitBlock(std::span<const Edge> block);
+
+  /// Pops the next block in SUBMISSION order if its scatter has finished;
+  /// false when it has not (or nothing is outstanding). Producer only.
+  bool TryPopSequenced(RoutedBlock* out);
+
+  /// Blocking TryPopSequenced; requires blocks_outstanding() > 0. Counts
+  /// a sequencer stall when the head-of-line block makes it wait.
+  /// Producer thread only.
+  void PopSequenced(RoutedBlock* out);
+
+  /// Returns an emptied RoutedBlock's shell (sub-batch capacity) to the
+  /// free list for reuse. Producer thread only.
+  void RecycleShell(RoutedBlock&& shell);
+
+  /// Submitted blocks not yet handed back by Pop/TryPopSequenced.
+  uint64_t blocks_outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+
+  /// Joins the router threads. Requires blocks_outstanding() == 0 (the
+  /// engine fences before closing). Idempotent.
+  void Close();
+
+  uint32_t num_routers() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+  /// Pins router thread r to `cpu` (util/affinity.h; placement only —
+  /// the named failure leaves the inherited mask).
+  Status PinRouterTo(uint32_t r, int cpu);
+
+  /// Per-router scatter counters, for registry aggregation.
+  const RouterMetrics& router_metrics(uint32_t r) const {
+    return metrics_[r];
+  }
+
+  /// Times the producer waited on an unfinished head-of-line block — the
+  /// sequencer was ready before the routers were.
+  const Counter& sequencer_stalls() const { return sequencer_stalls_; }
+
+  /// Seconds router thread r spent scattering (per-thread CPU time, like
+  /// ShardWorker::busy_seconds). The max over routers vs. the producer's
+  /// route seconds is the routing stage's critical path.
+  double router_busy_seconds(uint32_t r) const {
+    return static_cast<double>(busy_ns_[r].load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+ private:
+  struct Job {
+    uint64_t index = 0;
+    std::span<const Edge> edges;
+  };
+
+  void RunRouter(uint32_t r);
+
+  const uint32_t num_shards_;
+  const EdgeRouter route_;
+  const size_t max_inflight_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // routers wait for jobs
+  std::condition_variable done_cv_;  // producer waits for the next block
+  std::deque<Job> jobs_;
+  std::map<uint64_t, RoutedBlock> completed_;
+  std::vector<RoutedBlock> shells_;  // recycled sub-batch capacity
+  uint64_t submitted_ = 0;
+  uint64_t sequenced_ = 0;
+  bool closed_ = false;
+
+  std::atomic<uint64_t> outstanding_{0};
+
+  std::vector<std::thread> threads_;
+  std::vector<RouterMetrics> metrics_;            // [r], single-writer
+  std::unique_ptr<std::atomic<uint64_t>[]> busy_ns_;  // [r]
+  Counter sequencer_stalls_;                      // producer-only writer
+  TraceEventSink* trace_sink_ = nullptr;
+  std::vector<TraceBuffer*> trace_bufs_;
+};
+
+}  // namespace gps
+
+#endif  // GPS_ENGINE_ROUTER_H_

@@ -167,6 +167,12 @@ struct ShardOptions {
   /// Scheduler mode; kArmed/kActive require kInStream (the batch
   /// mini-estimators are in-stream estimators).
   StealMode steal = StealMode::kDisabled;
+  /// CPU to pin the worker thread to at Start (-1, the default, leaves
+  /// the inherited mask). Placement only — by the determinism contract
+  /// results are byte-identical pinned or not; a denied affinity syscall
+  /// is recorded in pin_status() and otherwise ignored (the engine warns
+  /// once and runs unpinned).
+  int cpu_affinity = -1;
 };
 
 class ShardWorker {
@@ -191,7 +197,12 @@ class ShardWorker {
 
   /// Registers the peer set stealing draws victims from (call before
   /// Start; the engine passes all workers of the layout, self included —
-  /// the worker skips itself). Only meaningful under StealMode::kActive.
+  /// the worker skips itself). The ORDER is this thief's victim-scan
+  /// preference: the round-robin scan starts from the last hit and walks
+  /// the vector, so the engine puts same-socket victims first when core
+  /// pinning is active (batch payloads stay in the socket-local cache).
+  /// By the determinism contract, victim order never affects results.
+  /// Only meaningful under StealMode::kActive.
   void SetStealPeers(std::vector<ShardWorker*> peers);
 
   /// Attaches a trace buffer for this worker's spans ("batch", "steal",
@@ -199,8 +210,14 @@ class ShardWorker {
   /// The sink must outlive the worker thread.
   void SetTrace(TraceEventSink* sink, TraceBuffer* buffer);
 
-  /// Launches the worker thread. Call once before the first Submit.
+  /// Launches the worker thread (pinned per options.cpu_affinity). Call
+  /// once before the first Submit.
   void Start();
+
+  /// Outcome of the Start-time core pin: Ok when options.cpu_affinity was
+  /// -1 (nothing to do) or the pin succeeded; the named syscall failure
+  /// otherwise. Valid after Start.
+  const Status& pin_status() const { return pin_status_; }
 
   /// Hands a batch to the worker; blocks (yielding) while the ring is
   /// full. Producer thread only. Empty batches are ignored.
@@ -346,6 +363,7 @@ class ShardWorker {
   SpscRingBuffer<EdgeBatch> recycle_;  // worker -> producer buffer return
   std::thread thread_;
   bool joined_ = false;
+  Status pin_status_;  // set by Start, then const
 
   uint64_t submitted_edges_ = 0;                   // producer-owned
   std::atomic<uint64_t> consumed_edges_{0};        // worker publishes

@@ -13,6 +13,7 @@
 #include "core/motifs.h"
 #include "core/seeding.h"
 #include "core/serialize.h"
+#include "util/affinity.h"
 
 namespace gps {
 namespace {
@@ -35,7 +36,7 @@ bool SameWeightConfig(const WeightOptions& a, const WeightOptions& b) {
 /// would silently break the resume byte-identity contract).
 ShardOptions MakeShardOptions(const ShardedEngineOptions& options,
                               uint32_t s, ShardEstimatorKind kind,
-                              StealMode steal) {
+                              StealMode steal, int cpu_affinity = -1) {
   ShardOptions shard_options;
   shard_options.sampler = options.sampler;
   shard_options.sampler.capacity = PerShardCapacity(
@@ -46,6 +47,7 @@ ShardOptions MakeShardOptions(const ShardedEngineOptions& options,
   shard_options.ring_capacity = options.ring_capacity;
   shard_options.motifs = options.motifs;
   shard_options.steal = steal;
+  shard_options.cpu_affinity = cpu_affinity;
   return shard_options;
 }
 
@@ -275,49 +277,122 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
                          ? options_.steal
                          : StealMode::kDisabled;
 
+  // Core-pinning plan: workers 0..K-1 take the first K schedulable cpus,
+  // router threads the next R. Planned BEFORE worker construction so
+  // ShardOptions carries each worker's affinity and the steal scan can
+  // order victims by socket.
+  if (options_.pin_threads) {
+    const uint32_t routers =
+        options_.router_threads >= 2 ? options_.router_threads : 0;
+    const std::vector<int> cpus = AvailableCpus();
+    const size_t needed = static_cast<size_t>(k) + routers;
+    if (cpus.size() < needed) {
+      DisablePinning("core pinning disabled: " +
+                     std::to_string(cpus.size()) +
+                     " schedulable cpus for " + std::to_string(needed) +
+                     " engine threads");
+    } else {
+      cpu_plan_.assign(cpus.begin(),
+                       cpus.begin() + static_cast<ptrdiff_t>(needed));
+    }
+  }
+
   shards_.reserve(k);
   pending_.resize(k);
   for (uint32_t s = 0; s < k; ++s) {
     shards_.push_back(std::make_unique<ShardWorker>(
-        s, MakeShardOptions(options_, s, kind, effective_steal_)));
+        s, MakeShardOptions(options_, s, kind, effective_steal_,
+                            s < cpu_plan_.size() ? cpu_plan_[s] : -1)));
     pending_[s].reserve(options_.batch_size);
   }
   if (effective_steal_ == StealMode::kActive) {
     std::vector<ShardWorker*> peers;
     peers.reserve(k);
     for (auto& shard : shards_) peers.push_back(shard.get());
-    for (auto& shard : shards_) shard->SetStealPeers(peers);
+    if (cpu_plan_.empty()) {
+      for (auto& shard : shards_) shard->SetStealPeers(peers);
+    } else {
+      // Pinned layout: same-socket victims first, so a stolen batch's
+      // payload moves within the socket-local cache hierarchy. Stable
+      // sort keeps shard order within each group; by the determinism
+      // contract victim order never changes results.
+      std::vector<int> socket(k);
+      for (uint32_t s = 0; s < k; ++s) {
+        socket[s] = SocketOfCpu(cpu_plan_[s]);
+      }
+      for (uint32_t s = 0; s < k; ++s) {
+        std::vector<ShardWorker*> ordered = peers;
+        std::stable_sort(ordered.begin(), ordered.end(),
+                         [&](const ShardWorker* a, const ShardWorker* b) {
+                           return (socket[a->index()] == socket[s]) >
+                                  (socket[b->index()] == socket[s]);
+                         });
+        shards_[s]->SetStealPeers(std::move(ordered));
+      }
+    }
   }
+  SetupRouters();
   RegisterObservability();
   for (auto& shard : shards_) shard->Start();
+  ApplyPinning();
+}
+
+void ShardedEngine::SetupRouters() {
+  if (options_.router_threads < 2) return;
+  RouterPool::Options pool;
+  pool.routers = options_.router_threads;
+  pool.num_shards = num_shards();
+  pool.route = EdgeRouter{num_shards(), options_.shard_skew};
+  pool.trace = options_.trace;
+  if (options_.trace != nullptr) {
+    // Trace tids: shards take 0..K-1 and the producer K
+    // (RegisterObservability), routers K+1..K+R.
+    pool.trace_buffers.reserve(pool.routers);
+    for (uint32_t r = 0; r < pool.routers; ++r) {
+      pool.trace_buffers.push_back(options_.trace->MakeBuffer(
+          static_cast<int>(num_shards() + 1 + r),
+          "router-" + std::to_string(r)));
+    }
+  }
+  router_ = std::make_unique<RouterPool>(pool);
+}
+
+void ShardedEngine::ApplyPinning() {
+  if (cpu_plan_.empty()) return;
+  for (const auto& shard : shards_) {
+    if (!shard->pin_status().ok()) {
+      DisablePinning(shard->pin_status().ToString());
+      return;
+    }
+  }
+  if (router_ != nullptr) {
+    for (uint32_t r = 0; r < router_->num_routers(); ++r) {
+      const int cpu = cpu_plan_[num_shards() + r];
+      if (Status st = router_->PinRouterTo(r, cpu); !st.ok()) {
+        DisablePinning(st.ToString());
+        return;
+      }
+    }
+  }
+}
+
+void ShardedEngine::DisablePinning(const std::string& why) {
+  cpu_plan_.clear();
+  if (!pin_warning_.empty()) return;  // warn once
+  pin_warning_ = why;
+  std::fprintf(stderr, "warning: %s (running unpinned)\n", why.c_str());
 }
 
 ShardedEngine::~ShardedEngine() { Finish(); }
 
 uint32_t ShardedEngine::ShardOfEdge(const Edge& e, uint32_t num_shards) {
-  if (num_shards <= 1) return 0;
-  // SplitMix64 over the canonical 64-bit edge key: both orientations of an
-  // edge — and thus every re-observation — hash identically.
-  uint64_t state = EdgeKey(e);
-  const uint64_t h = SplitMix64Next(&state);
-  // Lemire multiply-shift reduction: unbiased enough for partitioning and
-  // cheaper than modulo.
-  return static_cast<uint32_t>(
-      (static_cast<unsigned __int128>(h) * num_shards) >> 64);
+  // The route lives in EdgeRouter (engine/router.h) so the router threads
+  // and the serial producer share one definition and cannot drift.
+  return EdgeRouter{num_shards}.Route(e);
 }
 
 uint32_t ShardedEngine::RouteShard(const Edge& e) const {
-  const uint32_t k = num_shards();
-  if (options_.shard_skew <= 0.0 || k <= 1) return ShardOfEdge(e, k);
-  // Skew-injected routing (benchmarks / steal stress): push the hash unit
-  // variate toward 0 so low shard indices are overloaded. Deterministic
-  // per edge, like the uniform route.
-  uint64_t state = EdgeKey(e);
-  const uint64_t h = SplitMix64Next(&state);
-  const double unit = static_cast<double>(h) * 0x1.0p-64;
-  const double skewed = std::pow(unit, 1.0 + options_.shard_skew);
-  const uint32_t s = static_cast<uint32_t>(skewed * k);
-  return s >= k ? k - 1 : s;
+  return EdgeRouter{num_shards(), options_.shard_skew}.Route(e);
 }
 
 void ShardedEngine::RefillPending(uint32_t s) {
@@ -331,41 +406,152 @@ void ShardedEngine::RefillPending(uint32_t s) {
   pending_[s].reserve(options_.batch_size);
 }
 
-void ShardedEngine::Process(const Edge& e) {
-  assert(!finished_);
-  ++edges_processed_;
+void ShardedEngine::RouteOne(const Edge& e) {
   const uint32_t s = RouteShard(e);
   EdgeBatch& batch = pending_[s];
   batch.push_back(e);
-  if (batch.size() >= options_.batch_size) {
-    shards_[s]->Submit(std::move(batch));
-    RefillPending(s);
+  if (batch.size() >= options_.batch_size) SubmitPending(s);
+}
+
+void ShardedEngine::SubmitPending(uint32_t s) {
+  const uint64_t t0 = ThreadCpuNowNs();
+  shards_[s]->Submit(std::move(pending_[s]));
+  RefillPending(s);
+  producer_submit_ns_ += ThreadCpuNowNs() - t0;
+}
+
+void ShardedEngine::Process(const Edge& e) {
+  assert(!finished_);
+  // Per-edge arrivals interleaved with outstanding router blocks must see
+  // those blocks' edges first (stream order). The check is one relaxed
+  // atomic load; pure per-edge feeds never pay more than that.
+  if (router_ != nullptr && router_->blocks_outstanding() != 0) {
+    FenceRouters();
   }
+  ++edges_processed_;
+  RouteOne(e);
   if (monitor_every_ != 0 || checkpoint_every_ != 0) FirePeriodicHooks();
+}
+
+uint64_t ShardedEngine::DistanceToNextHook() const {
+  uint64_t distance = UINT64_MAX;
+  if (monitor_every_ != 0) {
+    distance = std::min(distance,
+                        monitor_every_ - edges_processed_ % monitor_every_);
+  }
+  if (checkpoint_every_ != 0) {
+    distance = std::min(
+        distance, checkpoint_every_ - edges_processed_ % checkpoint_every_);
+  }
+  return distance;
 }
 
 void ShardedEngine::ProcessBlock(std::span<const Edge> block) {
   assert(!finished_);
-  if (monitor_every_ != 0 || checkpoint_every_ != 0) {
-    // Hooks fire at exact stream positions; per-edge Process keeps the
-    // cadence (and therefore checkpoints/monitor records) identical to a
-    // non-blocked feed of the same stream.
-    for (const Edge& e : block) Process(e);
+  const bool hooks = monitor_every_ != 0 || checkpoint_every_ != 0;
+
+  if (router_ == nullptr) {
+    if (hooks) {
+      // Hooks fire at exact stream positions; per-edge Process keeps the
+      // cadence (and therefore checkpoints/monitor records) identical to
+      // a non-blocked feed of the same stream.
+      for (const Edge& e : block) Process(e);
+      return;
+    }
+    // Serial block path: the same RouteOne step as Process, minus the
+    // per-edge hook check. Clocked for the routing-stage critical path
+    // (ring-full submit waits excluded via the submit clock).
+    const uint64_t t0 = ThreadCpuNowNs();
+    const uint64_t submit0 = producer_submit_ns_;
+    for (const Edge& e : block) {
+      ++edges_processed_;
+      RouteOne(e);
+    }
+    producer_route_ns_ +=
+        (ThreadCpuNowNs() - t0) - (producer_submit_ns_ - submit0);
     return;
   }
-  for (const Edge& e : block) {
-    ++edges_processed_;
-    const uint32_t s = RouteShard(e);
-    EdgeBatch& batch = pending_[s];
-    batch.push_back(e);
-    if (batch.size() >= options_.batch_size) {
-      shards_[s]->Submit(std::move(batch));
-      RefillPending(s);
+
+  // Router path: hand the block (split at hook positions, so the cadence
+  // stays exact) to the pool; sequence whatever has completed. The
+  // producer only BLOCKS on the pool when its in-flight cap pushes back.
+  size_t offset = 0;
+  RoutedBlock routed;
+  while (offset < block.size()) {
+    size_t take = block.size() - offset;
+    if (hooks) {
+      take = static_cast<size_t>(std::min<uint64_t>(take,
+                                                    DistanceToNextHook()));
     }
+    const std::span<const Edge> slice = block.subspan(offset, take);
+    while (!router_->TrySubmitBlock(slice)) {
+      router_->PopSequenced(&routed);
+      SequenceRoutedBlock(routed);
+    }
+    edges_processed_ += take;
+    offset += take;
+    while (router_->TryPopSequenced(&routed)) SequenceRoutedBlock(routed);
+    // The hook position was ingested in full just now; the hook's own
+    // Drain (via Flush) fences the remaining in-flight blocks, so the
+    // estimates/checkpoint see exactly the edges up to this position.
+    if (hooks) FirePeriodicHooks();
+  }
+}
+
+void ShardedEngine::ProcessEdges(std::span<const Edge> edges) {
+  if (router_ == nullptr) {
+    ProcessBlock(edges);
+    return;
+  }
+  // Slice a flat (text-parsed) edge vector into router-block-sized spans
+  // so it scatters across the pool exactly like a GPS-STREAM file.
+  for (size_t offset = 0; offset < edges.size();
+       offset += kRouterSliceEdges) {
+    ProcessBlock(edges.subspan(
+        offset, std::min(kRouterSliceEdges, edges.size() - offset)));
+  }
+}
+
+void ShardedEngine::SequenceRoutedBlock(RoutedBlock& routed) {
+  const uint64_t t0 = ThreadCpuNowNs();
+  const uint64_t submit0 = producer_submit_ns_;
+  TraceSpan span(options_.trace, producer_trace_buf_, "sequence");
+  span.SetArg("block", static_cast<int64_t>(routed.index));
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    const EdgeBatch& sub = routed.per_shard[s];
+    size_t offset = 0;
+    while (offset < sub.size()) {
+      EdgeBatch& batch = pending_[s];
+      // Split at exactly batch_size — the serial loop's batch boundaries,
+      // which in steal mode define the RNG substreams. Bulk appends on
+      // the SoA columns: cheaper per edge than the serial hash+push, so
+      // sequencing is NOT just the routing work moved back to one thread.
+      const size_t take = std::min(options_.batch_size - batch.size(),
+                                   sub.size() - offset);
+      const auto from = static_cast<ptrdiff_t>(offset);
+      const auto to = static_cast<ptrdiff_t>(offset + take);
+      batch.u.insert(batch.u.end(), sub.u.begin() + from, sub.u.begin() + to);
+      batch.v.insert(batch.v.end(), sub.v.begin() + from, sub.v.begin() + to);
+      offset += take;
+      if (batch.size() >= options_.batch_size) SubmitPending(s);
+    }
+  }
+  producer_route_ns_ +=
+      (ThreadCpuNowNs() - t0) - (producer_submit_ns_ - submit0);
+  router_->RecycleShell(std::move(routed));
+}
+
+void ShardedEngine::FenceRouters() {
+  if (router_ == nullptr) return;
+  RoutedBlock routed;
+  while (router_->blocks_outstanding() != 0) {
+    router_->PopSequenced(&routed);
+    SequenceRoutedBlock(routed);
   }
 }
 
 void ShardedEngine::Flush() {
+  FenceRouters();
   for (uint32_t s = 0; s < num_shards(); ++s) {
     if (pending_[s].empty()) continue;
     shards_[s]->Submit(std::move(pending_[s]));
@@ -381,6 +567,7 @@ void ShardedEngine::Drain() {
 void ShardedEngine::Finish() {
   if (finished_) return;
   Flush();
+  if (router_ != nullptr) router_->Close();
   for (auto& shard : shards_) shard->Join();
   finished_ = true;
 }
@@ -413,6 +600,15 @@ double ShardedEngine::MaxWorkerBusySeconds() const {
   double max_busy = 0.0;
   for (const auto& shard : shards_) {
     max_busy = std::max(max_busy, shard->busy_seconds());
+  }
+  return max_busy;
+}
+
+double ShardedEngine::MaxRouterBusySeconds() const {
+  if (router_ == nullptr) return 0.0;
+  double max_busy = 0.0;
+  for (uint32_t r = 0; r < router_->num_routers(); ++r) {
+    max_busy = std::max(max_busy, router_->router_busy_seconds(r));
   }
   return max_busy;
 }
@@ -450,6 +646,20 @@ void ShardedEngine::RegisterObservability() {
   metrics_.AddGauge("store.arena_bytes", &derived_.arena_bytes_total);
   metrics_.AddGauge("store.load_factor", &derived_.load_factor_max);
   metrics_.AddGauge("store.probe_len_p99", &derived_.probe_len_p99);
+
+  if (router_ != nullptr) {
+    for (uint32_t r = 0; r < router_->num_routers(); ++r) {
+      const RouterMetrics& rm = router_->router_metrics(r);
+      metrics_.AddCounter("router.blocks_routed", &rm.blocks_routed);
+      metrics_.AddHistogram("router.block_latency", &rm.block_latency);
+    }
+    metrics_.AddCounter("router.sequencer_stalls",
+                        &router_->sequencer_stalls());
+    metrics_.AddGauge("router.busy_seconds",
+                      &derived_.router_busy_seconds_max);
+    metrics_.AddGauge("engine.producer_route_seconds",
+                      &derived_.producer_route_seconds);
+  }
 
   if (options_.trace != nullptr) {
     for (uint32_t s = 0; s < k; ++s) {
@@ -498,6 +708,10 @@ void ShardedEngine::RefreshDerivedGauges() {
   derived_.arena_bytes_total.Set(arena_total);
   derived_.load_factor_max.Set(load_factor_max);
   derived_.probe_len_p99.Set(probe_p99_max);
+  if (router_ != nullptr) {
+    derived_.router_busy_seconds_max.Set(MaxRouterBusySeconds());
+    derived_.producer_route_seconds.Set(ProducerRouteSeconds());
+  }
 }
 
 MetricsSnapshot ShardedEngine::SnapshotMetrics() {

@@ -44,6 +44,7 @@
 #include "core/estimates.h"
 #include "core/gps.h"
 #include "engine/merge.h"
+#include "engine/router.h"
 #include "engine/shard.h"
 #include "graph/types.h"
 #include "util/metrics.h"
@@ -55,6 +56,12 @@ namespace gps {
 /// File name SerializeShards gives the manifest inside a checkpoint
 /// directory.
 inline constexpr const char* kShardManifestFilename = "manifest.gpsm";
+
+/// Block size ProcessEdges slices a flat edge span into for the router
+/// pool — matches the GPS-STREAM default block size
+/// (kBinaryStreamDefaultBlockEdges), so text and binary ingest exercise
+/// the same routing granularity. Traversal only, never sample path.
+inline constexpr size_t kRouterSliceEdges = size_t{1} << 16;
 
 struct ShardedEngineOptions {
   /// Base sampler configuration. `capacity` is the TOTAL memory budget
@@ -108,6 +115,22 @@ struct ShardedEngineOptions {
   /// the knob (a resumed run would silently reroute uniformly),
   /// SerializeShards/CheckpointEvery refuse when it is nonzero.
   double shard_skew = 0.0;
+  /// Parallel router threads (engine/router.h). 1 (the default) routes
+  /// inline on the producer — the classic single-producer path, byte for
+  /// byte. R >= 2 builds a RouterPool: ProcessBlock/ProcessEdges hand
+  /// whole blocks to R scatter threads and the producer becomes the
+  /// deterministic sequencer, reproducing the serial per-shard edge order
+  /// AND batch boundaries exactly — so any R is byte-identical to any
+  /// other (and composes with the K=1 and steal on==off contracts). Only
+  /// the block paths parallelize; per-edge Process stays inline.
+  uint32_t router_threads = 1;
+  /// Pin shard workers (then router threads) to distinct cores from the
+  /// process affinity mask, and prefer same-socket victims in the steal
+  /// scan. Graceful no-op with one named stderr warning (pin_warning())
+  /// when the affinity syscall is denied — containers routinely do — or
+  /// the mask has fewer cores than threads. Placement only: results are
+  /// byte-identical pinned or not.
+  bool pin_threads = false;
   /// Optional Chrome-trace recorder (util/trace.h). When set, every worker
   /// gets a per-thread span buffer ("batch"/"steal"/"rebind" spans) and
   /// the producer thread records "estimate" and "checkpoint" spans; the
@@ -166,10 +189,28 @@ class ShardedEngine {
   /// edges go mapping -> pending batch with no intermediate EdgeList.
   /// Byte-identical to calling Process(e) for each edge in order (same
   /// routing, same batch boundaries, same hook cadence); the block is
-  /// only a traversal unit, never part of the sample path.
+  /// only a traversal unit, never part of the sample path. With
+  /// router_threads >= 2 the block is scattered by the router pool (split
+  /// at hook positions first, so monitor/checkpoint cadence stays exact)
+  /// and the span is aliased until the next FenceRouters/Flush/Drain —
+  /// callers whose backing storage is going away (an mmap) must fence
+  /// first.
   void ProcessBlock(std::span<const Edge> block);
 
-  /// Pushes all partially filled batches to their shards.
+  /// ProcessBlock over an arbitrarily large span, sliced into
+  /// router-sized blocks (kRouterSliceEdges) so a text-parsed edge vector
+  /// feeds the router pool exactly like a GPS-STREAM file's blocks.
+  /// Byte-identical to the per-edge loop, like ProcessBlock.
+  void ProcessEdges(std::span<const Edge> edges);
+
+  /// Waits until every block handed to the router pool is scattered and
+  /// sequenced into pending batches (no-op without a pool). Afterwards no
+  /// submitted span is aliased. Never submits partial batches, so fencing
+  /// is invisible to the sample path even in steal mode.
+  void FenceRouters();
+
+  /// Pushes all partially filled batches to their shards (fencing the
+  /// router pool first).
   void Flush();
 
   /// Flush + wait until every submitted edge is consumed. Afterwards (and
@@ -294,6 +335,30 @@ class ShardedEngine {
   /// this bounds ingestion wall-clock; stealing shrinks it on any host.
   double MaxWorkerBusySeconds() const;
 
+  /// The busiest router thread's scatter seconds (per-thread CPU time); 0
+  /// without a pool. max(this, ProducerRouteSeconds()) is the routing
+  /// stage's critical path — the metric the bench's router-scaling gate
+  /// falls back to on hosts too small to show the wall-clock win.
+  double MaxRouterBusySeconds() const;
+
+  /// Producer CPU seconds spent routing on the BLOCK paths
+  /// (ProcessBlock/ProcessEdges): the inline route-and-batch loop with
+  /// R=1, the sequencer's in-order sub-batch appends with R>=2. Ring-full
+  /// submit waits are excluded (downstream backpressure, not routing
+  /// work); the per-edge Process path is not clocked.
+  double ProducerRouteSeconds() const {
+    return static_cast<double>(producer_route_ns_) * 1e-9;
+  }
+
+  /// Router threads actually running (0 when routing is inline).
+  uint32_t active_routers() const {
+    return router_ ? router_->num_routers() : 0;
+  }
+
+  /// Why core pinning was disabled (named reason), or empty when pinning
+  /// is off or fully applied. Mirrors the one-shot stderr warning.
+  const std::string& pin_warning() const { return pin_warning_; }
+
   /// Aggregated engine metrics: per-shard ring/worker/reservoir counters
   /// plus derived gauges (z* max, sample sizes, busy/idle seconds).
   /// Drains first if needed, so the snapshot is consistent with every
@@ -344,6 +409,39 @@ class ShardedEngine {
   /// Hands the shard a fresh (recycled when possible) pending buffer.
   void RefillPending(uint32_t s);
 
+  /// The ONE route-and-batch step shared by Process and the serial
+  /// ProcessBlock loop: route the edge, append to its shard's pending
+  /// batch, hand off at batch_size. Inlined; any drift between the two
+  /// callers would break the block-path byte-identity contract.
+  void RouteOne(const Edge& e);
+
+  /// Submits shard s's full pending batch and refills it, charging the
+  /// (possibly ring-full-blocked) hand-off to the submit clock so
+  /// producer_route_ns_ measures routing, not worker backpressure.
+  void SubmitPending(uint32_t s);
+
+  /// Builds the router pool (and its trace buffers) when router_threads
+  /// >= 2. Fresh constructor only; resumed engines run the serial
+  /// producer.
+  void SetupRouters();
+
+  /// Checks the worker pins and pins the router threads per cpu_plan_;
+  /// the first failure disables pinning with its named reason.
+  void ApplyPinning();
+
+  /// Sequences one routed block: appends each shard's sub-batch to its
+  /// pending batch in block order, splitting at exactly batch_size — the
+  /// serial loop's boundaries, bit for bit.
+  void SequenceRoutedBlock(RoutedBlock& block);
+
+  /// Edges until the next armed monitor/checkpoint position fires
+  /// (>= 1); unbounded when no hook is armed.
+  uint64_t DistanceToNextHook() const;
+
+  /// Records the named reason pinning was disabled and warns once on
+  /// stderr.
+  void DisablePinning(const std::string& why);
+
   /// In-stream-mode merged estimates over a prebuilt union sample, so a
   /// monitoring tick builds the O(sample) union index once for the
   /// tri/wedge AND motif passes. Drained state required.
@@ -355,6 +453,15 @@ class ShardedEngine {
   StealMode effective_steal_ = StealMode::kDisabled;
   std::vector<std::unique_ptr<ShardWorker>> shards_;
   std::vector<EdgeBatch> pending_;
+  /// Null when router_threads <= 1 (inline routing).
+  std::unique_ptr<RouterPool> router_;
+  /// CPU assignment when pinning is active: workers 0..K-1, then routers
+  /// (util/affinity.h AvailableCpus order). Empty when pinning is off or
+  /// was disabled.
+  std::vector<int> cpu_plan_;
+  std::string pin_warning_;
+  uint64_t producer_route_ns_ = 0;   // block-path routing CPU time
+  uint64_t producer_submit_ns_ = 0;  // hand-off (incl. ring-full waits)
   uint64_t edges_processed_ = 0;
   bool finished_ = false;
 
@@ -378,6 +485,8 @@ class ShardedEngine {
     Gauge arena_bytes_total;   // store.arena_bytes (sum across shards)
     Gauge load_factor_max;     // store.load_factor (max across shards)
     Gauge probe_len_p99;       // store.probe_len_p99 (max across shards)
+    Gauge router_busy_seconds_max;  // router.busy_seconds (max, pool only)
+    Gauge producer_route_seconds;   // engine.producer_route_seconds
   };
   DerivedGauges derived_;
   /// Per-stratum (per-shard) sample sizes: merge.sample_size.shard<k>.

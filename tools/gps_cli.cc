@@ -61,10 +61,12 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <span>
@@ -196,6 +198,7 @@ int Usage() {
       "           [--weight uniform|adjacency|triangle|triangle-wedge]\n"
       "           [--estimator in-stream|post|both] [--no-permute]\n"
       "           [--shards K] [--batch B] [--threads T] [--steal on|off]\n"
+      "           [--routers R] [--pin on|off]\n"
       "           [--motifs tri,wedge,4clique,3path,4cycle,5clique,\n"
       "            tailed_triangle]\n"
       "           [--degree NODE ...]\n"
@@ -206,6 +209,12 @@ int Usage() {
       "           overloaded peers; off: same deterministic\n"
       "           batch-substream scheduler, no stealing (byte-identical\n"
       "           results); omit for the classic sequential path\n"
+      "           --routers R: R >= 2 scatters ingest blocks across R\n"
+      "           router threads; any R is byte-identical to R=1 (the\n"
+      "           classic single-producer path)\n"
+      "           --pin on: pin shard workers and router threads to\n"
+      "           distinct cores (placement only; warns and runs unpinned\n"
+      "           where the affinity syscall is denied)\n"
       "           --mem BYTES (e.g. 512M, 2G): derive the reservoir\n"
       "           capacity from a memory budget instead of --capacity;\n"
       "           the allocation report prints on stderr at startup\n"
@@ -217,13 +226,15 @@ int Usage() {
       "  monitor  --input FILE --every N [--capacity N | --mem BYTES]\n"
       "           [--seed S]\n"
       "           [--weight KIND] [--shards K] [--batch B]\n"
-      "           [--steal on|off] [--motifs LIST] [--output csv|table]\n"
+      "           [--steal on|off] [--routers R] [--pin on|off]\n"
+      "           [--motifs LIST] [--output csv|table]\n"
       "           [--no-permute] [--checkpoint-every M --checkpoint DIR]\n"
       "           [--stats] [--stats-out FILE.json] [--trace FILE.json]\n"
       "  checkpoint-shards --input FILE --out DIR\n"
       "           [--capacity N | --mem BYTES]\n"
       "           [--seed S] [--weight KIND] [--shards K] [--batch B]\n"
-      "           [--steal on|off] [--motifs LIST] [--no-permute]\n"
+      "           [--steal on|off] [--routers R] [--pin on|off]\n"
+      "           [--motifs LIST] [--no-permute]\n"
       "  merge-checkpoints --manifest FILE [--manifest FILE ...]\n"
       "  convert  --input FILE --output FILE [--to auto|binary|text]\n"
       "           [--input-format auto|text|binary] [--block-edges N]\n"
@@ -494,6 +505,8 @@ struct ShardedRunConfig {
   uint64_t batch = 1024;
   std::vector<std::string> motifs;
   StealMode steal = StealMode::kDisabled;
+  uint64_t routers = 1;
+  bool pin = false;
 };
 
 /// Parses and range-checks the sampler/sharding flags; false (after
@@ -563,6 +576,26 @@ bool ParseShardedRunConfig(const Flags& flags, size_t stream_size,
       return false;
     }
   }
+  // Parallel edge routing: "--routers N" with N >= 2 scatters ingest
+  // blocks across N router threads (deterministic — any N is
+  // byte-identical to N=1 by the engine contract); 1 is the classic
+  // single-producer path.
+  if (!GetPositiveFlag(flags, "routers", 1, &out->routers)) return false;
+  if (out->routers > 256) {
+    std::fprintf(stderr, "error: --routers must be in [1, 256]\n");
+    return false;
+  }
+  if (flags.Has("pin")) {
+    const std::string pin = flags.Get("pin", "");
+    if (pin == "on") {
+      out->pin = true;
+    } else if (pin != "off") {
+      std::fprintf(stderr,
+                   "error: flag '--pin' expects on or off, got '%s'\n",
+                   pin.c_str());
+      return false;
+    }
+  }
   return true;
 }
 
@@ -575,6 +608,8 @@ ShardedEngineOptions MakeEngineOptions(const ShardedRunConfig& config) {
   options.batch_size = config.batch;
   options.motifs = config.motifs;
   options.steal = config.steal;
+  options.router_threads = static_cast<uint32_t>(config.routers);
+  options.pin_threads = config.pin;
   return options;
 }
 
@@ -631,10 +666,16 @@ bool EmitObservability(ShardedEngine& engine, const StatsConfig& config,
 /// The standard "stream: ..." banner of the sharded subcommands.
 void PrintShardedBanner(size_t stream_size, const ShardedRunConfig& config) {
   std::printf("stream: %zu edges, reservoir: %zu edges, %llu shards "
-              "(batch %llu)\n",
+              "(batch %llu)",
               stream_size, config.sampler.capacity,
               static_cast<unsigned long long>(config.shards),
               static_cast<unsigned long long>(config.batch));
+  if (config.routers > 1) {
+    std::printf(", %llu routers",
+                static_cast<unsigned long long>(config.routers));
+  }
+  if (config.pin) std::printf(", pinned");
+  std::printf("\n");
 }
 
 int RunEstimate(const Flags& flags) {
@@ -687,7 +728,8 @@ int RunEstimate(const Flags& flags) {
   // (the metrics registry and tracer are engine subsystems; observation
   // does not perturb the sample — src/engine/README.md).
   if (config.shards > 1 || !config.motifs.empty() ||
-      config.steal != StealMode::kDisabled || obs.any()) {
+      config.steal != StealMode::kDisabled || config.routers > 1 ||
+      config.pin || obs.any()) {
     // Sharded engine path: K worker threads, hash-partitioned substreams,
     // merged stratified estimates (src/engine/).
     if (flags.Has("threads")) {
@@ -713,7 +755,9 @@ int RunEstimate(const Flags& flags) {
     TraceEventSink trace_sink;
     engine_options.trace = obs.trace.empty() ? nullptr : &trace_sink;
     ShardedEngine engine(engine_options);
-    for (const Edge& e : *stream) engine.Process(e);
+    // The block path: slices the stream across the router pool when
+    // --routers N >= 2, and is byte-identical to the per-edge loop.
+    engine.ProcessEdges(std::span<const Edge>(*stream));
     engine.Finish();
     const auto degree_rows = [&] {
       std::vector<std::pair<NodeId, double>> rows;
@@ -850,7 +894,7 @@ int RunCheckpointShards(const Flags& flags) {
 
   PrintShardedBanner(stream->size(), config);
   ShardedEngine engine(MakeEngineOptions(config));
-  for (const Edge& e : *stream) engine.Process(e);
+  engine.ProcessEdges(std::span<const Edge>(*stream));
   engine.Finish();
   EstimateReport report = MakeReport(engine.MergedEstimates());
   report.motifs = engine.MergedMotifEstimates();
@@ -1100,8 +1144,15 @@ int RunMonitor(const Flags& flags) {
   // monitor must not stream on for hours with a silently stale
   // checkpoint — and still fail the run at the end.
   bool checkpoint_error_reported = false;
-  for (const Edge& e : *stream) {
-    engine.Process(e);
+  // Feed in router-block-sized chunks: --routers parallelism on the
+  // block path, while the sticky-checkpoint check still runs at least
+  // once per chunk (and hooks fire at their exact positions regardless —
+  // the engine splits blocks at hook boundaries).
+  std::span<const Edge> remaining(*stream);
+  while (!remaining.empty()) {
+    const size_t take = std::min(remaining.size(), kRouterSliceEdges);
+    engine.ProcessEdges(remaining.subspan(0, take));
+    remaining = remaining.subspan(take);
     if (checkpoint_every != 0 && !checkpoint_error_reported &&
         !engine.auto_checkpoint_status().ok()) {
       std::fprintf(stderr,
@@ -1242,6 +1293,23 @@ int RunConvert(const Flags& flags) {
     return 1;
   }
 
+  // Throughput summary for the success paths: edges written, bytes on
+  // disk, and the write+verify rate — so back-to-back conversions of the
+  // same corpus show format overhead at a glance.
+  const auto convert_start = std::chrono::steady_clock::now();
+  auto print_throughput = [&](uint64_t edges) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      convert_start)
+            .count();
+    std::error_code ec;
+    const uint64_t bytes = std::filesystem::file_size(output, ec);
+    std::printf("converted %llu edges (%llu bytes) in %.3f s: %.0f edges/s\n",
+                static_cast<unsigned long long>(edges),
+                static_cast<unsigned long long>(ec ? 0 : bytes), seconds,
+                seconds > 0.0 ? static_cast<double>(edges) / seconds : 0.0);
+  };
+
   if (to_binary) {
     BinaryStreamWriteOptions options;
     options.block_edges = static_cast<uint32_t>(block_edges);
@@ -1266,6 +1334,7 @@ int RunConvert(const Flags& flags) {
                 static_cast<unsigned long long>(reader->edge_count()),
                 output.c_str(), BinaryStreamFormatVersion(),
                 reader->num_blocks());
+    print_throughput(reader->edge_count());
     return 0;
   }
   if (Status s = list->Save(output); !s.ok()) {
@@ -1274,6 +1343,7 @@ int RunConvert(const Flags& flags) {
   }
   std::printf("wrote %zu edges to %s (text)\n", list->NumEdges(),
               output.c_str());
+  print_throughput(list->NumEdges());
   return 0;
 }
 
@@ -1327,7 +1397,7 @@ int main(int argc, char** argv) {
                "estimator", "no-permute", "shards", "batch",
                "threads",   "checkpoint", "motifs", "degree",
                "steal",     "stats",      "stats-out", "trace",
-               "mem",       "input-format"};
+               "mem",       "input-format", "routers", "pin"};
   } else if (command == "resume") {
     allowed = {"checkpoint", "input", "seed", "save", "no-permute",
                "input-format"};
@@ -1341,11 +1411,13 @@ int main(int argc, char** argv) {
                "every",  "output",   "checkpoint-every",
                "checkpoint", "no-permute", "motifs",
                "steal",  "stats",    "stats-out",
-               "trace",  "mem",      "input-format"};
+               "trace",  "mem",      "input-format",
+               "routers", "pin"};
   } else if (command == "checkpoint-shards") {
     allowed = {"input", "capacity", "seed",      "weight",
                "shards", "batch",   "no-permute", "out",
-               "motifs", "steal",   "mem",       "input-format"};
+               "motifs", "steal",   "mem",       "input-format",
+               "routers", "pin"};
   } else if (command == "merge-checkpoints") {
     allowed = {"manifest"};
   } else if (command == "convert") {
