@@ -82,6 +82,7 @@
 #include "graph/binary_stream.h"
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
+#include "graph/intersect.h"
 #include "graph/stream.h"
 #include "util/metrics.h"
 #include "util/parse_bytes.h"
@@ -210,6 +211,13 @@ struct IngestOnlyResult {
   double speedup = 0.0;
 };
 
+/// Result of the hub-heavy intersection row; see RunIntersectBench below.
+struct IntersectBenchResult {
+  double merge_eps = 0.0;     // forced scalar merge, pairs/sec
+  double adaptive_eps = 0.0;  // adaptive dispatch, pairs/sec
+  double speedup = 0.0;       // adaptive over forced merge
+};
+
 /// Minimal JSON writer for the bench artifact (flat schema, %.17g
 /// numbers); hand-rolled so the bench stays dependency-free.
 void WriteJson(const std::string& path, const std::vector<Row>& rows,
@@ -219,7 +227,8 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
                uint64_t steals, uint64_t envelope_bytes,
                double env_speedup, const IngestOnlyResult& ingest,
                double router_speedup, double router_wall_speedup,
-               double router_critical_speedup, uint64_t router_blocks) {
+               double router_critical_speedup, uint64_t router_blocks,
+               const IntersectBenchResult& intersect) {
   std::ofstream out(path, std::ios::trunc);
   out << "{\n  \"bench\": \"bench_engine\",\n";
   out << "  \"edges\": " << edges << ",\n";
@@ -282,7 +291,15 @@ void WriteJson(const std::string& path, const std::vector<Row>& rows,
       << ",\n";
   out << "  \"router_critical_path_speedup\": "
       << Fmt("%.17g", router_critical_speedup) << ",\n";
-  out << "  \"router_blocks_routed\": " << router_blocks << "\n";
+  out << "  \"router_blocks_routed\": " << router_blocks << ",\n";
+  // The hub-heavy intersection row: absolute pairs/sec for trend-watching,
+  // the RELATIVE adaptive-over-merge ratio gated.
+  out << "  \"intersect_merge_pairs_per_sec\": "
+      << Fmt("%.17g", intersect.merge_eps) << ",\n";
+  out << "  \"intersect_adaptive_pairs_per_sec\": "
+      << Fmt("%.17g", intersect.adaptive_eps) << ",\n";
+  out << "  \"intersect_speedup\": " << Fmt("%.17g", intersect.speedup)
+      << "\n";
   out << "}\n";
   if (!out) {
     std::fprintf(stderr, "cannot write JSON artifact %s\n", path.c_str());
@@ -305,7 +322,8 @@ double ReadBaselineKey(const std::string& text, const std::string& key) {
 /// (> 10% regression fails). Returns false on failure.
 bool GateAgainstBaseline(const std::string& path, double speedup_k4,
                          double steal_speedup, double env_speedup,
-                         double ingest_speedup, double router_speedup) {
+                         double ingest_speedup, double router_speedup,
+                         double intersect_speedup) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
@@ -329,6 +347,7 @@ bool GateAgainstBaseline(const std::string& path, double speedup_k4,
   gate("fixed_envelope_ingest_speedup", env_speedup);
   gate("binary_over_text_ingest_speedup", ingest_speedup);
   gate("router_scaling_speedup", router_speedup);
+  gate("intersect_speedup", intersect_speedup);
   return ok;
 }
 
@@ -420,6 +439,71 @@ IngestOnlyResult RunIngestOnlyBench(const std::vector<Edge>& stream) {
               "(%.2fx, sink %" PRIu64 ")\n",
               result.text_parse_eps, result.binary_ingest_eps,
               result.speedup, sink & 1);
+  return result;
+}
+
+/// Intersection-bound hub-heavy row: fills a SampledGraph with the
+/// stream's prefix (BA skew intact, so hub-vs-leaf block pairs dominate),
+/// then replays |Γ̂(u) ∩ Γ̂(v)| over every stream edge — the exact query
+/// the per-arrival estimator issues — under forced scalar merge vs.
+/// adaptive kernel dispatch (graph/intersect.h). Best-of-3 each; the
+/// RELATIVE intersect_speedup is gated against the baseline. Counts are
+/// cross-checked between the two runs (kernel identity is a contract).
+IntersectBenchResult RunIntersectBench(const std::vector<Edge>& stream,
+                                       size_t capacity) {
+  SampledGraph graph;
+  SlotId slot = 0;
+  for (const Edge& e : stream) {
+    if (graph.NumEdges() >= capacity) break;
+    graph.AddEdge(e.Canonical(), slot++);
+  }
+  // Hub-heavy subset: the arrivals whose per-edge cost the kernels exist
+  // to cut are the ones touching a big adjacency block. Replaying only
+  // edges incident to a >= 64-degree node keeps the row
+  // intersection-bound (the node-table lookups stop dominating) without
+  // fabricating pairs the estimator would never see. Falls back to the
+  // whole stream if the sample is too small to have grown hubs.
+  constexpr size_t kHubDegree = 64;
+  std::vector<Edge> pairs;
+  for (const Edge& e : stream) {
+    if (graph.Degree(e.u) >= kHubDegree || graph.Degree(e.v) >= kHubDegree) {
+      pairs.push_back(e);
+    }
+  }
+  if (pairs.size() < 1000) pairs = stream;
+  const auto time_pairs = [&](IntersectKernel kernel, uint64_t* checksum) {
+    SetIntersectKernel(kernel);
+    double best_eps = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      uint64_t total = 0;
+      WallTimer timer;
+      for (const Edge& e : pairs) {
+        total += graph.CountCommonNeighbors(e.u, e.v);
+      }
+      best_eps = std::max(best_eps, pairs.size() / timer.ElapsedSeconds());
+      *checksum = total;
+    }
+    SetIntersectKernel(IntersectKernel::kAuto);
+    return best_eps;
+  };
+  IntersectBenchResult result;
+  uint64_t merge_count = 0, adaptive_count = 0;
+  result.merge_eps = time_pairs(IntersectKernel::kMerge, &merge_count);
+  result.adaptive_eps = time_pairs(IntersectKernel::kAuto, &adaptive_count);
+  if (merge_count != adaptive_count) {
+    std::fprintf(stderr,
+                 "FATAL: adaptive intersection count %" PRIu64
+                 " != scalar merge count %" PRIu64 "\n",
+                 adaptive_count, merge_count);
+    std::exit(1);
+  }
+  result.speedup = result.adaptive_eps / result.merge_eps;
+  std::printf(
+      "hub-heavy intersect replay (%zu sampled edges, %zu hub pairs, "
+      "%" PRIu64 " common neighbors, simd %s): merge %.0f pairs/s, "
+      "adaptive %.0f pairs/s\n",
+      graph.NumEdges(), pairs.size(), merge_count, IntersectSimdLevel(),
+      result.merge_eps, result.adaptive_eps);
   return result;
 }
 
@@ -705,6 +789,7 @@ int main(int argc, char** argv) {
       wall_gate_meaningful ? router_wall_speedup : router_critical_speedup;
 
   const IngestOnlyResult ingest = RunIngestOnlyBench(stream);
+  const IntersectBenchResult intersect = RunIntersectBench(stream, capacity);
 
   ExactCounts exact;
   if (run_exact) exact = CountExact(CsrGraph::FromEdgeList(graph));
@@ -740,7 +825,8 @@ int main(int argc, char** argv) {
     WriteJson(json_path, rows, stream.size(), capacity, hw, speedup_k4,
               steal_speedup, steal_wall_speedup, steal_critical_speedup,
               steals, envelope_bytes, env_speedup, ingest, router_speedup,
-              router_wall_speedup, router_critical_speedup, router_blocks);
+              router_wall_speedup, router_critical_speedup, router_blocks,
+              intersect);
   }
 
   // Regression gates.
@@ -783,9 +869,15 @@ int main(int argc, char** argv) {
       wall_gate_meaningful ? "wall-clock" : "critical-path", hw,
       router_speedup, router_speedup >= 1.4 ? "PASS" : "FAIL");
   ok &= router_speedup >= 1.4;
+  // The adaptive intersection kernels' bar: the hub-heavy replay must
+  // beat forced scalar merge (baseline-gated below; printed here so a
+  // local run shows the ratio even without --baseline).
+  std::printf("hub-heavy intersect adaptive vs merge: %.2fx\n",
+              intersect.speedup);
   if (!baseline_path.empty()) {
     ok &= GateAgainstBaseline(baseline_path, speedup_k4, steal_speedup,
-                              env_speedup, ingest.speedup, router_speedup);
+                              env_speedup, ingest.speedup, router_speedup,
+                              intersect.speedup);
   }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,187 @@
+// Microbench for the adaptive set-intersection kernels
+// (graph/intersect.h): per-kernel timings across adversarial size ratios,
+// the measured merge/gallop crossover (which justifies kGallopRatio), and
+// a hard >= 2x gate for the adaptive kernel over scalar merge on skewed
+// sorted-block pairs — the hub-vs-leaf shape that dominates the per-edge
+// cost on power-law graphs.
+//
+//   bench_intersect [--quick]
+//
+// --quick shrinks iteration counts for a sub-second smoke pass (CI runs
+// the full version; the gate holds in both modes).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "graph/intersect.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace gps {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Sorted-unique block of n ids drawn from [0, universe).
+std::vector<AdjEntry> MakeBlock(Rng* rng, size_t n, NodeId universe) {
+  std::set<NodeId> ids;
+  while (ids.size() < n) {
+    ids.insert(static_cast<NodeId>(rng->UniformU64(universe)));
+  }
+  std::vector<AdjEntry> block;
+  block.reserve(n);
+  for (const NodeId id : ids) block.push_back(AdjEntry{id, id});
+  return block;
+}
+
+/// Best-of-3 nanoseconds per intersection call of `kernel` over the pair,
+/// with the match count accumulated into *sink so the work cannot be
+/// optimized away.
+double TimeKernel(IntersectKernel kernel, const std::vector<AdjEntry>& a,
+                  const std::vector<AdjEntry>& b, size_t iters,
+                  size_t* sink) {
+  SetIntersectKernel(kernel);
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = Clock::now();
+    size_t total = 0;
+    for (size_t i = 0; i < iters; ++i) {
+      total += IntersectCountSorted(a.data(), a.size(), b.data(), b.size(),
+                                    nullptr);
+    }
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(Clock::now() - start)
+                                .count()) /
+        static_cast<double>(iters);
+    best = std::min(best, ns);
+    *sink += total;
+  }
+  SetIntersectKernel(IntersectKernel::kAuto);
+  return best;
+}
+
+}  // namespace
+}  // namespace gps
+
+int main(int argc, char** argv) {
+  using namespace gps;  // NOLINT
+
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_intersect [--quick]\n");
+      return 2;
+    }
+  }
+
+  std::printf("Set-intersection kernels over sorted AdjEntry blocks "
+              "(simd level: %s)\n\n",
+              IntersectSimdLevel());
+
+  Rng rng(0x15EC7);
+  size_t sink = 0;
+
+  // Skewed shapes: a fixed small side against growing ratios — the
+  // hub-vs-leaf pattern. The 50%-dense universe keeps matches plentiful
+  // so the emit path is exercised, not just the advance path.
+  const size_t small_n = 64;
+  const size_t ratios[] = {1, 2, 4, 8, 16, 32, 64, 256, 1024};
+  const size_t iters_base = quick ? 2000 : 20000;
+
+  TextTable table({"ratio", "|a|", "|b|", "merge ns", "gallop ns", "simd ns",
+                   "auto ns", "auto/merge", "auto pick"});
+  double crossover_ratio = 0.0;
+  double skew_speedup = 0.0;  // adaptive over merge at the largest ratio
+  for (const size_t ratio : ratios) {
+    const size_t large_n = small_n * ratio;
+    const NodeId universe = static_cast<NodeId>(2 * (small_n + large_n));
+    const std::vector<AdjEntry> a = MakeBlock(&rng, small_n, universe);
+    const std::vector<AdjEntry> b = MakeBlock(&rng, large_n, universe);
+    const size_t iters = std::max<size_t>(iters_base / ratio, 50);
+
+    const double merge_ns =
+        TimeKernel(IntersectKernel::kMerge, a, b, iters, &sink);
+    const double gallop_ns =
+        TimeKernel(IntersectKernel::kGallop, a, b, iters, &sink);
+    const double simd_ns =
+        IntersectSimdAvailable()
+            ? TimeKernel(IntersectKernel::kSimd, a, b, iters, &sink)
+            : 0.0;
+    const double auto_ns =
+        TimeKernel(IntersectKernel::kAuto, a, b, iters, &sink);
+
+    if (crossover_ratio == 0.0 && gallop_ns < merge_ns) {
+      crossover_ratio = static_cast<double>(ratio);
+    }
+    skew_speedup = merge_ns / auto_ns;
+
+    char buf[9][32];
+    std::snprintf(buf[0], sizeof(buf[0]), "1:%zu", ratio);
+    std::snprintf(buf[1], sizeof(buf[1]), "%zu", a.size());
+    std::snprintf(buf[2], sizeof(buf[2]), "%zu", b.size());
+    std::snprintf(buf[3], sizeof(buf[3]), "%.0f", merge_ns);
+    std::snprintf(buf[4], sizeof(buf[4]), "%.0f", gallop_ns);
+    if (IntersectSimdAvailable()) {
+      std::snprintf(buf[5], sizeof(buf[5]), "%.0f", simd_ns);
+    } else {
+      std::snprintf(buf[5], sizeof(buf[5]), "n/a");
+    }
+    std::snprintf(buf[6], sizeof(buf[6]), "%.0f", auto_ns);
+    std::snprintf(buf[7], sizeof(buf[7]), "%.2fx", merge_ns / auto_ns);
+    std::snprintf(buf[8], sizeof(buf[8]), "%s",
+                  IntersectKernelName(
+                      ChooseIntersectKernel(a.size(), b.size())));
+    table.AddRow({buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6],
+                  buf[7], buf[8]});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Comparable-size shapes: where the simd kernel earns its slot.
+  std::printf("\nComparable sizes (simd regime):\n");
+  TextTable table2({"|a|=|b|", "merge ns", "simd ns", "simd/merge"});
+  for (const size_t n : {16u, 64u, 256u, 1024u}) {
+    const NodeId universe = static_cast<NodeId>(4 * n);
+    const std::vector<AdjEntry> a = MakeBlock(&rng, n, universe);
+    const std::vector<AdjEntry> b = MakeBlock(&rng, n, universe);
+    const size_t iters = std::max<size_t>(iters_base * 16 / n, 50);
+    const double merge_ns =
+        TimeKernel(IntersectKernel::kMerge, a, b, iters, &sink);
+    const double simd_ns =
+        IntersectSimdAvailable()
+            ? TimeKernel(IntersectKernel::kSimd, a, b, iters, &sink)
+            : merge_ns;
+    char buf[4][32];
+    std::snprintf(buf[0], sizeof(buf[0]), "%zu", n);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.0f", merge_ns);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.0f", simd_ns);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.2fx", merge_ns / simd_ns);
+    table2.AddRow({buf[0], buf[1], buf[2], buf[3]});
+  }
+  std::printf("%s", table2.ToString().c_str());
+
+  std::printf("\nmeasured merge->gallop crossover: ratio 1:%.0f "
+              "(dispatch uses 1:%zu)\n",
+              crossover_ratio, intersect_detail::kGallopRatio);
+  std::printf("adaptive speedup at ratio 1:%zu: %.2fx (checksum %zu)\n",
+              ratios[sizeof(ratios) / sizeof(ratios[0]) - 1], skew_speedup,
+              sink);
+
+  // Hard gate (ISSUE 10 acceptance): >= 2x kernel speedup over scalar
+  // merge on skewed sorted-block pairs.
+  if (skew_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive kernel speedup %.2fx < 2.0x on skewed "
+                 "blocks\n",
+                 skew_speedup);
+    return 1;
+  }
+  std::printf("PASS: adaptive >= 2x over scalar merge on skewed blocks\n");
+  return 0;
+}

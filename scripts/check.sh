@@ -7,7 +7,8 @@
 # engine suites — the TSan pass includes engine_steal_test (the
 # work-stealing hand-off stress) and engine_metrics_test (snapshot
 # aggregation racing live relaxed-atomic writers).
-# Mirrors the release + sanitize + tsan jobs of .github/workflows/ci.yml
+# Mirrors the release + sanitize + tsan + simd-off jobs of
+# .github/workflows/ci.yml
 # (CI additionally archives BENCH_engine.json / BENCH_scaling.json per
 # run and schedules a nightly GPS_STAT_TRIALS=200 statistical pass).
 #
@@ -24,6 +25,14 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" --timeout 300
 
 echo "=== Motif pipeline smoke ==="
 ./build/bench_motif --smoke
+
+echo "=== Intersection kernel microbench (>= 2x skewed-block gate) ==="
+# Per-kernel timings across adversarial size ratios plus the hard gate:
+# adaptive dispatch must beat scalar merge by >= 2x on skewed block
+# pairs (the hub-vs-leaf shape). Byte identity across kernels is a test
+# contract (graph_intersect_test, cli_test's GPS_INTERSECT_KERNEL
+# matrix), not a bench concern.
+./build/bench_intersect --quick
 
 echo "=== Engine perf smoke (JSON + baseline regression gate) ==="
 # --alloc-report archives the packed-store budget breakdown next to the
@@ -52,16 +61,19 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=address \
 # engine_router_test rides along for the span-lifetime rules: routed
 # blocks alias the producer's input (and the mmap on the binary path)
 # until sequenced — ASan catches any use past a fence.
+# graph_intersect_test rides along for the simd kernels: unaligned
+# vector loads and scalar tails over arena block boundaries are exactly
+# where an out-of-bounds read would hide.
 cmake --build build-asan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_checkpoint_test \
   engine_resume_test engine_steal_test engine_metrics_test \
   engine_router_test \
   core_parallel_test core_serialize_test core_packed_store_test \
-  graph_binary_stream_test graph_edge_list_test \
+  graph_binary_stream_test graph_edge_list_test graph_intersect_test \
   util_parse_bytes_test cli_test gps_cli
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
   --timeout 300 \
-  -R 'engine_|core_parallel|core_serialize|core_packed_store|graph_binary_stream|graph_edge_list|util_parse_bytes|cli_test'
+  -R 'engine_|core_parallel|core_serialize|core_packed_store|graph_binary_stream|graph_edge_list|graph_intersect|util_parse_bytes|cli_test'
 
 echo "=== TSan build + threaded suites (steal hand-off stress) ==="
 # engine_metrics_test rides along: metric snapshots race live relaxed
@@ -75,12 +87,25 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DGPS_SANITIZE=thread \
 # engine_router_test is the router-pool hand-off stress: the mutex-guarded
 # job queue, completion map, and shell recycling between R router threads
 # and the sequencing producer are exactly what TSan must bless.
+# graph_intersect_test rides along: per-shard IntersectMetrics counters
+# are relaxed atomics absorbed across the steal hand-off — TSan must
+# bless the counter absorb next to the reservoir merge.
 cmake --build build-tsan -j"$(nproc)" --target \
   engine_ring_buffer_test engine_sharded_test engine_steal_test \
   engine_metrics_test engine_router_test core_parallel_test \
-  core_packed_store_test graph_binary_stream_test
+  core_packed_store_test graph_binary_stream_test graph_intersect_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
   --timeout 300 \
-  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|engine_router|core_parallel|core_packed_store|graph_binary_stream'
+  -R 'engine_ring_buffer|engine_sharded|engine_steal|engine_metrics|engine_router|core_parallel|core_packed_store|graph_binary_stream|graph_intersect'
+
+echo "=== Scalar-only build (-DGPS_SIMD=OFF) + full ctest ==="
+# The vector kernels compiled out entirely (the non-x86 path). The full
+# suite must pass on scalar merge/gallop alone, and the differential
+# tests prove the scalar kernels produce the same bytes the SIMD build
+# does — the determinism contract is per-kernel, not per-ISA.
+cmake -B build-nosimd -S . -DCMAKE_BUILD_TYPE=Release -DGPS_SIMD=OFF \
+  -DGPS_WERROR=ON -DGPS_BUILD_BENCHES=OFF -DGPS_BUILD_EXAMPLES=OFF
+cmake --build build-nosimd -j"$(nproc)"
+ctest --test-dir build-nosimd --output-on-failure -j"$(nproc)" --timeout 300
 
 echo "OK"

@@ -23,9 +23,13 @@ void InStreamEstimator::Process(const Edge& raw) {
   // Triangles completed by k = (u, v): one per sampled common neighbor
   // (Algorithm 3 lines 9-19). Updates are independent across triangles
   // because the non-k edges of distinct triangles at k are distinct.
+  // The enumeration doubles as the |Γ̂(u) ∩ Γ̂(v)| count the weight
+  // function needs below — no second intersection per arrival.
+  size_t sampled_triangles = 0;
   graph.ForEachCommonNeighbor(
       e.u, e.v, [&](NodeId w, SlotId slot_k1, SlotId slot_k2) {
         (void)w;
+        ++sampled_triangles;
         const double q1 = reservoir_.Probability(slot_k1);
         const double q2 = reservoir_.Probability(slot_k2);
         const double inv = 1.0 / (q1 * q2);
@@ -66,7 +70,7 @@ void InStreamEstimator::Process(const Edge& raw) {
   // Eviction discards the evicted edge's covariance accumulators (lines
   // 39-40) automatically: they live in the freed slot and are zeroed when
   // the slot is reused.
-  const double weight = weight_fn_.Compute(e, graph);
+  const double weight = weight_fn_.Compute(e, graph, sampled_triangles);
   reservoir_.Process(e, weight);
 }
 

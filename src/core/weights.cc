@@ -16,8 +16,15 @@ WeightFunction::WeightFunction(WeightOptions options)
   }
 }
 
-double WeightFunction::Compute(const Edge& e,
-                               const SampledGraph& sample) const {
+double WeightFunction::Compute(
+    const Edge& e, const SampledGraph& sample,
+    std::optional<size_t> known_common_neighbors) const {
+  // Lazy: only the triangle-based kinds pay for an intersection, and only
+  // when the caller has not already enumerated the common neighbors.
+  const auto common = [&]() -> size_t {
+    return known_common_neighbors ? *known_common_neighbors
+                                  : sample.CountCommonNeighbors(e.u, e.v);
+  };
   switch (options_.kind) {
     case WeightKind::kUniform:
       return options_.default_weight;
@@ -29,13 +36,11 @@ double WeightFunction::Compute(const Edge& e,
       return options_.coefficient * adj + options_.default_weight;
     }
     case WeightKind::kTriangle: {
-      const double tris =
-          static_cast<double>(sample.CountCommonNeighbors(e.u, e.v));
+      const double tris = static_cast<double>(common());
       return options_.coefficient * tris + options_.default_weight;
     }
     case WeightKind::kTriangleWedge: {
-      const double tris =
-          static_cast<double>(sample.CountCommonNeighbors(e.u, e.v));
+      const double tris = static_cast<double>(common());
       const double adj = static_cast<double>(sample.Degree(e.u)) +
                          static_cast<double>(sample.Degree(e.v));
       return options_.coefficient * tris +

@@ -15,7 +15,9 @@
 #ifndef GPS_CORE_WEIGHTS_H_
 #define GPS_CORE_WEIGHTS_H_
 
+#include <cstddef>
 #include <functional>
+#include <optional>
 
 #include "graph/sampled_graph.h"
 #include "graph/types.h"
@@ -64,7 +66,17 @@ class WeightFunction {
 
   /// Computes the sampling weight of `e` against the sampled graph. Always
   /// returns a strictly positive, finite value.
-  double Compute(const Edge& e, const SampledGraph& sample) const;
+  ///
+  /// `known_common_neighbors`, when set, is |Γ̂(u) ∩ Γ̂(v)| as already
+  /// computed by the caller this arrival (the in-stream estimator fully
+  /// enumerates the common neighbors just before weighting) — the
+  /// triangle-based kinds reuse it instead of re-intersecting. It is an
+  /// exact integer count, so passing it is byte-identical to recomputing.
+  /// Kinds that never need the count (kUniform/kAdjacency/kCustom) ignore
+  /// it, and it is computed lazily when absent.
+  double Compute(const Edge& e, const SampledGraph& sample,
+                 std::optional<size_t> known_common_neighbors =
+                     std::nullopt) const;
 
   const WeightOptions& options() const { return options_; }
 

@@ -415,6 +415,8 @@ void ShardWorker::AbsorbResult(const BatchResult& result) {
   // admissions and the Admit() re-binds above — a measure of sampling
   // WORK, not of final sample size (which is a gauge, not a counter).
   reservoir->mutable_metrics()->Absorb(result.mini->reservoir().metrics());
+  reservoir->graph().intersect_metrics()->Absorb(
+      *result.mini->reservoir().graph().intersect_metrics());
 }
 
 void ShardWorker::PostResult(ShardWorker* owner, BatchResult&& result) {

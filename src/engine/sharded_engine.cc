@@ -634,6 +634,10 @@ void ShardedEngine::RegisterObservability() {
     metrics_.AddCounter("reservoir.precheck_rejects", &res.precheck_rejects);
     metrics_.AddCounter("reservoir.admissions", &res.admissions);
     metrics_.AddCounter("reservoir.evictions", &res.evictions);
+    const IntersectMetrics* im = shard.reservoir().graph().intersect_metrics();
+    metrics_.AddCounter("intersect.merge", &im->merge_calls);
+    metrics_.AddCounter("intersect.gallop", &im->gallop_calls);
+    metrics_.AddCounter("intersect.simd", &im->simd_calls);
     metrics_.AddGauge("merge.sample_size.shard" + std::to_string(s),
                       &shard_sample_size_[s]);
   }
@@ -646,6 +650,8 @@ void ShardedEngine::RegisterObservability() {
   metrics_.AddGauge("store.arena_bytes", &derived_.arena_bytes_total);
   metrics_.AddGauge("store.load_factor", &derived_.load_factor_max);
   metrics_.AddGauge("store.probe_len_p99", &derived_.probe_len_p99);
+  metrics_.AddGauge("intersect.comparisons_saved",
+                    &derived_.intersect_comparisons_saved);
 
   if (router_ != nullptr) {
     for (uint32_t r = 0; r < router_->num_routers(); ++r) {
@@ -679,6 +685,7 @@ void ShardedEngine::RefreshDerivedGauges() {
   double zstar_max = 0.0, busy_max = 0.0, idle_max = 0.0;
   double sample_total = 0.0;
   double arena_total = 0.0, load_factor_max = 0.0, probe_p99_max = 0.0;
+  double comparisons_saved = 0.0;
   std::vector<size_t> probes;  // reused across shards
   for (uint32_t s = 0; s < num_shards(); ++s) {
     const GpsReservoir& res = shards_[s]->reservoir();
@@ -692,6 +699,8 @@ void ShardedEngine::RefreshDerivedGauges() {
     const SampledGraph& graph = res.graph();
     arena_total += static_cast<double>(graph.arena_bytes());
     load_factor_max = std::max(load_factor_max, graph.node_load_factor());
+    comparisons_saved +=
+        static_cast<double>(graph.intersect_metrics()->comparisons_saved.Value());
     probes.clear();
     graph.ForEachNodeProbeLength([&](size_t len) { probes.push_back(len); });
     if (!probes.empty()) {
@@ -708,6 +717,7 @@ void ShardedEngine::RefreshDerivedGauges() {
   derived_.arena_bytes_total.Set(arena_total);
   derived_.load_factor_max.Set(load_factor_max);
   derived_.probe_len_p99.Set(probe_p99_max);
+  derived_.intersect_comparisons_saved.Set(comparisons_saved);
   if (router_ != nullptr) {
     derived_.router_busy_seconds_max.Set(MaxRouterBusySeconds());
     derived_.producer_route_seconds.Set(ProducerRouteSeconds());

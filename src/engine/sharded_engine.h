@@ -487,6 +487,9 @@ class ShardedEngine {
     Gauge probe_len_p99;       // store.probe_len_p99 (max across shards)
     Gauge router_busy_seconds_max;  // router.busy_seconds (max, pool only)
     Gauge producer_route_seconds;   // engine.producer_route_seconds
+    /// intersect.comparisons_saved: scalar-merge comparisons avoided by
+    /// adaptive kernel selection, summed across shards.
+    Gauge intersect_comparisons_saved;
   };
   DerivedGauges derived_;
   /// Per-stratum (per-shard) sample sizes: merge.sample_size.shard<k>.

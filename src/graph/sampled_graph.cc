@@ -75,9 +75,12 @@ SlotId SampledGraph::FindEdge(const Edge& e) const {
 }
 
 size_t SampledGraph::CountCommonNeighbors(NodeId u, NodeId v) const {
-  size_t count = 0;
-  ForEachCommonNeighbor(u, v, [&](NodeId, SlotId, SlotId) { ++count; });
-  return count;
+  const BlockRef* bu = nodes_.Find(u);
+  const BlockRef* bv = nodes_.Find(v);
+  if (!bu || !bv) return 0;
+  return IntersectCountSorted(arena_.At(bu->offset), bu->size,
+                              arena_.At(bv->offset), bv->size,
+                              &intersect_metrics_);
 }
 
 void SampledGraph::Clear() {

@@ -40,20 +40,11 @@
 #include <utility>
 #include <vector>
 
+#include "graph/intersect.h"  // SlotId, kNoSlot, AdjEntry + the kernels
 #include "graph/types.h"
 #include "util/flat_hash_map.h"
 
 namespace gps {
-
-/// Opaque per-edge payload stored with each adjacency entry.
-using SlotId = uint32_t;
-constexpr SlotId kNoSlot = ~SlotId{0};
-
-/// One directed adjacency entry: neighbor id + the edge's reservoir slot.
-struct AdjEntry {
-  NodeId nbr;
-  SlotId slot;
-};
 
 /// Bump allocator for fixed-capacity adjacency blocks with per-size-class
 /// free lists. Offsets (not pointers) are the stable handle: the backing
@@ -165,33 +156,28 @@ class SampledGraph {
     });
   }
 
-  /// Counts |Γ̂(u) ∩ Γ̂(v)| by scanning the smaller neighborhood and probing
-  /// the larger — the weight computation of paper Section 3.2.
+  /// Counts |Γ̂(u) ∩ Γ̂(v)| — the weight computation of paper Section 3.2 —
+  /// via the count-only intersection kernels (no slot resolution).
   size_t CountCommonNeighbors(NodeId u, NodeId v) const;
 
   /// Calls fn(w, slot_uw, slot_vw) for every common neighbor w of u and v,
-  /// i.e. for every sampled triangle the (u, v) edge would close.
+  /// i.e. for every sampled triangle the (u, v) edge would close. Routed
+  /// through the adaptive intersection kernels (graph/intersect.h):
+  /// ascending-w emission with slots in (u, v) argument order is a kernel
+  /// contract, so dispatch can never perturb estimate bytes.
   template <typename Fn>
   void ForEachCommonNeighbor(NodeId u, NodeId v, Fn&& fn) const {
     const BlockRef* bu = nodes_.Find(u);
     const BlockRef* bv = nodes_.Find(v);
     if (!bu || !bv) return;
-    // Scan the smaller neighborhood, but always report slots in the
-    // caller's (u, v) argument order.
-    if (bu->size <= bv->size) {
-      const AdjEntry* eu = arena_.At(bu->offset);
-      for (uint32_t i = 0; i < bu->size; ++i) {
-        const SlotId slot_vw = FindInBlock(*bv, eu[i].nbr);
-        if (slot_vw != kNoSlot) fn(eu[i].nbr, eu[i].slot, slot_vw);
-      }
-    } else {
-      const AdjEntry* ev = arena_.At(bv->offset);
-      for (uint32_t i = 0; i < bv->size; ++i) {
-        const SlotId slot_uw = FindInBlock(*bu, ev[i].nbr);
-        if (slot_uw != kNoSlot) fn(ev[i].nbr, slot_uw, ev[i].slot);
-      }
-    }
+    IntersectSorted(arena_.At(bu->offset), bu->size, arena_.At(bv->offset),
+                    bv->size, &intersect_metrics_, std::forward<Fn>(fn));
   }
+
+  /// Kernel-selection counters for this graph's intersections (registered
+  /// with the engine's MetricsRegistry; mutable because intersection is a
+  /// const query).
+  IntersectMetrics* intersect_metrics() const { return &intersect_metrics_; }
 
   /// Removes everything (arena storage is retained).
   void Clear();
@@ -252,6 +238,7 @@ class SampledGraph {
   FlatHashMap<NodeId, BlockRef> nodes_;
   AdjacencyArena arena_;
   size_t num_edges_ = 0;
+  mutable IntersectMetrics intersect_metrics_;
 };
 
 }  // namespace gps

@@ -26,9 +26,13 @@ struct CommandResult {
   std::string output;
 };
 
-CommandResult RunCli(const std::string& args) {
-  const std::string command =
-      std::string(GPS_CLI_PATH) + " " + args + " 2>&1";
+/// Runs the CLI with `env_prefix` prepended (e.g. "GPS_INTERSECT_KERNEL=simd")
+/// so tests can exercise environment-driven modes of a fresh process.
+CommandResult RunCliEnv(const std::string& env_prefix,
+                        const std::string& args) {
+  const std::string command = (env_prefix.empty() ? "" : env_prefix + " ") +
+                              std::string(GPS_CLI_PATH) + " " + args +
+                              " 2>&1";
   FILE* pipe = popen(command.c_str(), "r");
   CommandResult result;
   if (!pipe) return result;
@@ -38,6 +42,8 @@ CommandResult RunCli(const std::string& args) {
   result.exit_code = WEXITSTATUS(status);
   return result;
 }
+
+CommandResult RunCli(const std::string& args) { return RunCliEnv("", args); }
 
 // ctest runs these cases in parallel processes; every path must be unique
 // per test or TearDown in one process deletes a file another is reading.
@@ -770,6 +776,43 @@ TEST_F(CliTest, VersionReportsFormats) {
   EXPECT_NE(r.output.find("estimator format"), std::string::npos);
   EXPECT_NE(r.output.find("stream format"), std::string::npos);
   EXPECT_NE(r.output.find("metrics"), std::string::npos);
+  EXPECT_NE(r.output.find("intersect simd"), std::string::npos);
+}
+
+TEST_F(CliTest, ForcedIntersectKernelsAreByteIdenticalOnGoldenStream) {
+  // The intersection kernels' user-facing contract (graph/intersect.h):
+  // GPS_INTERSECT_KERNEL=merge|gallop|simd runs of the same estimate and
+  // the same monitor CSV produce byte-identical output — kernel choice
+  // (and therefore CPU generation or -DGPS_SIMD setting) can never move
+  // an estimate. 'simd' rides along even on non-simd builds, where it
+  // must degrade to merge rather than diverge or crash.
+  const std::string estimate_args = "estimate --input " + graph_path_ +
+                                    " --capacity 2000 --shards 4 "
+                                    "--batch 128 --seed 9";
+  const std::string monitor_args = "monitor --input " + graph_path_ +
+                                   " --capacity 1500 --seed 11 --shards 2 "
+                                   "--every 1000";
+  const CommandResult est_base = RunCli(estimate_args);
+  ASSERT_EQ(est_base.exit_code, 0) << est_base.output;
+  const CommandResult mon_base = RunCli(monitor_args);
+  ASSERT_EQ(mon_base.exit_code, 0) << mon_base.output;
+  for (const std::string kernel : {"merge", "gallop", "simd"}) {
+    const std::string env = "GPS_INTERSECT_KERNEL=" + kernel;
+    const CommandResult est = RunCliEnv(env, estimate_args);
+    ASSERT_EQ(est.exit_code, 0) << kernel << ": " << est.output;
+    EXPECT_EQ(est.output, est_base.output) << kernel;
+    const CommandResult mon = RunCliEnv(env, monitor_args);
+    ASSERT_EQ(mon.exit_code, 0) << kernel << ": " << mon.output;
+    EXPECT_EQ(mon.output, mon_base.output) << kernel;
+  }
+}
+
+TEST_F(CliTest, UnknownIntersectKernelWarnsAndRunsAdaptive) {
+  const CommandResult r =
+      RunCliEnv("GPS_INTERSECT_KERNEL=quantum", "version");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("GPS_INTERSECT_KERNEL"), std::string::npos)
+      << r.output;
 }
 
 TEST_F(CliTest, VersionRejectsFlags) {

@@ -86,6 +86,7 @@
 #include "graph/binary_stream.h"
 #include "graph/csr_graph.h"
 #include "graph/exact.h"
+#include "graph/intersect.h"
 #include "graph/stream.h"
 #include "util/metrics.h"
 #include "util/parse_bytes.h"
@@ -1381,6 +1382,7 @@ int RunVersion() {
             "v" + std::to_string(BinaryStreamFormatVersion())});
   t.AddRow({"build type", GPS_BUILD_TYPE});
   t.AddRow({"metrics", MetricsEnabled() ? "on" : "off (GPS_METRICS=0)"});
+  t.AddRow({"intersect simd", IntersectSimdLevel()});
   std::printf("%s", t.ToString().c_str());
   return 0;
 }
